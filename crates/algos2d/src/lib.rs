@@ -1,0 +1,26 @@
+//! 2D rank-regret algorithms (paper Section IV).
+//!
+//! * [`rrm2d`] — **2DRRM**, the paper's exact dynamic program over the dual
+//!   line arrangement: optimal RRM/RRRM solutions in 2D (Theorem 4),
+//!   `O(n² log n)` time (Theorem 5).
+//! * [`rrr2d`] — **2DRRR**, the baseline of Asudeh et al.: for a threshold
+//!   `k` it covers the weight range with per-tuple "rank ≤ k" windows,
+//!   guaranteeing size ≤ optimal and rank-regret ≤ 2k − 1; adapted to RRM
+//!   with the doubling + binary search of Section V-B.2.
+//! * [`pareto`] — the full size/regret trade-off curve from one DP run,
+//!   plus the exact RRR solver built on 2DRRM ("2DRRM can be easily adopted
+//!   for RRR by a binary search").
+//!
+//! All solvers accept either the full space `L` or a restricted 2D space
+//! rendered onto a weight interval `[c0, c1]` (Section IV-C).
+
+pub mod matrix;
+pub mod pareto;
+pub mod rrm2d;
+pub mod rrr2d;
+
+pub use pareto::{pareto_frontier, rrr_exact_2d, ParetoPoint};
+pub use rrm2d::{
+    rrm_2d, rrm_2d_on_interval, rrm_2d_with_stats, weight_interval, Rrm2dOptions, SweepStats,
+};
+pub use rrr2d::{rrm_via_rrr_2d, rrr_2d, rrr_2d_on_interval};

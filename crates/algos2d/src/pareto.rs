@@ -1,0 +1,173 @@
+//! Size/regret trade-off curve and the exact RRR solver.
+//!
+//! One DP run with `r = s` fills every column of the matrix, so the whole
+//! Pareto frontier "best achievable rank-regret per size budget" falls out
+//! of a single sweep. The exact RRR solver ("find the minimum set with
+//! rank-regret ≤ k") follows the paper's remark that 2DRRM adapts to RRR
+//! with a binary search; for small instances the frontier route is also
+//! exposed because it answers *all* thresholds at once.
+
+use rrm_core::{Algorithm, Dataset, RrmError, Solution, UtilitySpace};
+
+use crate::rrm2d::{rrm_2d_on_interval, weight_interval, Rrm2dOptions};
+
+/// One point of the trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParetoPoint {
+    /// Size budget `r`.
+    pub r: usize,
+    /// Optimal rank-regret among sets of at most `r` candidate tuples.
+    pub regret: usize,
+}
+
+/// The optimal rank-regret for every size budget `1..=max_r` (clamped to
+/// the candidate-set size). Increasing `r` never worsens the regret.
+pub fn pareto_frontier(
+    data: &Dataset,
+    max_r: usize,
+    space: &dyn UtilitySpace,
+    options: Rrm2dOptions,
+) -> Result<Vec<ParetoPoint>, RrmError> {
+    let mut out = Vec::new();
+    // One DP run per budget keeps the implementation simple and exact;
+    // the budgets share the event generation cost through the stream.
+    // (A single run with r = max_r would fill all columns, but the final
+    // fold state of lower columns is only valid for the *last* event, so
+    // per-budget runs are the straightforward correct choice.)
+    let mut prev = usize::MAX;
+    for r in 1..=max_r {
+        let sol = rrm_2d_on_interval_cached(data, r, space, options)?;
+        let k = sol.certified_regret.expect("2DRRM always certifies");
+        debug_assert!(k <= prev, "frontier must be monotone");
+        prev = k;
+        out.push(ParetoPoint { r, regret: k });
+        if k == 1 {
+            // Larger budgets cannot improve on rank-regret 1.
+            for r2 in r + 1..=max_r {
+                out.push(ParetoPoint { r: r2, regret: 1 });
+            }
+            break;
+        }
+    }
+    Ok(out)
+}
+
+fn rrm_2d_on_interval_cached(
+    data: &Dataset,
+    r: usize,
+    space: &dyn UtilitySpace,
+    options: Rrm2dOptions,
+) -> Result<Solution, RrmError> {
+    let (c0, c1) = weight_interval(space)?;
+    rrm_2d_on_interval(data, r, c0, c1, options)
+}
+
+/// Exact RRR in 2D: the minimum-size set with rank-regret at most `k`,
+/// found by binary search on the output size over the exact 2DRRM solver
+/// (the extra `log n` factor the paper mentions).
+///
+/// Errors with [`RrmError::Unsupported`] when even the full candidate set
+/// misses the threshold — impossible for `k ≥ 1` since the whole
+/// (restricted) skyline achieves rank-regret 1.
+pub fn rrr_exact_2d(
+    data: &Dataset,
+    k: usize,
+    space: &dyn UtilitySpace,
+    options: Rrm2dOptions,
+) -> Result<Solution, RrmError> {
+    if k == 0 {
+        return Err(RrmError::Unsupported("rank-regret thresholds start at 1".into()));
+    }
+    // Upper bound: the whole candidate set (regret 1 ≤ k).
+    let (c0, c1) = weight_interval(space)?;
+    let sky = rrm_skyline::restricted::u_skyline_2d(data, c0, c1);
+    let mut lo = 1usize;
+    let mut hi = sky.len();
+    let mut best: Option<Solution> = None;
+    while lo <= hi {
+        let mid = lo + (hi - lo) / 2;
+        let sol = rrm_2d_on_interval(data, mid, c0, c1, options)?;
+        if sol.certified_regret.expect("certified") <= k {
+            hi = mid - 1;
+            best = Some(sol);
+        } else {
+            lo = mid + 1;
+        }
+    }
+    best.ok_or_else(|| RrmError::Unsupported("no candidate set meets the threshold".into()))
+        .map(|mut s| {
+            s.algorithm = Algorithm::TwoDRrm;
+            s
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rrm_core::FullSpace;
+
+    fn random_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<[f64; 2]> =
+            (0..n).map(|_| [rng.random::<f64>(), rng.random::<f64>()]).collect();
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn frontier_is_monotone_and_hits_one() {
+        let d = random_dataset(150, 1);
+        let f = pareto_frontier(&d, 12, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+        assert_eq!(f.len(), 12);
+        for w in f.windows(2) {
+            assert!(w[1].regret <= w[0].regret);
+        }
+        // A large enough budget always reaches regret 1 (the skyline).
+        let d_small = random_dataset(20, 2);
+        let f = pareto_frontier(&d_small, 20, &FullSpace::new(2), Rrm2dOptions::default())
+            .unwrap();
+        assert_eq!(f.last().unwrap().regret, 1);
+    }
+
+    #[test]
+    fn rrr_exact_matches_frontier() {
+        let d = random_dataset(80, 3);
+        let f = pareto_frontier(&d, 15, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+        for k in [1usize, 2, 3, 5, 8] {
+            let expected_size = f.iter().find(|p| p.regret <= k).map(|p| p.r);
+            let sol = rrr_exact_2d(&d, k, &FullSpace::new(2), Rrm2dOptions::default());
+            match expected_size {
+                Some(sz) => {
+                    let sol = sol.unwrap();
+                    assert_eq!(sol.size(), sz, "k={k}");
+                    assert!(sol.certified_regret.unwrap() <= k);
+                }
+                None => {
+                    // Threshold needs more than 15 tuples — solver must
+                    // still succeed with a bigger set.
+                    let sol = sol.unwrap();
+                    assert!(sol.size() > 15);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rrr_threshold_one_returns_skyline_size() {
+        let d = random_dataset(60, 4);
+        let sol = rrr_exact_2d(&d, 1, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+        let sky = rrm_skyline::skyline(&d);
+        // Rank-regret 1 requires containing the top-1 for every direction:
+        // exactly the set of tuples that are top-1 somewhere (the convex
+        // hull part of the skyline), so size ≤ |skyline|.
+        assert!(sol.size() <= sky.len());
+        assert_eq!(sol.certified_regret, Some(1));
+    }
+
+    #[test]
+    fn rrr_rejects_zero_threshold() {
+        let d = random_dataset(10, 5);
+        assert!(rrr_exact_2d(&d, 0, &FullSpace::new(2), Rrm2dOptions::default()).is_err());
+    }
+}

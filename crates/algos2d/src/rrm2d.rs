@@ -1,0 +1,434 @@
+//! **2DRRM** — the exact 2D dynamic program (Algorithm 1, Theorems 4–5).
+//!
+//! The solver sweeps a vertical line across the dual arrangement,
+//! maintaining for every skyline line `lg(i)` and every budget `j ≤ r` the
+//! best convex chain ending in `lg(i)` with at most `j` lines
+//! ([`crate::matrix::DpMatrix`]). At each crossing where a skyline line's
+//! rank increases, the affected chains' maximum ranks are folded; when the
+//! other line is also a skyline line, a cheaper chain may be extended onto
+//! it. The best column-`r` cell at the end is the optimal solution.
+//!
+//! # Event machinery
+//!
+//! The paper maintains all `n` lines in a sorted list and pops adjacent
+//! intersections from a heap (`O(n² log n)`); only crossings that involve
+//! a skyline line ever change a rank the DP reads, so the default here
+//! replays exactly those `O(s·n)` crossings from a pre-sorted stream
+//! ([`rrm_geom::events`]). Set [`Rrm2dOptions::use_full_sweep`] to run the
+//! paper's original full-arrangement sweep instead (identical output;
+//! compared in the `ablation_sweep` benchmark).
+//!
+//! # Degeneracies
+//!
+//! The paper assumes no two tuples tie under any utility function. Exact
+//! duplicates are deduplicated among candidates (they share one dual line);
+//! concurrent crossings at exactly equal `x` are processed in a
+//! deterministic order, which can momentarily over-count a rank at a
+//! measure-zero point — the usual general-position caveat.
+
+use rrm_core::{Algorithm, Dataset, RrmError, Solution, UtilitySpace};
+use rrm_geom::dual::{normalized_interval_2d, DualLine};
+use rrm_geom::events::{initial_ranks, stream_crossings};
+use rrm_geom::sweep::arrangement_sweep;
+use rrm_skyline::restricted::u_skyline_2d;
+
+use crate::matrix::DpMatrix;
+
+/// Tuning knobs for [`rrm_2d`].
+#[derive(Debug, Clone, Copy)]
+pub struct Rrm2dOptions {
+    /// Run the paper-faithful full arrangement sweep instead of the
+    /// skyline-crossing event stream. Same output, more events.
+    pub use_full_sweep: bool,
+    /// Upper bound on crossings materialized at once by the event stream.
+    pub chunk_target: usize,
+}
+
+impl Default for Rrm2dOptions {
+    fn default() -> Self {
+        Self { use_full_sweep: false, chunk_target: 4 << 20 }
+    }
+}
+
+/// The weight interval `[c0, c1]` a 2D utility space occupies after
+/// normalization (`u → (c, 1-c)`), i.e. the paper's "render the scene"
+/// step. Errors when the space is empty or not polyhedral.
+pub fn weight_interval(space: &dyn UtilitySpace) -> Result<(f64, f64), RrmError> {
+    if space.dim() != 2 {
+        return Err(RrmError::DimensionMismatch { expected: 2, got: space.dim() });
+    }
+    if space.is_full() {
+        return Ok((0.0, 1.0));
+    }
+    let rows = space
+        .cone_rows()
+        .ok_or_else(|| RrmError::InvalidSpace("2D solvers need a polyhedral space".into()))?;
+    normalized_interval_2d(&rows)
+        .ok_or_else(|| RrmError::InvalidSpace("the 2D cone contains no direction".into()))
+}
+
+/// Work counters from one 2DRRM run (the quantities behind Theorem 5's
+/// cost analysis and the `ablation_sweep` benchmark).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Candidate (restricted-skyline, deduplicated) lines `s`.
+    pub candidates: usize,
+    /// Crossings replayed (the `O(s·n)` event stream; `O(n²)` with the
+    /// paper-faithful full sweep).
+    pub events: usize,
+    /// Events where a candidate's rank increased (the paper's case 1 —
+    /// each costs an `O(r)` matrix fold).
+    pub case1_events: usize,
+    /// Chain extension opportunities (crossings of two candidate lines,
+    /// Algorithm 1 lines 17–19).
+    pub extensions: usize,
+}
+
+/// Solve RRM (`space = L`) or RRRM (restricted `space`) exactly in 2D.
+pub fn rrm_2d(
+    data: &Dataset,
+    r: usize,
+    space: &dyn UtilitySpace,
+    options: Rrm2dOptions,
+) -> Result<Solution, RrmError> {
+    let (c0, c1) = weight_interval(space)?;
+    rrm_2d_on_interval(data, r, c0, c1, options)
+}
+
+/// [`rrm_2d`] with work counters.
+pub fn rrm_2d_with_stats(
+    data: &Dataset,
+    r: usize,
+    space: &dyn UtilitySpace,
+    options: Rrm2dOptions,
+) -> Result<(Solution, SweepStats), RrmError> {
+    let (c0, c1) = weight_interval(space)?;
+    let mut stats = SweepStats::default();
+    let sol = rrm_2d_impl(data, r, c0, c1, options, Some(&mut stats))?;
+    Ok((sol, stats))
+}
+
+/// Solve the 2D problem for utility directions `(c, 1-c)`, `c ∈ [c0, c1]`.
+pub fn rrm_2d_on_interval(
+    data: &Dataset,
+    r: usize,
+    c0: f64,
+    c1: f64,
+    options: Rrm2dOptions,
+) -> Result<Solution, RrmError> {
+    rrm_2d_impl(data, r, c0, c1, options, None)
+}
+
+fn rrm_2d_impl(
+    data: &Dataset,
+    r: usize,
+    c0: f64,
+    c1: f64,
+    options: Rrm2dOptions,
+    mut stats: Option<&mut SweepStats>,
+) -> Result<Solution, RrmError> {
+    if data.dim() != 2 {
+        return Err(RrmError::DimensionMismatch { expected: 2, got: data.dim() });
+    }
+    if r == 0 {
+        return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
+    }
+    assert!(c0 <= c1, "empty weight interval");
+
+    // Theorem 3: candidates are the (restricted) skyline.
+    let candidates = u_skyline_2d(data, c0, c1);
+    let lines = DualLine::from_dataset(data);
+
+    // Deduplicate identical dual lines among candidates (exact duplicate
+    // tuples): a convex chain uses strictly increasing slopes, so at most
+    // one copy could ever appear in a solution.
+    let mut sky: Vec<u32> = Vec::with_capacity(candidates.len());
+    {
+        let mut seen: Vec<(f64, f64)> = Vec::new();
+        for &c in &candidates {
+            let l = &lines[c as usize];
+            if !seen.iter().any(|&(s, b)| s == l.slope && b == l.intercept) {
+                seen.push((l.slope, l.intercept));
+                sky.push(c);
+            }
+        }
+    }
+    // Sort skyline lines by slope ascending (the paper's g(1..s) order).
+    sky.sort_unstable_by(|&a, &b| {
+        lines[a as usize]
+            .slope
+            .partial_cmp(&lines[b as usize].slope)
+            .expect("finite slopes")
+            .then(a.cmp(&b))
+    });
+    let s = sky.len();
+
+    if let Some(st) = stats.as_deref_mut() {
+        st.candidates = s;
+    }
+
+    // The whole candidate set has rank-regret 1 (the top-1 for any u in the
+    // space is never U-dominated, hence a candidate).
+    if s <= r {
+        return Ok(Solution::new(sky, Some(1), Algorithm::TwoDRrm, data));
+    }
+
+    // Row lookup: line id -> skyline row (usize::MAX = not a skyline line).
+    let mut row_of = vec![usize::MAX; lines.len()];
+    for (i, &id) in sky.iter().enumerate() {
+        row_of[id as usize] = i;
+    }
+
+    let all_ranks = initial_ranks(&lines, c0);
+    let mut rank: Vec<u32> = all_ranks.iter().map(|&v| v as u32).collect();
+    let sky_ranks: Vec<u32> = sky.iter().map(|&id| rank[id as usize]).collect();
+    let mut m = DpMatrix::new(&sky, &sky_ranks, r);
+
+    // Event replay: at each crossing the `down` line's rank increases.
+    // `extend` must see `M[i_down, h-1]` pre-fold, hence extend-then-fold.
+    let mut counters = SweepStats::default();
+    let mut apply = |x: f64, down: u32, up: u32| {
+        let _ = x;
+        counters.events += 1;
+        rank[down as usize] += 1;
+        rank[up as usize] -= 1;
+        let i_down = row_of[down as usize];
+        if i_down != usize::MAX {
+            counters.case1_events += 1;
+            let j_up = row_of[up as usize];
+            if j_up != usize::MAX {
+                counters.extensions += 1;
+                m.extend(i_down, j_up, up);
+            }
+            m.fold_rank(i_down, rank[down as usize]);
+        }
+    };
+
+    if options.use_full_sweep {
+        arrangement_sweep(&lines, c0, c1, |x, down, up, _| apply(x, down, up));
+    } else {
+        stream_crossings(&lines, &sky, c0, c1, options.chunk_target, |c| {
+            apply(c.x, c.down, c.up)
+        });
+    }
+
+    let (best_row, best_rank) = m.best_final();
+    let chain = m.chain_lines(best_row, r);
+    if let Some(st) = stats {
+        counters.candidates = s;
+        *st = counters;
+    }
+    Ok(Solution::new(chain, Some(best_rank as usize), Algorithm::TwoDRrm, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrm_core::{FullSpace, WeakRankingSpace};
+
+    fn table1() -> Dataset {
+        Dataset::from_rows(&[
+            [0.0, 1.0],
+            [0.4, 0.95],
+            [0.57, 0.75],
+            [0.79, 0.6],
+            [0.2, 0.5],
+            [0.35, 0.3],
+            [1.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn table1_r1_returns_t3() {
+        // The paper: "When r = 1, the solutions for RRM and RMS are {t3}
+        // and {t4} respectively."
+        let sol = rrm_2d(&table1(), 1, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+        assert_eq!(sol.indices, vec![2], "expected {{t3}}");
+        assert_eq!(sol.certified_regret, Some(3), "Table I rank-ratio of t3");
+        assert_eq!(sol.algorithm, Algorithm::TwoDRrm);
+    }
+
+    #[test]
+    fn table1_shift_invariance() {
+        // Figure 2's shift: +4 on A2. The RRM solution stays {t3}.
+        let shifted = table1().shift(&[0.0, 4.0]);
+        let sol =
+            rrm_2d(&shifted, 1, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+        assert_eq!(sol.indices, vec![2]);
+        assert_eq!(sol.certified_regret, Some(3));
+    }
+
+    #[test]
+    fn table2_subset_r2() {
+        // D = {t1, t2, t3}, r = 2 -> optimal rank-regret 2, {t1,t2} or {t1,t3}.
+        let d = Dataset::from_rows(&[[0.0, 1.0], [0.4, 0.95], [0.57, 0.75]]).unwrap();
+        let sol = rrm_2d(&d, 2, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+        assert_eq!(sol.certified_regret, Some(2));
+        assert!(sol.indices == vec![0, 1] || sol.indices == vec![0, 2], "{:?}", sol.indices);
+    }
+
+    #[test]
+    fn whole_skyline_fits() {
+        let d = table1();
+        // Skyline has 5 tuples; with r = 5 the answer is the skyline with
+        // rank-regret 1.
+        let sol = rrm_2d(&d, 5, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+        assert_eq!(sol.indices, vec![0, 1, 2, 3, 6]);
+        assert_eq!(sol.certified_regret, Some(1));
+    }
+
+    #[test]
+    fn full_sweep_agrees_with_event_stream() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        for trial in 0..20 {
+            let n = rng.random_range(3..40);
+            let rows: Vec<[f64; 2]> =
+                (0..n).map(|_| [rng.random::<f64>(), rng.random::<f64>()]).collect();
+            let d = Dataset::from_rows(&rows).unwrap();
+            for r in 1..4 {
+                let a = rrm_2d(&d, r, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+                let b = rrm_2d(
+                    &d,
+                    r,
+                    &FullSpace::new(2),
+                    Rrm2dOptions { use_full_sweep: true, ..Default::default() },
+                )
+                .unwrap();
+                assert_eq!(
+                    a.certified_regret, b.certified_regret,
+                    "trial {trial} r={r}: {rows:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_chunks_do_not_change_results() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4);
+        let rows: Vec<[f64; 2]> =
+            (0..30).map(|_| [rng.random::<f64>(), rng.random::<f64>()]).collect();
+        let d = Dataset::from_rows(&rows).unwrap();
+        let a = rrm_2d(&d, 3, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+        let b = rrm_2d(
+            &d,
+            3,
+            &FullSpace::new(2),
+            Rrm2dOptions { chunk_target: 3, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(a.certified_regret, b.certified_regret);
+        assert_eq!(a.indices, b.indices);
+    }
+
+    #[test]
+    fn restricted_space_lowers_regret() {
+        // "Under the same settings, the solution of RRRM usually has a
+        // lower rank-regret than RRM, owing to fewer functions in U."
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let rows: Vec<[f64; 2]> =
+            (0..200).map(|_| [rng.random::<f64>(), rng.random::<f64>()]).collect();
+        let d = Dataset::from_rows(&rows).unwrap();
+        let full = rrm_2d(&d, 2, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+        let restricted = rrm_2d(
+            &d,
+            2,
+            &WeakRankingSpace::new(2, 1),
+            Rrm2dOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            restricted.certified_regret.unwrap() <= full.certified_regret.unwrap(),
+            "restricted {restricted:?} vs full {full:?}"
+        );
+    }
+
+    #[test]
+    fn duplicates_are_deduplicated() {
+        let d = Dataset::from_rows(&[[0.9, 0.1], [0.9, 0.1], [0.1, 0.9], [0.5, 0.5]])
+            .unwrap();
+        let sol = rrm_2d(&d, 2, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+        // Never both copies of the duplicate.
+        assert!(!(sol.indices.contains(&0) && sol.indices.contains(&1)));
+    }
+
+    #[test]
+    fn r_zero_rejected() {
+        assert!(matches!(
+            rrm_2d(&table1(), 0, &FullSpace::new(2), Rrm2dOptions::default()),
+            Err(RrmError::OutputSizeTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_dimension_rejected() {
+        let d = Dataset::from_rows(&[[0.1, 0.2, 0.3]]).unwrap();
+        assert!(matches!(
+            rrm_2d(&d, 1, &FullSpace::new(3), Rrm2dOptions::default()),
+            Err(RrmError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_counters_make_sense() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let rows: Vec<[f64; 2]> =
+            (0..150).map(|_| [rng.random::<f64>(), rng.random::<f64>()]).collect();
+        let d = Dataset::from_rows(&rows).unwrap();
+        let (sol, stats) =
+            rrm_2d_with_stats(&d, 3, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+        assert!(sol.certified_regret.is_some());
+        assert!(stats.candidates >= 1);
+        // Event-count sanity: events <= candidates * n; the case-1 subset
+        // is non-empty (every candidate pair crosses) and extensions are a
+        // subset of case-1 events.
+        assert!(stats.events <= stats.candidates * d.n());
+        assert!(stats.case1_events >= 1 && stats.case1_events <= stats.events);
+        assert!(stats.extensions <= stats.case1_events);
+        // Full sweep visits at least as many events (all pairs, not just
+        // candidate-involved ones).
+        let (_, full) = rrm_2d_with_stats(
+            &d,
+            3,
+            &FullSpace::new(2),
+            Rrm2dOptions { use_full_sweep: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!(full.events >= stats.events, "full {} < stream {}", full.events, stats.events);
+        assert_eq!(full.case1_events, stats.case1_events);
+        assert_eq!(full.extensions, stats.extensions);
+    }
+
+    #[test]
+    fn weight_interval_full_and_restricted() {
+        assert_eq!(weight_interval(&FullSpace::new(2)).unwrap(), (0.0, 1.0));
+        let (lo, hi) = weight_interval(&WeakRankingSpace::new(2, 1)).unwrap();
+        assert!((lo - 0.5).abs() < 1e-12 && (hi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_r() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(6);
+        let rows: Vec<[f64; 2]> =
+            (0..120).map(|_| [rng.random::<f64>(), rng.random::<f64>()]).collect();
+        let d = Dataset::from_rows(&rows).unwrap();
+        let mut prev = usize::MAX;
+        for r in 1..=6 {
+            let sol = rrm_2d(&d, r, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+            let k = sol.certified_regret.unwrap();
+            assert!(k <= prev, "regret must not increase with r");
+            assert!(sol.size() <= r);
+            prev = k;
+        }
+    }
+}

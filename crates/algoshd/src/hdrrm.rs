@@ -1,0 +1,342 @@
+//! **HDRRM** — the paper's HD algorithm (Algorithm 3, Theorems 9–11).
+//!
+//! 1. Discretize the (restricted) function space into `D = Da ∪ Db`.
+//! 2. Search the smallest threshold `k` for which [`crate::asms`] returns
+//!    at most `r` tuples, with the *improved binary search*: double `k`
+//!    until feasible, then binary-search the last gap. (ASMS cost grows
+//!    with `k`, so keeping probed thresholds small matters — Section
+//!    V-B.2.)
+//! 3. Return that set; its certified regret is `∇D(R) ≤ k'`, and Theorems
+//!    6/7 transfer the bound to the full space (for any user, with
+//!    probability ≥ 1 − δ, the set holds a top-`k'` tuple; all utilities
+//!    are within `1 − ε` of `w_{k'}`).
+//!
+//! During the binary phase every probe needs `Φk` for `k ≤ k_hi`, which is
+//! a prefix of `Φ_{k_hi}` — the top-`k_hi` lists are computed once and
+//! sliced, provided they fit a memory budget.
+
+use rrm_core::{basis_indices, Algorithm, Dataset, RrmError, Solution, UtilitySpace};
+
+use crate::asms::asms_with_topk;
+use crate::common::batch_topk;
+use crate::discretize::{build_vector_set, paper_sample_size};
+
+/// Tuning knobs for [`hdrrm`]. Defaults mirror the paper's experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct HdrrmOptions {
+    /// Polar grid resolution γ (paper: 6).
+    pub gamma: usize,
+    /// Failure probability δ for the sampled guarantee (paper: 0.03).
+    pub delta: f64,
+    /// Override the sample count `m` (default: the Theorem 10 formula,
+    /// which can reach tens of thousands — benches scale it down).
+    pub m_override: Option<usize>,
+    /// RNG seed for `Da`.
+    pub seed: u64,
+    /// Restrict cover candidates to skyline tuples (sound by Theorem 3;
+    /// ablated in `ablation_candidates`).
+    pub skyline_candidates: bool,
+    /// Force the boundary-tuple basis `B` into the output (the paper's
+    /// Algorithm 2/3). The basis powers Theorem 7's `(1-ε)·w_k` utility
+    /// floor but consumes up to `d` of the `r` budget slots, measurably
+    /// raising the rank-regret on hard data (see the `ablation`
+    /// experiment). Disable only when the utility floor is not needed.
+    pub include_basis: bool,
+    /// Memory budget for caching top-k lists across the binary-search
+    /// phase, in entries (`|D| · k_hi`). Above it, lists are recomputed
+    /// per probe.
+    pub cache_budget_entries: usize,
+}
+
+impl Default for HdrrmOptions {
+    fn default() -> Self {
+        Self {
+            gamma: 6,
+            delta: 0.03,
+            m_override: None,
+            seed: 0xD15C0,
+            skyline_candidates: true,
+            include_basis: true,
+            cache_budget_entries: 64 << 20, // 64M u32 entries = 256 MB
+        }
+    }
+}
+
+/// Solve RRM (`space = L`) or RRRM (restricted `space`) with HDRRM.
+///
+/// Errors when `r` cannot hold the basis (`r < |B|`; the paper assumes
+/// `r ≥ d`), when `d < 2`, or on dimension mismatch.
+pub fn hdrrm(
+    data: &Dataset,
+    r: usize,
+    space: &dyn UtilitySpace,
+    options: HdrrmOptions,
+) -> Result<Solution, RrmError> {
+    let d = data.dim();
+    let n = data.n();
+    if d < 2 {
+        return Err(RrmError::Unsupported("HDRRM requires d >= 2".into()));
+    }
+    if space.dim() != d {
+        return Err(RrmError::DimensionMismatch { expected: d, got: space.dim() });
+    }
+    let basis = if options.include_basis { basis_indices(data) } else { Vec::new() };
+    if r < basis.len().max(1) {
+        return Err(RrmError::OutputSizeTooSmall {
+            requested: r,
+            minimum: basis.len().max(1),
+        });
+    }
+
+    let m = options
+        .m_override
+        .unwrap_or_else(|| paper_sample_size(n, r, d, options.delta));
+    let disc = build_vector_set(d, space, m, options.gamma, options.seed);
+
+    let mask = if options.skyline_candidates {
+        let sky = rrm_skyline::skyline(data);
+        let mut mask = vec![false; n];
+        for &s in &sky {
+            mask[s as usize] = true;
+        }
+        Some(mask)
+    } else {
+        None
+    };
+    let mask_ref = mask.as_deref();
+
+    // Doubling phase (Algorithm 3 lines 2–6).
+    let mut prev_k = 0usize;
+    let mut k = 1usize;
+    let (mut best_k, mut best_q);
+    loop {
+        let topk = batch_topk(data, &disc.dirs, k);
+        let q = asms_with_topk(n, k, &basis, &topk, mask_ref);
+        if q.len() <= r {
+            best_k = k;
+            best_q = q;
+            // Binary phase reuses these lists: every probe below k is a
+            // prefix (when the cache budget allows keeping them).
+            let cache = if disc.dirs.len().saturating_mul(k) <= options.cache_budget_entries {
+                Some(topk)
+            } else {
+                None
+            };
+            let mut lo = prev_k + 1;
+            let mut hi = k;
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let q_mid = match &cache {
+                    Some(lists) => asms_with_topk(n, mid, &basis, lists, mask_ref),
+                    None => {
+                        let lists = batch_topk(data, &disc.dirs, mid);
+                        asms_with_topk(n, mid, &basis, &lists, mask_ref)
+                    }
+                };
+                if q_mid.len() <= r {
+                    best_k = mid;
+                    best_q = q_mid;
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            break;
+        }
+        if k >= n {
+            // Unreachable: at k = n the universe is empty and ASMS returns
+            // exactly the basis, which fits r.
+            unreachable!("ASMS at k = n returns the basis");
+        }
+        prev_k = k;
+        k = (k * 2).min(n);
+    }
+
+    Ok(Solution::new(best_q, Some(best_k), Algorithm::Hdrrm, data))
+}
+
+/// The RRR (threshold) variant in HD: one ASMS call at threshold `k`
+/// returns a small superset of the basis with `∇D(Q) ≤ k` — the MS problem
+/// of Definition 7, certified over the discretization.
+pub fn hdrrr(
+    data: &Dataset,
+    k: usize,
+    space: &dyn UtilitySpace,
+    options: HdrrmOptions,
+) -> Result<Solution, RrmError> {
+    let d = data.dim();
+    let n = data.n();
+    if d < 2 {
+        return Err(RrmError::Unsupported("HDRRR requires d >= 2".into()));
+    }
+    if space.dim() != d {
+        return Err(RrmError::DimensionMismatch { expected: d, got: space.dim() });
+    }
+    if k == 0 {
+        return Err(RrmError::Unsupported("rank-regret thresholds start at 1".into()));
+    }
+    let basis = basis_indices(data);
+    // The formula's r is unknown for RRR; scale m by the threshold instead.
+    let m = options
+        .m_override
+        .unwrap_or_else(|| paper_sample_size(n, (2 * basis.len()).max(8), d, options.delta));
+    let disc = build_vector_set(d, space, m, options.gamma, options.seed);
+    let mask = if options.skyline_candidates {
+        let sky = rrm_skyline::skyline(data);
+        let mut mask = vec![false; n];
+        for &s in &sky {
+            mask[s as usize] = true;
+        }
+        Some(mask)
+    } else {
+        None
+    };
+    let q = crate::asms::asms(data, k.min(n), &basis, &disc.dirs, mask.as_deref());
+    Ok(Solution::new(q, Some(k.min(n)), Algorithm::Hdrrm, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrm_core::{FullSpace, WeakRankingSpace};
+    use rrm_data::synthetic::{anticorrelated, correlated, independent};
+
+    fn quick_opts(m: usize) -> HdrrmOptions {
+        HdrrmOptions { m_override: Some(m), gamma: 4, ..Default::default() }
+    }
+
+    fn regret_over_dirs(data: &Dataset, set: &[u32], dirs: &[Vec<f64>]) -> usize {
+        dirs.iter()
+            .map(|u| rrm_core::rank::rank_regret_of_set(data, u, set))
+            .max()
+            .unwrap()
+    }
+
+    #[test]
+    fn certificate_holds_over_its_own_discretization() {
+        let data = independent(600, 4, 21);
+        let opts = quick_opts(400);
+        let sol = hdrrm(&data, 10, &FullSpace::new(4), opts).unwrap();
+        assert!(sol.size() <= 10);
+        let k = sol.certified_regret.unwrap();
+        // Rebuild the same D (same seed/options) and verify ∇D(R) ≤ k.
+        let disc = build_vector_set(4, &FullSpace::new(4), 400, opts.gamma, opts.seed);
+        let reg = regret_over_dirs(&data, &sol.indices, &disc.dirs);
+        assert!(reg <= k, "certified {k}, measured over D {reg}");
+    }
+
+    #[test]
+    fn includes_basis() {
+        let data = independent(300, 3, 22);
+        let sol = hdrrm(&data, 8, &FullSpace::new(3), quick_opts(200)).unwrap();
+        for b in basis_indices(&data) {
+            assert!(sol.indices.contains(&b));
+        }
+    }
+
+    #[test]
+    fn rejects_r_below_basis() {
+        let data = independent(100, 4, 23);
+        let err = hdrrm(&data, 2, &FullSpace::new(4), quick_opts(50));
+        assert!(matches!(err, Err(RrmError::OutputSizeTooSmall { .. })));
+    }
+
+    #[test]
+    fn larger_r_never_certifies_worse() {
+        let data = anticorrelated(800, 4, 24);
+        let mut prev = usize::MAX;
+        for r in [6usize, 10, 14] {
+            let sol = hdrrm(&data, r, &FullSpace::new(4), quick_opts(300)).unwrap();
+            let k = sol.certified_regret.unwrap();
+            assert!(k <= prev, "r={r}: {k} > {prev}");
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn correlated_data_gets_tiny_regret() {
+        // "The more correlated the attributes, the smaller the output
+        // rank-regrets."
+        let corr = correlated(2000, 4, 25);
+        let anti = anticorrelated(2000, 4, 25);
+        let k_corr = hdrrm(&corr, 10, &FullSpace::new(4), quick_opts(300))
+            .unwrap()
+            .certified_regret
+            .unwrap();
+        let k_anti = hdrrm(&anti, 10, &FullSpace::new(4), quick_opts(300))
+            .unwrap()
+            .certified_regret
+            .unwrap();
+        assert!(k_corr <= k_anti, "correlated {k_corr} vs anti {k_anti}");
+    }
+
+    #[test]
+    fn restricted_space_certifies_no_worse() {
+        let data = anticorrelated(1000, 4, 26);
+        let full = hdrrm(&data, 10, &FullSpace::new(4), quick_opts(300)).unwrap();
+        let weak = hdrrm(&data, 10, &WeakRankingSpace::new(4, 2), quick_opts(300)).unwrap();
+        // The restricted D is "easier": certified regret should not grow
+        // beyond sampling noise. Allow equality plus slack of 1 doubling.
+        let (kf, kw) = (full.certified_regret.unwrap(), weak.certified_regret.unwrap());
+        assert!(kw <= 2 * kf.max(1), "restricted {kw} vs full {kf}");
+    }
+
+    #[test]
+    fn skyline_mask_matches_unmasked_quality() {
+        let data = independent(500, 3, 27);
+        let with_mask = hdrrm(&data, 8, &FullSpace::new(3), quick_opts(250)).unwrap();
+        let without_mask = hdrrm(
+            &data,
+            8,
+            &FullSpace::new(3),
+            HdrrmOptions { skyline_candidates: false, ..quick_opts(250) },
+        )
+        .unwrap();
+        // Theorem 3 guarantees an equally small cover exists inside the
+        // skyline, but greedy is not optimal, so allow small divergence.
+        let (a, b) = (
+            with_mask.certified_regret.unwrap(),
+            without_mask.certified_regret.unwrap(),
+        );
+        assert!(a <= 2 * b.max(1) && b <= 2 * a.max(1), "masked {a} vs unmasked {b}");
+    }
+
+    #[test]
+    fn tiny_cache_budget_same_answer() {
+        let data = independent(400, 3, 28);
+        let a = hdrrm(&data, 8, &FullSpace::new(3), quick_opts(200)).unwrap();
+        let b = hdrrm(
+            &data,
+            8,
+            &FullSpace::new(3),
+            HdrrmOptions { cache_budget_entries: 0, ..quick_opts(200) },
+        )
+        .unwrap();
+        assert_eq!(a.indices, b.indices);
+        assert_eq!(a.certified_regret, b.certified_regret);
+    }
+
+    #[test]
+    fn hdrrr_threshold_variant() {
+        let data = independent(500, 3, 29);
+        let opts = quick_opts(300);
+        for k in [1usize, 5, 25] {
+            let sol = hdrrr(&data, k, &FullSpace::new(3), opts).unwrap();
+            assert_eq!(sol.certified_regret, Some(k));
+            // Verify over the same discretization it was built from.
+            let m = opts.m_override.unwrap();
+            let disc = build_vector_set(3, &FullSpace::new(3), m, opts.gamma, opts.seed);
+            assert!(regret_over_dirs(&data, &sol.indices, &disc.dirs) <= k);
+        }
+        // Bigger threshold, same-or-smaller set.
+        let small = hdrrr(&data, 2, &FullSpace::new(3), opts).unwrap().size();
+        let large = hdrrr(&data, 50, &FullSpace::new(3), opts).unwrap().size();
+        assert!(large <= small);
+    }
+
+    #[test]
+    fn d1_unsupported() {
+        let data = Dataset::from_rows(&[[0.5], [0.7]]).unwrap();
+        assert!(hdrrm(&data, 1, &FullSpace::new(1), quick_opts(10)).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! High-dimensional rank-regret algorithms (paper Section V) and the
+//! competitor algorithms it evaluates against.
+//!
+//! | Module | Algorithm | Guarantee on rank-regret | RRRM | Scalable |
+//! |--------|-----------|--------------------------|------|----------|
+//! | [`hdrrm`] | **HDRRM** (this paper) | yes (over the discretized set `D`, Theorems 6–10) | yes | yes |
+//! | [`mdrrr`] | MDRRR (Asudeh et al.) | yes (exact k-set enumeration) | no | no (few hundred tuples) |
+//! | [`mdrrr_r`] | MDRRRr (randomized) | no | yes | limited |
+//! | [`mdrc`] | MDRC (space partitioning) | no | no | yes |
+//! | [`mdrms`] | MDRMS (regret-ratio / RMS) | no (wrong objective) | yes | yes |
+//!
+//! This is Table III of the paper, encoded in the implementations: `mdrrr`
+//! rejects restricted spaces, `mdrc` rejects them too, and only `hdrrm`
+//! and `mdrrr` certify a rank-regret for their output.
+
+pub mod asms;
+pub mod common;
+pub mod cube;
+pub mod discretize;
+pub mod hdrrm;
+pub mod ksets;
+pub mod mdrc;
+pub mod mdrms;
+pub mod mdrrr;
+pub mod mdrrr_r;
+
+pub use asms::asms;
+pub use cube::{cube, cube_ratio_bound};
+pub use discretize::{build_vector_set, paper_sample_size, Discretization};
+pub use hdrrm::{hdrrm, hdrrr, HdrrmOptions};
+pub use ksets::{enumerate_ksets, KsetEnumeration, KsetLimits};
+pub use mdrc::{mdrc, mdrc_rrm, MdrcOptions};
+pub use mdrms::{mdrms, MdrmsOptions};
+pub use mdrrr::{mdrrr, mdrrr_rrm};
+pub use mdrrr_r::{mdrrr_r, mdrrr_r_rrm, MdrrrROptions};

@@ -1,0 +1,152 @@
+//! **MDRRR** — the exact k-set baseline of Asudeh et al.
+//!
+//! Enumerate every k-set ([`crate::ksets`]), then hit them all with as few
+//! tuples as possible (greedy set cover): any direction's top-k is one of
+//! the enumerated k-sets, so a hitting set has rank-regret ≤ k everywhere
+//! — the guaranteed-regret, logarithmic-size-ratio algorithm of the
+//! paper's Table III. Exactly as the paper reports, it "does not scale
+//! beyond a few hundred tuples" (`|W|` explodes); the limits make it fail
+//! gracefully instead of hanging.
+
+use rrm_core::{Algorithm, Dataset, RrmError, Solution};
+use rrm_setcover::greedy_set_cover;
+
+use crate::ksets::{enumerate_ksets, KsetEnumeration, KsetLimits};
+
+/// Hitting set over an enumerated k-set family (shared by MDRRR and
+/// MDRRRr): universe = k-sets, tuple `t` covers the k-sets containing it.
+pub(crate) fn hit_ksets(n: usize, ksets: &[Vec<u32>]) -> Vec<u32> {
+    assert!(!ksets.is_empty());
+    let mut lists: Vec<Vec<u32>> = Vec::new();
+    let mut list_of_tuple: Vec<u32> = vec![u32::MAX; n];
+    let mut tuple_of_list: Vec<u32> = Vec::new();
+    for (ki, t_set) in ksets.iter().enumerate() {
+        for &t in t_set {
+            let li = list_of_tuple[t as usize];
+            if li == u32::MAX {
+                list_of_tuple[t as usize] = lists.len() as u32;
+                tuple_of_list.push(t);
+                lists.push(vec![ki as u32]);
+            } else {
+                lists[li as usize].push(ki as u32);
+            }
+        }
+    }
+    let chosen = greedy_set_cover(ksets.len(), &lists);
+    let mut out: Vec<u32> = chosen.into_iter().map(|li| tuple_of_list[li]).collect();
+    out.sort_unstable();
+    out
+}
+
+/// MDRRR for the RRR problem: a set with rank-regret ≤ `k` (certified when
+/// the enumeration completed) and size within `1 + ln|W|` of optimal.
+///
+/// Restricted spaces are rejected (`Table III: Suitable for RRRM — No`).
+pub fn mdrrr(data: &Dataset, k: usize, limits: KsetLimits) -> Result<Solution, RrmError> {
+    if k == 0 {
+        return Err(RrmError::Unsupported("rank-regret thresholds start at 1".into()));
+    }
+    let k = k.min(data.n());
+    let e: KsetEnumeration = enumerate_ksets(data, k, &[], limits);
+    let ids = hit_ksets(data.n(), &e.ksets);
+    let certified = e.complete.then_some(k);
+    Ok(Solution::new(ids, certified, Algorithm::Mdrrr, data))
+}
+
+/// MDRRR adapted to RRM with the improved (doubling + binary) search on
+/// `k`, as the paper's experiments run it.
+pub fn mdrrr_rrm(data: &Dataset, r: usize, limits: KsetLimits) -> Result<Solution, RrmError> {
+    if r == 0 {
+        return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
+    }
+    let n = data.n();
+    let mut prev_k = 0usize;
+    let mut k = 1usize;
+    let mut best: Option<Solution> = None;
+    loop {
+        let sol = mdrrr(data, k, limits)?;
+        if sol.size() <= r {
+            best = Some(sol);
+            break;
+        }
+        if k >= n {
+            break;
+        }
+        prev_k = k;
+        k = (k * 2).min(n);
+    }
+    let Some(mut best) = best else {
+        return Err(RrmError::Unsupported(
+            "k-set enumeration hit its limits before finding a feasible threshold".into(),
+        ));
+    };
+    let mut lo = prev_k + 1;
+    let mut hi = k;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let sol = mdrrr(data, mid, limits)?;
+        if sol.size() <= r {
+            best = sol;
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrm_core::FullSpace;
+    use rrm_data::synthetic::independent;
+    use rrm_eval::estimate_rank_regret_seq;
+
+    #[test]
+    fn guarantee_certified_and_real() {
+        let data = independent(30, 3, 41);
+        for k in [1usize, 2, 4] {
+            let sol = mdrrr(&data, k, KsetLimits::default()).unwrap();
+            assert_eq!(sol.certified_regret, Some(k));
+            // Estimated regret over many directions must respect k.
+            let est = estimate_rank_regret_seq(&data, &sol.indices, &FullSpace::new(3), 8000, 42);
+            assert!(est.max_rank <= k, "k={k}: measured {}", est.max_rank);
+        }
+    }
+
+    #[test]
+    fn rrm_adapter_respects_budget() {
+        let data = independent(25, 3, 43);
+        for r in [2usize, 4, 6] {
+            let sol = mdrrr_rrm(&data, r, KsetLimits::default()).unwrap();
+            assert!(sol.size() <= r);
+            let k = sol.certified_regret.unwrap();
+            let est = estimate_rank_regret_seq(&data, &sol.indices, &FullSpace::new(3), 8000, 44);
+            assert!(est.max_rank <= k);
+        }
+    }
+
+    #[test]
+    fn incomplete_enumeration_is_uncertified() {
+        let data = independent(40, 3, 45);
+        let sol =
+            mdrrr(&data, 4, KsetLimits { max_ksets: 5, max_lp_calls: 1_000_000 }).unwrap();
+        assert_eq!(sol.certified_regret, None);
+    }
+
+    #[test]
+    fn k_one_is_the_top1_hitting_set() {
+        // k = 1: the k-sets are the singleton top-1 regions; the hitting
+        // set must contain every tuple that is top-1 somewhere.
+        let data = independent(20, 2, 46);
+        let sol = mdrrr(&data, 1, KsetLimits::default()).unwrap();
+        let est = estimate_rank_regret_seq(&data, &sol.indices, &FullSpace::new(2), 5000, 47);
+        assert_eq!(est.max_rank, 1);
+    }
+
+    #[test]
+    fn zero_threshold_rejected() {
+        let data = independent(10, 2, 48);
+        assert!(mdrrr(&data, 0, KsetLimits::default()).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Micro-benchmarks of the substrates every solver is built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rrm_core::rank::top_k;
+use rrm_core::utility::utilities;
+use rrm_core::FullSpace;
+use rrm_core::UtilitySpace;
+use rrm_data::synthetic::{anticorrelated, independent};
+use rrm_geom::dual::DualLine;
+use rrm_geom::events::crossings_with_tracked;
+use rrm_geom::polar::polar_grid;
+use rrm_lp::{LinearProgram, Relation};
+use rrm_setcover::{greedy_set_cover, naive_greedy_set_cover};
+use rrm_skyline::skyline;
+
+fn bench_skyline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("skyline");
+    for &n in &[1_000usize, 10_000] {
+        let d2 = anticorrelated(n, 2, 1);
+        g.bench_with_input(BenchmarkId::new("2d_anti", n), &d2, |b, d| {
+            b.iter(|| black_box(skyline(d)))
+        });
+        let d4 = anticorrelated(n, 4, 1);
+        g.bench_with_input(BenchmarkId::new("4d_anti", n), &d4, |b, d| {
+            b.iter(|| black_box(skyline(d)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topk");
+    let data = independent(100_000, 4, 2);
+    let u = vec![0.3, 0.3, 0.2, 0.2];
+    let scores = utilities(&data, &u);
+    for &k in &[10usize, 100, 1000] {
+        g.bench_with_input(BenchmarkId::new("select", k), &k, |b, &k| {
+            b.iter(|| black_box(top_k(&scores, k)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp");
+    // A k-set-sized feasibility program: d variables, many rows.
+    for &rows in &[50usize, 500] {
+        g.bench_with_input(BenchmarkId::new("feasibility", rows), &rows, |b, &rows| {
+            let data = independent(rows, 4, 3);
+            b.iter(|| {
+                let mut lp = LinearProgram::maximize(&[0.0, 0.0, 0.0, 1.0]);
+                lp.constrain(&[1.0, 1.0, 1.0, 0.0], Relation::Eq, 1.0);
+                for row in data.rows() {
+                    lp.constrain(&[row[0], row[1], row[2], -1.0], Relation::Ge, 0.0);
+                }
+                black_box(lp.solve())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_setcover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("setcover");
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(4);
+    let universe = 5_000usize;
+    let mut sets: Vec<Vec<u32>> = (0..2_000)
+        .map(|_| {
+            let len = rng.random_range(1..50);
+            (0..len).map(|_| rng.random_range(0..universe as u32)).collect()
+        })
+        .collect();
+    sets.push((0..universe as u32).collect());
+    g.bench_function("lazy_greedy", |b| {
+        b.iter(|| black_box(greedy_set_cover(universe, &sets)))
+    });
+    g.bench_function("naive_greedy", |b| {
+        b.iter(|| black_box(naive_greedy_set_cover(universe, &sets)))
+    });
+    g.finish();
+}
+
+fn bench_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("events");
+    let data = anticorrelated(5_000, 2, 5);
+    let lines = DualLine::from_dataset(&data);
+    let sky = skyline(&data);
+    g.bench_function("skyline_crossings_5k", |b| {
+        b.iter(|| black_box(crossings_with_tracked(&lines, &sky, 0.0, 1.0)))
+    });
+    g.finish();
+}
+
+fn bench_discretize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("discretize");
+    g.bench_function("polar_grid_d4_g6", |b| b.iter(|| black_box(polar_grid(4, 6, true))));
+    g.bench_function("sample_1k_d4", |b| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let space = FullSpace::new(4);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(6);
+            let v: Vec<Vec<f64>> =
+                (0..1000).map(|_| space.sample_direction(&mut rng)).collect();
+            black_box(v)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(10);
+    targets = bench_skyline, bench_topk, bench_lp, bench_setcover, bench_events,
+              bench_discretize
+);
+criterion_main!(micro);

@@ -1,0 +1,647 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- <id> [--full]
+//! cargo run --release -p bench --bin repro -- all [--full]
+//! ```
+//!
+//! Ids: `table1 table2 table3 theorem2 fig09 fig10 fig11 fig12 fig13 fig14
+//! fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25 fig26
+//! fig27 fig28 ablation`. Default scale is `--quick` (minutes for `all`);
+//! `--full` mirrors the paper's parameters. Absolute times differ from the
+//! paper's C++/Core-i7 testbed; the *shape* of each series is the
+//! reproduction target (EXPERIMENTS.md records both).
+
+use bench::{measure, mdrc_options, timed, Outcome, Scale, SYNTHETICS};
+use rrm_2d::{rrm_2d, rrm_via_rrr_2d, Rrm2dOptions};
+use rrm_core::{Dataset, FullSpace, UtilitySpace, WeakRankingSpace};
+use rrm_data::real_sim::{island_sim, nba_sim, weather_sim};
+use rrm_data::synthetic::lower_bound_arc;
+use rrm_eval::report::{render_table, size_tick, Series};
+use rrm_eval::{estimate_regret_ratio, exact_rank_regret_2d};
+use rrm_hd::{hdrrm, mdrc, mdrms, mdrrr_r_rrm, HdrrmOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).filter(|a| a != "--full").collect();
+    let scale = Scale::from_args();
+    let id = args.first().map(String::as_str).unwrap_or("help");
+    let all: Vec<&str> = vec![
+        "table1", "table2", "table3", "theorem2", "fig09", "fig10", "fig11", "fig12",
+        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+        "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28", "ablation",
+    ];
+    match id {
+        "all" => {
+            for x in all {
+                run(x, scale);
+            }
+        }
+        "help" | "--help" => {
+            eprintln!("usage: repro <id|all> [--full]\nids: {}", all.join(" "));
+        }
+        x if all.contains(&x) => run(x, scale),
+        x => {
+            eprintln!("unknown experiment id: {x}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(id: &str, scale: Scale) {
+    println!("\n================ {id} ({scale:?}) ================");
+    match id {
+        "table1" => table1(),
+        "table2" => table2(),
+        "table3" => table3(),
+        "theorem2" => theorem2(),
+        "fig09" => fig09(scale),
+        "fig10" => fig10(scale),
+        "fig11" => fig11(scale),
+        "fig12" => fig12(scale),
+        "fig13" | "fig14" | "fig15" => {
+            fig_hd_vs_n(id, scale);
+        }
+        "fig16" | "fig17" | "fig18" => {
+            fig_hd_vs_d(id, scale);
+        }
+        "fig19" | "fig20" | "fig21" => {
+            fig_hd_vs_r(id, scale);
+        }
+        "fig22" | "fig23" | "fig24" => {
+            fig_hd_vs_delta(id, scale);
+        }
+        "fig25" => fig25(scale),
+        "fig26" => fig26(scale),
+        "fig27" => fig27(scale),
+        "fig28" => fig28(scale),
+        "ablation" => ablation(scale),
+        _ => unreachable!(),
+    }
+}
+
+fn table1_data() -> Dataset {
+    Dataset::from_rows(&[
+        [0.00, 1.00],
+        [0.40, 0.95],
+        [0.57, 0.75],
+        [0.79, 0.60],
+        [0.20, 0.50],
+        [0.35, 0.30],
+        [1.00, 0.00],
+    ])
+    .unwrap()
+}
+
+/// Table I: the example dataset with its rank-regret and regret-ratio
+/// columns, plus the RRM/RMS choices before and after the Figure 2 shift.
+fn table1() {
+    let data = table1_data();
+    println!("{:>4} {:>6} {:>6} {:>11} {:>13}", "t", "A1", "A2", "rank-regret", "regret-ratio");
+    for i in 0..7u32 {
+        let row = data.row(i as usize);
+        let (k, _) = exact_rank_regret_2d(&data, &[i], 0.0, 1.0);
+        let ratio = estimate_regret_ratio(&data, &[i], &FullSpace::new(2), 50_000, 1).max_ratio;
+        println!("{:>4} {:>6.2} {:>6.2} {:>11} {:>12.0}%", i + 1, row[0], row[1], k, 100.0 * ratio);
+    }
+    let rrm = rrm_2d(&data, 1, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+    let rms = mdrms(&data, 1, &FullSpace::new(2), Scale::Full.mdrms()).unwrap();
+    println!("\nr = 1 choices: RRM -> t{}, RMS -> t{}", rrm.indices[0] + 1, rms.indices[0] + 1);
+    let shifted = data.shift(&[0.0, 4.0]);
+    let rrm_s = rrm_2d(&shifted, 1, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+    let rms_s = mdrms(&shifted, 1, &FullSpace::new(2), Scale::Full.mdrms()).unwrap();
+    println!(
+        "after A2 += 4:  RRM -> t{} (invariant), RMS -> t{} (changed)",
+        rrm_s.indices[0] + 1,
+        rms_s.indices[0] + 1
+    );
+}
+
+/// Table II: the DP matrix trace on D = {t1, t2, t3}, r = 2.
+fn table2() {
+    use rrm_geom::dual::DualLine;
+    use rrm_geom::events::{crossings_with_tracked, initial_ranks};
+    let data = table1_data().prefix(3);
+    let lines = DualLine::from_dataset(&data);
+    let events = crossings_with_tracked(&lines, &[0, 1, 2], 0.0, 1.0);
+    let mut rank = initial_ranks(&lines, 0.0);
+    println!("initial ranks: l1={} l2={} l3={}", rank[0], rank[1], rank[2]);
+    let mut m = rrm_2d::matrix::DpMatrix::new(&[0, 1, 2], &[1, 2, 3], 2);
+    let print_m = |m: &rrm_2d::matrix::DpMatrix, label: &str| {
+        println!("after {label}:");
+        for i in 0..3 {
+            for j in 1..=2 {
+                let chain: Vec<String> = m
+                    .chain_lines(i, j)
+                    .iter()
+                    .map(|l| format!("l{}", l + 1))
+                    .collect();
+                print!("  M[{},{j}] = {{{}}},{}", i + 1, chain.join(","), m.cell(i, j).rank);
+            }
+            println!();
+        }
+    };
+    print_m(&m, "initialization");
+    for ev in &events {
+        rank[ev.down as usize] += 1;
+        rank[ev.up as usize] -= 1;
+        m.extend(ev.down as usize, ev.up as usize, ev.up);
+        m.fold_rank(ev.down as usize, rank[ev.down as usize] as u32);
+        print_m(&m, &format!("(l{}, l{}) at x = {:.4}", ev.down + 1, ev.up + 1, ev.x));
+    }
+    let (row, k) = m.best_final();
+    println!("result: M[{},2] with rank {k}", row + 1);
+}
+
+/// Table III: the HD capability matrix (guarantees from the type system,
+/// scalability from measurement).
+fn table3() {
+    use rrm_core::Algorithm::*;
+    println!(
+        "{:<26} {:>7} {:>8} {:>6} {:>6}",
+        "criterion", "MDRRR", "MDRRRr", "MDRC", "HDRRM"
+    );
+    let yes_no = |b: bool| if b { "Yes" } else { "No" };
+    println!(
+        "{:<26} {:>7} {:>8} {:>6} {:>6}",
+        "guarantee on rank-regret",
+        yes_no(Mdrrr.has_regret_guarantee()),
+        yes_no(MdrrrR.has_regret_guarantee()),
+        yes_no(Mdrc.has_regret_guarantee()),
+        yes_no(Hdrrm.has_regret_guarantee()),
+    );
+    println!(
+        "{:<26} {:>7} {:>8} {:>6} {:>6}",
+        "suitable for RRRM",
+        yes_no(Mdrrr.supports_restricted_space()),
+        yes_no(MdrrrR.supports_restricted_space()),
+        yes_no(Mdrc.supports_restricted_space()),
+        yes_no(Hdrrm.supports_restricted_space()),
+    );
+    println!(
+        "{:<26} {:>7} {:>8} {:>6} {:>6}",
+        "scalable for large n, d", "No", "No", "Yes", "Yes"
+    );
+    println!(
+        "{:<26} {:>7} {:>8} {:>6} {:>6}",
+        "acceptable rank-regret", "Yes", "Yes", "No", "Yes"
+    );
+    println!("(first two rows are encoded in rrm_core::Algorithm and unit-tested)");
+}
+
+/// Theorem 2: the arc construction's optimal regret vs the Ω(n/r) bound.
+fn theorem2() {
+    println!("{:>8} {:>4} {:>14} {:>14}", "n", "r", "optimal regret", "n/(2(r+1))");
+    for &(n, r) in &[(200usize, 3usize), (400, 4), (800, 5), (1600, 5)] {
+        let data = lower_bound_arc(n, 2);
+        let sol = rrm_2d(&data, r, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+        println!(
+            "{:>8} {:>4} {:>14} {:>14}",
+            n,
+            r,
+            sol.certified_regret.unwrap(),
+            n / (2 * (r + 1))
+        );
+    }
+}
+
+// ---------------------------------------------------------------- 2D ----
+
+fn two_d_rows(data: &Dataset, r: usize) -> (f64, f64, usize, usize) {
+    let (a, ta) = timed(|| rrm_2d(data, r, &FullSpace::new(2), Rrm2dOptions::default()).unwrap());
+    let (b, tb) = timed(|| rrm_via_rrr_2d(data, r, &FullSpace::new(2)).unwrap());
+    let exact_b = exact_rank_regret_2d(data, &b.indices, 0.0, 1.0).0;
+    (ta, tb, a.certified_regret.unwrap(), exact_b)
+}
+
+/// Fig. 9: 2D time vs n on the three synthetic datasets, r = 5.
+fn fig09(scale: Scale) {
+    let ns: &[usize] = match scale {
+        Scale::Quick => &[100, 1_000, 10_000, 30_000],
+        Scale::Full => &[100, 1_000, 10_000, 100_000],
+    };
+    for (name, gen) in SYNTHETICS {
+        let ticks: Vec<String> = ns.iter().map(|&n| size_tick(n)).collect();
+        let mut s1 = Series::new("2DRRM time(s)");
+        let mut s2 = Series::new("2DRRR time(s)");
+        let mut k1 = Series::new("2DRRM regret");
+        let mut k2 = Series::new("2DRRR regret");
+        for &n in ns {
+            let data = gen(n, 2, 9);
+            let (ta, tb, ka, kb) = two_d_rows(&data, 5);
+            s1.push(ta);
+            s2.push(tb);
+            k1.push(ka as f64);
+            k2.push(kb as f64);
+        }
+        println!("[{name}]");
+        println!("{}", render_table("n", &ticks, &[s1, s2, k1, k2]));
+    }
+}
+
+/// Fig. 10: 2D time vs r, n = 10K.
+fn fig10(scale: Scale) {
+    let n = match scale {
+        Scale::Quick => 5_000,
+        Scale::Full => 10_000,
+    };
+    let rs: Vec<usize> = (5..=10).collect();
+    for (name, gen) in SYNTHETICS {
+        let data = gen(n, 2, 10);
+        let ticks: Vec<String> = rs.iter().map(|r| r.to_string()).collect();
+        let mut s1 = Series::new("2DRRM time(s)");
+        let mut s2 = Series::new("2DRRR time(s)");
+        for &r in &rs {
+            let (ta, tb, _, _) = two_d_rows(&data, r);
+            s1.push(ta);
+            s2.push(tb);
+        }
+        println!("[{name}] n = {}", size_tick(n));
+        println!("{}", render_table("r", &ticks, &[s1, s2]));
+    }
+}
+
+/// Fig. 11: 2D time vs n on the Island stand-in.
+fn fig11(scale: Scale) {
+    let ns: &[usize] = match scale {
+        Scale::Quick => &[10_000, 20_000, 40_000],
+        Scale::Full => &[10_000, 20_000, 40_000, 60_000],
+    };
+    let ticks: Vec<String> = ns.iter().map(|&n| size_tick(n)).collect();
+    let mut s1 = Series::new("2DRRM time(s)");
+    let mut s2 = Series::new("2DRRR time(s)");
+    for &n in ns {
+        let data = island_sim(n, 11);
+        let (ta, tb, _, _) = two_d_rows(&data, 5);
+        s1.push(ta);
+        s2.push(tb);
+    }
+    println!("[island-like]");
+    println!("{}", render_table("n", &ticks, &[s1, s2]));
+}
+
+/// Fig. 12: 2D time vs n on the NBA stand-in (first two attributes).
+fn fig12(scale: Scale) {
+    let ns: &[usize] = match scale {
+        Scale::Quick => &[5_000, 10_000, 20_000],
+        Scale::Full => &[5_000, 10_000, 15_000, 20_000],
+    };
+    let ticks: Vec<String> = ns.iter().map(|&n| size_tick(n)).collect();
+    let mut s1 = Series::new("2DRRM time(s)");
+    let mut s2 = Series::new("2DRRR time(s)");
+    let mut k1 = Series::new("2DRRM regret");
+    for &n in ns {
+        let data = nba_sim(n, 5, 12).project(&[0, 1]).unwrap();
+        let (ta, tb, ka, _) = two_d_rows(&data, 5);
+        s1.push(ta);
+        s2.push(tb);
+        k1.push(ka as f64);
+    }
+    println!("[nba-like, 2 attrs]");
+    println!("{}", render_table("n", &ticks, &[s1, s2, k1]));
+}
+
+// ---------------------------------------------------------------- HD ----
+
+struct HdRoster {
+    hdrrm: bool,
+    mdrrr_r: bool,
+    mdrc: bool,
+    mdrms: bool,
+}
+
+/// One HD experiment row: run the roster on `data`, report times+regrets.
+#[allow(clippy::too_many_arguments)]
+fn hd_row(
+    data: &Dataset,
+    r: usize,
+    space: &dyn UtilitySpace,
+    scale: Scale,
+    roster: &HdRoster,
+) -> Vec<Outcome> {
+    let mut out = Vec::new();
+    let samples = scale.eval_samples();
+    if roster.hdrrm {
+        out.push(measure("HDRRM", data, space, samples, || {
+            hdrrm(data, r, space, scale.hdrrm()).unwrap()
+        }));
+    }
+    if roster.mdrrr_r {
+        out.push(measure("MDRRRr", data, space, samples, || {
+            mdrrr_r_rrm(data, r, space, scale.mdrrr_r()).unwrap()
+        }));
+    }
+    if roster.mdrc {
+        out.push(measure("MDRC", data, space, samples, || {
+            mdrc(data, r, space, mdrc_options()).unwrap()
+        }));
+    }
+    if roster.mdrms {
+        out.push(measure("MDRMS", data, space, samples, || {
+            mdrms(data, r, space, scale.mdrms()).unwrap()
+        }));
+    }
+    out
+}
+
+fn print_hd_table(x_label: &str, ticks: &[String], rows: &[Vec<Outcome>]) {
+    let mut series: Vec<Series> = Vec::new();
+    if rows.is_empty() {
+        return;
+    }
+    // Build (time, regret) series per algorithm present anywhere, plus the
+    // certified threshold for HDRRM (the paper's red cross line).
+    let mut algos: Vec<&'static str> = Vec::new();
+    for row in rows {
+        for o in row {
+            if !algos.contains(&o.algorithm) {
+                algos.push(o.algorithm);
+            }
+        }
+    }
+    for &a in &algos {
+        let mut t = Series::new(format!("{a} time(s)"));
+        let mut k = Series::new(format!("{a} regret"));
+        for row in rows {
+            match row.iter().find(|o| o.algorithm == a) {
+                Some(o) => {
+                    t.push(o.seconds);
+                    k.push(o.regret as f64);
+                }
+                None => {
+                    t.push_missing();
+                    k.push_missing();
+                }
+            }
+        }
+        series.push(t);
+        series.push(k);
+    }
+    let mut cert = Series::new("HDRRM k(D)");
+    let mut any_cert = false;
+    for row in rows {
+        match row.iter().find(|o| o.algorithm == "HDRRM").and_then(|o| o.certified) {
+            Some(c) => {
+                cert.push(c as f64);
+                any_cert = true;
+            }
+            None => cert.push_missing(),
+        }
+    }
+    if any_cert {
+        series.push(cert);
+    }
+    println!("{}", render_table(x_label, ticks, &series));
+}
+
+fn fig_hd_index(id: &str, base: &str) -> usize {
+    // fig13/14/15 -> 0/1/2 etc.
+    let n: usize = id.trim_start_matches("fig").parse().unwrap();
+    let b: usize = base.trim_start_matches("fig").parse().unwrap();
+    n - b
+}
+
+/// Figs. 13–15: HD time+regret vs n (one synthetic distribution each).
+fn fig_hd_vs_n(id: &str, scale: Scale) {
+    let (name, gen) = SYNTHETICS[fig_hd_index(id, "fig13")];
+    let ns: &[usize] = match scale {
+        Scale::Quick => &[1_000, 5_000, 20_000],
+        Scale::Full => &[1_000, 10_000, 100_000, 1_000_000],
+    };
+    let ticks: Vec<String> = ns.iter().map(|&n| size_tick(n)).collect();
+    let mut rows = Vec::new();
+    for &n in ns {
+        let data = gen(n, 4, 13);
+        // MDRRRr does not scale (the paper stops it at 10K anti / 100K
+        // others); mirror that cut-off.
+        let mdrrr_cap = if name == "anti-correlated" { 10_000 } else { 100_000 };
+        let roster =
+            HdRoster { hdrrm: true, mdrrr_r: n <= mdrrr_cap, mdrc: true, mdrms: true };
+        rows.push(hd_row(&data, 10, &FullSpace::new(4), scale, &roster));
+    }
+    println!("[{name}] d = 4, r = 10");
+    print_hd_table("n", &ticks, &rows);
+}
+
+/// Figs. 16–18: HD vs dimension.
+fn fig_hd_vs_d(id: &str, scale: Scale) {
+    let (name, gen) = SYNTHETICS[fig_hd_index(id, "fig16")];
+    let n = match scale {
+        Scale::Quick => 5_000,
+        Scale::Full => 10_000,
+    };
+    let ds: Vec<usize> = (2..=6).collect();
+    let ticks: Vec<String> = ds.iter().map(|d| d.to_string()).collect();
+    let mut rows = Vec::new();
+    for &d in &ds {
+        let data = gen(n, d, 16);
+        let mdrrr_cap = if name == "anti-correlated" { 4 } else { 5 };
+        let roster =
+            HdRoster { hdrrm: true, mdrrr_r: d <= mdrrr_cap, mdrc: true, mdrms: true };
+        rows.push(hd_row(&data, 10, &FullSpace::new(d), scale, &roster));
+    }
+    println!("[{name}] n = {}, r = 10", size_tick(n));
+    print_hd_table("d", &ticks, &rows);
+}
+
+/// Figs. 19–21: HD vs output size.
+fn fig_hd_vs_r(id: &str, scale: Scale) {
+    let (name, gen) = SYNTHETICS[fig_hd_index(id, "fig19")];
+    let n = match scale {
+        Scale::Quick => 5_000,
+        Scale::Full => 10_000,
+    };
+    let rs: Vec<usize> = (10..=15).collect();
+    let ticks: Vec<String> = rs.iter().map(|r| r.to_string()).collect();
+    let data = gen(n, 4, 19);
+    let mut rows = Vec::new();
+    for &r in &rs {
+        let roster = HdRoster { hdrrm: true, mdrrr_r: true, mdrc: true, mdrms: true };
+        rows.push(hd_row(&data, r, &FullSpace::new(4), scale, &roster));
+    }
+    println!("[{name}] n = {}, d = 4", size_tick(n));
+    print_hd_table("r", &ticks, &rows);
+}
+
+/// Figs. 22–24: HDRRM vs δ (sample size).
+fn fig_hd_vs_delta(id: &str, scale: Scale) {
+    let (name, gen) = SYNTHETICS[fig_hd_index(id, "fig22")];
+    let n = match scale {
+        Scale::Quick => 5_000,
+        Scale::Full => 10_000,
+    };
+    let deltas = [0.01, 0.03, 0.05, 0.1];
+    let ticks: Vec<String> = deltas.iter().map(|d| format!("{d}")).collect();
+    let data = gen(n, 4, 22);
+    let mut time = Series::new("HDRRM time(s)");
+    let mut reg = Series::new("HDRRM regret");
+    let mut m_col = Series::new("sample size m");
+    for &delta in &deltas {
+        let opts = HdrrmOptions { delta, ..Default::default() };
+        let o = measure("HDRRM", &data, &FullSpace::new(4), scale.eval_samples(), || {
+            hdrrm(&data, 10, &FullSpace::new(4), opts).unwrap()
+        });
+        time.push(o.seconds);
+        reg.push(o.regret as f64);
+        m_col.push(rrm_hd::paper_sample_size(n, 10, 4, delta) as f64);
+    }
+    println!("[{name}] n = {}, d = 4, r = 10", size_tick(n));
+    println!("{}", render_table("delta", &ticks, &[time, reg, m_col]));
+}
+
+/// Fig. 25: RRRM (weak ranking c = 2) vs n on anti-correlated data.
+fn fig25(scale: Scale) {
+    let ns: &[usize] = match scale {
+        Scale::Quick => &[1_000, 5_000, 20_000],
+        Scale::Full => &[1_000, 10_000, 100_000, 1_000_000],
+    };
+    let ticks: Vec<String> = ns.iter().map(|&n| size_tick(n)).collect();
+    let space = WeakRankingSpace::new(4, 2);
+    let mut rows = Vec::new();
+    for &n in ns {
+        let data = rrm_data::synthetic::anticorrelated(n, 4, 25);
+        let roster =
+            HdRoster { hdrrm: true, mdrrr_r: n <= 100_000, mdrc: false, mdrms: false };
+        rows.push(hd_row(&data, 10, &space, scale, &roster));
+    }
+    println!("[anti-correlated, RRRM weak ranking c=2] d = 4, r = 10");
+    print_hd_table("n", &ticks, &rows);
+}
+
+/// Fig. 26: RRRM vs dimension on anti-correlated data.
+fn fig26(scale: Scale) {
+    let n = match scale {
+        Scale::Quick => 5_000,
+        Scale::Full => 10_000,
+    };
+    let ds: Vec<usize> = (3..=6).collect();
+    let ticks: Vec<String> = ds.iter().map(|d| d.to_string()).collect();
+    let mut rows = Vec::new();
+    for &d in &ds {
+        let data = rrm_data::synthetic::anticorrelated(n, d, 26);
+        let space = WeakRankingSpace::new(d, 2);
+        let roster = HdRoster { hdrrm: true, mdrrr_r: d <= 5, mdrc: false, mdrms: false };
+        rows.push(hd_row(&data, 10, &space, scale, &roster));
+    }
+    println!("[anti-correlated, RRRM weak ranking c=2] n = {}, r = 10", size_tick(n));
+    print_hd_table("d", &ticks, &rows);
+}
+
+/// Fig. 27: HD algorithms on the NBA stand-in (d = 5).
+fn fig27(scale: Scale) {
+    let ns: &[usize] = match scale {
+        Scale::Quick => &[5_000, 10_000, 20_000],
+        Scale::Full => &[5_000, 10_000, 15_000, 20_000],
+    };
+    let ticks: Vec<String> = ns.iter().map(|&n| size_tick(n)).collect();
+    let mut rows = Vec::new();
+    for &n in ns {
+        let data = nba_sim(n, 5, 27);
+        let roster = HdRoster { hdrrm: true, mdrrr_r: true, mdrc: true, mdrms: true };
+        rows.push(hd_row(&data, 10, &FullSpace::new(5), scale, &roster));
+    }
+    println!("[nba-like] d = 5, r = 10");
+    print_hd_table("n", &ticks, &rows);
+}
+
+/// Fig. 28: HD algorithms on the Weather stand-in (d = 4).
+fn fig28(scale: Scale) {
+    let ns: &[usize] = match scale {
+        Scale::Quick => &[40_000, 80_000],
+        Scale::Full => &[40_000, 80_000, 120_000, 160_000],
+    };
+    let ticks: Vec<String> = ns.iter().map(|&n| size_tick(n)).collect();
+    let mut rows = Vec::new();
+    for &n in ns {
+        let data = weather_sim(n, 4, 28);
+        let roster = HdRoster { hdrrm: true, mdrrr_r: false, mdrc: true, mdrms: true };
+        rows.push(hd_row(&data, 10, &FullSpace::new(4), scale, &roster));
+    }
+    println!("[weather-like] d = 4, r = 10");
+    print_hd_table("n", &ticks, &rows);
+}
+
+/// Design-choice ablations called out in DESIGN.md (quality side; the
+/// timing side lives in the Criterion benches).
+fn ablation(scale: Scale) {
+    // (a) HDRRM discretization: grid only / samples only / both, and γ.
+    let n = 5_000;
+    let data = rrm_data::synthetic::anticorrelated(n, 4, 31);
+    let samples = scale.eval_samples();
+    println!("[ablation: HDRRM discretization] anti-correlated n = {n}, d = 4, r = 10");
+    let mut labels = Vec::new();
+    let mut time = Series::new("time(s)");
+    let mut reg = Series::new("regret");
+    let m_default = rrm_hd::paper_sample_size(n, 10, 4, scale.hdrrm().delta);
+    for (label, m, gamma) in [
+        ("Da+Db (default)", m_default, 6usize),
+        ("Da only", m_default, 1),
+        ("Db only (gamma=6)", 0, 6),
+        ("gamma=2", m_default, 2),
+        ("gamma=10", m_default, 10),
+    ] {
+        let opts = HdrrmOptions {
+            m_override: Some(m),
+            gamma,
+            ..scale.hdrrm()
+        };
+        let o = measure("HDRRM", &data, &FullSpace::new(4), samples, || {
+            hdrrm(&data, 10, &FullSpace::new(4), opts).unwrap()
+        });
+        labels.push(label.to_string());
+        time.push(o.seconds);
+        reg.push(o.regret as f64);
+    }
+    println!("{}", render_table("variant", &labels, &[time, reg]));
+
+    // (b) Basis inclusion (Theorem 7's requirement): the boundary tuples
+    // buy the (1-eps) utility floor but consume budget slots.
+    println!("[ablation: basis inclusion] anti-correlated n = 5K, d = 4, r = 10");
+    let data_b = rrm_data::synthetic::anticorrelated(5_000, 4, 34);
+    let mut labels = Vec::new();
+    let mut time = Series::new("time(s)");
+    let mut reg = Series::new("regret");
+    for (label, basis) in [("with basis (paper)", true), ("without basis", false)] {
+        let opts = HdrrmOptions { include_basis: basis, ..scale.hdrrm() };
+        let o = measure("HDRRM", &data_b, &FullSpace::new(4), samples, || {
+            hdrrm(&data_b, 10, &FullSpace::new(4), opts).unwrap()
+        });
+        labels.push(label.to_string());
+        time.push(o.seconds);
+        reg.push(o.regret as f64);
+    }
+    println!("{}", render_table("variant", &labels, &[time, reg]));
+
+    // (c) Skyline candidate pre-filtering inside ASMS.
+    println!("[ablation: skyline candidates] independent n = 20K, d = 4, r = 10");
+    let data = rrm_data::synthetic::independent(20_000, 4, 32);
+    let mut labels = Vec::new();
+    let mut time = Series::new("time(s)");
+    let mut reg = Series::new("regret");
+    for (label, sky) in [("skyline candidates", true), ("all candidates", false)] {
+        let opts = HdrrmOptions { skyline_candidates: sky, ..scale.hdrrm() };
+        let o = measure("HDRRM", &data, &FullSpace::new(4), samples, || {
+            hdrrm(&data, 10, &FullSpace::new(4), opts).unwrap()
+        });
+        labels.push(label.to_string());
+        time.push(o.seconds);
+        reg.push(o.regret as f64);
+    }
+    println!("{}", render_table("variant", &labels, &[time, reg]));
+
+    // (d) 2DRRM event machinery: stream vs paper-faithful full sweep.
+    println!("[ablation: 2DRRM sweep] anti-correlated 2D n = 10K, r = 5");
+    let data = rrm_data::synthetic::anticorrelated(10_000, 2, 33);
+    let mut labels = Vec::new();
+    let mut time = Series::new("time(s)");
+    let mut reg = Series::new("regret");
+    for (label, full) in [("skyline-crossing stream", false), ("full arrangement sweep", true)] {
+        let opts = Rrm2dOptions { use_full_sweep: full, ..Default::default() };
+        let o = measure("2DRRM", &data, &FullSpace::new(2), samples, || {
+            rrm_2d(&data, 5, &FullSpace::new(2), opts).unwrap()
+        });
+        labels.push(label.to_string());
+        time.push(o.seconds);
+        reg.push(o.regret as f64);
+    }
+    println!("{}", render_table("variant", &labels, &[time, reg]));
+}

@@ -1,0 +1,148 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! The `repro` binary (`cargo run --release -p bench --bin repro -- <id>`)
+//! regenerates each table/figure of the paper; this library holds the
+//! pieces shared between it and the Criterion benches: timed runs, the
+//! algorithm roster, and sweep configuration for quick vs full mode.
+
+use std::time::Instant;
+
+use rrm_core::{Dataset, Solution, UtilitySpace};
+use rrm_eval::estimate_rank_regret;
+use rrm_hd::{HdrrmOptions, MdrcOptions, MdrmsOptions, MdrrrROptions};
+
+/// One measured run of one algorithm.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    pub algorithm: &'static str,
+    pub seconds: f64,
+    /// Measured rank-regret over the query space (sampled estimator).
+    pub regret: usize,
+    /// The solver's own certificate, when it provides one.
+    pub certified: Option<usize>,
+    pub size: usize,
+}
+
+/// Experiment scale: `quick` finishes a full `repro all` in minutes;
+/// `full` mirrors the paper's parameters (hours at the top sizes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Quick,
+    Full,
+}
+
+impl Scale {
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Evaluation sample count (the paper uses 100 000).
+    pub fn eval_samples(self) -> usize {
+        match self {
+            Scale::Quick => 20_000,
+            Scale::Full => 100_000,
+        }
+    }
+
+    /// HDRRM options: quick mode trades the δ guarantee down (fewer `Da`
+    /// samples) to keep sweeps fast; full mode uses the paper's δ = 0.03.
+    pub fn hdrrm(self) -> HdrrmOptions {
+        match self {
+            Scale::Quick => HdrrmOptions { delta: 0.1, ..Default::default() },
+            Scale::Full => HdrrmOptions::default(),
+        }
+    }
+
+    pub fn mdrrr_r(self) -> MdrrrROptions {
+        match self {
+            Scale::Quick => MdrrrROptions { samples: 5_000, ..Default::default() },
+            Scale::Full => MdrrrROptions { samples: 50_000, ..Default::default() },
+        }
+    }
+
+    pub fn mdrms(self) -> MdrmsOptions {
+        match self {
+            Scale::Quick => MdrmsOptions { samples: 1_000, ..Default::default() },
+            Scale::Full => MdrmsOptions { samples: 5_000, ..Default::default() },
+        }
+    }
+}
+
+/// Time a closure.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let v = f();
+    (v, start.elapsed().as_secs_f64())
+}
+
+/// Run a solver closure and measure its output quality over `space`.
+pub fn measure(
+    algorithm: &'static str,
+    data: &Dataset,
+    space: &dyn UtilitySpace,
+    eval_samples: usize,
+    solve: impl FnOnce() -> Solution,
+) -> Outcome {
+    let (sol, seconds) = timed(solve);
+    let regret =
+        estimate_rank_regret(data, &sol.indices, space, eval_samples, 0xE7A1).max_rank;
+    Outcome {
+        algorithm,
+        seconds,
+        regret,
+        certified: sol.certified_regret,
+        size: sol.size(),
+    }
+}
+
+/// MDRC options shared by the harness (defaults).
+pub fn mdrc_options() -> MdrcOptions {
+    MdrcOptions::default()
+}
+
+/// A seeded synthetic generator `(n, d, seed) -> Dataset`.
+pub type Generator = fn(usize, usize, u64) -> Dataset;
+
+/// The synthetic distributions of the paper's figures, in their order.
+pub const SYNTHETICS: [(&str, Generator); 3] = [
+    ("independent", rrm_data::synthetic::independent),
+    ("correlated", rrm_data::synthetic::correlated),
+    ("anti-correlated", rrm_data::synthetic::anticorrelated),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrm_core::FullSpace;
+
+    #[test]
+    fn timed_returns_value_and_duration() {
+        let (v, s) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+    }
+
+    #[test]
+    fn measure_records_everything() {
+        let data = rrm_data::synthetic::independent(100, 2, 0);
+        let out = measure("2DRRM", &data, &FullSpace::new(2), 500, || {
+            rrm_2d::rrm_2d(&data, 3, &FullSpace::new(2), rrm_2d::Rrm2dOptions::default())
+                .unwrap()
+        });
+        assert_eq!(out.algorithm, "2DRRM");
+        assert!(out.size <= 3);
+        assert!(out.certified.is_some());
+        assert!(out.regret >= 1);
+    }
+
+    #[test]
+    fn scale_parameters() {
+        assert!(Scale::Quick.eval_samples() < Scale::Full.eval_samples());
+        assert!(Scale::Quick.hdrrm().delta > Scale::Full.hdrrm().delta);
+        assert!(Scale::Quick.mdrrr_r().samples < Scale::Full.mdrrr_r().samples);
+    }
+}

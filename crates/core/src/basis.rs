@@ -1,0 +1,72 @@
+//! The boundary-tuple basis `B` (Section II of the paper).
+//!
+//! For each attribute `A_i` the *i-th dimensional boundary tuple* is the
+//! tuple with the maximum value on `A_i` (value 1 after normalization). The
+//! basis is the set of all boundary tuples; HDRRM always includes it in its
+//! output, which powers the `(1-ε)` utility guarantee of Theorem 7.
+
+use crate::dataset::Dataset;
+
+/// Indices of the boundary tuples, sorted ascending and deduplicated
+/// (one tuple can be the boundary of several attributes, so `|B| ≤ d`).
+///
+/// Ties on an attribute's maximum are broken by the smallest index, which
+/// keeps the basis deterministic.
+pub fn basis_indices(data: &Dataset) -> Vec<u32> {
+    let d = data.dim();
+    let mut best_idx = vec![0u32; d];
+    let mut best_val = vec![f64::NEG_INFINITY; d];
+    for (i, row) in data.rows().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if v > best_val[j] {
+                best_val[j] = v;
+                best_idx[j] = i as u32;
+            }
+        }
+    }
+    best_idx.sort_unstable();
+    best_idx.dedup();
+    best_idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_of_table_one() {
+        // Table I: t1 = (0, 1) is the A2 boundary, t7 = (1, 0) the A1
+        // boundary (0-based indices 0 and 6).
+        let d = Dataset::from_rows(&[
+            [0.0, 1.0],
+            [0.4, 0.95],
+            [0.57, 0.75],
+            [0.79, 0.6],
+            [0.2, 0.5],
+            [0.35, 0.3],
+            [1.0, 0.0],
+        ])
+        .unwrap();
+        assert_eq!(basis_indices(&d), vec![0, 6]);
+    }
+
+    #[test]
+    fn shared_boundary_tuple_dedupes() {
+        let d = Dataset::from_rows(&[[1.0, 1.0], [0.5, 0.2]]).unwrap();
+        assert_eq!(basis_indices(&d), vec![0]);
+    }
+
+    #[test]
+    fn ties_prefer_smaller_index() {
+        let d = Dataset::from_rows(&[[1.0, 0.0], [1.0, 0.5], [0.0, 0.5]]).unwrap();
+        // A1 max = 1.0 at indices 0 and 1 -> picks 0.
+        // A2 max = 0.5 at indices 1 and 2 -> picks 1.
+        assert_eq!(basis_indices(&d), vec![0, 1]);
+    }
+
+    #[test]
+    fn single_attribute() {
+        let d = Dataset::from_rows(&[[0.3], [0.9], [0.1]]).unwrap();
+        assert_eq!(basis_indices(&d), vec![1]);
+    }
+}

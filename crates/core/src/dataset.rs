@@ -1,0 +1,273 @@
+//! The [`Dataset`] type: `n` tuples over `d` numeric attributes.
+//!
+//! Values are stored row-major in one flat allocation so batch scoring (the
+//! hot path of every algorithm) walks memory linearly.
+
+use crate::error::RrmError;
+
+/// An immutable collection of `n` tuples with `d` attributes each.
+///
+/// Conventions from the paper: larger values are preferred on every
+/// attribute; attribute ranges are typically normalized to `[0, 1]`
+/// (see [`Dataset::normalize`]), though nothing in this crate requires it —
+/// rank-regret is shift invariant (Theorem 1), so algorithms operate on raw
+/// values too.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    d: usize,
+    values: Vec<f64>,
+}
+
+impl Dataset {
+    /// Build a dataset from per-tuple rows.
+    ///
+    /// Fails when rows are empty, ragged, or contain non-finite values.
+    pub fn from_rows<R: AsRef<[f64]>>(rows: &[R]) -> Result<Self, RrmError> {
+        let Some(first) = rows.first() else {
+            return Err(RrmError::EmptyDataset);
+        };
+        let d = first.as_ref().len();
+        if d == 0 {
+            return Err(RrmError::DimensionMismatch { expected: 1, got: 0 });
+        }
+        let mut values = Vec::with_capacity(rows.len() * d);
+        for row in rows {
+            let row = row.as_ref();
+            if row.len() != d {
+                return Err(RrmError::DimensionMismatch { expected: d, got: row.len() });
+            }
+            values.extend_from_slice(row);
+        }
+        Self::from_flat(d, values)
+    }
+
+    /// Build a dataset from a row-major flat buffer of `n * d` values.
+    pub fn from_flat(d: usize, values: Vec<f64>) -> Result<Self, RrmError> {
+        if d == 0 || values.is_empty() {
+            return Err(RrmError::EmptyDataset);
+        }
+        if !values.len().is_multiple_of(d) {
+            return Err(RrmError::DimensionMismatch { expected: d, got: values.len() % d });
+        }
+        if let Some(&bad) = values.iter().find(|v| !v.is_finite()) {
+            return Err(RrmError::NonFiniteValue(bad));
+        }
+        Ok(Self { d, values })
+    }
+
+    /// Number of tuples `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.values.len() / self.d
+    }
+
+    /// Number of attributes `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// The `i`-th tuple as a slice of length `d`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.values[i * self.d..(i + 1) * self.d]
+    }
+
+    /// Iterate over all tuples in index order.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f64]> + '_ {
+        self.values.chunks_exact(self.d)
+    }
+
+    /// The raw row-major buffer.
+    #[inline]
+    pub fn flat(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// A new dataset containing only the tuples at `indices`, in order.
+    pub fn subset(&self, indices: &[u32]) -> Dataset {
+        let mut values = Vec::with_capacity(indices.len() * self.d);
+        for &i in indices {
+            values.extend_from_slice(self.row(i as usize));
+        }
+        Dataset { d: self.d, values }
+    }
+
+    /// Min-max normalize every attribute to `[0, 1]`.
+    ///
+    /// Constant attributes (max = min) map to `0.0` for every tuple, which
+    /// preserves ranking behaviour (a constant attribute never discriminates).
+    pub fn normalize(&self) -> Dataset {
+        let d = self.d;
+        let mut lo = vec![f64::INFINITY; d];
+        let mut hi = vec![f64::NEG_INFINITY; d];
+        for row in self.rows() {
+            for (j, &v) in row.iter().enumerate() {
+                lo[j] = lo[j].min(v);
+                hi[j] = hi[j].max(v);
+            }
+        }
+        let mut values = Vec::with_capacity(self.values.len());
+        for row in self.rows() {
+            for (j, &v) in row.iter().enumerate() {
+                let span = hi[j] - lo[j];
+                values.push(if span > 0.0 { (v - lo[j]) / span } else { 0.0 });
+            }
+        }
+        Dataset { d, values }
+    }
+
+    /// Shift every tuple by a constant per-attribute offset `lambda`
+    /// (the transformation of Theorem 1: `t'[j] = t[j] + λ[j]`).
+    ///
+    /// RRM/RRRM solutions are invariant under this transformation; the RMS
+    /// baseline's are not, which `examples/shift_invariance.rs` demonstrates.
+    pub fn shift(&self, lambda: &[f64]) -> Dataset {
+        assert_eq!(lambda.len(), self.d, "shift vector arity must equal d");
+        let mut values = Vec::with_capacity(self.values.len());
+        for row in self.rows() {
+            for (j, &v) in row.iter().enumerate() {
+                values.push(v + lambda[j]);
+            }
+        }
+        Dataset { d: self.d, values }
+    }
+
+    /// Negate the listed attributes (for smaller-is-better columns such as
+    /// price), then the usual larger-preferred convention applies.
+    pub fn negate_attributes(&self, attrs: &[usize]) -> Dataset {
+        let mut values = self.values.clone();
+        for row in values.chunks_exact_mut(self.d) {
+            for &j in attrs {
+                row[j] = -row[j];
+            }
+        }
+        Dataset { d: self.d, values }
+    }
+
+    /// Keep only the listed attributes (projection), preserving tuple order.
+    pub fn project(&self, attrs: &[usize]) -> Result<Dataset, RrmError> {
+        if attrs.is_empty() {
+            return Err(RrmError::EmptyDataset);
+        }
+        for &j in attrs {
+            if j >= self.d {
+                return Err(RrmError::DimensionMismatch { expected: self.d, got: j });
+            }
+        }
+        let mut values = Vec::with_capacity(self.n() * attrs.len());
+        for row in self.rows() {
+            for &j in attrs {
+                values.push(row[j]);
+            }
+        }
+        Ok(Dataset { d: attrs.len(), values })
+    }
+
+    /// First `m` tuples as a new dataset (used by the size sweeps in the
+    /// experiment harness, mirroring the paper's "varied the dataset size").
+    pub fn prefix(&self, m: usize) -> Dataset {
+        let m = m.min(self.n());
+        Dataset { d: self.d, values: self.values[..m * self.d].to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        Dataset::from_rows(&[[0.1, 0.9], [0.5, 0.5], [0.9, 0.1]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let d = small();
+        assert_eq!(d.n(), 3);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.row(1), &[0.5, 0.5]);
+        assert_eq!(d.rows().count(), 3);
+        assert_eq!(d.flat().len(), 6);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let rows: Vec<[f64; 2]> = vec![];
+        assert!(matches!(Dataset::from_rows(&rows), Err(RrmError::EmptyDataset)));
+        assert!(Dataset::from_flat(2, vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_ragged() {
+        let rows: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(matches!(
+            Dataset::from_rows(&rows),
+            Err(RrmError::DimensionMismatch { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let rows = vec![vec![1.0, f64::NAN]];
+        assert!(matches!(Dataset::from_rows(&rows), Err(RrmError::NonFiniteValue(_))));
+        let rows = vec![vec![1.0, f64::INFINITY]];
+        assert!(Dataset::from_rows(&rows).is_err());
+    }
+
+    #[test]
+    fn rejects_misaligned_flat() {
+        assert!(Dataset::from_flat(2, vec![1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn subset_keeps_order() {
+        let d = small();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.row(0), &[0.9, 0.1]);
+        assert_eq!(s.row(1), &[0.1, 0.9]);
+    }
+
+    #[test]
+    fn normalize_maps_to_unit_range() {
+        let d = Dataset::from_rows(&[[10.0, -5.0], [20.0, 5.0], [15.0, 0.0]]).unwrap();
+        let n = d.normalize();
+        assert_eq!(n.row(0), &[0.0, 0.0]);
+        assert_eq!(n.row(1), &[1.0, 1.0]);
+        assert_eq!(n.row(2), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn normalize_constant_attribute() {
+        let d = Dataset::from_rows(&[[3.0, 1.0], [3.0, 2.0]]).unwrap();
+        let n = d.normalize();
+        assert_eq!(n.row(0)[0], 0.0);
+        assert_eq!(n.row(1)[0], 0.0);
+    }
+
+    #[test]
+    fn shift_adds_offsets() {
+        let d = small();
+        let s = d.shift(&[1.0, -1.0]);
+        assert!((s.row(0)[0] - 1.1).abs() < 1e-12);
+        assert!((s.row(0)[1] + 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negate_and_project() {
+        let d = small();
+        let neg = d.negate_attributes(&[0]);
+        assert_eq!(neg.row(2), &[-0.9, 0.1]);
+        let p = d.project(&[1]).unwrap();
+        assert_eq!(p.dim(), 1);
+        assert_eq!(p.row(0), &[0.9]);
+        assert!(d.project(&[5]).is_err());
+        assert!(d.project(&[]).is_err());
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let d = small();
+        assert_eq!(d.prefix(2).n(), 2);
+        assert_eq!(d.prefix(10).n(), 3);
+    }
+}

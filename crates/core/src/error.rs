@@ -1,0 +1,66 @@
+//! Error type shared across the rank-regret crates.
+
+use std::fmt;
+
+/// Errors produced by dataset construction and the solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RrmError {
+    /// A dataset must contain at least one tuple and one attribute.
+    EmptyDataset,
+    /// Mismatched arity (ragged rows, wrong-size utility vector, ...).
+    DimensionMismatch { expected: usize, got: usize },
+    /// NaN or infinite attribute value.
+    NonFiniteValue(f64),
+    /// The requested output size cannot be honoured (e.g. HDRRM requires
+    /// `r ≥ |B|` so the basis fits in the result).
+    OutputSizeTooSmall { requested: usize, minimum: usize },
+    /// The restricted utility space is empty or unusable for this operation
+    /// (e.g. a non-polyhedral space passed to an LP-based routine).
+    InvalidSpace(String),
+    /// An algorithm-specific precondition failed.
+    Unsupported(String),
+}
+
+impl fmt::Display for RrmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RrmError::EmptyDataset => write!(f, "dataset must be non-empty"),
+            RrmError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            RrmError::NonFiniteValue(v) => write!(f, "non-finite attribute value: {v}"),
+            RrmError::OutputSizeTooSmall { requested, minimum } => {
+                write!(f, "output size {requested} too small; need at least {minimum}")
+            }
+            RrmError::InvalidSpace(msg) => write!(f, "invalid utility space: {msg}"),
+            RrmError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RrmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(RrmError::EmptyDataset.to_string(), "dataset must be non-empty");
+        assert!(RrmError::DimensionMismatch { expected: 3, got: 2 }
+            .to_string()
+            .contains("expected 3"));
+        assert!(RrmError::OutputSizeTooSmall { requested: 2, minimum: 4 }
+            .to_string()
+            .contains("at least 4"));
+        assert!(RrmError::InvalidSpace("empty cone".into()).to_string().contains("empty cone"));
+        assert!(RrmError::NonFiniteValue(f64::NAN).to_string().contains("non-finite"));
+        assert!(RrmError::Unsupported("x".into()).to_string().contains("unsupported"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(RrmError::EmptyDataset);
+        assert!(e.to_string().contains("non-empty"));
+    }
+}

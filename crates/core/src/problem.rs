@@ -1,0 +1,200 @@
+//! Problem statements and solver outputs.
+//!
+//! Solvers live in `rrm-2d` and `rrm-hd`; this module defines the shared
+//! contract: what a problem instance asks for and what a [`Solution`]
+//! reports back.
+
+use crate::dataset::Dataset;
+
+/// The rank-regret *minimization* problem (Definition 3 / 4): find a set of
+/// at most `r` tuples minimizing `∇U(S)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RrmProblem {
+    /// Output size bound `r ≥ 1`.
+    pub r: usize,
+}
+
+/// The rank-regret *representative* problem (the dual, from Asudeh et al.):
+/// find a minimum-size set with `∇U(S) ≤ k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RrrProblem {
+    /// Rank-regret threshold `k ≥ 1`.
+    pub k: usize,
+}
+
+/// Which algorithm produced a solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Exact 2D dynamic program (this paper, Section IV).
+    TwoDRrm,
+    /// 2D baseline of Asudeh et al. with the 2k rank relaxation.
+    TwoDRrr,
+    /// HD discretize-and-cover algorithm (this paper, Section V).
+    Hdrrm,
+    /// Exact k-set enumeration baseline (Asudeh et al.).
+    Mdrrr,
+    /// Randomized k-set baseline (Asudeh et al.).
+    MdrrrR,
+    /// Space-partitioning heuristic baseline (Asudeh et al.).
+    Mdrc,
+    /// Regret-ratio (RMS) baseline optimizing the wrong objective.
+    Mdrms,
+    /// Exhaustive search over candidate subsets (tests/benches only).
+    BruteForce,
+}
+
+impl Algorithm {
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::TwoDRrm => "2DRRM",
+            Algorithm::TwoDRrr => "2DRRR",
+            Algorithm::Hdrrm => "HDRRM",
+            Algorithm::Mdrrr => "MDRRR",
+            Algorithm::MdrrrR => "MDRRRr",
+            Algorithm::Mdrc => "MDRC",
+            Algorithm::Mdrms => "MDRMS",
+            Algorithm::BruteForce => "BruteForce",
+        }
+    }
+
+    /// Does the algorithm certify a rank-regret bound on its output
+    /// (the "Guarantee on rank-regret" row of Table III)?
+    pub fn has_regret_guarantee(self) -> bool {
+        matches!(
+            self,
+            Algorithm::TwoDRrm | Algorithm::Hdrrm | Algorithm::Mdrrr | Algorithm::BruteForce
+        )
+    }
+
+    /// Can the algorithm handle a restricted utility space (the "Suitable
+    /// for RRRM" row of Table III)?
+    pub fn supports_restricted_space(self) -> bool {
+        matches!(
+            self,
+            Algorithm::TwoDRrm
+                | Algorithm::Hdrrm
+                | Algorithm::MdrrrR
+                | Algorithm::Mdrms
+                | Algorithm::BruteForce
+        )
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A representative set chosen by a solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Selected tuple indices, sorted ascending, deduplicated.
+    pub indices: Vec<u32>,
+    /// A rank-regret value the solver *certifies* for its output, when it
+    /// has one:
+    /// * 2DRRM — the exact `∇U(S)` (optimal);
+    /// * HDRRM — `∇D(S)` over the discretized vector set (Theorem 10 (1));
+    /// * MDRRR — the threshold `k` met over all enumerated k-sets;
+    /// * baselines without guarantees — `None`.
+    pub certified_regret: Option<usize>,
+    /// Which algorithm produced this solution.
+    pub algorithm: Algorithm,
+}
+
+impl Solution {
+    /// Normalize and validate a raw index list against a dataset.
+    ///
+    /// # Panics
+    /// Panics when `indices` is empty or out of range (solver bug).
+    pub fn new(
+        mut indices: Vec<u32>,
+        certified_regret: Option<usize>,
+        algorithm: Algorithm,
+        data: &Dataset,
+    ) -> Self {
+        assert!(!indices.is_empty(), "solvers must return at least one tuple");
+        indices.sort_unstable();
+        indices.dedup();
+        let n = data.n() as u32;
+        assert!(indices.iter().all(|&i| i < n), "solution index out of range");
+        Self { indices, certified_regret, algorithm }
+    }
+
+    /// Number of tuples in the representative set.
+    pub fn size(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The selected tuples as a standalone dataset (e.g. for display).
+    pub fn materialize(&self, data: &Dataset) -> Dataset {
+        data.subset(&self.indices)
+    }
+
+    /// Rank-regret expressed as a percentage of the dataset size — the
+    /// paper's suggestion for making rank-regret comparable across dataset
+    /// sizes ("divide rank-regrets by n").
+    pub fn regret_percent(&self, data: &Dataset) -> Option<f64> {
+        self.certified_regret.map(|k| 100.0 * k as f64 / data.n() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        Dataset::from_rows(&[[0.1, 0.9], [0.5, 0.5], [0.9, 0.1]]).unwrap()
+    }
+
+    #[test]
+    fn solution_normalizes_indices() {
+        let s = Solution::new(vec![2, 0, 2], Some(1), Algorithm::TwoDRrm, &data());
+        assert_eq!(s.indices, vec![0, 2]);
+        assert_eq!(s.size(), 2);
+        assert_eq!(s.algorithm.name(), "2DRRM");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn solution_rejects_bad_index() {
+        Solution::new(vec![5], None, Algorithm::Mdrc, &data());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tuple")]
+    fn solution_rejects_empty() {
+        Solution::new(vec![], None, Algorithm::Mdrc, &data());
+    }
+
+    #[test]
+    fn materialize_and_percent() {
+        let s = Solution::new(vec![1], Some(3), Algorithm::Hdrrm, &data());
+        let m = s.materialize(&data());
+        assert_eq!(m.n(), 1);
+        assert_eq!(m.row(0), &[0.5, 0.5]);
+        assert!((s.regret_percent(&data()).unwrap() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_iii_capability_matrix() {
+        // "Guarantee on rank-regret": MDRRR yes, MDRRRr no, MDRC no, HDRRM yes.
+        assert!(Algorithm::Mdrrr.has_regret_guarantee());
+        assert!(!Algorithm::MdrrrR.has_regret_guarantee());
+        assert!(!Algorithm::Mdrc.has_regret_guarantee());
+        assert!(Algorithm::Hdrrm.has_regret_guarantee());
+        // "Suitable for RRRM": MDRRR no, MDRRRr yes, MDRC no, HDRRM yes.
+        assert!(!Algorithm::Mdrrr.supports_restricted_space());
+        assert!(Algorithm::MdrrrR.supports_restricted_space());
+        assert!(!Algorithm::Mdrc.supports_restricted_space());
+        assert!(Algorithm::Hdrrm.supports_restricted_space());
+    }
+
+    #[test]
+    fn problem_descriptors() {
+        let p = RrmProblem { r: 5 };
+        let q = RrrProblem { k: 10 };
+        assert_eq!(p.r, 5);
+        assert_eq!(q.k, 10);
+    }
+}

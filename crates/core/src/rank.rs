@@ -1,0 +1,217 @@
+//! Ranks, top-k sets `Φk(u, D)` and k-th scores `w_k(u, D)`.
+//!
+//! The paper assumes no two tuples share a utility (Section II). Real and
+//! synthetic data do contain ties, so every routine here breaks ties by
+//! tuple index: tuple `i` outranks tuple `j` when `score_i > score_j`, or
+//! when the scores are equal and `i < j`. This yields a strict total order
+//! for every utility vector, making all algorithms deterministic.
+
+use crate::dataset::Dataset;
+use crate::utility;
+
+/// Does tuple (score `a`, index `ia`) outrank tuple (score `b`, index `ib`)?
+#[inline]
+pub fn outranks(a: f64, ia: u32, b: f64, ib: u32) -> bool {
+    a > b || (a == b && ia < ib)
+}
+
+/// 1-based rank of the tuple at `index` among `scores`
+/// (`∇u(t)` in the paper: one plus the number of tuples that outrank it).
+pub fn rank_of_index(scores: &[f64], index: u32) -> usize {
+    let s = scores[index as usize];
+    let mut above = 0usize;
+    for (j, &v) in scores.iter().enumerate() {
+        if outranks(v, j as u32, s, index) {
+            above += 1;
+        }
+    }
+    above + 1
+}
+
+/// 1-based rank of tuple `index` in `data` under utility vector `u`.
+pub fn rank_of_tuple(data: &Dataset, u: &[f64], index: u32) -> usize {
+    let scores = utility::utilities(data, u);
+    rank_of_index(&scores, index)
+}
+
+/// Rank-regret of a tuple set for one utility vector
+/// (`∇u(S) = min_{t∈S} ∇u(t)`, Definition 1).
+pub fn rank_regret_of_set(data: &Dataset, u: &[f64], indices: &[u32]) -> usize {
+    assert!(!indices.is_empty(), "rank-regret of an empty set is undefined");
+    let scores = utility::utilities(data, u);
+    rank_regret_from_scores(&scores, indices)
+}
+
+/// Rank-regret of a set given precomputed scores for the whole dataset.
+pub fn rank_regret_from_scores(scores: &[f64], indices: &[u32]) -> usize {
+    // The best member of S under the tie-broken order.
+    let mut best_i = indices[0];
+    let mut best_s = scores[best_i as usize];
+    for &i in &indices[1..] {
+        let s = scores[i as usize];
+        if outranks(s, i, best_s, best_i) {
+            best_s = s;
+            best_i = i;
+        }
+    }
+    rank_of_index(scores, best_i)
+}
+
+/// The top-k of a score vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopK {
+    /// Indices of the top-k tuples, best first.
+    pub indices: Vec<u32>,
+    /// The k-th highest score, `w_k(u, D)`.
+    pub threshold: f64,
+}
+
+/// Compute `Φk` (the top-k tuple indices, best first) and `w_k`.
+///
+/// `k` is clamped to `scores.len()`. Runs in `O(n + k log k)` via
+/// quickselect plus a sort of the selected prefix.
+pub fn top_k(scores: &[f64], k: usize) -> TopK {
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+    top_k_into(scores, k, &mut scratch, &mut out);
+    let threshold = scores[*out.last().expect("k >= 1") as usize];
+    TopK { indices: out, threshold }
+}
+
+/// Buffer-reusing form of [`top_k`]: fills `out` with the top-k indices
+/// (best first) using `scratch` as working storage.
+pub fn top_k_into(scores: &[f64], k: usize, scratch: &mut Vec<u32>, out: &mut Vec<u32>) {
+    let n = scores.len();
+    assert!(n > 0, "top-k of an empty score vector");
+    assert!(k > 0, "k must be at least 1");
+    let k = k.min(n);
+
+    scratch.clear();
+    scratch.extend(0..n as u32);
+    let cmp = |&a: &u32, &b: &u32| {
+        // Descending by score, ascending by index: strict total order.
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .expect("scores must be finite")
+            .then(a.cmp(&b))
+    };
+    if k < n {
+        scratch.select_nth_unstable_by(k - 1, cmp);
+        scratch.truncate(k);
+    }
+    scratch.sort_unstable_by(cmp);
+    out.clear();
+    out.extend_from_slice(scratch);
+}
+
+/// `w_k(u, D)`: the k-th highest score.
+pub fn kth_score(scores: &[f64], k: usize) -> f64 {
+    top_k(scores, k).threshold
+}
+
+/// Full descending argsort of `scores` (ties by index). `O(n log n)`.
+pub fn argsort_desc(scores: &[f64]) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .expect("scores must be finite")
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_with_distinct_scores() {
+        let scores = [0.2, 0.9, 0.5, 0.7];
+        assert_eq!(rank_of_index(&scores, 1), 1);
+        assert_eq!(rank_of_index(&scores, 3), 2);
+        assert_eq!(rank_of_index(&scores, 2), 3);
+        assert_eq!(rank_of_index(&scores, 0), 4);
+    }
+
+    #[test]
+    fn ranks_break_ties_by_index() {
+        let scores = [0.5, 0.5, 0.5];
+        assert_eq!(rank_of_index(&scores, 0), 1);
+        assert_eq!(rank_of_index(&scores, 1), 2);
+        assert_eq!(rank_of_index(&scores, 2), 3);
+    }
+
+    #[test]
+    fn rank_regret_of_sets() {
+        let d = Dataset::from_rows(&[[0.0, 1.0], [0.4, 0.95], [0.57, 0.75]]).unwrap();
+        let u = [0.25, 0.75];
+        // Scores: t0 = 0.75, t1 = 0.8125, t2 = 0.705 -> order t1, t0, t2.
+        assert_eq!(rank_regret_of_set(&d, &u, &[0, 2]), 2);
+        assert_eq!(rank_regret_of_set(&d, &u, &[1]), 1);
+        assert_eq!(rank_regret_of_set(&d, &u, &[2]), 3);
+        assert_eq!(rank_regret_of_set(&d, &u, &[0, 1, 2]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn rank_regret_empty_set_panics() {
+        let d = Dataset::from_rows(&[[1.0]]).unwrap();
+        rank_regret_of_set(&d, &[1.0], &[]);
+    }
+
+    #[test]
+    fn top_k_matches_sort() {
+        let scores = [0.3, 0.1, 0.9, 0.9, 0.2, 0.5];
+        let tk = top_k(&scores, 3);
+        assert_eq!(tk.indices, vec![2, 3, 5]); // 0.9(i2), 0.9(i3), 0.5
+        assert_eq!(tk.threshold, 0.5);
+        let full = top_k(&scores, 6);
+        assert_eq!(full.indices, argsort_desc(&scores));
+    }
+
+    #[test]
+    fn top_k_clamps_k() {
+        let scores = [1.0, 2.0];
+        let tk = top_k(&scores, 10);
+        assert_eq!(tk.indices, vec![1, 0]);
+        assert_eq!(tk.threshold, 1.0);
+    }
+
+    #[test]
+    fn top_one() {
+        let scores = [0.3, 0.8, 0.5];
+        let tk = top_k(&scores, 1);
+        assert_eq!(tk.indices, vec![1]);
+        assert_eq!(tk.threshold, 0.8);
+    }
+
+    #[test]
+    fn kth_score_value() {
+        let scores = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(kth_score(&scores, 1), 4.0);
+        assert_eq!(kth_score(&scores, 3), 2.0);
+        assert_eq!(kth_score(&scores, 4), 1.0);
+    }
+
+    #[test]
+    fn argsort_desc_total_order() {
+        let scores = [0.5, 0.5, 0.1];
+        assert_eq!(argsort_desc(&scores), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rank_of_tuple_via_dataset() {
+        let d = Dataset::from_rows(&[[1.0, 0.0], [0.0, 1.0]]).unwrap();
+        assert_eq!(rank_of_tuple(&d, &[1.0, 0.0], 0), 1);
+        assert_eq!(rank_of_tuple(&d, &[1.0, 0.0], 1), 2);
+        assert_eq!(rank_of_tuple(&d, &[0.0, 1.0], 0), 2);
+    }
+
+    #[test]
+    fn rank_regret_from_scores_picks_best_member() {
+        let scores = [0.9, 0.8, 0.7, 0.6];
+        assert_eq!(rank_regret_from_scores(&scores, &[3, 1]), 2);
+        assert_eq!(rank_regret_from_scores(&scores, &[3]), 4);
+    }
+}

@@ -1,0 +1,188 @@
+//! Minimal CSV loading for the `rrm` command-line tool.
+//!
+//! Deliberately small: comma/semicolon/tab separated numeric tables with an
+//! optional header row. Quoted fields and escaping are out of scope (use a
+//! full CSV crate when you need them); errors carry 1-based line numbers.
+
+use rrm_core::{Dataset, RrmError};
+
+/// A parsed table: column names (synthesized as `col0..` when no header)
+/// plus the numeric data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvTable {
+    pub headers: Vec<String>,
+    pub data: Dataset,
+}
+
+/// Parse CSV text. The delimiter is auto-detected from the first
+/// non-empty line (comma, semicolon or tab); `has_header` controls whether
+/// that line is column names or data.
+pub fn parse_csv(text: &str, has_header: bool) -> Result<CsvTable, RrmError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty());
+
+    let Some((first_no, first)) = lines.next() else {
+        return Err(RrmError::EmptyDataset);
+    };
+    let delim = detect_delimiter(first);
+
+    let mut headers: Vec<String> = Vec::new();
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut expect_cols: Option<usize> = None;
+
+    fn handle_row(
+        line_no: usize,
+        line: &str,
+        delim: char,
+        expect_cols: &mut Option<usize>,
+        rows: &mut Vec<Vec<f64>>,
+    ) -> Result<(), RrmError> {
+        let mut row = Vec::new();
+        for field in line.split(delim) {
+            let field = field.trim();
+            let v: f64 = field.parse().map_err(|_| {
+                RrmError::Unsupported(format!(
+                    "line {line_no}: cannot parse {field:?} as a number"
+                ))
+            })?;
+            if !v.is_finite() {
+                return Err(RrmError::NonFiniteValue(v));
+            }
+            row.push(v);
+        }
+        match expect_cols {
+            None => *expect_cols = Some(row.len()),
+            Some(c) if *c != row.len() => {
+                return Err(RrmError::DimensionMismatch { expected: *c, got: row.len() })
+            }
+            _ => {}
+        }
+        rows.push(row);
+        Ok(())
+    }
+
+    if has_header {
+        headers = first.split(delim).map(|f| f.trim().to_string()).collect();
+        expect_cols = Some(headers.len());
+    } else {
+        handle_row(first_no, first, delim, &mut expect_cols, &mut rows)?;
+    }
+    for (line_no, line) in lines {
+        handle_row(line_no, line, delim, &mut expect_cols, &mut rows)?;
+    }
+    if headers.is_empty() {
+        let cols = expect_cols.unwrap_or(0);
+        headers = (0..cols).map(|i| format!("col{i}")).collect();
+    }
+    let data = Dataset::from_rows(&rows)?;
+    Ok(CsvTable { headers, data })
+}
+
+/// Read and parse a CSV file.
+pub fn read_csv_file(path: &str, has_header: bool) -> Result<CsvTable, RrmError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| RrmError::Unsupported(format!("cannot read {path}: {e}")))?;
+    parse_csv(&text, has_header)
+}
+
+/// Serialize a dataset back to CSV (header row + one line per tuple).
+pub fn to_csv(headers: &[String], data: &Dataset) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in data.rows() {
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn detect_delimiter(line: &str) -> char {
+    for d in [',', ';', '\t'] {
+        if line.contains(d) {
+            return d;
+        }
+    }
+    ','
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_with_header() {
+        let t = parse_csv("hp,mpg\n0.5,0.7\n0.9,0.1\n", true).unwrap();
+        assert_eq!(t.headers, vec!["hp", "mpg"]);
+        assert_eq!(t.data.n(), 2);
+        assert_eq!(t.data.row(1), &[0.9, 0.1]);
+    }
+
+    #[test]
+    fn parses_without_header() {
+        let t = parse_csv("1,2\n3,4\n", false).unwrap();
+        assert_eq!(t.headers, vec!["col0", "col1"]);
+        assert_eq!(t.data.n(), 2);
+    }
+
+    #[test]
+    fn detects_semicolon_and_tab() {
+        let t = parse_csv("a;b\n1;2\n", true).unwrap();
+        assert_eq!(t.headers, vec!["a", "b"]);
+        let t = parse_csv("a\tb\n1\t2\n", true).unwrap();
+        assert_eq!(t.data.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn skips_blank_lines_and_trims() {
+        let t = parse_csv("\n a , b \n\n 1 , 2 \n\n", true).unwrap();
+        assert_eq!(t.headers, vec!["a", "b"]);
+        assert_eq!(t.data.n(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_csv("a,b\n1,2\n1,x\n", true).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = parse_csv("1,2\n3\n", false).unwrap_err();
+        assert!(matches!(err, RrmError::DimensionMismatch { expected: 2, got: 1 }));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(parse_csv("", true), Err(RrmError::EmptyDataset)));
+        assert!(matches!(parse_csv("\n\n", false), Err(RrmError::EmptyDataset)));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert!(parse_csv("1,inf\n", false).is_err());
+        assert!(parse_csv("1,NaN\n", false).is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = parse_csv("x,y\n0.25,0.5\n1,0\n", true).unwrap();
+        let text = to_csv(&t.headers, &t.data);
+        let t2 = parse_csv(&text, true).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn file_not_found() {
+        assert!(read_csv_file("/nonexistent/definitely_missing.csv", true).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! Workload generators for the rank-regret experiments.
+//!
+//! * [`synthetic`] — the three Börzsönyi et al. distributions the paper
+//!   evaluates on (independent, correlated, anti-correlated) plus the
+//!   quarter-arc construction behind Theorem 2's Ω(n/r) lower bound.
+//! * [`real_sim`] — simulated stand-ins for the paper's real datasets
+//!   (Island, NBA, Weather). The originals are not redistributable here;
+//!   each simulator reproduces the size, dimensionality and correlation
+//!   structure that the corresponding experiment depends on (see
+//!   DESIGN.md's substitution table).
+//! * [`jitter`] — deterministic tie-breaking noise for data with heavy
+//!   value duplication (general-position repair).
+//!
+//! All generators are seeded and deterministic.
+
+pub mod csv;
+pub mod real_sim;
+pub mod stats;
+pub mod synthetic;
+
+pub use real_sim::{island_sim, nba_sim, weather_sim};
+pub use synthetic::{anticorrelated, correlated, independent, lower_bound_arc};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrm_core::Dataset;
+
+/// Add uniform noise of magnitude `eps` to every value (clamped to stay
+/// finite, not to `[0,1]`), breaking exact ties so datasets satisfy the
+/// paper's general-position assumption.
+pub fn jitter(data: &Dataset, eps: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = data.dim();
+    let rows: Vec<Vec<f64>> = data
+        .rows()
+        .map(|row| row.iter().map(|&v| v + eps * (rng.random::<f64>() - 0.5)).collect())
+        .collect();
+    debug_assert_eq!(rows[0].len(), d);
+    Dataset::from_rows(&rows).expect("jitter preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_breaks_ties_deterministically() {
+        let d = Dataset::from_rows(&[[0.5, 0.5], [0.5, 0.5], [0.5, 0.5]]).unwrap();
+        let j1 = jitter(&d, 1e-6, 7);
+        let j2 = jitter(&d, 1e-6, 7);
+        assert_eq!(j1, j2, "same seed, same output");
+        // All values distinct after jitter.
+        let mut vals: Vec<f64> = j1.flat().to_vec();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.dedup();
+        assert_eq!(vals.len(), 6);
+        // Values moved by at most eps/2.
+        for (a, b) in d.flat().iter().zip(j1.flat()) {
+            assert!((a - b).abs() <= 5e-7);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Börzsönyi-style synthetic generators and the Theorem 2 construction.
+//!
+//! The paper: "We generate the synthetic datasets by a generator proposed
+//! by Borzsony et. al." — independent (uniform), correlated (clustered
+//! around the main diagonal) and anti-correlated (clustered around the
+//! plane `Σ x_i ≈ const`, so attributes trade off against each other).
+//! Values are clamped to `[0, 1]`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrm_core::sampling::gauss;
+use rrm_core::Dataset;
+
+/// Uniform i.i.d. values in `[0,1]^d`.
+pub fn independent(n: usize, d: usize, seed: u64) -> Dataset {
+    assert!(n >= 1 && d >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let values: Vec<f64> = (0..n * d).map(|_| rng.random::<f64>()).collect();
+    Dataset::from_flat(d, values).expect("generator output is valid")
+}
+
+/// Correlated data: a latent quality `q` per tuple plus small per-attribute
+/// Gaussian spread, so good tuples tend to be good everywhere. The 2D
+/// skyline of such data is small, as in the paper's "the more correlated
+/// the attributes, the smaller the output rank-regrets".
+pub fn correlated(n: usize, d: usize, seed: u64) -> Dataset {
+    assert!(n >= 1 && d >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = Vec::with_capacity(n * d);
+    for _ in 0..n {
+        let q: f64 = rng.random();
+        for _ in 0..d {
+            // Resample the spread until the value stays in range: clamping
+            // would pile tuples onto exactly 0.0/1.0 and mass-produce score
+            // ties, violating the paper's general-position assumption.
+            let v = loop {
+                let v = q + 0.015 * gauss(&mut rng);
+                if (0.0..=1.0).contains(&v) {
+                    break v;
+                }
+            };
+            values.push(v);
+        }
+    }
+    Dataset::from_flat(d, values).expect("generator output is valid")
+}
+
+/// Anti-correlated data: tuples lie near the plane `Σ x_i ≈ d/2`, with the
+/// budget spread unevenly across attributes, so being good on one
+/// attribute means being bad on others. Produces large skylines.
+pub fn anticorrelated(n: usize, d: usize, seed: u64) -> Dataset {
+    assert!(n >= 1 && d >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = Vec::with_capacity(n * d);
+    for _ in 0..n {
+        // Rejection-sample until the tuple fits [0,1]^d: clamping or
+        // rescaling overflow would pile tuples onto the boundary and
+        // mass-produce score ties, breaking general position.
+        let w = loop {
+            // Total budget concentrated around d/2 with small spread.
+            let budget = 0.5 * d as f64 * (1.0 + 0.1 * gauss(&mut rng));
+            // Uneven split: normalized exponentials.
+            let mut w: Vec<f64> = (0..d)
+                .map(|_| {
+                    let u: f64 = 1.0 - rng.random::<f64>();
+                    -u.ln()
+                })
+                .collect();
+            let s: f64 = w.iter().sum();
+            for v in &mut w {
+                *v = *v / s * budget;
+            }
+            if w.iter().all(|v| (0.0..=1.0).contains(v)) {
+                break w;
+            }
+        };
+        values.extend_from_slice(&w);
+    }
+    Dataset::from_flat(d, values).expect("generator output is valid")
+}
+
+/// The adversarial dataset of Theorem 2: `n` points on the unit
+/// quarter-circle (first two attributes), remaining attributes fixed at 1.
+/// Any `r`-subset has rank-regret Ω(n/r).
+pub fn lower_bound_arc(n: usize, d: usize) -> Dataset {
+    assert!(n >= 2 && d >= 2);
+    let mut values = Vec::with_capacity(n * d);
+    for i in 0..n {
+        let theta = std::f64::consts::FRAC_PI_2 * i as f64 / (n - 1) as f64;
+        values.push(theta.cos());
+        values.push(theta.sin());
+        values.extend(std::iter::repeat_n(1.0, d - 2));
+    }
+    Dataset::from_flat(d, values).expect("generator output is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrm_skyline::skyline;
+
+    #[test]
+    fn shapes_and_ranges() {
+        for gen in [independent, correlated, anticorrelated] {
+            let d = gen(500, 4, 1);
+            assert_eq!(d.n(), 500);
+            assert_eq!(d.dim(), 4);
+            assert!(d.flat().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        assert_eq!(independent(100, 3, 42), independent(100, 3, 42));
+        assert_ne!(independent(100, 3, 42), independent(100, 3, 43));
+        assert_eq!(anticorrelated(50, 2, 9), anticorrelated(50, 2, 9));
+    }
+
+    #[test]
+    fn correlation_ordering_of_skyline_sizes() {
+        // The defining property the paper's experiments rely on:
+        // skyline(corr) < skyline(indep) < skyline(anti).
+        let n = 3000;
+        let corr = skyline(&correlated(n, 2, 5)).len();
+        let ind = skyline(&independent(n, 2, 5)).len();
+        let anti = skyline(&anticorrelated(n, 2, 5)).len();
+        assert!(corr < ind, "correlated {corr} vs independent {ind}");
+        assert!(ind < anti, "independent {ind} vs anti-correlated {anti}");
+    }
+
+    #[test]
+    fn correlation_sign_check() {
+        // Empirical Pearson correlation between the two attributes.
+        let pearson = |d: &Dataset| {
+            let n = d.n() as f64;
+            let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            for r in d.rows() {
+                sx += r[0];
+                sy += r[1];
+                sxx += r[0] * r[0];
+                syy += r[1] * r[1];
+                sxy += r[0] * r[1];
+            }
+            let cov = sxy / n - sx / n * (sy / n);
+            let vx = sxx / n - (sx / n) * (sx / n);
+            let vy = syy / n - (sy / n) * (sy / n);
+            cov / (vx * vy).sqrt()
+        };
+        assert!(pearson(&correlated(4000, 2, 2)) > 0.5);
+        assert!(pearson(&anticorrelated(4000, 2, 2)) < -0.5);
+        assert!(pearson(&independent(4000, 2, 2)).abs() < 0.1);
+    }
+
+    #[test]
+    fn arc_lies_on_unit_circle() {
+        let d = lower_bound_arc(50, 2);
+        for row in d.rows() {
+            let norm = (row[0] * row[0] + row[1] * row[1]).sqrt();
+            assert!((norm - 1.0).abs() < 1e-12);
+        }
+        // Endpoints are the axis points.
+        assert_eq!(d.row(0), &[1.0, 0.0]);
+        let last = d.row(49);
+        assert!(last[0].abs() < 1e-12 && (last[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arc_pads_higher_dims_with_ones() {
+        let d = lower_bound_arc(10, 4);
+        for row in d.rows() {
+            assert_eq!(&row[2..], &[1.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn arc_every_tuple_is_skyline() {
+        let d = lower_bound_arc(64, 2);
+        assert_eq!(skyline(&d).len(), 64);
+    }
+}

@@ -1,0 +1,165 @@
+//! Exact rank-regret evaluation in 2D via the dual arrangement.
+//!
+//! The rank-regret of a set `S` at weight `x` is the rank of the member on
+//! `S`'s upper envelope. Both the envelope's active member and the members'
+//! ranks change only at crossings involving `S`'s lines, so replaying those
+//! `O(|S|·n)` crossings and probing each gap yields the exact maximum in
+//! `O(|S|·n·(log(|S|·n) + |S|))`.
+
+use rrm_core::Dataset;
+use rrm_geom::dual::DualLine;
+use rrm_geom::events::{crossings_with_tracked, initial_ranks};
+
+/// Exact `max_{c ∈ [c0, c1]} ∇_{(c, 1-c)}(S)` and a witness weight.
+///
+/// Open-interval semantics at crossing points (the paper's general-position
+/// assumption): the maximum is over the arrangement's gaps, which is the
+/// supremum over all non-degenerate directions.
+pub fn exact_rank_regret_2d(data: &Dataset, set: &[u32], c0: f64, c1: f64) -> (usize, f64) {
+    assert_eq!(data.dim(), 2, "exact evaluation requires d = 2");
+    assert!(!set.is_empty(), "rank-regret of an empty set is undefined");
+    assert!(c0 <= c1);
+    let lines = DualLine::from_dataset(data);
+    let events = crossings_with_tracked(&lines, set, c0, c1);
+    let mut rank = initial_ranks(&lines, c0);
+
+    // Probe one point per gap; gaps are [c0, x_1), [x_1, x_2), ..., [x_m, c1].
+    let mut worst = 0usize;
+    let mut witness = c0;
+    let mut gap_start = c0;
+    let mut i = 0;
+    let degenerate_point = events.is_empty() && c0 == c1;
+    loop {
+        let gap_end = if i < events.len() { events[i].x } else { c1 };
+        // Zero-width gaps arise between concurrent crossings (ties); the
+        // rank state mid-batch is not a real configuration, so skip them.
+        if gap_end > gap_start || degenerate_point {
+            let probe = 0.5 * (gap_start + gap_end);
+            // Active member: the set line with the highest value here.
+            let mut best_line = set[0];
+            let mut best_val = f64::NEG_INFINITY;
+            for &s in set {
+                let v = lines[s as usize].eval(probe);
+                if v > best_val {
+                    best_val = v;
+                    best_line = s;
+                }
+            }
+            let r = rank[best_line as usize];
+            if r > worst {
+                worst = r;
+                witness = probe;
+            }
+        }
+        if i >= events.len() {
+            break;
+        }
+        rank[events[i].down as usize] += 1;
+        rank[events[i].up as usize] -= 1;
+        gap_start = events[i].x;
+        i += 1;
+    }
+    (worst, witness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rrm_core::FullSpace;
+
+    fn table1() -> Dataset {
+        Dataset::from_rows(&[
+            [0.0, 1.0],
+            [0.4, 0.95],
+            [0.57, 0.75],
+            [0.79, 0.6],
+            [0.2, 0.5],
+            [0.35, 0.3],
+            [1.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn table1_rank_ratio_column() {
+        // The "Rank-Ratio" column of Table I is the exact rank-regret of
+        // each singleton. The paper prints 7, 4, 3, 4, 6, 6, 7; the values
+        // for t5 and t6 are actually 7 (e.g. at u = (0.6, 0.4) every other
+        // tuple outranks t5, and at u = (0.5, 0.5) every other tuple
+        // outranks t6 — hand-checkable). The entries that drive the
+        // narrative (t3 = 3 optimal, t1/t7 = 7) match.
+        let d = table1();
+        let expected = [7usize, 4, 3, 4, 7, 7, 7];
+        for (i, &want) in expected.iter().enumerate() {
+            let (got, _) = exact_rank_regret_2d(&d, &[i as u32], 0.0, 1.0);
+            assert_eq!(got, want, "t{}", i + 1);
+        }
+    }
+
+    #[test]
+    fn skyline_set_has_regret_one() {
+        let d = table1();
+        let (k, _) = exact_rank_regret_2d(&d, &[0, 1, 2, 3, 6], 0.0, 1.0);
+        assert_eq!(k, 1);
+    }
+
+    #[test]
+    fn restricted_interval_only() {
+        // t7 = (1, 0) is top-1 at c = 1; restricted to c ∈ [0.9, 1] its
+        // regret is small, over the full range it is 7.
+        let d = table1();
+        let (full, _) = exact_rank_regret_2d(&d, &[6], 0.0, 1.0);
+        assert_eq!(full, 7);
+        let (restricted, _) = exact_rank_regret_2d(&d, &[6], 0.95, 1.0);
+        assert_eq!(restricted, 1);
+    }
+
+    #[test]
+    fn witness_attains_the_max() {
+        let d = table1();
+        for set in [vec![1u32], vec![2, 6], vec![0, 3]] {
+            let (k, x) = exact_rank_regret_2d(&d, &set, 0.0, 1.0);
+            let u = [x, 1.0 - x];
+            assert_eq!(rrm_core::rank::rank_regret_of_set(&d, &u, &set), k, "{set:?}");
+        }
+    }
+
+    #[test]
+    fn sampled_estimator_converges_to_exact() {
+        let mut rng = StdRng::seed_from_u64(20);
+        for trial in 0..10 {
+            let n = rng.random_range(5..60);
+            let rows: Vec<[f64; 2]> =
+                (0..n).map(|_| [rng.random::<f64>(), rng.random::<f64>()]).collect();
+            let d = Dataset::from_rows(&rows).unwrap();
+            let set: Vec<u32> = vec![rng.random_range(0..n as u32)];
+            let (exact, _) = exact_rank_regret_2d(&d, &set, 0.0, 1.0);
+            let sampled = crate::rank_regret::estimate_rank_regret_seq(
+                &d,
+                &set,
+                &FullSpace::new(2),
+                30_000,
+                trial,
+            );
+            // Sampled is a lower bound that should reach the exact value
+            // with this many samples on small instances.
+            assert!(sampled.max_rank <= exact);
+            assert!(
+                sampled.max_rank >= exact.saturating_sub(1),
+                "trial {trial}: sampled {} vs exact {exact}",
+                sampled.max_rank
+            );
+        }
+    }
+
+    #[test]
+    fn point_interval() {
+        let d = table1();
+        let (k, x) = exact_rank_regret_2d(&d, &[3], 0.7, 0.7);
+        assert_eq!(x, 0.7);
+        let u = [0.7, 0.3];
+        assert_eq!(rrm_core::rank::rank_regret_of_set(&d, &u, &[3]), k);
+    }
+}

@@ -1,0 +1,143 @@
+//! Regret-ratio estimation (the RMS objective of Nanongkai et al.).
+//!
+//! Used to contrast MDRMS against the rank-based algorithms and to
+//! demonstrate that minimizing regret-ratio does not minimize rank-regret
+//! (Section II's Table I discussion), as well as RMS's shift sensitivity.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rrm_core::{Dataset, UtilitySpace};
+
+/// Result of a sampled regret-ratio estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioEstimate {
+    /// Worst observed regret-ratio `(w(u,D) − w(u,S)) / w(u,D)` in `[0,1]`.
+    pub max_ratio: f64,
+    /// A direction attaining it.
+    pub witness: Vec<f64>,
+    /// Number of directions sampled.
+    pub samples: usize,
+}
+
+/// Estimate the maximum regret-ratio of `set` over `space` by sampling.
+///
+/// Follows the RMS convention: ratios are clamped to `[0, 1]`, and
+/// directions where the dataset's best utility is non-positive are skipped
+/// (the ratio is undefined there; RMS assumes non-negative values).
+pub fn estimate_regret_ratio(
+    data: &Dataset,
+    set: &[u32],
+    space: &dyn UtilitySpace,
+    samples: usize,
+    seed: u64,
+) -> RatioEstimate {
+    assert!(!set.is_empty(), "regret-ratio of an empty set is undefined");
+    assert!(samples >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let set_rows: Vec<&[f64]> = set.iter().map(|&i| data.row(i as usize)).collect();
+    let d = data.dim();
+    let flat = data.flat();
+    let mut worst = 0.0f64;
+    let mut witness = Vec::new();
+    for _ in 0..samples {
+        let u = space.sample_direction(&mut rng);
+        let mut top = f64::NEG_INFINITY;
+        for chunk in flat.chunks_exact(d) {
+            let s = rrm_core::utility::dot(&u, chunk);
+            if s > top {
+                top = s;
+            }
+        }
+        if top <= 0.0 {
+            continue;
+        }
+        let mut best = f64::NEG_INFINITY;
+        for row in &set_rows {
+            let s = rrm_core::utility::dot(&u, row);
+            if s > best {
+                best = s;
+            }
+        }
+        let ratio = ((top - best) / top).clamp(0.0, 1.0);
+        if ratio > worst {
+            worst = ratio;
+            witness = u;
+        }
+    }
+    RatioEstimate { max_ratio: worst, witness, samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrm_core::FullSpace;
+
+    fn table1() -> Dataset {
+        Dataset::from_rows(&[
+            [0.0, 1.0],
+            [0.4, 0.95],
+            [0.57, 0.75],
+            [0.79, 0.6],
+            [0.2, 0.5],
+            [0.35, 0.3],
+            [1.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn table1_regret_ratio_column() {
+        // Table I's Regret-Ratio column: t1 100%, t2 60%, t3 43%, t4 40%,
+        // t5 80%, t6 70%, t7 100%.
+        let d = table1();
+        let expected = [1.0, 0.6, 0.43, 0.40, 0.8, 0.7, 1.0];
+        for (i, &want) in expected.iter().enumerate() {
+            let e =
+                estimate_regret_ratio(&d, &[i as u32], &FullSpace::new(2), 20_000, 3);
+            assert!(
+                (e.max_ratio - want).abs() < 0.02,
+                "t{}: got {:.3}, expected {want}",
+                i + 1,
+                e.max_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn rms_winner_is_t4_rank_winner_is_t3() {
+        // Section II: "When r = 1, the solutions for RRM and RMS are {t3}
+        // and {t4} respectively" — t4 has the lowest regret-ratio, t3 the
+        // lowest rank-regret.
+        let d = table1();
+        let ratios: Vec<f64> = (0..7)
+            .map(|i| {
+                estimate_regret_ratio(&d, &[i], &FullSpace::new(2), 20_000, 4).max_ratio
+            })
+            .collect();
+        let best = (0..7).min_by(|&a, &b| ratios[a].partial_cmp(&ratios[b]).unwrap());
+        assert_eq!(best, Some(3), "t4 minimizes regret-ratio: {ratios:?}");
+    }
+
+    #[test]
+    fn whole_dataset_zero_ratio() {
+        let d = table1();
+        let all: Vec<u32> = (0..7).collect();
+        let e = estimate_regret_ratio(&d, &all, &FullSpace::new(2), 2000, 5);
+        assert_eq!(e.max_ratio, 0.0);
+    }
+
+    #[test]
+    fn ratio_is_shift_sensitive() {
+        // The heart of the paper's RMS critique: shifting A2 by +4 changes
+        // regret-ratios (while rank-regrets are invariant).
+        let d = table1();
+        let shifted = d.shift(&[0.0, 4.0]);
+        let before = estimate_regret_ratio(&d, &[6], &FullSpace::new(2), 20_000, 6).max_ratio;
+        let after =
+            estimate_regret_ratio(&shifted, &[6], &FullSpace::new(2), 20_000, 6).max_ratio;
+        // t7 = (1, 0): ratio 100% unshifted; after the shift every tuple
+        // scores at least 4·u2, compressing ratios dramatically.
+        assert!(before > 0.95, "before {before}");
+        assert!(after < 0.55, "after {after}");
+    }
+}

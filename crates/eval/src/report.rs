@@ -1,0 +1,145 @@
+//! Minimal tabular reporting for the experiment harness.
+//!
+//! The repro binary prints one table per paper figure: a parameter column
+//! (n, d, r or δ) and one (time, rank-regret) pair of columns per
+//! algorithm, which is exactly the data each figure plots.
+
+use std::fmt::Write as _;
+
+/// A labelled series of `(x, value)` measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    pub label: String,
+    /// One value per x-tick; `None` marks "did not run / not scalable"
+    /// (the paper's missing bars for MDRRRr at large n).
+    pub values: Vec<Option<f64>>,
+}
+
+impl Series {
+    pub fn new(label: impl Into<String>) -> Self {
+        Self { label: label.into(), values: Vec::new() }
+    }
+
+    pub fn push(&mut self, v: f64) {
+        self.values.push(Some(v));
+    }
+
+    pub fn push_missing(&mut self) {
+        self.values.push(None);
+    }
+}
+
+/// Render aligned columns: the x-ticks then each series.
+///
+/// `x_label` heads the first column; numbers print with 3 significant
+/// decimals, missing values as `-`.
+pub fn render_table(x_label: &str, ticks: &[String], series: &[Series]) -> String {
+    let mut headers = vec![x_label.to_string()];
+    headers.extend(series.iter().map(|s| s.label.clone()));
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(ticks.len());
+    for (i, tick) in ticks.iter().enumerate() {
+        let mut row = vec![tick.clone()];
+        for s in series {
+            let cell = match s.values.get(i).copied().flatten() {
+                Some(v) => format_value(v),
+                None => "-".to_string(),
+            };
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String], widths: &[usize]| {
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:>w$}", w = w);
+        }
+        out.push('\n');
+    };
+    write_row(&mut out, &headers, &widths);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in &rows {
+        write_row(&mut out, row, &widths);
+    }
+    out
+}
+
+fn format_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e9 {
+        format!("{}", v as i64)
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Human-readable tick for a dataset size (`10K`, `1M`, ...).
+pub fn size_tick(n: usize) -> String {
+    if n.is_multiple_of(1_000_000) && n >= 1_000_000 {
+        format!("{}M", n / 1_000_000)
+    } else if n.is_multiple_of(1_000) && n >= 1_000 {
+        format!("{}K", n / 1_000)
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut a = Series::new("HDRRM time(s)");
+        a.push(0.5);
+        a.push(1.25);
+        let mut b = Series::new("MDRC k");
+        b.push(12.0);
+        b.push_missing();
+        let t = render_table(
+            "n",
+            &["1K".to_string(), "10K".to_string()],
+            &[a, b],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("HDRRM time(s)"));
+        assert!(lines[2].contains("0.500"));
+        assert!(lines[2].contains("12"));
+        assert!(lines[3].trim_end().ends_with('-'));
+    }
+
+    #[test]
+    fn value_formats() {
+        assert_eq!(format_value(3.0), "3");
+        assert_eq!(format_value(0.123456), "0.123");
+        assert_eq!(format_value(1234.5), "1234.5");
+    }
+
+    #[test]
+    fn size_ticks() {
+        assert_eq!(size_tick(100), "100");
+        assert_eq!(size_tick(10_000), "10K");
+        assert_eq!(size_tick(1_000_000), "1M");
+        assert_eq!(size_tick(63_383), "63383");
+    }
+
+    #[test]
+    fn series_push_api() {
+        let mut s = Series::new("x");
+        s.push(1.0);
+        s.push_missing();
+        assert_eq!(s.values, vec![Some(1.0), None]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Persistent convex chains for 2DRRM's matrix `M`.
+//!
+//! Algorithm 1 line 19 copies a chain and appends one line
+//! (`M[j',h] = M[i',h-1] suffixed with lj`). Storing chains as shared
+//! cons lists makes that an `O(1)` pointer bump instead of an `O(r)` copy,
+//! while old versions of a cell stay valid for cells that still reference
+//! them.
+
+use std::rc::Rc;
+
+/// One link of a chain: the most recently appended line plus the shared
+/// prefix it extends.
+#[derive(Debug)]
+pub struct ChainNode {
+    pub line: u32,
+    pub parent: Option<Rc<ChainNode>>,
+}
+
+impl ChainNode {
+    /// A single-line chain.
+    pub fn singleton(line: u32) -> Rc<ChainNode> {
+        Rc::new(ChainNode { line, parent: None })
+    }
+
+    /// Extend `parent` with `line` (the "suffix with `lj`" operation).
+    pub fn extend(parent: &Rc<ChainNode>, line: u32) -> Rc<ChainNode> {
+        Rc::new(ChainNode { line, parent: Some(Rc::clone(parent)) })
+    }
+
+    /// Number of lines in the chain.
+    pub fn len(node: &Rc<ChainNode>) -> usize {
+        let mut n = 1;
+        let mut cur = node;
+        while let Some(p) = &cur.parent {
+            n += 1;
+            cur = p;
+        }
+        n
+    }
+}
+
+/// Materialize a chain as a vector of line ids, oldest (leftmost segment)
+/// first.
+pub fn chain_to_vec(node: &Rc<ChainNode>) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut cur = Some(node);
+    while let Some(n) = cur {
+        out.push(n.line);
+        cur = n.parent.as_ref();
+    }
+    out.reverse();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_materialize() {
+        let a = ChainNode::singleton(3);
+        let b = ChainNode::extend(&a, 7);
+        let c = ChainNode::extend(&b, 1);
+        assert_eq!(chain_to_vec(&c), vec![3, 7, 1]);
+        assert_eq!(ChainNode::len(&c), 3);
+        assert_eq!(ChainNode::len(&a), 1);
+    }
+
+    #[test]
+    fn sharing_prefixes() {
+        let a = ChainNode::singleton(0);
+        let b1 = ChainNode::extend(&a, 1);
+        let b2 = ChainNode::extend(&a, 2);
+        // Both extensions see the same prefix; neither disturbs the other.
+        assert_eq!(chain_to_vec(&b1), vec![0, 1]);
+        assert_eq!(chain_to_vec(&b2), vec![0, 2]);
+        assert_eq!(chain_to_vec(&a), vec![0]);
+    }
+
+    #[test]
+    fn long_chain_is_linear() {
+        let mut c = ChainNode::singleton(0);
+        for i in 1..1000 {
+            c = ChainNode::extend(&c, i);
+        }
+        let v = chain_to_vec(&c);
+        assert_eq!(v.len(), 1000);
+        assert_eq!(v[0], 0);
+        assert_eq!(v[999], 999);
+    }
+}

@@ -1,0 +1,211 @@
+//! The 2D dual transform (paper Section IV-A, Figure 4).
+//!
+//! With utility vectors normalized to `u = (c, 1-c)`, the utility of a tuple
+//! `t` as a function of `c` is the line `y(c) = t[1]·c + t[2]·(1-c)`, i.e.
+//! intercept `t[2]` and slope `t[1] - t[2]`. Higher line at `x = c` means
+//! higher rank (closer to 1) under `u = (c, 1-c)`.
+
+use rrm_core::Dataset;
+
+/// A tuple's line in dual space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DualLine {
+    /// `t[1] - t[2]` — utility gain as weight moves toward attribute 1.
+    pub slope: f64,
+    /// `t[2]` — the utility at `x = 0`, i.e. under `u = (0, 1)`.
+    pub intercept: f64,
+}
+
+impl DualLine {
+    /// Dual line of a 2D tuple.
+    pub fn from_tuple(t: &[f64]) -> Self {
+        debug_assert_eq!(t.len(), 2, "the dual transform is 2D-only");
+        Self { slope: t[0] - t[1], intercept: t[1] }
+    }
+
+    /// Dual lines of every tuple of a 2D dataset, in index order.
+    pub fn from_dataset(data: &Dataset) -> Vec<DualLine> {
+        assert_eq!(data.dim(), 2, "the dual transform is 2D-only");
+        data.rows().map(DualLine::from_tuple).collect()
+    }
+
+    /// Height of the line at `x` — the tuple's utility under `(x, 1-x)`.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// x-coordinate where `self` and `other` cross, or `None` for parallel
+    /// lines (tuples with the same `t[1] - t[2]`).
+    pub fn intersection_x(&self, other: &DualLine) -> Option<f64> {
+        let ds = self.slope - other.slope;
+        if ds == 0.0 {
+            return None;
+        }
+        Some((other.intercept - self.intercept) / ds)
+    }
+
+    /// Is `self` strictly above `other` immediately *after* `x`?
+    ///
+    /// Equal heights at `x` are broken by slope (the faster-growing line is
+    /// above just after `x`); exact ties (identical lines) fall back to
+    /// `false`, letting callers impose an index order.
+    pub fn above_after(&self, other: &DualLine, x: f64) -> bool {
+        let (a, b) = (self.eval(x), other.eval(x));
+        if a != b {
+            return a > b;
+        }
+        self.slope > other.slope
+    }
+}
+
+/// Sort order of line ids at `x+` (top line first): height descending,
+/// ties by slope descending, final ties by id ascending.
+pub fn order_at(lines: &[DualLine], ids: &mut [u32], x: f64) {
+    ids.sort_unstable_by(|&i, &j| {
+        let (a, b) = (&lines[i as usize], &lines[j as usize]);
+        b.eval(x)
+            .partial_cmp(&a.eval(x))
+            .expect("finite heights")
+            .then(b.slope.partial_cmp(&a.slope).expect("finite slopes"))
+            .then(i.cmp(&j))
+    });
+}
+
+/// Map a 2D polyhedral cone (`rows · u ≥ 0`, `u ≥ 0`) to its interval of
+/// normalized weights: `{c ∈ [0, 1] : (c, 1-c) ∈ U}` — the "render the
+/// scene" step of Section IV-C. Returns `None` when the cone misses the
+/// normalized segment entirely.
+pub fn normalized_interval_2d(rows: &[Vec<f64>]) -> Option<(f64, f64)> {
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for row in rows {
+        assert_eq!(row.len(), 2, "2D cone rows expected");
+        // row[0]·c + row[1]·(1-c) >= 0  <=>  (row[0]-row[1])·c >= -row[1]
+        let a = row[0] - row[1];
+        let b = -row[1];
+        if a > 0.0 {
+            lo = lo.max(b / a);
+        } else if a < 0.0 {
+            hi = hi.min(b / a);
+        } else if b > 0.0 {
+            return None; // 0 >= b > 0 impossible
+        }
+    }
+    (lo <= hi).then_some((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table I of the paper as a dataset.
+    pub(crate) fn table1() -> Dataset {
+        Dataset::from_rows(&[
+            [0.0, 1.0],
+            [0.4, 0.95],
+            [0.57, 0.75],
+            [0.79, 0.6],
+            [0.2, 0.5],
+            [0.35, 0.3],
+            [1.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn transform_matches_figure_4() {
+        let lines = DualLine::from_dataset(&table1());
+        // l1 runs from (0,1) to (1,0): intercept 1, slope -1.
+        assert_eq!(lines[0], DualLine { slope: -1.0, intercept: 1.0 });
+        // l7 runs from (0,0) to (1,1): intercept 0, slope 1.
+        assert_eq!(lines[6], DualLine { slope: 1.0, intercept: 0.0 });
+        // Utilities: eval(x) equals w((x, 1-x), t).
+        let x = 0.25;
+        for (line, row) in lines.iter().zip(table1().rows()) {
+            let w = x * row[0] + (1.0 - x) * row[1];
+            assert!((line.eval(x) - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn figure_4_rank_read() {
+        // "the number of lines above l1 for x = 0.25 is 1": only l2.
+        let lines = DualLine::from_dataset(&table1());
+        let above: Vec<usize> = (0..7)
+            .filter(|&i| i != 0 && lines[i].eval(0.25) > lines[0].eval(0.25))
+            .collect();
+        assert_eq!(above, vec![1]);
+    }
+
+    #[test]
+    fn intersections() {
+        let l1 = DualLine { slope: -1.0, intercept: 1.0 };
+        let l2 = DualLine { slope: -0.55, intercept: 0.95 };
+        // Worked in the paper: l1 and l2 cross at x = 1/9.
+        let x = l1.intersection_x(&l2).unwrap();
+        assert!((x - 1.0 / 9.0).abs() < 1e-12);
+        assert_eq!(l2.intersection_x(&l1).unwrap(), x);
+        // Parallel lines never cross.
+        let l3 = DualLine { slope: -1.0, intercept: 0.4 };
+        assert!(l1.intersection_x(&l3).is_none());
+    }
+
+    #[test]
+    fn above_after_tie_breaks_by_slope() {
+        let flat = DualLine { slope: 0.0, intercept: 1.0 };
+        let rising = DualLine { slope: 1.0, intercept: 0.0 };
+        // They cross at x = 1: equal height, rising wins just after.
+        assert!(rising.above_after(&flat, 1.0));
+        assert!(!flat.above_after(&rising, 1.0));
+        assert!(flat.above_after(&rising, 0.5));
+    }
+
+    #[test]
+    fn order_at_zero_matches_a2_sort() {
+        let d = table1();
+        let lines = DualLine::from_dataset(&d);
+        let mut ids: Vec<u32> = (0..7).collect();
+        order_at(&lines, &mut ids, 0.0);
+        // Sorted by A2 descending: t1, t2, t3, t4, t5, t6, t7.
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 6]);
+        // At x = 0.25, l2 has overtaken l1 (their crossing is at x = 1/9).
+        // Note: the paper's Figure 5 prints the order at 0.25 as
+        // l2,l1,l3,l4,l5,l7,l6, but Table I's values put the l6×l7 crossing
+        // at x = 0.3/0.95 ≈ 0.316 (so l6 is still above l7 at 0.25) — the
+        // figure order is not realizable at any x; we assert the
+        // mathematically correct one.
+        order_at(&lines, &mut ids, 0.25);
+        assert_eq!(ids, vec![1, 0, 2, 3, 4, 5, 6]);
+        // Past the l1×l3, l6×l7 and l1×l4 crossings:
+        order_at(&lines, &mut ids, 0.35);
+        assert_eq!(ids, vec![1, 2, 3, 0, 4, 6, 5]);
+    }
+
+    #[test]
+    fn interval_of_full_space_is_unit() {
+        assert_eq!(normalized_interval_2d(&[]), Some((0.0, 1.0)));
+    }
+
+    #[test]
+    fn interval_of_weak_ranking() {
+        // u1 >= u2 -> c >= 1 - c -> c in [0.5, 1].
+        let rows = vec![vec![1.0, -1.0]];
+        let (lo, hi) = normalized_interval_2d(&rows).unwrap();
+        assert!((lo - 0.5).abs() < 1e-12 && (hi - 1.0).abs() < 1e-12);
+        // u2 >= 3 u1 -> 1 - c >= 3c -> c <= 0.25.
+        let rows = vec![vec![-3.0, 1.0]];
+        let (lo, hi) = normalized_interval_2d(&rows).unwrap();
+        assert!(lo.abs() < 1e-12 && (hi - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_of_empty_cone() {
+        // u1 >= 2(u1+u2) is impossible for non-zero orthant vectors:
+        // -u1 - 2u2 >= 0.
+        let rows = vec![vec![-1.0, -2.0]];
+        assert_eq!(normalized_interval_2d(&rows), None);
+        // Contradictory pair: c >= 0.8 and c <= 0.2.
+        let rows = vec![vec![1.0, -4.0], vec![-4.0, 1.0]];
+        assert_eq!(normalized_interval_2d(&rows), None);
+    }
+}

@@ -1,0 +1,196 @@
+//! Upper envelope of dual lines (the rank-1 contour).
+//!
+//! The lines on the upper envelope over `[c0, c1]` are exactly the tuples
+//! that are top-1 for some direction in the range — the unique minimal set
+//! with rank-regret 1, and the `j → ∞` limit of 2DRRM's chains. Computed
+//! with the classic convex-hull-trick stack construction in
+//! `O(n log n)`.
+
+use crate::dual::DualLine;
+
+/// One piece of the envelope: `line` is the top line for
+/// `x ∈ [from_x, to_x]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvelopeSegment {
+    pub line: u32,
+    pub from_x: f64,
+    pub to_x: f64,
+}
+
+/// The upper envelope of `lines` over `[c0, c1]`, left to right.
+///
+/// Ties (identical lines, or equal height at a breakpoint) resolve to the
+/// smallest line id, so the result is deterministic. Every returned
+/// segment has positive width except when `c0 == c1` (a single
+/// zero-width segment).
+pub fn upper_envelope(lines: &[DualLine], c0: f64, c1: f64) -> Vec<EnvelopeSegment> {
+    assert!(c0 <= c1);
+    assert!(!lines.is_empty());
+    // Sort ids by slope ascending; for equal slopes keep only the highest
+    // intercept (ties by smallest id — it shadows the others everywhere).
+    let mut ids: Vec<u32> = (0..lines.len() as u32).collect();
+    ids.sort_unstable_by(|&a, &b| {
+        let (la, lb) = (&lines[a as usize], &lines[b as usize]);
+        la.slope
+            .partial_cmp(&lb.slope)
+            .expect("finite slopes")
+            .then(lb.intercept.partial_cmp(&la.intercept).expect("finite intercepts"))
+            .then(a.cmp(&b))
+    });
+    ids.dedup_by(|next, prev| lines[*next as usize].slope == lines[*prev as usize].slope);
+
+    // Stack construction: `hull` holds line ids; `from` holds the x where
+    // hull[i] starts to dominate hull[i-1].
+    let mut hull: Vec<u32> = Vec::new();
+    let mut from: Vec<f64> = Vec::new();
+    for &id in &ids {
+        let l = &lines[id as usize];
+        loop {
+            match hull.last() {
+                None => {
+                    hull.push(id);
+                    from.push(f64::NEG_INFINITY);
+                    break;
+                }
+                Some(&top) => {
+                    let lt = &lines[top as usize];
+                    // x where the new (steeper) line overtakes the top.
+                    let x = l
+                        .intersection_x(lt)
+                        .expect("slopes are strictly increasing");
+                    if x <= *from.last().expect("parallel stacks") {
+                        // The top line never shows before the new one takes
+                        // over: pop it.
+                        hull.pop();
+                        from.pop();
+                    } else {
+                        hull.push(id);
+                        from.push(x);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Clip to [c0, c1].
+    let mut out = Vec::new();
+    for (i, &id) in hull.iter().enumerate() {
+        let seg_from = from[i].max(c0);
+        let seg_to = if i + 1 < hull.len() { from[i + 1].min(c1) } else { c1 };
+        if seg_from < seg_to || (c0 == c1 && seg_from <= seg_to) {
+            out.push(EnvelopeSegment { line: id, from_x: seg_from, to_x: seg_to });
+        }
+    }
+    out
+}
+
+/// The distinct line ids on the envelope, ascending — the unique minimal
+/// rank-regret-1 representative set for the weight range.
+pub fn envelope_lines(lines: &[DualLine], c0: f64, c1: f64) -> Vec<u32> {
+    let mut ids: Vec<u32> =
+        upper_envelope(lines, c0, c1).into_iter().map(|s| s.line).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rrm_core::Dataset;
+
+    fn table1_lines() -> Vec<DualLine> {
+        let d = Dataset::from_rows(&[
+            [0.0, 1.0],
+            [0.4, 0.95],
+            [0.57, 0.75],
+            [0.79, 0.6],
+            [0.2, 0.5],
+            [0.35, 0.3],
+            [1.0, 0.0],
+        ])
+        .unwrap();
+        DualLine::from_dataset(&d)
+    }
+
+    #[test]
+    fn table1_envelope() {
+        // Derived by hand: l1 until 1/9, l2 until its crossing with l4 at
+        // x = 0.35/0.74, l4 until its crossing with l7 at x = 0.6/0.81, l7.
+        let segs = upper_envelope(&table1_lines(), 0.0, 1.0);
+        let ids: Vec<u32> = segs.iter().map(|s| s.line).collect();
+        assert_eq!(ids, vec![0, 1, 3, 6]);
+        assert!((segs[0].to_x - 1.0 / 9.0).abs() < 1e-12);
+        assert!((segs[1].to_x - 0.35 / 0.74).abs() < 1e-12);
+        assert!((segs[2].to_x - 0.6 / 0.81).abs() < 1e-12);
+        // Segments tile the range.
+        assert_eq!(segs[0].from_x, 0.0);
+        assert_eq!(segs.last().unwrap().to_x, 1.0);
+        for w in segs.windows(2) {
+            assert_eq!(w[0].to_x, w[1].from_x);
+        }
+    }
+
+    #[test]
+    fn envelope_matches_brute_force_argmax() {
+        let mut rng = StdRng::seed_from_u64(55);
+        for trial in 0..30 {
+            let n = rng.random_range(1..40);
+            let lines: Vec<DualLine> = (0..n)
+                .map(|_| DualLine::from_tuple(&[rng.random::<f64>(), rng.random::<f64>()]))
+                .collect();
+            let segs = upper_envelope(&lines, 0.0, 1.0);
+            for s in &segs {
+                let mid = 0.5 * (s.from_x + s.to_x);
+                let best = (0..lines.len())
+                    .max_by(|&a, &b| {
+                        lines[a].eval(mid).partial_cmp(&lines[b].eval(mid)).unwrap()
+                    })
+                    .unwrap();
+                assert!(
+                    (lines[best].eval(mid) - lines[s.line as usize].eval(mid)).abs() < 1e-12,
+                    "trial {trial}: segment line {} is not the argmax at {mid}",
+                    s.line
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_range() {
+        // Near x = 1 only the steepest relevant lines remain.
+        let segs = upper_envelope(&table1_lines(), 0.9, 1.0);
+        let ids: Vec<u32> = segs.iter().map(|s| s.line).collect();
+        assert_eq!(ids, vec![6]);
+        assert_eq!(segs[0].from_x, 0.9);
+        assert_eq!(segs[0].to_x, 1.0);
+    }
+
+    #[test]
+    fn duplicate_and_parallel_lines() {
+        let lines = vec![
+            DualLine { slope: 0.0, intercept: 0.5 },
+            DualLine { slope: 0.0, intercept: 0.8 }, // dominates the first
+            DualLine { slope: 0.0, intercept: 0.8 }, // duplicate
+        ];
+        let segs = upper_envelope(&lines, 0.0, 1.0);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].line, 1, "smallest id among ties");
+    }
+
+    #[test]
+    fn point_range() {
+        let segs = upper_envelope(&table1_lines(), 0.25, 0.25);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].line, 1); // l2 is top at x = 0.25
+    }
+
+    #[test]
+    fn envelope_lines_sorted_unique() {
+        let ids = envelope_lines(&table1_lines(), 0.0, 1.0);
+        assert_eq!(ids, vec![0, 1, 3, 6]);
+    }
+}

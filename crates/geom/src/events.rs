@@ -1,0 +1,317 @@
+//! Crossing-event generation for the 2D algorithms.
+//!
+//! The ranks the 2D dynamic program reads are those of *skyline* lines, and
+//! the rank of a line changes exactly at its crossings with other lines.
+//! Instead of sweeping the full `O(n²)` arrangement with a heap (the
+//! paper's formulation, implemented faithfully in [`crate::sweep`] and
+//! cross-validated in tests), we enumerate the `O(s·n)` crossings that
+//! involve at least one *tracked* (skyline) line, sort them once by `x`,
+//! and replay them. Both routes visit the same rank changes for tracked
+//! lines, so the algorithms stay exact; this one just skips the events
+//! between two non-skyline lines, which Algorithm 1 ignores anyway
+//! (its case 3).
+
+use crate::dual::DualLine;
+
+/// A crossing where the rank of at least one tracked line changes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Crossing {
+    /// x-coordinate of the crossing (normalized weight on attribute 1).
+    pub x: f64,
+    /// Line above before `x`, below after — its rank *increases* by one.
+    /// Always the line with the smaller slope.
+    pub down: u32,
+    /// Line below before `x`, above after — its rank *decreases* by one.
+    pub up: u32,
+}
+
+/// Enumerate crossings within the *open* interval `(x_lo, x_hi)` between
+/// tracked lines and all lines (tracked–tracked pairs appear once). Sorted
+/// by `x`, ties broken by `(down, up)` for determinism.
+///
+/// Open-interval semantics make every consumer agree on what happens at
+/// the boundary: the rank order at `x_lo` and `x_hi` is the tie-broken
+/// order *at* those weights, and crossings exactly on a boundary (score
+/// ties under the boundary direction) never leak neighbouring-interval
+/// state in. Under the paper's general-position assumption the choice is
+/// invisible; with ties it is the difference between a certificate for
+/// `[c0, c1]` and garbage.
+///
+/// `tracked_mask[i]` marks tracked line ids; `tracked` lists them.
+pub fn crossings_with_tracked(
+    lines: &[DualLine],
+    tracked: &[u32],
+    x_lo: f64,
+    x_hi: f64,
+) -> Vec<Crossing> {
+    let mut mask = vec![false; lines.len()];
+    for &t in tracked {
+        mask[t as usize] = true;
+    }
+    let mut out = Vec::new();
+    for_each_raw_crossing(lines, tracked, &mask, x_lo, x_hi, |x, down, up| {
+        out.push(Crossing { x, down, up });
+    });
+    out.sort_unstable_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .expect("finite crossings")
+            .then(a.down.cmp(&b.down))
+            .then(a.up.cmp(&b.up))
+    });
+    out
+}
+
+/// Stream the crossings of [`crossings_with_tracked`] in globally sorted
+/// order while materializing at most roughly `chunk_target` of them at a
+/// time.
+///
+/// For anti-correlated data the tracked (skyline) set can reach thousands
+/// of lines, making `s·n` crossings too large to hold at once (tens of GB
+/// at the paper's n = 100K scale). This routine makes two cheap passes:
+/// a counting pass histograms crossings into fine x-buckets, buckets are
+/// grouped into strips of at most `chunk_target` crossings, and each strip
+/// is generated, sorted and replayed through `visit` in order.
+///
+/// `visit` receives exactly the same crossings, in exactly the same order,
+/// as iterating the output of [`crossings_with_tracked`].
+pub fn stream_crossings<F: FnMut(&Crossing)>(
+    lines: &[DualLine],
+    tracked: &[u32],
+    x_lo: f64,
+    x_hi: f64,
+    chunk_target: usize,
+    mut visit: F,
+) {
+    assert!(chunk_target > 0);
+    const BUCKETS: usize = 1024;
+    let span = x_hi - x_lo;
+    if span <= 0.0 {
+        for c in crossings_with_tracked(lines, tracked, x_lo, x_hi) {
+            visit(&c);
+        }
+        return;
+    }
+    let mut mask = vec![false; lines.len()];
+    for &t in tracked {
+        mask[t as usize] = true;
+    }
+    let bucket_of = |x: f64| {
+        (((x - x_lo) / span * BUCKETS as f64) as usize).min(BUCKETS - 1)
+    };
+    // Pass 1: histogram.
+    let mut hist = vec![0usize; BUCKETS];
+    for_each_raw_crossing(lines, tracked, &mask, x_lo, x_hi, |x, _, _| {
+        hist[bucket_of(x)] += 1;
+    });
+    // Group buckets into strips of at most chunk_target crossings (single
+    // over-full buckets become their own strip).
+    let mut strips: Vec<(usize, usize)> = Vec::new(); // [start, end) bucket range
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for (b, &h) in hist.iter().enumerate() {
+        if acc > 0 && acc + h > chunk_target {
+            strips.push((start, b));
+            start = b;
+            acc = 0;
+        }
+        acc += h;
+    }
+    strips.push((start, BUCKETS));
+    // Pass 2: per strip, materialize + sort + visit.
+    let mut buf: Vec<Crossing> = Vec::new();
+    for (b0, b1) in strips {
+        buf.clear();
+        for_each_raw_crossing(lines, tracked, &mask, x_lo, x_hi, |x, down, up| {
+            let b = bucket_of(x);
+            if b >= b0 && b < b1 {
+                buf.push(Crossing { x, down, up });
+            }
+        });
+        buf.sort_unstable_by(|a, b| {
+            a.x.partial_cmp(&b.x)
+                .expect("finite crossings")
+                .then(a.down.cmp(&b.down))
+                .then(a.up.cmp(&b.up))
+        });
+        for c in &buf {
+            visit(c);
+        }
+    }
+}
+
+/// Shared enumeration core of [`crossings_with_tracked`] and
+/// [`stream_crossings`]: calls `f(x, down, up)` for every tracked crossing
+/// in `(x_lo, x_hi]`, in arbitrary order.
+fn for_each_raw_crossing<F: FnMut(f64, u32, u32)>(
+    lines: &[DualLine],
+    tracked: &[u32],
+    tracked_mask: &[bool],
+    x_lo: f64,
+    x_hi: f64,
+    mut f: F,
+) {
+    for &t in tracked {
+        let lt = &lines[t as usize];
+        for (o, lo_line) in lines.iter().enumerate() {
+            let o = o as u32;
+            if o == t || (tracked_mask[o as usize] && o < t) {
+                continue;
+            }
+            let Some(x) = lt.intersection_x(lo_line) else {
+                continue;
+            };
+            if x <= x_lo || x >= x_hi {
+                continue;
+            }
+            let (down, up) = if lt.slope < lo_line.slope { (t, o) } else { (o, t) };
+            f(x, down, up);
+        }
+    }
+}
+
+/// Initial 1-based ranks of every line at `x_lo+` (height descending, ties
+/// by slope descending then id), returned as a vector indexed by line id.
+pub fn initial_ranks(lines: &[DualLine], x_lo: f64) -> Vec<usize> {
+    let mut ids: Vec<u32> = (0..lines.len() as u32).collect();
+    crate::dual::order_at(lines, &mut ids, x_lo);
+    let mut rank = vec![0usize; lines.len()];
+    for (pos, &id) in ids.iter().enumerate() {
+        rank[id as usize] = pos + 1;
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrm_core::Dataset;
+
+    fn lines3() -> Vec<DualLine> {
+        // t1, t2, t3 of Table I.
+        let d =
+            Dataset::from_rows(&[[0.0, 1.0], [0.4, 0.95], [0.57, 0.75]]).unwrap();
+        DualLine::from_dataset(&d)
+    }
+
+    #[test]
+    fn all_pairs_of_skyline_lines_cross_inside() {
+        // All three tuples are skyline tuples, so all 3 pairwise crossings
+        // are in (0, 1): 1/9, 0.25/0.82, 0.2/0.37.
+        let lines = lines3();
+        let cr = crossings_with_tracked(&lines, &[0, 1, 2], 0.0, 1.0);
+        assert_eq!(cr.len(), 3);
+        assert!((cr[0].x - 1.0 / 9.0).abs() < 1e-12);
+        assert!((cr[1].x - 0.25 / 0.82).abs() < 1e-12);
+        assert!((cr[2].x - 0.2 / 0.37).abs() < 1e-12);
+        // l1 has the smallest slope: it goes down at both its crossings.
+        assert_eq!(cr[0], Crossing { x: cr[0].x, down: 0, up: 1 });
+        assert_eq!(cr[1].down, 0);
+        assert_eq!(cr[1].up, 2);
+        assert_eq!(cr[2].down, 1);
+        assert_eq!(cr[2].up, 2);
+    }
+
+    #[test]
+    fn tracked_subset_drops_untracked_pairs() {
+        let lines = lines3();
+        // Track only line 0: crossings (0,1) and (0,2); (1,2) dropped.
+        let cr = crossings_with_tracked(&lines, &[0], 0.0, 1.0);
+        assert_eq!(cr.len(), 2);
+        assert!(cr.iter().all(|c| c.down == 0 || c.up == 0));
+    }
+
+    #[test]
+    fn range_filtering_is_open() {
+        let lines = lines3();
+        // Use the exact float the generator produces, not 1.0/9.0, so the
+        // boundary comparison is bit-identical.
+        let first_x = lines[0].intersection_x(&lines[1]).unwrap();
+        // Crossings exactly on either boundary are excluded: the boundary
+        // order is defined by the tie-broken sort at that weight.
+        let cr = crossings_with_tracked(&lines, &[0, 1, 2], first_x, 1.0);
+        assert_eq!(cr.len(), 2);
+        let cr = crossings_with_tracked(&lines, &[0, 1, 2], 0.0, first_x);
+        assert_eq!(cr.len(), 0);
+        let second_x = lines[0].intersection_x(&lines[2]).unwrap();
+        let cr = crossings_with_tracked(&lines, &[0, 1, 2], 0.0, second_x);
+        assert_eq!(cr.len(), 1);
+    }
+
+    #[test]
+    fn parallel_lines_never_cross() {
+        let lines = vec![
+            DualLine { slope: 1.0, intercept: 0.0 },
+            DualLine { slope: 1.0, intercept: 0.5 },
+        ];
+        assert!(crossings_with_tracked(&lines, &[0, 1], 0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn initial_ranks_at_zero() {
+        let lines = lines3();
+        // At x=0 heights are 1.0, 0.95, 0.75.
+        assert_eq!(initial_ranks(&lines, 0.0), vec![1, 2, 3]);
+        // Just after the first crossing l2 overtakes l1.
+        assert_eq!(initial_ranks(&lines, 0.2), vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn stream_matches_materialized_order() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..10 {
+            let n = rng.random_range(5..40);
+            let lines: Vec<DualLine> = (0..n)
+                .map(|_| DualLine::from_tuple(&[rng.random::<f64>(), rng.random::<f64>()]))
+                .collect();
+            let tracked: Vec<u32> = (0..n as u32).step_by(2).collect();
+            let all = crossings_with_tracked(&lines, &tracked, 0.0, 1.0);
+            // Tiny chunk target forces many strips.
+            let mut streamed = Vec::new();
+            super::stream_crossings(&lines, &tracked, 0.0, 1.0, 7, |c| streamed.push(*c));
+            assert_eq!(streamed, all, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn stream_empty_range() {
+        let lines = lines3();
+        let mut count = 0;
+        super::stream_crossings(&lines, &[0, 1, 2], 0.5, 0.5, 10, |_| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn rank_replay_matches_brute_force() {
+        // Replaying crossings from the initial ranks must reproduce the
+        // brute-force rank of a tracked line at any x.
+        let d = Dataset::from_rows(&[
+            [0.0, 1.0],
+            [0.4, 0.95],
+            [0.57, 0.75],
+            [0.79, 0.6],
+            [0.2, 0.5],
+            [0.35, 0.3],
+            [1.0, 0.0],
+        ])
+        .unwrap();
+        let lines = DualLine::from_dataset(&d);
+        let tracked: Vec<u32> = (0..7).collect();
+        let cr = crossings_with_tracked(&lines, &tracked, 0.0, 1.0);
+        let mut rank = initial_ranks(&lines, 0.0);
+        let mut prev_x = 0.0;
+        for c in &cr {
+            // Midpoint of the previous gap: compare with brute force.
+            let mid = 0.5 * (prev_x + c.x);
+            for i in 0..7usize {
+                let brute =
+                    1 + (0..7).filter(|&j| j != i && lines[j].eval(mid) > lines[i].eval(mid)).count();
+                assert_eq!(rank[i], brute, "line {i} at x={mid}");
+            }
+            rank[c.down as usize] += 1;
+            rank[c.up as usize] -= 1;
+            prev_x = c.x;
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! d-dimensional polar coordinates and the discretization grid `Db`
+//! (paper Section V-A, Figure 8).
+//!
+//! Every unit vector `u` in the non-negative orthant corresponds to a
+//! `(d-1)`-dimensional angle vector `θ` with `θ[i] ∈ [0, π/2]`, via
+//!
+//! ```text
+//! u[i] = sin(θ[d-1]) · sin(θ[d-2]) · ... · sin(θ[i]) · cos(θ[i-1])
+//! ```
+//!
+//! (1-based indexing as in the paper, with `θ[0] = 0`). `Db` keeps the
+//! `(γ+1)^(d-1)` grid vertices obtained by splitting each angle range into
+//! `γ` equal segments, which guarantees that every `u ∈ S` has a grid
+//! vector within angular distance `O(1/γ)` (Theorem 7's σ bound).
+
+/// Convert a `(d-1)`-dimensional angle vector (radians, each in
+/// `[0, π/2]`) to a `d`-dimensional unit vector in the orthant.
+pub fn angles_to_direction(angles: &[f64]) -> Vec<f64> {
+    let d = angles.len() + 1;
+    let mut u = vec![0.0; d];
+    // Suffix products of sines: sin(θ[d-2]) ... sin(θ[j]) (0-based angles).
+    // u[0] has no cosine factor (θ[0] = 0 in the paper's 1-based scheme).
+    for i in 0..d {
+        let mut v = if i == 0 { 1.0 } else { angles[i - 1].cos() };
+        for &a in &angles[i..] {
+            v *= a.sin();
+        }
+        u[i] = v.max(0.0); // clamp -0.0 / rounding noise
+    }
+    u
+}
+
+/// Inverse of [`angles_to_direction`] for unit orthant vectors.
+///
+/// Degenerate positions (where some suffix of coordinates vanishes) map to
+/// angle 0 on the undetermined axes, matching the grid convention.
+pub fn direction_to_angles(u: &[f64]) -> Vec<f64> {
+    let d = u.len();
+    assert!(d >= 1);
+    let mut angles = vec![0.0; d - 1];
+    // Work from the innermost coordinate out: with r_i = ||u[0..=i]||,
+    // u[i] = r_i · cos(θ[i-1])  =>  θ[i-1] = acos(u[i] / r_i)  (1-based).
+    let mut r2 = u[0] * u[0];
+    for i in 1..d {
+        r2 += u[i] * u[i];
+        let r = r2.sqrt();
+        angles[i - 1] = if r > 1e-15 { (u[i] / r).clamp(-1.0, 1.0).acos() } else { 0.0 };
+    }
+    angles
+}
+
+/// The polar grid `Db`: all angle vectors with each component in
+/// `{0, π/(2γ), ..., π/2}`, converted to unit directions.
+///
+/// `dedup` removes duplicate directions (grid points with a zero sine
+/// factor collapse onto each other); the paper counts the full
+/// `(γ+1)^(d-1)` set, so pass `false` to reproduce that cardinality.
+pub fn polar_grid(d: usize, gamma: usize, dedup: bool) -> Vec<Vec<f64>> {
+    assert!(d >= 2, "the polar grid needs d >= 2");
+    assert!(gamma >= 1);
+    let step = std::f64::consts::FRAC_PI_2 / gamma as f64;
+    let mut out = Vec::new();
+    let mut angles = vec![0.0; d - 1];
+    let mut counters = vec![0usize; d - 1];
+    loop {
+        for (a, &c) in angles.iter_mut().zip(&counters) {
+            *a = c as f64 * step;
+        }
+        out.push(angles_to_direction(&angles));
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == counters.len() {
+                if dedup {
+                    dedup_directions(&mut out);
+                }
+                return out;
+            }
+            counters[i] += 1;
+            if counters[i] <= gamma {
+                break;
+            }
+            counters[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn dedup_directions(dirs: &mut Vec<Vec<f64>>) {
+    const TOL: f64 = 1e-10;
+    let mut kept: Vec<Vec<f64>> = Vec::with_capacity(dirs.len());
+    for v in dirs.drain(..) {
+        let dup = kept
+            .iter()
+            .any(|k| k.iter().zip(&v).all(|(a, b)| (a - b).abs() < TOL));
+        if !dup {
+            kept.push(v);
+        }
+    }
+    *dirs = kept;
+}
+
+/// Angular distance bound `σ = √(d-1)·π / (4γ)` of Theorem 7: every unit
+/// orthant vector is within Euclidean distance `σ` of some `Db` member.
+pub fn grid_distance_bound(d: usize, gamma: usize) -> f64 {
+    ((d - 1) as f64).sqrt() * std::f64::consts::PI / (4.0 * gamma as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rrm_core::sampling::orthant_direction;
+    use rrm_core::utility::l2_norm;
+
+    #[test]
+    fn roundtrip_2d() {
+        // d=2: u = (sin θ, cos θ).
+        let u = angles_to_direction(&[0.3]);
+        assert!((u[0] - 0.3f64.sin()).abs() < 1e-12);
+        assert!((u[1] - 0.3f64.cos()).abs() < 1e-12);
+        let a = direction_to_angles(&u);
+        assert!((a[0] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angles_produce_unit_orthant_vectors() {
+        let mut rng = StdRng::seed_from_u64(5);
+        use rand::Rng;
+        for _ in 0..200 {
+            let d = rng.random_range(2..=6);
+            let angles: Vec<f64> = (0..d - 1)
+                .map(|_| rng.random_range(0.0..=std::f64::consts::FRAC_PI_2))
+                .collect();
+            let u = angles_to_direction(&angles);
+            assert_eq!(u.len(), d);
+            assert!(u.iter().all(|&x| x >= 0.0));
+            assert!((l2_norm(&u) - 1.0).abs() < 1e-9, "{u:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_random_directions() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..200 {
+            for d in 2..=6 {
+                let u = orthant_direction(d, &mut rng);
+                let a = direction_to_angles(&u);
+                let v = angles_to_direction(&a);
+                for (x, y) in u.iter().zip(&v) {
+                    assert!((x - y).abs() < 1e-9, "{u:?} vs {v:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_cardinality_matches_paper() {
+        // (γ+1)^(d-1) without dedup — Figure 8 has (3+1)^2 = 16 for d=3, γ=3.
+        assert_eq!(polar_grid(3, 3, false).len(), 16);
+        assert_eq!(polar_grid(4, 6, false).len(), 343);
+        assert_eq!(polar_grid(2, 10, false).len(), 11);
+    }
+
+    #[test]
+    fn grid_dedup_removes_collapsed_vertices() {
+        let full = polar_grid(3, 3, false);
+        let deduped = polar_grid(3, 3, true);
+        assert!(deduped.len() < full.len());
+        // All deduped members are unit orthant vectors.
+        for v in &deduped {
+            assert!((l2_norm(v) - 1.0).abs() < 1e-9);
+            assert!(v.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn grid_includes_axes() {
+        // The axis directions must be grid members (angles 0 / π/2).
+        let grid = polar_grid(3, 2, true);
+        for axis in 0..3 {
+            let mut e = vec![0.0; 3];
+            e[axis] = 1.0;
+            assert!(
+                grid.iter().any(|v| v
+                    .iter()
+                    .zip(&e)
+                    .all(|(a, b)| (a - b).abs() < 1e-9)),
+                "axis {axis} missing from grid"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_covers_sphere_within_bound() {
+        // Theorem 7's covering radius: random directions are within σ of
+        // some grid vector.
+        let mut rng = StdRng::seed_from_u64(8);
+        for &(d, gamma) in &[(3usize, 6usize), (4, 6), (5, 4)] {
+            let grid = polar_grid(d, gamma, true);
+            let sigma = grid_distance_bound(d, gamma);
+            for _ in 0..100 {
+                let u = orthant_direction(d, &mut rng);
+                let best = grid
+                    .iter()
+                    .map(|v| {
+                        u.iter()
+                            .zip(v)
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum::<f64>()
+                            .sqrt()
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                assert!(best <= sigma + 1e-9, "d={d} γ={gamma}: dist {best} > σ {sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_bound_formula() {
+        let s = grid_distance_bound(4, 6);
+        assert!((s - (3f64).sqrt() * std::f64::consts::PI / 24.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! Helpers for polyhedral cones of utility vectors.
+//!
+//! A restricted utility space `U` is represented by homogeneous rows
+//! `A u ≥ 0` intersected with the non-negative orthant. Because rank-regret
+//! only depends on the *direction* of a utility vector, every question about
+//! `U` can be normalized onto the simplex slice `Σ u[i] = 1`, which turns
+//! cone questions into bounded LPs.
+
+use crate::types::{LinearProgram, LpOutcome, Relation};
+
+/// Minimum of `delta · u` over `{u ≥ 0, Σu = 1, A u ≥ 0}`.
+///
+/// Returns `None` when the region is empty (a degenerate cone).
+pub fn min_dot(delta: &[f64], cone_rows: &[Vec<f64>]) -> Option<f64> {
+    extremal_dot(delta, cone_rows, false)
+}
+
+/// Maximum of `delta · u` over `{u ≥ 0, Σu = 1, A u ≥ 0}`.
+pub fn max_dot(delta: &[f64], cone_rows: &[Vec<f64>]) -> Option<f64> {
+    extremal_dot(delta, cone_rows, true)
+}
+
+fn extremal_dot(delta: &[f64], cone_rows: &[Vec<f64>], maximize: bool) -> Option<f64> {
+    let d = delta.len();
+    let mut lp = if maximize {
+        LinearProgram::maximize(delta)
+    } else {
+        LinearProgram::minimize(delta)
+    };
+    lp.constrain(&vec![1.0; d], Relation::Eq, 1.0);
+    for row in cone_rows {
+        lp.constrain(row, Relation::Ge, 0.0);
+    }
+    lp.solve().optimal().map(|s| s.objective)
+}
+
+/// Does the cone `{u ≥ 0, A u ≥ 0}` contain a non-zero vector?
+pub fn cone_nonempty(d: usize, cone_rows: &[Vec<f64>]) -> bool {
+    let lp_rows: Vec<Vec<f64>> = cone_rows.to_vec();
+    // Any non-zero cone member can be scaled onto the simplex slice.
+    min_dot(&vec![0.0; d], &lp_rows).is_some()
+}
+
+/// Maximum strict-feasibility margin of a system of homogeneous constraints.
+///
+/// Finds `max z ≥ 0` such that some `u` with `u ≥ 0`, `Σu = 1`,
+/// `A u ≥ 0` (cone rows) satisfies `row · u ≥ z` for every `row` in
+/// `strict_rows`. Returns:
+///
+/// * `None` — no `u` satisfies even the weak system (`z = 0`);
+/// * `Some(z*)` — the best margin; the system is *strictly* feasible
+///   (an open region, e.g. a k-set's interior) iff `z* > tol` for a small
+///   tolerance chosen by the caller.
+pub fn strict_feasibility_margin(
+    d: usize,
+    strict_rows: &[Vec<f64>],
+    cone_rows: &[Vec<f64>],
+) -> Option<f64> {
+    // Variables: u[0..d], z. Maximize z.
+    let mut obj = vec![0.0; d + 1];
+    obj[d] = 1.0;
+    let mut lp = LinearProgram::maximize(&obj);
+    let mut simplex_row = vec![1.0; d + 1];
+    simplex_row[d] = 0.0;
+    lp.constrain(&simplex_row, Relation::Eq, 1.0);
+    for row in strict_rows {
+        debug_assert_eq!(row.len(), d);
+        let mut c = Vec::with_capacity(d + 1);
+        c.extend_from_slice(row);
+        c.push(-1.0); // row · u - z ≥ 0
+        lp.constrain(&c, Relation::Ge, 0.0);
+    }
+    for row in cone_rows {
+        debug_assert_eq!(row.len(), d);
+        let mut c = Vec::with_capacity(d + 1);
+        c.extend_from_slice(row);
+        c.push(0.0);
+        lp.constrain(&c, Relation::Ge, 0.0);
+    }
+    match lp.solve() {
+        LpOutcome::Optimal(sol) => Some(sol.objective),
+        LpOutcome::Infeasible => None,
+        // z is bounded by max |row·u| on the simplex, so this cannot happen;
+        // treat it as infeasible defensively.
+        LpOutcome::Unbounded => None,
+    }
+}
+
+/// A witness direction attaining a strictly positive margin, if one exists.
+///
+/// Same system as [`strict_feasibility_margin`] but returns the utility
+/// vector (normalized to the simplex slice) rather than the margin.
+pub fn strict_feasibility_witness(
+    d: usize,
+    strict_rows: &[Vec<f64>],
+    cone_rows: &[Vec<f64>],
+    tol: f64,
+) -> Option<Vec<f64>> {
+    let mut obj = vec![0.0; d + 1];
+    obj[d] = 1.0;
+    let mut lp = LinearProgram::maximize(&obj);
+    let mut simplex_row = vec![1.0; d + 1];
+    simplex_row[d] = 0.0;
+    lp.constrain(&simplex_row, Relation::Eq, 1.0);
+    for row in strict_rows {
+        let mut c = Vec::with_capacity(d + 1);
+        c.extend_from_slice(row);
+        c.push(-1.0);
+        lp.constrain(&c, Relation::Ge, 0.0);
+    }
+    for row in cone_rows {
+        let mut c = Vec::with_capacity(d + 1);
+        c.extend_from_slice(row);
+        c.push(0.0);
+        lp.constrain(&c, Relation::Ge, 0.0);
+    }
+    match lp.solve() {
+        LpOutcome::Optimal(sol) if sol.objective > tol => Some(sol.x[..d].to_vec()),
+        _ => None,
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the simplex solver: on randomly generated
+//! programs with a known feasible point, the solver must (a) terminate,
+//! (b) never report infeasible, (c) return a constraint-satisfying point
+//! at least as good as the witness.
+
+use proptest::prelude::*;
+use rrm_lp::{LinearProgram, LpOutcome, Relation};
+
+const TOL: f64 = 1e-6;
+
+/// A random LP built around a known feasible witness `x0 ≥ 0`:
+/// every constraint is `a·x ≤ a·x0 + slack` with `slack ≥ 0`.
+#[derive(Debug, Clone)]
+struct Instance {
+    c: Vec<f64>,
+    rows: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+    x0: Vec<f64>,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (2usize..5, 1usize..8)
+        .prop_flat_map(|(nvars, nrows)| {
+            let coeff = -50i32..50;
+            let pos = 0i32..50;
+            (
+                proptest::collection::vec(coeff.clone(), nvars),
+                proptest::collection::vec(
+                    proptest::collection::vec(coeff, nvars),
+                    nrows,
+                ),
+                proptest::collection::vec(pos.clone(), nrows),
+                proptest::collection::vec(pos, nvars),
+            )
+        })
+        .prop_map(|(c, rows, slack, x0)| {
+            let c: Vec<f64> = c.into_iter().map(|v| v as f64 / 10.0).collect();
+            let rows: Vec<Vec<f64>> = rows
+                .into_iter()
+                .map(|r| r.into_iter().map(|v| v as f64 / 10.0).collect())
+                .collect();
+            let x0: Vec<f64> = x0.into_iter().map(|v| v as f64 / 10.0).collect();
+            let rhs: Vec<f64> = rows
+                .iter()
+                .zip(&slack)
+                .map(|(row, &s)| {
+                    let lhs: f64 = row.iter().zip(&x0).map(|(a, x)| a * x).sum();
+                    lhs + s as f64 / 10.0
+                })
+                .collect();
+            Instance { c, rows, rhs, x0 }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_dominates_known_witness(inst in instance()) {
+        let mut lp = LinearProgram::maximize(&inst.c);
+        for (row, &b) in inst.rows.iter().zip(&inst.rhs) {
+            lp.constrain(row, Relation::Le, b);
+        }
+        match lp.solve() {
+            LpOutcome::Optimal(sol) => {
+                // Feasible...
+                for c in lp.constraints() {
+                    prop_assert!(
+                        c.satisfied_by(&sol.x, TOL),
+                        "violated {c:?} at {:?}", sol.x
+                    );
+                }
+                prop_assert!(sol.x.iter().all(|&v| v >= -TOL), "negative var: {:?}", sol.x);
+                // ...and at least as good as the witness.
+                let witness_obj: f64 =
+                    inst.c.iter().zip(&inst.x0).map(|(c, x)| c * x).sum();
+                prop_assert!(
+                    sol.objective >= witness_obj - TOL,
+                    "objective {} below witness {witness_obj}", sol.objective
+                );
+            }
+            LpOutcome::Unbounded => {
+                // Legitimate when some improving ray exists; nothing to
+                // check beyond termination.
+            }
+            LpOutcome::Infeasible => {
+                prop_assert!(false, "program with witness {:?} called infeasible", inst.x0);
+            }
+        }
+    }
+
+    /// Minimization mirrors maximization through negation.
+    #[test]
+    fn min_max_duality(inst in instance()) {
+        let mut max_lp = LinearProgram::maximize(&inst.c);
+        let neg: Vec<f64> = inst.c.iter().map(|v| -v).collect();
+        let mut min_lp = LinearProgram::minimize(&neg);
+        for (row, &b) in inst.rows.iter().zip(&inst.rhs) {
+            max_lp.constrain(row, Relation::Le, b);
+            min_lp.constrain(row, Relation::Le, b);
+        }
+        match (max_lp.solve(), min_lp.solve()) {
+            (LpOutcome::Optimal(a), LpOutcome::Optimal(b)) => {
+                prop_assert!((a.objective + b.objective).abs() < 1e-5,
+                    "max {} vs -min {}", a.objective, -b.objective);
+            }
+            (LpOutcome::Unbounded, LpOutcome::Unbounded) => {}
+            (a, b) => prop_assert!(false, "outcome mismatch: {a:?} vs {b:?}"),
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Optimal segment cover by intervals — the combinatorial core of the
+//! 2DRRR baseline.
+//!
+//! Each candidate tuple contributes one window `[lo, hi]` of normalized
+//! weights where its rank stays acceptable; covering `[seg_lo, seg_hi]`
+//! with the fewest windows is solved exactly by the classic greedy scan
+//! (among windows starting at or before the current frontier, extend
+//! furthest).
+
+/// A closed interval `[lo, hi]` tagged with the id of the tuple (or line)
+/// that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    pub lo: f64,
+    pub hi: f64,
+    pub id: u32,
+}
+
+impl Interval {
+    pub fn new(lo: f64, hi: f64, id: u32) -> Self {
+        debug_assert!(lo <= hi, "malformed interval [{lo}, {hi}]");
+        Self { lo, hi, id }
+    }
+}
+
+/// Minimum-cardinality cover of `[seg_lo, seg_hi]` by the given intervals.
+///
+/// Returns the chosen intervals in left-to-right order, or `None` when no
+/// cover exists. `tol` absorbs floating-point gaps: an interval starting
+/// within `tol` of the current frontier is considered touching.
+pub fn cover_segment(
+    intervals: &[Interval],
+    seg_lo: f64,
+    seg_hi: f64,
+    tol: f64,
+) -> Option<Vec<Interval>> {
+    if seg_lo > seg_hi {
+        return Some(Vec::new());
+    }
+    let mut sorted: Vec<&Interval> = intervals.iter().collect();
+    sorted.sort_unstable_by(|a, b| {
+        a.lo.partial_cmp(&b.lo).expect("finite").then(b.hi.partial_cmp(&a.hi).expect("finite"))
+    });
+
+    let mut chosen = Vec::new();
+    let mut frontier = seg_lo;
+    let mut i = 0;
+    loop {
+        // Among intervals starting at or before the frontier, take the one
+        // reaching furthest.
+        let mut best: Option<&Interval> = None;
+        while i < sorted.len() && sorted[i].lo <= frontier + tol {
+            if best.is_none_or(|b| sorted[i].hi > b.hi) {
+                best = Some(sorted[i]);
+            }
+            i += 1;
+        }
+        let Some(b) = best else {
+            return None; // gap at `frontier`
+        };
+        if b.hi <= frontier + tol && b.hi < seg_hi - tol {
+            return None; // cannot advance: zero-progress pick
+        }
+        chosen.push(*b);
+        frontier = b.hi;
+        if frontier >= seg_hi - tol {
+            return Some(chosen);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    fn iv(lo: f64, hi: f64, id: u32) -> Interval {
+        Interval::new(lo, hi, id)
+    }
+
+    #[test]
+    fn single_interval_covers() {
+        let c = cover_segment(&[iv(0.0, 1.0, 7)], 0.0, 1.0, TOL).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].id, 7);
+    }
+
+    #[test]
+    fn greedy_is_optimal_three_vs_two() {
+        // Two long intervals suffice even though three shorter ones are
+        // listed first.
+        let intervals = vec![
+            iv(0.0, 0.4, 0),
+            iv(0.3, 0.7, 1),
+            iv(0.6, 1.0, 2),
+            iv(0.0, 0.55, 3),
+            iv(0.5, 1.0, 4),
+        ];
+        let c = cover_segment(&intervals, 0.0, 1.0, TOL).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].id, 3);
+        assert_eq!(c[1].id, 4);
+    }
+
+    #[test]
+    fn gap_detected() {
+        let intervals = vec![iv(0.0, 0.4, 0), iv(0.5, 1.0, 1)];
+        assert!(cover_segment(&intervals, 0.0, 1.0, TOL).is_none());
+    }
+
+    #[test]
+    fn touching_endpoints_cover() {
+        let intervals = vec![iv(0.0, 0.5, 0), iv(0.5, 1.0, 1)];
+        let c = cover_segment(&intervals, 0.0, 1.0, TOL).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn sub_segment_cover() {
+        // Covering only [0.2, 0.6] needs a single window.
+        let intervals = vec![iv(0.0, 0.3, 0), iv(0.1, 0.7, 1), iv(0.5, 1.0, 2)];
+        let c = cover_segment(&intervals, 0.2, 0.6, TOL).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].id, 1);
+    }
+
+    #[test]
+    fn empty_segment_needs_nothing() {
+        let c = cover_segment(&[], 0.5, 0.4, TOL).unwrap();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn no_intervals_no_cover() {
+        assert!(cover_segment(&[], 0.0, 1.0, TOL).is_none());
+    }
+
+    #[test]
+    fn point_segment() {
+        let c = cover_segment(&[iv(0.4, 0.6, 3)], 0.5, 0.5, TOL).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn tolerance_bridges_float_noise() {
+        let eps = 1e-13;
+        let intervals = vec![iv(0.0, 0.5, 0), iv(0.5 + eps, 1.0, 1)];
+        // Strict tol = 0 fails, practical tol bridges it.
+        assert!(cover_segment(&intervals, 0.0, 1.0, 0.0).is_none());
+        assert!(cover_segment(&intervals, 0.0, 1.0, 1e-9).is_some());
+    }
+
+    #[test]
+    fn greedy_matches_brute_force_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        for trial in 0..200 {
+            let n = rng.random_range(1..10usize);
+            let intervals: Vec<Interval> = (0..n)
+                .map(|i| {
+                    let a = rng.random::<f64>();
+                    let b = rng.random::<f64>();
+                    iv(a.min(b), a.max(b), i as u32)
+                })
+                .collect();
+            let greedy = cover_segment(&intervals, 0.0, 1.0, TOL);
+            // Brute force over all subsets.
+            let mut best: Option<usize> = None;
+            for mask in 1u32..(1 << n) {
+                let subset: Vec<&Interval> = (0..n)
+                    .filter(|&i| mask & (1 << i) != 0)
+                    .map(|i| &intervals[i])
+                    .collect();
+                let mut pts: Vec<f64> = subset.iter().flat_map(|v| [v.lo, v.hi]).collect();
+                pts.push(0.0);
+                pts.push(1.0);
+                pts.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+                // Subset covers [0,1] iff every gap midpoint is inside some
+                // member and 0/1 are inside members.
+                let covered = |x: f64| subset.iter().any(|v| v.lo <= x && x <= v.hi);
+                let ok = (0.0f64..=1.0).contains(&0.0)
+                    && covered(0.0)
+                    && covered(1.0)
+                    && pts.windows(2).all(|w| {
+                        let mid = 0.5 * (w[0] + w[1]);
+                        !(0.0..=1.0).contains(&mid) || covered(mid)
+                    });
+                if ok {
+                    let k = mask.count_ones() as usize;
+                    best = Some(best.map_or(k, |b: usize| b.min(k)));
+                }
+            }
+            match (greedy, best) {
+                (Some(g), Some(b)) => assert_eq!(g.len(), b, "trial {trial}"),
+                (None, None) => {}
+                (g, b) => panic!("trial {trial}: greedy {g:?} vs brute {b:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for set cover and interval cover.
+
+use proptest::prelude::*;
+use rrm_setcover::interval::{cover_segment, Interval};
+use rrm_setcover::{greedy_set_cover, naive_greedy_set_cover};
+
+fn instance() -> impl Strategy<Value = (usize, Vec<Vec<u32>>)> {
+    (1usize..60).prop_flat_map(|universe| {
+        let set = proptest::collection::vec(0..universe as u32, 1..universe + 1);
+        proptest::collection::vec(set, 0..25).prop_map(move |mut sets| {
+            // Guarantee feasibility.
+            sets.push((0..universe as u32).collect());
+            (universe, sets)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Greedy always returns a valid cover, identical between the lazy and
+    /// naive implementations (shared tie-breaking).
+    #[test]
+    fn greedy_validity_and_equivalence((universe, sets) in instance()) {
+        let lazy = greedy_set_cover(universe, &sets);
+        let naive = naive_greedy_set_cover(universe, &sets);
+        prop_assert_eq!(&lazy, &naive);
+        let mut covered = vec![false; universe];
+        for &i in &lazy {
+            for &e in &sets[i] {
+                covered[e as usize] = true;
+            }
+        }
+        prop_assert!(covered.into_iter().all(|c| c));
+        // No chosen set is fully redundant at pick time: picks are distinct.
+        let mut sorted = lazy.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), lazy.len());
+    }
+
+    /// The greedy cover never exceeds (1 + ln u) times the optimum —
+    /// checked against the exhaustive optimum on small instances.
+    #[test]
+    fn greedy_respects_chvatal_bound((universe, sets) in instance()) {
+        prop_assume!(sets.len() <= 12);
+        let greedy = greedy_set_cover(universe, &sets);
+        // Exhaustive minimum cover.
+        let mut best = usize::MAX;
+        for mask in 1u32..(1 << sets.len()) {
+            let mut covered = vec![false; universe];
+            for (i, s) in sets.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    for &e in s {
+                        covered[e as usize] = true;
+                    }
+                }
+            }
+            if covered.into_iter().all(|c| c) {
+                best = best.min(mask.count_ones() as usize);
+            }
+        }
+        let bound = ((1.0 + (universe as f64).ln()) * best as f64).ceil() as usize;
+        prop_assert!(
+            greedy.len() <= bound,
+            "greedy {} > (1+ln {universe})·{best} = {bound}", greedy.len()
+        );
+    }
+}
+
+fn intervals() -> impl Strategy<Value = Vec<Interval>> {
+    proptest::collection::vec((0u32..1000, 0u32..1000), 1..12).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (a, b))| {
+                let (a, b) = (a.min(b) as f64 / 1000.0, a.max(b) as f64 / 1000.0);
+                Interval::new(a, b, i as u32)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// When greedy finds a cover it is valid; when it fails, no subset
+    /// covers (verified exhaustively).
+    #[test]
+    fn interval_cover_correct(ivs in intervals()) {
+        let result = cover_segment(&ivs, 0.0, 1.0, 1e-12);
+        let covers = |chosen: &[&Interval]| -> bool {
+            // The union covers [0,1] iff sweeping by right endpoints never
+            // leaves a gap.
+            let mut frontier: f64 = 0.0;
+            let mut remaining: Vec<&&Interval> = chosen.iter().collect();
+            remaining.sort_by(|a, b| a.lo.partial_cmp(&b.lo).unwrap());
+            for iv in remaining {
+                if iv.lo > frontier {
+                    return false;
+                }
+                frontier = frontier.max(iv.hi);
+            }
+            frontier >= 1.0
+        };
+        match result {
+            Some(chosen) => {
+                let refs: Vec<&Interval> = chosen.iter().collect();
+                prop_assert!(covers(&refs), "invalid cover: {chosen:?}");
+                // Minimality vs exhaustive search.
+                let mut best = usize::MAX;
+                for mask in 1u32..(1 << ivs.len()) {
+                    let subset: Vec<&Interval> = (0..ivs.len())
+                        .filter(|&i| mask & (1 << i) != 0)
+                        .map(|i| &ivs[i])
+                        .collect();
+                    if covers(&subset) {
+                        best = best.min(mask.count_ones() as usize);
+                    }
+                }
+                prop_assert_eq!(chosen.len(), best);
+            }
+            None => {
+                let all: Vec<&Interval> = ivs.iter().collect();
+                prop_assert!(!covers(&all), "greedy missed an existing cover");
+            }
+        }
+    }
+}

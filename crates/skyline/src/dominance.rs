@@ -1,0 +1,137 @@
+//! Dominance and U-dominance tests (Definition 5 of the paper).
+
+use rrm_lp::cone;
+
+/// Classic dominance: `a` dominates `b` when `a[i] ≥ b[i]` everywhere and
+/// `a[i] > b[i]` somewhere.
+#[inline]
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strict = false;
+    for (x, y) in a.iter().zip(b) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// U-dominance for a polyhedral cone `U = {u ≥ 0 : rows·u ≥ 0}`:
+/// `a ≻_U b` iff `w(u,a) ≥ w(u,b)` for all `u ∈ U` and `w(v,a) > w(v,b)`
+/// for some `v ∈ U` (Definition 5).
+///
+/// Both conditions are LPs over the simplex slice of the cone:
+/// `min (a-b)·u ≥ 0` and `max (a-b)·u > 0`. Classic dominance is checked
+/// first as a fast path (it implies the min condition for any `U ⊆ L`).
+pub fn u_dominates(a: &[f64], b: &[f64], cone_rows: &[Vec<f64>], tol: f64) -> bool {
+    let delta: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    if delta.iter().all(|&v| v == 0.0) {
+        return false; // identical tuples never dominate each other
+    }
+    if !dominates_delta(&delta) {
+        // Need the LP for the "everywhere at least as good" half.
+        match cone::min_dot(&delta, cone_rows) {
+            Some(min) if min >= -tol => {}
+            _ => return false,
+        }
+    }
+    // "Somewhere strictly better" half.
+    matches!(cone::max_dot(&delta, cone_rows), Some(max) if max > tol)
+}
+
+fn dominates_delta(delta: &[f64]) -> bool {
+    let mut strict = false;
+    for &v in delta {
+        if v < 0.0 {
+            return false;
+        }
+        if v > 0.0 {
+            strict = true;
+        }
+    }
+    strict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn plain_dominance() {
+        assert!(dominates(&[0.5, 0.5], &[0.5, 0.4]));
+        assert!(dominates(&[0.6, 0.5], &[0.5, 0.4]));
+        assert!(!dominates(&[0.5, 0.5], &[0.5, 0.5])); // needs strictness
+        assert!(!dominates(&[0.5, 0.3], &[0.4, 0.4])); // incomparable
+        assert!(!dominates(&[0.5, 0.4], &[0.5, 0.5]));
+    }
+
+    #[test]
+    fn full_space_u_dominance_equals_dominance() {
+        let pairs: &[([f64; 2], [f64; 2])] = &[
+            ([0.5, 0.5], [0.5, 0.4]),
+            ([0.5, 0.3], [0.4, 0.4]),
+            ([0.7, 0.1], [0.1, 0.7]),
+            ([0.5, 0.5], [0.5, 0.5]),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(
+                u_dominates(a, b, &[], TOL),
+                dominates(a, b),
+                "{a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn restricted_dominance_is_weaker_requirement() {
+        // U = {u1 >= u2}. a = (0.8, 0.1), b = (0.5, 0.3): a is not a plain
+        // dominator (worse on A2), but for every u with u1 >= u2,
+        // (a-b)·u = 0.3 u1 - 0.2 u2 >= 0.1 u2 >= 0 — so a U-dominates b.
+        let rows = vec![vec![1.0, -1.0]];
+        let a = [0.8, 0.1];
+        let b = [0.5, 0.3];
+        assert!(!dominates(&a, &b));
+        assert!(u_dominates(&a, &b, &rows, TOL));
+        // In the full space it is not a dominance relation.
+        assert!(!u_dominates(&a, &b, &[], TOL));
+    }
+
+    #[test]
+    fn u_dominance_needs_strictness_inside_u() {
+        // U = {u2 >= u1} mirrored: a better only on A1, equal on A2, but U
+        // includes u = (0, 1) where they tie... strictness still holds for
+        // any u with u1 > 0, which U contains, so a U-dominates b.
+        let rows = vec![vec![-1.0, 1.0]];
+        assert!(u_dominates(&[0.6, 0.5], &[0.4, 0.5], &rows, TOL));
+        // Degenerate cone U = {u : u1 = 0} (rows force u1 <= 0): only
+        // direction (0,1). a and b tie there: no strict witness.
+        let rows = vec![vec![-1.0, 0.0]];
+        assert!(!u_dominates(&[0.6, 0.5], &[0.4, 0.5], &rows, TOL));
+        // ...but a tuple better on A2 does dominate in that cone.
+        assert!(u_dominates(&[0.1, 0.6], &[0.9, 0.5], &rows, TOL));
+    }
+
+    #[test]
+    fn identical_tuples_never_dominate() {
+        assert!(!u_dominates(&[0.3, 0.3], &[0.3, 0.3], &[], TOL));
+        let rows = vec![vec![1.0, -1.0]];
+        assert!(!u_dominates(&[0.3, 0.3], &[0.3, 0.3], &rows, TOL));
+    }
+
+    #[test]
+    fn u_dominance_in_3d_weak_ranking() {
+        // U = {u1 >= u2 >= u3}. a trades a big win on A1 for small losses
+        // on A2, A3: (a-b) = (0.3, -0.1, -0.1). Worst case in U is
+        // u = (1/3, 1/3, 1/3): 0.1/3 > 0 — dominated.
+        let rows = vec![vec![1.0, -1.0, 0.0], vec![0.0, 1.0, -1.0]];
+        assert!(u_dominates(&[0.8, 0.2, 0.2], &[0.5, 0.3, 0.3], &rows, TOL));
+        // (a-b) = (0.1, -0.2, 0.0): at u = (1/3,1/3,1/3) the delta is
+        // negative — not dominated.
+        assert!(!u_dominates(&[0.6, 0.1, 0.3], &[0.5, 0.3, 0.3], &rows, TOL));
+    }
+}

@@ -1,0 +1,113 @@
+//! Sort-filter skyline (SFS) for arbitrary dimensionality.
+//!
+//! Tuples are scanned in descending attribute-sum order; a dominating tuple
+//! always has a strictly larger sum (it is ≥ everywhere and > somewhere),
+//! so comparing each tuple only against already-accepted skyline members is
+//! sound. Worst case `O(n·s·d)` with `s` the skyline size — the standard
+//! practical choice for the moderate dimensionalities of the paper
+//! (`d ≤ 6`).
+
+use rrm_core::Dataset;
+
+use crate::dominance::dominates;
+use crate::sky2d::skyline_2d;
+
+/// Indices of the skyline tuples, ascending by index. Dispatches to the
+/// specialized 2D sweep when `d = 2`.
+pub fn skyline(data: &Dataset) -> Vec<u32> {
+    if data.dim() == 2 {
+        return skyline_2d(data);
+    }
+    let n = data.n();
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    let sums: Vec<f64> = data.rows().map(|r| r.iter().sum()).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        sums[b as usize]
+            .partial_cmp(&sums[a as usize])
+            .expect("finite")
+            .then(a.cmp(&b))
+    });
+
+    let mut out: Vec<u32> = Vec::new();
+    for &i in &idx {
+        let row = data.row(i as usize);
+        if !out.iter().any(|&s| dominates(data.row(s as usize), row)) {
+            out.push(i);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_force(data: &Dataset) -> Vec<u32> {
+        (0..data.n() as u32)
+            .filter(|&i| {
+                !(0..data.n() as u32)
+                    .any(|j| j != i && dominates(data.row(j as usize), data.row(i as usize)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn three_dims_hand_case() {
+        let d = Dataset::from_rows(&[
+            [0.9, 0.1, 0.1],
+            [0.1, 0.9, 0.1],
+            [0.1, 0.1, 0.9],
+            [0.5, 0.5, 0.5],
+            [0.4, 0.4, 0.4], // dominated by the previous tuple
+        ])
+        .unwrap();
+        assert_eq!(skyline(&d), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dispatches_to_2d() {
+        let d = Dataset::from_rows(&[[0.1, 0.9], [0.9, 0.1], [0.05, 0.05]]).unwrap();
+        assert_eq!(skyline(&d), skyline_2d(&d));
+    }
+
+    #[test]
+    fn matches_brute_force_random() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for trial in 0..40 {
+            let n = rng.random_range(1..50);
+            let d_attrs = rng.random_range(3..=5);
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| {
+                    (0..d_attrs)
+                        .map(|_| (rng.random_range(0..8) as f64) / 8.0)
+                        .collect()
+                })
+                .collect();
+            let d = Dataset::from_rows(&rows).unwrap();
+            assert_eq!(skyline(&d), brute_force(&d), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn duplicates_survive_in_hd() {
+        let d = Dataset::from_rows(&[[0.5, 0.5, 0.5], [0.5, 0.5, 0.5], [0.1, 0.1, 0.1]])
+            .unwrap();
+        assert_eq!(skyline(&d), vec![0, 1]);
+    }
+
+    #[test]
+    fn correlated_data_small_skyline() {
+        // On a strictly increasing chain only the top tuple survives.
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let v = i as f64 / 20.0;
+                vec![v, v + 0.01, v + 0.02]
+            })
+            .collect();
+        let d = Dataset::from_rows(&rows).unwrap();
+        assert_eq!(skyline(&d), vec![19]);
+    }
+}

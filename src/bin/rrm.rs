@@ -1,0 +1,27 @@
+//! `rrm` — rank-regret queries over CSV files from the command line.
+//!
+//! ```text
+//! rrm minimize  --input cars.csv --size 5
+//! rrm represent --input cars.csv --threshold 10
+//! rrm frontier  --input cars.csv --max-size 10 --columns 0,1
+//! ```
+//!
+//! See [`rank_regret::cli`] for the full flag reference.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match rank_regret::cli::parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    match rank_regret::cli::run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

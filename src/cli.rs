@@ -1,0 +1,300 @@
+//! Implementation of the `rrm` command-line tool (see `src/bin/rrm.rs`).
+//!
+//! Hand-rolled argument parsing (no CLI dependency): three subcommands over
+//! a numeric CSV file.
+//!
+//! ```text
+//! rrm minimize  --input cars.csv --size 5 [common flags]
+//! rrm represent --input cars.csv --threshold 10 [common flags]
+//! rrm frontier  --input cars.csv --max-size 10 [common flags]   (d = 2 only)
+//!
+//! common flags:
+//!   --no-header            first CSV line is data, not column names
+//!   --columns 0,2,3        use only these columns (0-based)
+//!   --negate 1,2           smaller-is-better columns to negate first
+//!   --no-normalize         skip min-max normalization to [0, 1]
+//!   --weak-ranking c       restrict to u[0] >= u[1] >= ... >= u[c]
+//!   --quick                smaller HDRRM sample budget (delta = 0.1)
+//! ```
+
+use crate::{minimize, represent, Dataset, RrmError, Solution, WeakRankingSpace};
+use rrm_2d::{pareto_frontier, Rrm2dOptions};
+use rrm_core::FullSpace;
+use rrm_data::csv::read_csv_file;
+use rrm_hd::HdrrmOptions;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    pub command: Command,
+    pub input: String,
+    pub has_header: bool,
+    pub columns: Option<Vec<usize>>,
+    pub negate: Vec<usize>,
+    pub normalize: bool,
+    pub weak_ranking: Option<usize>,
+    pub quick: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    Minimize { size: usize },
+    Represent { threshold: usize },
+    Frontier { max_size: usize },
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut it = argv.iter();
+    let sub = it.next().ok_or_else(usage)?;
+    let mut input: Option<String> = None;
+    let mut has_header = true;
+    let mut columns = None;
+    let mut negate = Vec::new();
+    let mut normalize = true;
+    let mut weak_ranking = None;
+    let mut quick = false;
+    let mut size: Option<usize> = None;
+    let mut threshold: Option<usize> = None;
+    let mut max_size: Option<usize> = None;
+
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--input" => input = Some(value("--input")?),
+            "--no-header" => has_header = false,
+            "--columns" => columns = Some(parse_index_list(&value("--columns")?)?),
+            "--negate" => negate = parse_index_list(&value("--negate")?)?,
+            "--no-normalize" => normalize = false,
+            "--weak-ranking" => {
+                weak_ranking = Some(parse_usize("--weak-ranking", &value("--weak-ranking")?)?)
+            }
+            "--quick" => quick = true,
+            "--size" => size = Some(parse_usize("--size", &value("--size")?)?),
+            "--threshold" => {
+                threshold = Some(parse_usize("--threshold", &value("--threshold")?)?)
+            }
+            "--max-size" => max_size = Some(parse_usize("--max-size", &value("--max-size")?)?),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    let input = input.ok_or("--input is required".to_string())?;
+    let command = match sub.as_str() {
+        "minimize" => Command::Minimize { size: size.ok_or("--size is required")? },
+        "represent" => {
+            Command::Represent { threshold: threshold.ok_or("--threshold is required")? }
+        }
+        "frontier" => Command::Frontier { max_size: max_size.ok_or("--max-size is required")? },
+        other => return Err(format!("unknown subcommand {other}\n{}", usage())),
+    };
+    Ok(Args { command, input, has_header, columns, negate, normalize, weak_ranking, quick })
+}
+
+fn usage() -> String {
+    "usage: rrm <minimize|represent|frontier> --input FILE \
+     [--size R | --threshold K | --max-size R] [--no-header] [--columns LIST] \
+     [--negate LIST] [--no-normalize] [--weak-ranking C] [--quick]"
+        .to_string()
+}
+
+fn parse_index_list(s: &str) -> Result<Vec<usize>, String> {
+    s.split(',')
+        .map(|p| p.trim().parse::<usize>().map_err(|_| format!("bad index {p:?}")))
+        .collect()
+}
+
+fn parse_usize(flag: &str, s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("{flag}: bad number {s:?}"))
+}
+
+/// Load, transform and solve; returns the rendered report.
+pub fn run(args: &Args) -> Result<String, RrmError> {
+    let table = read_csv_file(&args.input, args.has_header)?;
+    let mut headers = table.headers.clone();
+    let mut data = table.data;
+    if let Some(cols) = &args.columns {
+        data = data.project(cols)?;
+        headers = cols
+            .iter()
+            .map(|&c| headers.get(c).cloned().unwrap_or_else(|| format!("col{c}")))
+            .collect();
+    }
+    if !args.negate.is_empty() {
+        data = data.negate_attributes(&args.negate);
+    }
+    if args.normalize {
+        data = data.normalize();
+    }
+    let d = data.dim();
+
+    let hdrrm_options = if args.quick {
+        HdrrmOptions { delta: 0.1, ..Default::default() }
+    } else {
+        HdrrmOptions::default()
+    };
+    let space = args.weak_ranking.map(|c| WeakRankingSpace::new(d, c));
+
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let summary = rrm_data::stats::summarize(&data);
+    let _ = writeln!(
+        out,
+        "loaded {} tuples x {} attributes from {} (mean pairwise correlation {:+.2})",
+        data.n(),
+        d,
+        args.input,
+        summary.mean_pairwise_correlation()
+    );
+    match args.command {
+        Command::Minimize { size } => {
+            let mut b = minimize(&data).size(size).hdrrm_options(hdrrm_options);
+            if let Some(s) = space {
+                b = b.space(s);
+            }
+            let sol = b.solve()?;
+            render_solution(&mut out, &headers, &data, &sol);
+        }
+        Command::Represent { threshold } => {
+            let mut b = represent(&data).threshold(threshold).hdrrm_options(hdrrm_options);
+            if let Some(s) = space {
+                b = b.space(s);
+            }
+            let sol = b.solve()?;
+            render_solution(&mut out, &headers, &data, &sol);
+        }
+        Command::Frontier { max_size } => {
+            if d != 2 {
+                return Err(RrmError::Unsupported(
+                    "frontier requires exactly 2 columns (use --columns)".into(),
+                ));
+            }
+            let points =
+                pareto_frontier(&data, max_size, &FullSpace::new(2), Rrm2dOptions::default())?;
+            let _ = writeln!(out, "{:>6} {:>18}", "size", "best worst-rank");
+            for p in &points {
+                let _ = writeln!(out, "{:>6} {:>18}", p.r, p.regret);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn render_solution(out: &mut String, headers: &[String], data: &Dataset, sol: &Solution) {
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "{}: {} tuples, certified rank-regret {}",
+        sol.algorithm,
+        sol.size(),
+        sol.certified_regret.map_or("n/a".into(), |k| k.to_string()),
+    );
+    let _ = writeln!(out, "{:>8}  {}", "row", headers.join("  "));
+    for &i in &sol.indices {
+        let vals: Vec<String> =
+            data.row(i as usize).iter().map(|v| format!("{v:.4}")).collect();
+        let _ = writeln!(out, "{:>8}  {}", i, vals.join("  "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_minimize() {
+        let a = parse_args(&argv("minimize --input cars.csv --size 5")).unwrap();
+        assert_eq!(a.command, Command::Minimize { size: 5 });
+        assert_eq!(a.input, "cars.csv");
+        assert!(a.has_header && a.normalize && !a.quick);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse_args(&argv(
+            "represent --input x.csv --threshold 7 --no-header --columns 0,2 \
+             --negate 1 --no-normalize --weak-ranking 1 --quick",
+        ))
+        .unwrap();
+        assert_eq!(a.command, Command::Represent { threshold: 7 });
+        assert!(!a.has_header && !a.normalize && a.quick);
+        assert_eq!(a.columns, Some(vec![0, 2]));
+        assert_eq!(a.negate, vec![1]);
+        assert_eq!(a.weak_ranking, Some(1));
+    }
+
+    #[test]
+    fn rejects_missing_required() {
+        assert!(parse_args(&argv("minimize --size 5")).is_err());
+        assert!(parse_args(&argv("minimize --input x.csv")).is_err());
+        assert!(parse_args(&argv("frontier --input x.csv")).is_err());
+        assert!(parse_args(&argv("bogus --input x.csv")).is_err());
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&argv("minimize --input x.csv --size five")).is_err());
+        assert!(parse_args(&argv("minimize --input x.csv --size 5 --wat")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_minimize_on_temp_csv() {
+        let dir = std::env::temp_dir().join("rrm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cars.csv");
+        std::fs::write(
+            &path,
+            "hp,mpg\n0.0,1.0\n0.4,0.95\n0.57,0.75\n0.79,0.6\n0.2,0.5\n0.35,0.3\n1.0,0.0\n",
+        )
+        .unwrap();
+        let args = parse_args(&argv(&format!(
+            "minimize --input {} --size 1 --no-normalize",
+            path.display()
+        )))
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("7 tuples x 2 attributes"));
+        assert!(report.contains("certified rank-regret 3"), "{report}");
+        assert!(report.contains("0.5700"), "{report}"); // t3's HP
+    }
+
+    #[test]
+    fn end_to_end_frontier_and_errors() {
+        let dir = std::env::temp_dir().join("rrm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grid.csv");
+        std::fs::write(&path, "a,b,c\n1,2,3\n3,2,1\n2,3,1\n1,1,1\n").unwrap();
+        // Frontier on 3 columns: rejected.
+        let args =
+            parse_args(&argv(&format!("frontier --input {} --max-size 3", path.display())))
+                .unwrap();
+        assert!(run(&args).is_err());
+        // Projected to 2 columns: works.
+        let args = parse_args(&argv(&format!(
+            "frontier --input {} --max-size 3 --columns 0,1",
+            path.display()
+        )))
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("best worst-rank"), "{report}");
+    }
+
+    #[test]
+    fn negate_makes_smaller_better() {
+        let dir = std::env::temp_dir().join("rrm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("price.csv");
+        // Tuple 0 dominates once price (col 1) is negated: best quality,
+        // lowest price.
+        std::fs::write(&path, "quality,price\n0.9,10\n0.8,50\n0.7,90\n").unwrap();
+        let args = parse_args(&argv(&format!(
+            "minimize --input {} --size 1 --negate 1",
+            path.display()
+        )))
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("certified rank-regret 1"), "{report}");
+    }
+}

@@ -1,0 +1,333 @@
+//! # rank-regret
+//!
+//! Rank-regret minimizing representatives for multi-criteria
+//! decision-making — a Rust implementation of *Rank-Regret Minimization*
+//! (Xiao & Li, ICDE 2022), including the paper's exact 2D algorithm
+//! (**2DRRM**), its high-dimensional discretize-and-cover algorithm
+//! (**HDRRM**), the restricted-space problem variant (**RRRM**), the dual
+//! threshold problem (**RRR**), and the baselines it is evaluated against
+//! (2DRRR, MDRRR, MDRRRr, MDRC, MDRMS).
+//!
+//! ## The problem
+//!
+//! Pick `r` tuples from a dataset so that, whatever linear utility
+//! function a user has, one of the chosen tuples ranks among the top-`k`
+//! of the whole dataset — with `k` (the *rank-regret*) as small as
+//! possible. Unlike regret-*ratio* methods (RMS), rank-regret is
+//! scale-free and *shift invariant*: translating any attribute leaves the
+//! answer unchanged (Theorem 1 of the paper).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rank_regret::prelude::*;
+//!
+//! // A small car catalog: (miles-per-gallon, horsepower), both scaled.
+//! let cars = Dataset::from_rows(&[
+//!     [0.0, 1.0], [0.4, 0.95], [0.57, 0.75], [0.79, 0.6],
+//!     [0.2, 0.5], [0.35, 0.3], [1.0, 0.0],
+//! ]).unwrap();
+//!
+//! // The best single representative for *any* linear preference:
+//! let sol = rank_regret::minimize(&cars).size(1).solve().unwrap();
+//! assert_eq!(sol.indices, vec![2]);              // t3 of the paper's Table I
+//! assert_eq!(sol.certified_regret, Some(3));     // its exact rank-regret
+//!
+//! // A user who cares about MPG at least as much as HP (RRRM):
+//! let sol = rank_regret::minimize(&cars)
+//!     .size(1)
+//!     .space(WeakRankingSpace::new(2, 1))
+//!     .solve()
+//!     .unwrap();
+//! assert!(sol.certified_regret.unwrap() <= 3);
+//!
+//! // The dual question (RRR): how few tuples guarantee top-2 for everyone?
+//! let sol = rank_regret::represent(&cars).threshold(2).solve().unwrap();
+//! assert!(sol.certified_regret.unwrap() <= 2);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`core`](rrm_core) | datasets, utility spaces, ranking primitives |
+//! | [`algos2d`](rrm_2d) | 2DRRM (exact), 2DRRR baseline, Pareto frontier |
+//! | [`algoshd`](rrm_hd) | HDRRM/ASMS, MDRRR, MDRRRr, MDRC, MDRMS |
+//! | [`skyline`](rrm_skyline) | skyline and restricted U-skyline |
+//! | [`geom`](rrm_geom) | dual arrangement, polar grids |
+//! | [`lp`](rrm_lp) | dense two-phase simplex |
+//! | [`setcover`](rrm_setcover) | lazy greedy set cover, interval cover |
+//! | [`data`](rrm_data) | synthetic + simulated-real workloads |
+//! | [`eval`](rrm_eval) | regret estimators (sampled and exact-2D) |
+
+pub use rrm_2d;
+pub use rrm_core;
+pub use rrm_data;
+pub use rrm_eval;
+pub use rrm_geom;
+pub use rrm_hd;
+pub use rrm_lp;
+pub use rrm_setcover;
+pub use rrm_skyline;
+
+pub use rrm_core::{
+    Algorithm, BiasedOrthantSpace, BoxSpace, ConeSpace, Dataset, FullSpace, RrmError,
+    Solution, SphereCap, UtilitySpace, WeakRankingSpace,
+};
+
+pub mod cli;
+
+/// Everything a typical caller needs.
+pub mod prelude {
+    pub use crate::{
+        minimize, represent, Algorithm, BiasedOrthantSpace, BoxSpace, ConeSpace, Dataset,
+        FullSpace, RrmError, Solution, SphereCap, UtilitySpace, WeakRankingSpace,
+    };
+}
+
+use ::rrm_2d::{rrm_2d as rrm_2d_solve, rrr_exact_2d, Rrm2dOptions};
+use ::rrm_hd::{hdrrm, hdrrr, HdrrmOptions};
+
+/// Which solver the facade should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverChoice {
+    /// 2DRRM for `d = 2` (exact), HDRRM otherwise.
+    #[default]
+    Auto,
+    /// Force the exact 2D dynamic program (errors when `d ≠ 2`).
+    Exact2d,
+    /// Force HDRRM (works for any `d ≥ 2`).
+    Hdrrm,
+}
+
+/// Start a rank-regret **minimization** query (RRM, or RRRM with
+/// [`MinimizeBuilder::space`]): best set of at most `r` tuples.
+pub fn minimize(data: &Dataset) -> MinimizeBuilder<'_> {
+    MinimizeBuilder {
+        data,
+        r: 1,
+        space: None,
+        solver: SolverChoice::Auto,
+        hdrrm_options: HdrrmOptions::default(),
+        rrm2d_options: Rrm2dOptions::default(),
+    }
+}
+
+/// Start a rank-regret **representative** query (RRR): smallest set with
+/// rank-regret at most `k`.
+pub fn represent(data: &Dataset) -> RepresentBuilder<'_> {
+    RepresentBuilder {
+        data,
+        k: 1,
+        space: None,
+        solver: SolverChoice::Auto,
+        hdrrm_options: HdrrmOptions::default(),
+        rrm2d_options: Rrm2dOptions::default(),
+    }
+}
+
+/// Builder for [`minimize`].
+pub struct MinimizeBuilder<'a> {
+    data: &'a Dataset,
+    r: usize,
+    space: Option<Box<dyn UtilitySpace>>,
+    solver: SolverChoice,
+    hdrrm_options: HdrrmOptions,
+    rrm2d_options: Rrm2dOptions,
+}
+
+impl<'a> MinimizeBuilder<'a> {
+    /// Output size bound `r` (default 1).
+    pub fn size(mut self, r: usize) -> Self {
+        self.r = r;
+        self
+    }
+
+    /// Restrict the utility space (turns RRM into RRRM).
+    pub fn space(mut self, space: impl UtilitySpace + 'static) -> Self {
+        self.space = Some(Box::new(space));
+        self
+    }
+
+    /// Force a specific solver.
+    pub fn solver(mut self, solver: SolverChoice) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Tune HDRRM (γ, δ, sample count, seed).
+    pub fn hdrrm_options(mut self, options: HdrrmOptions) -> Self {
+        self.hdrrm_options = options;
+        self
+    }
+
+    /// Tune the 2D solver (event chunking, paper-faithful sweep).
+    pub fn rrm2d_options(mut self, options: Rrm2dOptions) -> Self {
+        self.rrm2d_options = options;
+        self
+    }
+
+    /// Run the query.
+    pub fn solve(self) -> Result<Solution, RrmError> {
+        let d = self.data.dim();
+        let space: Box<dyn UtilitySpace> =
+            self.space.unwrap_or_else(|| Box::new(FullSpace::new(d)));
+        let use_exact = match self.solver {
+            SolverChoice::Exact2d if d != 2 => {
+                return Err(RrmError::Unsupported("the exact solver requires d = 2".into()))
+            }
+            SolverChoice::Exact2d => true,
+            SolverChoice::Hdrrm => false,
+            SolverChoice::Auto => d == 2,
+        };
+        if use_exact {
+            rrm_2d_solve(self.data, self.r, space.as_ref(), self.rrm2d_options)
+        } else {
+            hdrrm(self.data, self.r, space.as_ref(), self.hdrrm_options)
+        }
+    }
+}
+
+/// Builder for [`represent`].
+pub struct RepresentBuilder<'a> {
+    data: &'a Dataset,
+    k: usize,
+    space: Option<Box<dyn UtilitySpace>>,
+    solver: SolverChoice,
+    hdrrm_options: HdrrmOptions,
+    rrm2d_options: Rrm2dOptions,
+}
+
+impl<'a> RepresentBuilder<'a> {
+    /// Rank-regret threshold `k` (default 1: contain everyone's top-1).
+    pub fn threshold(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Restrict the utility space (restricted RRR).
+    pub fn space(mut self, space: impl UtilitySpace + 'static) -> Self {
+        self.space = Some(Box::new(space));
+        self
+    }
+
+    /// Force a specific solver.
+    pub fn solver(mut self, solver: SolverChoice) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Tune HDRRM (γ, δ, sample count, seed).
+    pub fn hdrrm_options(mut self, options: HdrrmOptions) -> Self {
+        self.hdrrm_options = options;
+        self
+    }
+
+    /// Tune the 2D solver.
+    pub fn rrm2d_options(mut self, options: Rrm2dOptions) -> Self {
+        self.rrm2d_options = options;
+        self
+    }
+
+    /// Run the query.
+    pub fn solve(self) -> Result<Solution, RrmError> {
+        let d = self.data.dim();
+        let space: Box<dyn UtilitySpace> =
+            self.space.unwrap_or_else(|| Box::new(FullSpace::new(d)));
+        let use_exact = match self.solver {
+            SolverChoice::Exact2d if d != 2 => {
+                return Err(RrmError::Unsupported("the exact solver requires d = 2".into()))
+            }
+            SolverChoice::Exact2d => true,
+            SolverChoice::Hdrrm => false,
+            SolverChoice::Auto => d == 2,
+        };
+        if use_exact {
+            rrr_exact_2d(self.data, self.k, space.as_ref(), self.rrm2d_options)
+        } else {
+            hdrrr(self.data, self.k, space.as_ref(), self.hdrrm_options)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1() -> Dataset {
+        Dataset::from_rows(&[
+            [0.0, 1.0],
+            [0.4, 0.95],
+            [0.57, 0.75],
+            [0.79, 0.6],
+            [0.2, 0.5],
+            [0.35, 0.3],
+            [1.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn minimize_auto_2d() {
+        let sol = minimize(&table1()).size(1).solve().unwrap();
+        assert_eq!(sol.indices, vec![2]);
+        assert_eq!(sol.algorithm, Algorithm::TwoDRrm);
+    }
+
+    #[test]
+    fn minimize_auto_hd() {
+        let data = rrm_data::synthetic::independent(300, 3, 1);
+        let sol = minimize(&data)
+            .size(8)
+            .hdrrm_options(HdrrmOptions { m_override: Some(200), ..Default::default() })
+            .solve()
+            .unwrap();
+        assert!(sol.size() <= 8);
+        assert_eq!(sol.algorithm, Algorithm::Hdrrm);
+    }
+
+    #[test]
+    fn forced_hdrrm_on_2d() {
+        let data = rrm_data::synthetic::independent(200, 2, 2);
+        let sol = minimize(&data)
+            .size(5)
+            .solver(SolverChoice::Hdrrm)
+            .hdrrm_options(HdrrmOptions { m_override: Some(150), ..Default::default() })
+            .solve()
+            .unwrap();
+        assert_eq!(sol.algorithm, Algorithm::Hdrrm);
+    }
+
+    #[test]
+    fn forced_exact_on_hd_fails() {
+        let data = rrm_data::synthetic::independent(50, 3, 3);
+        assert!(minimize(&data).size(5).solver(SolverChoice::Exact2d).solve().is_err());
+    }
+
+    #[test]
+    fn represent_2d_exact() {
+        let sol = represent(&table1()).threshold(2).solve().unwrap();
+        assert!(sol.certified_regret.unwrap() <= 2);
+        // Exact RRR: no smaller set achieves threshold 2; check against
+        // the frontier.
+        let frontier = rrm_2d::pareto_frontier(
+            &table1(),
+            5,
+            &FullSpace::new(2),
+            rrm_2d::Rrm2dOptions::default(),
+        )
+        .unwrap();
+        let min_size = frontier.iter().find(|p| p.regret <= 2).unwrap().r;
+        assert_eq!(sol.size(), min_size);
+    }
+
+    #[test]
+    fn restricted_space_via_builder() {
+        let sol = minimize(&table1())
+            .size(1)
+            .space(WeakRankingSpace::new(2, 1))
+            .solve()
+            .unwrap();
+        assert!(sol.certified_regret.unwrap() <= 3);
+    }
+}
