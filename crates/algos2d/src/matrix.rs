@@ -186,6 +186,7 @@ mod tests {
         m.fold_rank(1, 2);
         assert_eq!(m.cell(2, 2).rank, 2);
         assert_eq!(m.chain_lines(2, 2), vec![0, 2]); // unchanged
+
         // Final: best of column 2 is rank 2 ({l1,l2} or {l1,l3}).
         let (_, rank) = m.best_final();
         assert_eq!(rank, 2);

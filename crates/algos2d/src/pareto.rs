@@ -94,11 +94,12 @@ pub fn rrr_exact_2d(
             lo = mid + 1;
         }
     }
-    best.ok_or_else(|| RrmError::Unsupported("no candidate set meets the threshold".into()))
-        .map(|mut s| {
+    best.ok_or_else(|| RrmError::Unsupported("no candidate set meets the threshold".into())).map(
+        |mut s| {
             s.algorithm = Algorithm::TwoDRrm;
             s
-        })
+        },
+    )
 }
 
 #[cfg(test)]
@@ -125,8 +126,7 @@ mod tests {
         }
         // A large enough budget always reaches regret 1 (the skyline).
         let d_small = random_dataset(20, 2);
-        let f = pareto_frontier(&d_small, 20, &FullSpace::new(2), Rrm2dOptions::default())
-            .unwrap();
+        let f = pareto_frontier(&d_small, 20, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
         assert_eq!(f.last().unwrap().regret, 1);
     }
 

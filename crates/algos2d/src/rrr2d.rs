@@ -102,11 +102,7 @@ impl SweepCache {
 
 /// RRR baseline: a set of size at most the optimal rank-k representative's
 /// size, with certified rank-regret at most `2k − 1`.
-pub fn rrr_2d(
-    data: &Dataset,
-    k: usize,
-    space: &dyn UtilitySpace,
-) -> Result<Solution, RrmError> {
+pub fn rrr_2d(data: &Dataset, k: usize, space: &dyn UtilitySpace) -> Result<Solution, RrmError> {
     let (c0, c1) = weight_interval(space)?;
     rrr_2d_on_interval(data, k, c0, c1)
 }
@@ -128,7 +124,7 @@ pub fn rrr_2d_on_interval(
     let ids = cache
         .cover(k)
         .expect("rank-k windows always cover the range (the top-1 line is in every window set)");
-    Ok(Solution::new(ids, Some((2 * k).saturating_sub(1)), Algorithm::TwoDRrr, data))
+    Solution::new(ids, Some((2 * k).saturating_sub(1)), Algorithm::TwoDRrr, data)
 }
 
 /// RRM via the 2DRRR baseline: the smallest `k` whose interval cover fits
@@ -178,12 +174,7 @@ pub fn rrm_via_rrr_2d(
         }
     }
     best_ids.truncate(r);
-    Ok(Solution::new(
-        best_ids,
-        Some((2 * best_k).saturating_sub(1)),
-        Algorithm::TwoDRrr,
-        data,
-    ))
+    Solution::new(best_ids, Some((2 * best_k).saturating_sub(1)), Algorithm::TwoDRrr, data)
 }
 
 #[cfg(test)]
@@ -216,10 +207,8 @@ mod tests {
         probes.push(1.0);
         let mut worst = 0usize;
         for &x in &probes {
-            let best = set
-                .iter()
-                .map(|&i| lines[i as usize].eval(x))
-                .fold(f64::NEG_INFINITY, f64::max);
+            let best =
+                set.iter().map(|&i| lines[i as usize].eval(x)).fold(f64::NEG_INFINITY, f64::max);
             let above = lines.iter().filter(|l| l.eval(x) > best).count();
             worst = worst.max(above + 1);
         }
@@ -233,11 +222,7 @@ mod tests {
             for k in [1usize, 2, 3] {
                 let sol = rrr_2d(&d, k, &FullSpace::new(2)).unwrap();
                 let regret = exact_regret(&d, &sol.indices);
-                assert!(
-                    regret < 2 * k,
-                    "seed {seed} k={k}: regret {regret} > {}",
-                    2 * k - 1
-                );
+                assert!(regret < 2 * k, "seed {seed} k={k}: regret {regret} > {}", 2 * k - 1);
             }
         }
     }
@@ -283,14 +268,9 @@ mod tests {
 
     #[test]
     fn threshold_one_picks_upper_envelope() {
-        let d = Dataset::from_rows(&[
-            [0.0, 1.0],
-            [0.4, 0.95],
-            [0.57, 0.75],
-            [0.79, 0.6],
-            [1.0, 0.0],
-        ])
-        .unwrap();
+        let d =
+            Dataset::from_rows(&[[0.0, 1.0], [0.4, 0.95], [0.57, 0.75], [0.79, 0.6], [1.0, 0.0]])
+                .unwrap();
         let sol = rrr_2d(&d, 1, &FullSpace::new(2)).unwrap();
         // Rank ≤ 1 windows: only upper-envelope lines; certified 2·1−1 = 1.
         assert_eq!(sol.certified_regret, Some(1));

@@ -1,0 +1,134 @@
+//! [`Solver`] implementations for the 2D algorithms: the paper's exact
+//! dynamic program (2DRRM) and the interval-cover baseline of Asudeh et
+//! al. (2DRRR).
+//!
+//! Both are planar (`d = 2` exactly); the trait's `supported_dims`
+//! advertises that, and engines turn it into a uniform
+//! `RrmError::Unsupported` before dispatch.
+
+use rrm_core::{Algorithm, Budget, Dataset, RrmError, Solution, Solver, UtilitySpace};
+
+use crate::pareto::rrr_exact_2d;
+use crate::rrm2d::{rrm_2d, Rrm2dOptions};
+use crate::rrr2d::{rrm_via_rrr_2d, rrr_2d};
+
+/// **2DRRM** (paper Section IV): exact RRM/RRRM via the dual-line sweep,
+/// exact RRR via binary search on the DP.
+#[derive(Debug, Clone, Default)]
+pub struct TwoDRrmSolver {
+    pub options: Rrm2dOptions,
+}
+
+impl TwoDRrmSolver {
+    pub fn new(options: Rrm2dOptions) -> Self {
+        Self { options }
+    }
+}
+
+impl Solver for TwoDRrmSolver {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::TwoDRrm
+    }
+
+    fn solve_rrm(
+        &self,
+        data: &Dataset,
+        r: usize,
+        space: &dyn UtilitySpace,
+        _budget: &Budget,
+    ) -> Result<Solution, RrmError> {
+        rrm_2d(data, r, space, self.options)
+    }
+
+    fn solve_rrr(
+        &self,
+        data: &Dataset,
+        k: usize,
+        space: &dyn UtilitySpace,
+        _budget: &Budget,
+    ) -> Result<Solution, RrmError> {
+        rrr_exact_2d(data, k, space, self.options)
+    }
+}
+
+/// **2DRRR** (Asudeh et al.): native RRR via rank-window interval cover
+/// (size ≤ optimal, regret ≤ 2k−1), adapted to RRM with doubling + binary
+/// search. No certificate tight enough to count as a guarantee, and no
+/// restricted-space mode (Table III).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwoDRrrSolver;
+
+impl Solver for TwoDRrrSolver {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::TwoDRrr
+    }
+
+    fn solve_rrm(
+        &self,
+        data: &Dataset,
+        r: usize,
+        space: &dyn UtilitySpace,
+        _budget: &Budget,
+    ) -> Result<Solution, RrmError> {
+        self.ensure_supported(data, space)?;
+        rrm_via_rrr_2d(data, r, space)
+    }
+
+    fn solve_rrr(
+        &self,
+        data: &Dataset,
+        k: usize,
+        space: &dyn UtilitySpace,
+        _budget: &Budget,
+    ) -> Result<Solution, RrmError> {
+        self.ensure_supported(data, space)?;
+        rrr_2d(data, k, space)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrm_core::FullSpace;
+
+    fn table1() -> Dataset {
+        Dataset::from_rows(&[
+            [0.0, 1.0],
+            [0.4, 0.95],
+            [0.57, 0.75],
+            [0.79, 0.6],
+            [0.2, 0.5],
+            [0.35, 0.3],
+            [1.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn trait_and_function_agree() {
+        let solver = TwoDRrmSolver::default();
+        let via_trait =
+            solver.solve_rrm(&table1(), 2, &FullSpace::new(2), &Budget::default()).unwrap();
+        let direct = rrm_2d(&table1(), 2, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+        assert_eq!(via_trait, direct);
+        assert_eq!(solver.algorithm(), Algorithm::TwoDRrm);
+        assert!(solver.has_regret_guarantee());
+    }
+
+    #[test]
+    fn two_d_solvers_reject_hd_data() {
+        let data = Dataset::from_rows(&[[0.1, 0.2, 0.3], [0.3, 0.2, 0.1]]).unwrap();
+        let err =
+            TwoDRrrSolver.solve_rrm(&data, 1, &FullSpace::new(3), &Budget::default()).unwrap_err();
+        assert!(matches!(err, RrmError::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn two_d_rrr_solver_covers_threshold() {
+        let solver = TwoDRrrSolver;
+        let sol = solver.solve_rrr(&table1(), 2, &FullSpace::new(2), &Budget::default()).unwrap();
+        assert!(sol.certified_regret.unwrap() <= 3); // 2k-1
+        assert_eq!(sol.algorithm, Algorithm::TwoDRrr);
+        assert!(!solver.supports_restricted_space());
+    }
+}

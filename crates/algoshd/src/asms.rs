@@ -57,9 +57,9 @@ pub fn asms_with_topk(
             continue; // covered by B; not part of Dk
         }
         let push = |t: u32,
-                        lists: &mut Vec<Vec<u32>>,
-                        list_of_tuple: &mut Vec<u32>,
-                        tuple_of_list: &mut Vec<u32>| {
+                    lists: &mut Vec<Vec<u32>>,
+                    list_of_tuple: &mut Vec<u32>,
+                    tuple_of_list: &mut Vec<u32>| {
             let li = list_of_tuple[t as usize];
             if li == u32::MAX {
                 list_of_tuple[t as usize] = lists.len() as u32;
@@ -110,10 +110,7 @@ mod tests {
     /// Rank-regret of `set` over exactly the given directions (the
     /// quantity ASMS certifies: `∇D(Q) ≤ k`).
     fn regret_over_dirs(data: &Dataset, set: &[u32], dirs: &[Vec<f64>]) -> usize {
-        dirs.iter()
-            .map(|u| rrm_core::rank::rank_regret_of_set(data, u, set))
-            .max()
-            .unwrap()
+        dirs.iter().map(|u| rrm_core::rank::rank_regret_of_set(data, u, set)).max().unwrap()
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub fn cube(data: &Dataset, r: usize) -> Result<Solution, RrmError> {
     ids.sort_unstable();
     ids.dedup();
     ids.truncate(r);
-    Ok(Solution::new(ids, None, Algorithm::Mdrms, data))
+    Solution::new(ids, None, Algorithm::Mdrms, data)
 }
 
 /// Maximum regret-ratio this implementation guarantees for data whose
@@ -108,15 +108,11 @@ mod tests {
             let sol = cube(&data, r).unwrap();
             assert!(sol.size() <= r);
             let ratio =
-                estimate_regret_ratio(&data, &sol.indices, &FullSpace::new(d), 20_000, 3)
-                    .max_ratio;
+                estimate_regret_ratio(&data, &sol.indices, &FullSpace::new(d), 20_000, 3).max_ratio;
             // 5% slack: random data's attribute maxima fall just short of
             // the exact 1.0 the bound's denominator assumes.
             let bound = cube_ratio_bound(r, d) * 1.05;
-            assert!(
-                ratio <= bound + 1e-9,
-                "n={n} d={d} r={r}: ratio {ratio} > bound {bound}"
-            );
+            assert!(ratio <= bound + 1e-9, "n={n} d={d} r={r}: ratio {ratio} > bound {bound}");
         }
     }
 
@@ -135,8 +131,7 @@ mod tests {
         let data = anticorrelated(4_000, 3, 4);
         let sol = cube(&data, 12).unwrap();
         let rank =
-            estimate_rank_regret_seq(&data, &sol.indices, &FullSpace::new(3), 10_000, 5)
-                .max_rank;
+            estimate_rank_regret_seq(&data, &sol.indices, &FullSpace::new(3), 10_000, 5).max_rank;
         let hdrrm = crate::hdrrm(
             &data,
             12,
@@ -145,12 +140,8 @@ mod tests {
         )
         .unwrap();
         let rank_h =
-            estimate_rank_regret_seq(&data, &hdrrm.indices, &FullSpace::new(3), 10_000, 5)
-                .max_rank;
-        assert!(
-            rank >= rank_h,
-            "CUBE rank {rank} unexpectedly beats HDRRM {rank_h}"
-        );
+            estimate_rank_regret_seq(&data, &hdrrm.indices, &FullSpace::new(3), 10_000, 5).max_rank;
+        assert!(rank >= rank_h, "CUBE rank {rank} unexpectedly beats HDRRM {rank_h}");
     }
 
     #[test]

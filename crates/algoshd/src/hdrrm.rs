@@ -82,15 +82,10 @@ pub fn hdrrm(
     }
     let basis = if options.include_basis { basis_indices(data) } else { Vec::new() };
     if r < basis.len().max(1) {
-        return Err(RrmError::OutputSizeTooSmall {
-            requested: r,
-            minimum: basis.len().max(1),
-        });
+        return Err(RrmError::OutputSizeTooSmall { requested: r, minimum: basis.len().max(1) });
     }
 
-    let m = options
-        .m_override
-        .unwrap_or_else(|| paper_sample_size(n, r, d, options.delta));
+    let m = options.m_override.unwrap_or_else(|| paper_sample_size(n, r, d, options.delta));
     let disc = build_vector_set(d, space, m, options.gamma, options.seed);
 
     let mask = if options.skyline_candidates {
@@ -152,7 +147,7 @@ pub fn hdrrm(
         k = (k * 2).min(n);
     }
 
-    Ok(Solution::new(best_q, Some(best_k), Algorithm::Hdrrm, data))
+    Solution::new(best_q, Some(best_k), Algorithm::Hdrrm, data)
 }
 
 /// The RRR (threshold) variant in HD: one ASMS call at threshold `k`
@@ -192,7 +187,7 @@ pub fn hdrrr(
         None
     };
     let q = crate::asms::asms(data, k.min(n), &basis, &disc.dirs, mask.as_deref());
-    Ok(Solution::new(q, Some(k.min(n)), Algorithm::Hdrrm, data))
+    Solution::new(q, Some(k.min(n)), Algorithm::Hdrrm, data)
 }
 
 #[cfg(test)]
@@ -206,10 +201,7 @@ mod tests {
     }
 
     fn regret_over_dirs(data: &Dataset, set: &[u32], dirs: &[Vec<f64>]) -> usize {
-        dirs.iter()
-            .map(|u| rrm_core::rank::rank_regret_of_set(data, u, set))
-            .max()
-            .unwrap()
+        dirs.iter().map(|u| rrm_core::rank::rank_regret_of_set(data, u, set)).max().unwrap()
     }
 
     #[test]
@@ -294,10 +286,7 @@ mod tests {
         .unwrap();
         // Theorem 3 guarantees an equally small cover exists inside the
         // skyline, but greedy is not optimal, so allow small divergence.
-        let (a, b) = (
-            with_mask.certified_regret.unwrap(),
-            without_mask.certified_regret.unwrap(),
-        );
+        let (a, b) = (with_mask.certified_regret.unwrap(), without_mask.certified_regret.unwrap());
         assert!(a <= 2 * b.max(1) && b <= 2 * a.max(1), "masked {a} vs unmasked {b}");
     }
 

@@ -23,6 +23,7 @@ pub mod mdrc;
 pub mod mdrms;
 pub mod mdrrr;
 pub mod mdrrr_r;
+pub mod solver;
 
 pub use asms::asms;
 pub use cube::{cube, cube_ratio_bound};
@@ -33,3 +34,4 @@ pub use mdrc::{mdrc, mdrc_rrm, MdrcOptions};
 pub use mdrms::{mdrms, MdrmsOptions};
 pub use mdrrr::{mdrrr, mdrrr_rrm};
 pub use mdrrr_r::{mdrrr_r, mdrrr_r_rrm, MdrrrROptions};
+pub use solver::{HdrrmSolver, MdrcSolver, MdrmsSolver, MdrrrRSolver, MdrrrSolver};

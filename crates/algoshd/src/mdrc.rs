@@ -52,21 +52,13 @@ pub fn mdrc(
         return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
     }
     let ad = data.dim() - 1; // angle-space dimensionality
-    let root = evaluate_cell(
-        data,
-        &vec![0.0; ad],
-        &vec![std::f64::consts::FRAC_PI_2; ad],
-        opts,
-    );
+    let root = evaluate_cell(data, &vec![0.0; ad], &vec![std::f64::consts::FRAC_PI_2; ad], opts);
     let mut cells = vec![root];
     // Refine until r cells exist (or cells stop being splittable).
     while cells.len() < r {
         // Worst representative first.
-        let (idx, _) = cells
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, c)| c.worst_rank)
-            .expect("non-empty cells");
+        let (idx, _) =
+            cells.iter().enumerate().max_by_key(|(_, c)| c.worst_rank).expect("non-empty cells");
         let cell = cells.swap_remove(idx);
         // Split along the widest angle axis.
         let axis = (0..ad)
@@ -90,7 +82,7 @@ pub fn mdrc(
         cells.push(evaluate_cell(data, &hi_lo, &cell.hi, opts));
     }
     let ids: Vec<u32> = cells.iter().map(|c| c.representative).collect();
-    Ok(Solution::new(ids, None, Algorithm::Mdrc, data))
+    Solution::new(ids, None, Algorithm::Mdrc, data)
 }
 
 /// Alias for symmetry with the other baselines' RRM adapters (MDRC is a
@@ -111,9 +103,8 @@ fn evaluate_cell(data: &Dataset, lo: &[f64], hi: &[f64], opts: MdrcOptions) -> C
     let mut probes: Vec<Vec<f64>> = Vec::new();
     // Corners: 2^ad angle vectors.
     for mask in 0..(1u32 << ad) {
-        let angles: Vec<f64> = (0..ad)
-            .map(|i| if mask & (1 << i) != 0 { hi[i] } else { lo[i] })
-            .collect();
+        let angles: Vec<f64> =
+            (0..ad).map(|i| if mask & (1 << i) != 0 { hi[i] } else { lo[i] }).collect();
         probes.push(angles);
     }
     // Center.
@@ -138,9 +129,8 @@ fn evaluate_cell(data: &Dataset, lo: &[f64], hi: &[f64], opts: MdrcOptions) -> C
             }
         }
     }
-    let representative = (0..n as u32)
-        .min_by_key(|&t| worst[t as usize])
-        .expect("non-empty dataset");
+    let representative =
+        (0..n as u32).min_by_key(|&t| worst[t as usize]).expect("non-empty dataset");
     Cell {
         lo: lo.to_vec(),
         hi: hi.to_vec(),
@@ -186,10 +176,9 @@ mod tests {
     #[test]
     fn probes_improve_or_match() {
         let data = independent(400, 3, 75);
-        let coarse = mdrc(&data, 6, &FullSpace::new(3), MdrcOptions { probes_per_axis: 0 })
-            .unwrap();
-        let fine = mdrc(&data, 6, &FullSpace::new(3), MdrcOptions { probes_per_axis: 3 })
-            .unwrap();
+        let coarse =
+            mdrc(&data, 6, &FullSpace::new(3), MdrcOptions { probes_per_axis: 0 }).unwrap();
+        let fine = mdrc(&data, 6, &FullSpace::new(3), MdrcOptions { probes_per_axis: 3 }).unwrap();
         let ec = estimate_rank_regret_seq(&data, &coarse.indices, &FullSpace::new(3), 4000, 76);
         let ef = estimate_rank_regret_seq(&data, &fine.indices, &FullSpace::new(3), 4000, 76);
         // More probes usually help; never catastrophically worse.

@@ -52,8 +52,7 @@ pub fn mdrms(
         return Err(RrmError::DimensionMismatch { expected: data.dim(), got: space.dim() });
     }
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    let dirs: Vec<Vec<f64>> =
-        (0..opts.samples).map(|_| space.sample_direction(&mut rng)).collect();
+    let dirs: Vec<Vec<f64>> = (0..opts.samples).map(|_| space.sample_direction(&mut rng)).collect();
     let top1 = batch_top1_scores(data, &dirs);
 
     // Candidates: skyline when affordable, else an even subsample of it.
@@ -88,7 +87,7 @@ pub fn mdrms(
             break;
         }
     }
-    Ok(Solution::new(chosen, None, Algorithm::Mdrms, data))
+    Solution::new(chosen, None, Algorithm::Mdrms, data)
 }
 
 fn worst_ratio(best_scores: &[f64], top1: &[f64]) -> f64 {
@@ -176,8 +175,7 @@ mod tests {
     #[test]
     fn table1_r1_picks_t4() {
         // "the solutions for RRM and RMS are {t3} and {t4} respectively".
-        let sol =
-            mdrms(&table1(), 1, &FullSpace::new(2), MdrmsOptions::default()).unwrap();
+        let sol = mdrms(&table1(), 1, &FullSpace::new(2), MdrmsOptions::default()).unwrap();
         assert_eq!(sol.indices, vec![3], "RMS picks t4 (lowest regret-ratio)");
     }
 
@@ -186,8 +184,7 @@ mod tests {
         // Figure 2's +4 shift on A2 makes RMS chase A1 and pick t7 —
         // the paper's shift-invariance counterexample.
         let shifted = table1().shift(&[0.0, 4.0]);
-        let sol =
-            mdrms(&shifted, 1, &FullSpace::new(2), MdrmsOptions::default()).unwrap();
+        let sol = mdrms(&shifted, 1, &FullSpace::new(2), MdrmsOptions::default()).unwrap();
         assert_eq!(sol.indices, vec![6], "after the shift RMS picks t7");
     }
 

@@ -50,7 +50,7 @@ pub fn mdrrr(data: &Dataset, k: usize, limits: KsetLimits) -> Result<Solution, R
     let e: KsetEnumeration = enumerate_ksets(data, k, &[], limits);
     let ids = hit_ksets(data.n(), &e.ksets);
     let certified = e.complete.then_some(k);
-    Ok(Solution::new(ids, certified, Algorithm::Mdrrr, data))
+    Solution::new(ids, certified, Algorithm::Mdrrr, data)
 }
 
 /// MDRRR adapted to RRM with the improved (doubling + binary) search on
@@ -129,8 +129,7 @@ mod tests {
     #[test]
     fn incomplete_enumeration_is_uncertified() {
         let data = independent(40, 3, 45);
-        let sol =
-            mdrrr(&data, 4, KsetLimits { max_ksets: 5, max_lp_calls: 1_000_000 }).unwrap();
+        let sol = mdrrr(&data, 4, KsetLimits { max_ksets: 5, max_lp_calls: 1_000_000 }).unwrap();
         assert_eq!(sol.certified_regret, None);
     }
 

@@ -39,15 +39,19 @@ fn sample_ksets(
     opts: MdrrrROptions,
 ) -> Vec<Vec<u32>> {
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    let dirs: Vec<Vec<f64>> =
-        (0..opts.samples).map(|_| space.sample_direction(&mut rng)).collect();
+    let dirs: Vec<Vec<f64>> = (0..opts.samples).map(|_| space.sample_direction(&mut rng)).collect();
     let lists = batch_topk(data, &dirs, k);
     let mut seen: HashSet<Vec<u32>> = HashSet::with_capacity(lists.len() / 4);
     for mut l in lists {
         l.sort_unstable();
         seen.insert(l);
     }
-    seen.into_iter().collect()
+    // HashSet iteration order is randomized per process; the greedy cover
+    // downstream tie-breaks by list order, so sort to keep the whole
+    // algorithm deterministic for a fixed seed.
+    let mut ksets: Vec<Vec<u32>> = seen.into_iter().collect();
+    ksets.sort_unstable();
+    ksets
 }
 
 /// MDRRRr for the RRR problem over a (possibly restricted) space. The
@@ -67,7 +71,7 @@ pub fn mdrrr_r(
     let k = k.min(data.n());
     let ksets = sample_ksets(data, k, space, opts);
     let ids = hit_ksets(data.n(), &ksets);
-    Ok(Solution::new(ids, None, Algorithm::MdrrrR, data))
+    Solution::new(ids, None, Algorithm::MdrrrR, data)
 }
 
 /// MDRRRr adapted to RRM (doubling + binary search on `k`).

@@ -1,0 +1,318 @@
+//! [`Solver`] implementations for the high-dimensional algorithms:
+//! HDRRM (the paper's) and the Table III baselines MDRRR, MDRRRr, MDRC
+//! and MDRMS.
+//!
+//! Each solver owns its options struct; the engine-facing [`Budget`] caps
+//! are mapped onto whatever machinery the algorithm actually has —
+//! sample counts for the randomized ones, k-set/LP limits for MDRRR —
+//! and ignored where they do not apply.
+
+use rrm_core::{
+    rrr_via_rrm_search, Algorithm, Budget, Dataset, RrmError, Solution, Solver, UtilitySpace,
+};
+
+use crate::hdrrm::{hdrrm, hdrrr, HdrrmOptions};
+use crate::ksets::KsetLimits;
+use crate::mdrc::{mdrc, MdrcOptions};
+use crate::mdrms::{mdrms, MdrmsOptions};
+use crate::mdrrr::{mdrrr, mdrrr_rrm};
+use crate::mdrrr_r::{mdrrr_r, mdrrr_r_rrm, MdrrrROptions};
+
+/// **HDRRM** (paper Section V): discretize-and-cover with a certificate
+/// over the discretized direction set (Theorem 10).
+#[derive(Debug, Clone, Default)]
+pub struct HdrrmSolver {
+    pub options: HdrrmOptions,
+}
+
+impl HdrrmSolver {
+    pub fn new(options: HdrrmOptions) -> Self {
+        Self { options }
+    }
+
+    fn budgeted(&self, budget: &Budget) -> HdrrmOptions {
+        let mut options = self.options;
+        if let Some(m) = budget.samples {
+            options.m_override = Some(m);
+        }
+        options
+    }
+}
+
+impl Solver for HdrrmSolver {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Hdrrm
+    }
+
+    fn solve_rrm(
+        &self,
+        data: &Dataset,
+        r: usize,
+        space: &dyn UtilitySpace,
+        budget: &Budget,
+    ) -> Result<Solution, RrmError> {
+        hdrrm(data, r, space, self.budgeted(budget))
+    }
+
+    fn solve_rrr(
+        &self,
+        data: &Dataset,
+        k: usize,
+        space: &dyn UtilitySpace,
+        budget: &Budget,
+    ) -> Result<Solution, RrmError> {
+        hdrrr(data, k, space, self.budgeted(budget))
+    }
+}
+
+/// **MDRRR** (Asudeh et al.): exact k-set enumeration — certified, but
+/// full-space only and practical only on small inputs. The [`Budget`]
+/// enumeration/LP caps map directly onto [`KsetLimits`].
+#[derive(Debug, Clone, Default)]
+pub struct MdrrrSolver {
+    pub limits: KsetLimits,
+}
+
+impl MdrrrSolver {
+    pub fn new(limits: KsetLimits) -> Self {
+        Self { limits }
+    }
+
+    fn budgeted(&self, budget: &Budget) -> KsetLimits {
+        let mut limits = self.limits;
+        if let Some(cap) = budget.max_enumerations {
+            limits.max_ksets = limits.max_ksets.min(cap);
+        }
+        if let Some(cap) = budget.max_lp_calls {
+            limits.max_lp_calls = limits.max_lp_calls.min(cap);
+        }
+        limits
+    }
+}
+
+impl Solver for MdrrrSolver {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Mdrrr
+    }
+
+    fn solve_rrm(
+        &self,
+        data: &Dataset,
+        r: usize,
+        space: &dyn UtilitySpace,
+        budget: &Budget,
+    ) -> Result<Solution, RrmError> {
+        // The underlying enumeration has no restricted-space mode; guard
+        // here so a direct trait call cannot silently ignore the space.
+        self.ensure_supported(data, space)?;
+        mdrrr_rrm(data, r, self.budgeted(budget))
+    }
+
+    fn solve_rrr(
+        &self,
+        data: &Dataset,
+        k: usize,
+        space: &dyn UtilitySpace,
+        budget: &Budget,
+    ) -> Result<Solution, RrmError> {
+        self.ensure_supported(data, space)?;
+        mdrrr(data, k, self.budgeted(budget))
+    }
+}
+
+/// **MDRRRr** (Asudeh et al.): randomized k-set discovery — restricted
+/// spaces yes, guarantee no.
+#[derive(Debug, Clone, Default)]
+pub struct MdrrrRSolver {
+    pub options: MdrrrROptions,
+}
+
+impl MdrrrRSolver {
+    pub fn new(options: MdrrrROptions) -> Self {
+        Self { options }
+    }
+
+    fn budgeted(&self, budget: &Budget) -> MdrrrROptions {
+        let mut options = self.options;
+        if let Some(m) = budget.samples {
+            options.samples = m;
+        }
+        options
+    }
+}
+
+impl Solver for MdrrrRSolver {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::MdrrrR
+    }
+
+    fn solve_rrm(
+        &self,
+        data: &Dataset,
+        r: usize,
+        space: &dyn UtilitySpace,
+        budget: &Budget,
+    ) -> Result<Solution, RrmError> {
+        mdrrr_r_rrm(data, r, space, self.budgeted(budget))
+    }
+
+    fn solve_rrr(
+        &self,
+        data: &Dataset,
+        k: usize,
+        space: &dyn UtilitySpace,
+        budget: &Budget,
+    ) -> Result<Solution, RrmError> {
+        mdrrr_r(data, k, space, self.budgeted(budget))
+    }
+}
+
+/// **MDRC** (Asudeh et al.): recursive angle-space partitioning — fast,
+/// no certificate, full space only, and no native RRR mode (the
+/// representative direction falls back to [`rrr_via_rrm_search`]).
+#[derive(Debug, Clone, Default)]
+pub struct MdrcSolver {
+    pub options: MdrcOptions,
+}
+
+impl MdrcSolver {
+    pub fn new(options: MdrcOptions) -> Self {
+        Self { options }
+    }
+}
+
+impl Solver for MdrcSolver {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Mdrc
+    }
+
+    fn solve_rrm(
+        &self,
+        data: &Dataset,
+        r: usize,
+        space: &dyn UtilitySpace,
+        _budget: &Budget,
+    ) -> Result<Solution, RrmError> {
+        mdrc(data, r, space, self.options)
+    }
+
+    fn solve_rrr(
+        &self,
+        data: &Dataset,
+        k: usize,
+        space: &dyn UtilitySpace,
+        budget: &Budget,
+    ) -> Result<Solution, RrmError> {
+        self.ensure_supported(data, space)?;
+        rrr_via_rrm_search(self, data, k, space, budget)
+    }
+}
+
+/// **MDRMS**: the regret-*ratio* (RMS) baseline — optimizes the wrong
+/// objective by design; included for the paper's comparison. No native
+/// RRR mode.
+#[derive(Debug, Clone, Default)]
+pub struct MdrmsSolver {
+    pub options: MdrmsOptions,
+}
+
+impl MdrmsSolver {
+    pub fn new(options: MdrmsOptions) -> Self {
+        Self { options }
+    }
+
+    fn budgeted(&self, budget: &Budget) -> MdrmsOptions {
+        let mut options = self.options;
+        if let Some(m) = budget.samples {
+            options.samples = m;
+        }
+        options
+    }
+}
+
+impl Solver for MdrmsSolver {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Mdrms
+    }
+
+    fn solve_rrm(
+        &self,
+        data: &Dataset,
+        r: usize,
+        space: &dyn UtilitySpace,
+        budget: &Budget,
+    ) -> Result<Solution, RrmError> {
+        mdrms(data, r, space, self.budgeted(budget))
+    }
+
+    fn solve_rrr(
+        &self,
+        data: &Dataset,
+        k: usize,
+        space: &dyn UtilitySpace,
+        budget: &Budget,
+    ) -> Result<Solution, RrmError> {
+        rrr_via_rrm_search(self, data, k, space, budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrm_core::{FullSpace, WeakRankingSpace};
+
+    fn small() -> Dataset {
+        rrm_data::synthetic::independent(120, 3, 7)
+    }
+
+    #[test]
+    fn hdrrm_solver_budget_maps_to_sample_override() {
+        let solver = HdrrmSolver::default();
+        let sol =
+            solver.solve_rrm(&small(), 8, &FullSpace::new(3), &Budget::with_samples(150)).unwrap();
+        assert_eq!(sol.algorithm, Algorithm::Hdrrm);
+        assert!(sol.size() <= 8);
+    }
+
+    #[test]
+    fn mdrrr_solver_rejects_restricted_space() {
+        let solver = MdrrrSolver::default();
+        let err = solver
+            .solve_rrm(&small(), 5, &WeakRankingSpace::new(3, 1), &Budget::default())
+            .unwrap_err();
+        assert!(matches!(err, RrmError::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn mdrc_solver_gains_rrr_through_search() {
+        let data = rrm_data::synthetic::independent(150, 3, 9);
+        let solver = MdrcSolver::default();
+        let sol =
+            solver.solve_rrr(&data, 20, &FullSpace::new(3), &Budget::with_samples(128)).unwrap();
+        assert_eq!(sol.algorithm, Algorithm::Mdrc);
+        assert!(sol.certified_regret.is_none(), "MDRC must not claim a certificate");
+        assert!(sol.size() >= 1);
+    }
+
+    #[test]
+    fn mdrms_solver_runs_both_directions() {
+        let data = rrm_data::synthetic::correlated(150, 3, 11);
+        let solver = MdrmsSolver::default();
+        let rrm =
+            solver.solve_rrm(&data, 6, &FullSpace::new(3), &Budget::with_samples(300)).unwrap();
+        assert!(rrm.size() <= 6);
+        let rrr =
+            solver.solve_rrr(&data, 30, &FullSpace::new(3), &Budget::with_samples(128)).unwrap();
+        assert_eq!(rrr.algorithm, Algorithm::Mdrms);
+    }
+
+    #[test]
+    fn capability_queries_mirror_the_enum() {
+        assert!(HdrrmSolver::default().has_regret_guarantee());
+        assert!(MdrrrSolver::default().has_regret_guarantee());
+        assert!(!MdrcSolver::default().has_regret_guarantee());
+        assert!(!MdrmsSolver::default().has_regret_guarantee());
+        assert!(MdrrrRSolver::default().supports_restricted_space());
+        assert!(!MdrcSolver::default().supports_restricted_space());
+    }
+}

@@ -50,9 +50,7 @@ fn ablation_lazy_greedy(c: &mut Criterion) {
         .collect();
     sets.push((0..universe as u32).collect());
     g.bench_function("lazy", |b| b.iter(|| black_box(greedy_set_cover(universe, &sets))));
-    g.bench_function("naive", |b| {
-        b.iter(|| black_box(naive_greedy_set_cover(universe, &sets)))
-    });
+    g.bench_function("naive", |b| b.iter(|| black_box(naive_greedy_set_cover(universe, &sets))));
     g.finish();
 }
 

@@ -15,8 +15,9 @@ use std::hint::black_box;
 use rrm_core::{FullSpace, WeakRankingSpace};
 use rrm_data::real_sim::{nba_sim, weather_sim};
 use rrm_data::synthetic::anticorrelated;
-use rrm_hd::{hdrrm, mdrc, mdrms, mdrrr_r_rrm, HdrrmOptions, MdrcOptions, MdrmsOptions,
-             MdrrrROptions};
+use rrm_hd::{
+    hdrrm, mdrc, mdrms, mdrrr_r_rrm, HdrrmOptions, MdrcOptions, MdrmsOptions, MdrrrROptions,
+};
 
 /// Bench-scale options: small fixed sample budgets so Criterion iterations
 /// stay in the tens of milliseconds.

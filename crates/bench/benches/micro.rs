@@ -75,9 +75,7 @@ fn bench_setcover(c: &mut Criterion) {
         })
         .collect();
     sets.push((0..universe as u32).collect());
-    g.bench_function("lazy_greedy", |b| {
-        b.iter(|| black_box(greedy_set_cover(universe, &sets)))
-    });
+    g.bench_function("lazy_greedy", |b| b.iter(|| black_box(greedy_set_cover(universe, &sets))));
     g.bench_function("naive_greedy", |b| {
         b.iter(|| black_box(naive_greedy_set_cover(universe, &sets)))
     });
@@ -104,8 +102,7 @@ fn bench_discretize(c: &mut Criterion) {
         let space = FullSpace::new(4);
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(6);
-            let v: Vec<Vec<f64>> =
-                (0..1000).map(|_| space.sample_direction(&mut rng)).collect();
+            let v: Vec<Vec<f64>> = (0..1000).map(|_| space.sample_direction(&mut rng)).collect();
             black_box(v)
         })
     });

@@ -12,23 +12,23 @@
 //! paper's C++/Core-i7 testbed; the *shape* of each series is the
 //! reproduction target (EXPERIMENTS.md records both).
 
-use bench::{measure, mdrc_options, timed, Outcome, Scale, SYNTHETICS};
-use rrm_2d::{rrm_2d, rrm_via_rrr_2d, Rrm2dOptions};
-use rrm_core::{Dataset, FullSpace, UtilitySpace, WeakRankingSpace};
+use bench::{measure_solver, timed, Outcome, Scale, SYNTHETICS};
+use rrm_2d::{Rrm2dOptions, TwoDRrmSolver};
+use rrm_core::{Algorithm, Budget, Dataset, FullSpace, UtilitySpace, WeakRankingSpace};
 use rrm_data::real_sim::{island_sim, nba_sim, weather_sim};
 use rrm_data::synthetic::lower_bound_arc;
 use rrm_eval::report::{render_table, size_tick, Series};
 use rrm_eval::{estimate_regret_ratio, exact_rank_regret_2d};
-use rrm_hd::{hdrrm, mdrc, mdrms, mdrrr_r_rrm, HdrrmOptions};
+use rrm_hd::{HdrrmOptions, HdrrmSolver};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).filter(|a| a != "--full").collect();
     let scale = Scale::from_args();
     let id = args.first().map(String::as_str).unwrap_or("help");
     let all: Vec<&str> = vec![
-        "table1", "table2", "table3", "theorem2", "fig09", "fig10", "fig11", "fig12",
-        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
-        "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28", "ablation",
+        "table1", "table2", "table3", "theorem2", "fig09", "fig10", "fig11", "fig12", "fig13",
+        "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
+        "fig24", "fig25", "fig26", "fig27", "fig28", "ablation",
     ];
     match id {
         "all" => {
@@ -103,12 +103,17 @@ fn table1() {
         let ratio = estimate_regret_ratio(&data, &[i], &FullSpace::new(2), 50_000, 1).max_ratio;
         println!("{:>4} {:>6.2} {:>6.2} {:>11} {:>12.0}%", i + 1, row[0], row[1], k, 100.0 * ratio);
     }
-    let rrm = rrm_2d(&data, 1, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
-    let rms = mdrms(&data, 1, &FullSpace::new(2), Scale::Full.mdrms()).unwrap();
+    let engine = Scale::Full.engine();
+    let exact = engine.solver(Algorithm::TwoDRrm).expect("registered");
+    let rms_solver = engine.solver(Algorithm::Mdrms).expect("registered");
+    let space = FullSpace::new(2);
+    let budget = Budget::UNLIMITED;
+    let rrm = exact.solve_rrm(&data, 1, &space, &budget).unwrap();
+    let rms = rms_solver.solve_rrm(&data, 1, &space, &budget).unwrap();
     println!("\nr = 1 choices: RRM -> t{}, RMS -> t{}", rrm.indices[0] + 1, rms.indices[0] + 1);
     let shifted = data.shift(&[0.0, 4.0]);
-    let rrm_s = rrm_2d(&shifted, 1, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
-    let rms_s = mdrms(&shifted, 1, &FullSpace::new(2), Scale::Full.mdrms()).unwrap();
+    let rrm_s = exact.solve_rrm(&shifted, 1, &space, &budget).unwrap();
+    let rms_s = rms_solver.solve_rrm(&shifted, 1, &space, &budget).unwrap();
     println!(
         "after A2 += 4:  RRM -> t{} (invariant), RMS -> t{} (changed)",
         rrm_s.indices[0] + 1,
@@ -130,11 +135,8 @@ fn table2() {
         println!("after {label}:");
         for i in 0..3 {
             for j in 1..=2 {
-                let chain: Vec<String> = m
-                    .chain_lines(i, j)
-                    .iter()
-                    .map(|l| format!("l{}", l + 1))
-                    .collect();
+                let chain: Vec<String> =
+                    m.chain_lines(i, j).iter().map(|l| format!("l{}", l + 1)).collect();
                 print!("  M[{},{j}] = {{{}}},{}", i + 1, chain.join(","), m.cell(i, j).rank);
             }
             println!();
@@ -156,10 +158,7 @@ fn table2() {
 /// scalability from measurement).
 fn table3() {
     use rrm_core::Algorithm::*;
-    println!(
-        "{:<26} {:>7} {:>8} {:>6} {:>6}",
-        "criterion", "MDRRR", "MDRRRr", "MDRC", "HDRRM"
-    );
+    println!("{:<26} {:>7} {:>8} {:>6} {:>6}", "criterion", "MDRRR", "MDRRRr", "MDRC", "HDRRM");
     let yes_no = |b: bool| if b { "Yes" } else { "No" };
     println!(
         "{:<26} {:>7} {:>8} {:>6} {:>6}",
@@ -177,23 +176,19 @@ fn table3() {
         yes_no(Mdrc.supports_restricted_space()),
         yes_no(Hdrrm.supports_restricted_space()),
     );
-    println!(
-        "{:<26} {:>7} {:>8} {:>6} {:>6}",
-        "scalable for large n, d", "No", "No", "Yes", "Yes"
-    );
-    println!(
-        "{:<26} {:>7} {:>8} {:>6} {:>6}",
-        "acceptable rank-regret", "Yes", "Yes", "No", "Yes"
-    );
+    println!("{:<26} {:>7} {:>8} {:>6} {:>6}", "scalable for large n, d", "No", "No", "Yes", "Yes");
+    println!("{:<26} {:>7} {:>8} {:>6} {:>6}", "acceptable rank-regret", "Yes", "Yes", "No", "Yes");
     println!("(first two rows are encoded in rrm_core::Algorithm and unit-tested)");
 }
 
 /// Theorem 2: the arc construction's optimal regret vs the Ω(n/r) bound.
 fn theorem2() {
     println!("{:>8} {:>4} {:>14} {:>14}", "n", "r", "optimal regret", "n/(2(r+1))");
+    let engine = Scale::Full.engine();
+    let exact = engine.solver(Algorithm::TwoDRrm).expect("registered");
     for &(n, r) in &[(200usize, 3usize), (400, 4), (800, 5), (1600, 5)] {
         let data = lower_bound_arc(n, 2);
-        let sol = rrm_2d(&data, r, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+        let sol = exact.solve_rrm(&data, r, &FullSpace::new(2), &Budget::UNLIMITED).unwrap();
         println!(
             "{:>8} {:>4} {:>14} {:>14}",
             n,
@@ -207,8 +202,13 @@ fn theorem2() {
 // ---------------------------------------------------------------- 2D ----
 
 fn two_d_rows(data: &Dataset, r: usize) -> (f64, f64, usize, usize) {
-    let (a, ta) = timed(|| rrm_2d(data, r, &FullSpace::new(2), Rrm2dOptions::default()).unwrap());
-    let (b, tb) = timed(|| rrm_via_rrr_2d(data, r, &FullSpace::new(2)).unwrap());
+    let space = FullSpace::new(2);
+    let budget = Budget::UNLIMITED;
+    let engine = Scale::Full.engine();
+    let exact = engine.solver(Algorithm::TwoDRrm).expect("registered");
+    let baseline = engine.solver(Algorithm::TwoDRrr).expect("registered");
+    let (a, ta) = timed(|| exact.solve_rrm(data, r, &space, &budget).unwrap());
+    let (b, tb) = timed(|| baseline.solve_rrm(data, r, &space, &budget).unwrap());
     let exact_b = exact_rank_regret_2d(data, &b.indices, 0.0, 1.0).0;
     (ta, tb, a.certified_regret.unwrap(), exact_b)
 }
@@ -302,45 +302,24 @@ fn fig12(scale: Scale) {
 
 // ---------------------------------------------------------------- HD ----
 
-struct HdRoster {
-    hdrrm: bool,
-    mdrrr_r: bool,
-    mdrc: bool,
-    mdrms: bool,
-}
-
-/// One HD experiment row: run the roster on `data`, report times+regrets.
-#[allow(clippy::too_many_arguments)]
+/// One HD experiment row: run the roster on `data` through the [`Solver`]
+/// trait, report times+regrets.
 fn hd_row(
     data: &Dataset,
     r: usize,
     space: &dyn UtilitySpace,
     scale: Scale,
-    roster: &HdRoster,
+    roster: &[Algorithm],
 ) -> Vec<Outcome> {
-    let mut out = Vec::new();
     let samples = scale.eval_samples();
-    if roster.hdrrm {
-        out.push(measure("HDRRM", data, space, samples, || {
-            hdrrm(data, r, space, scale.hdrrm()).unwrap()
-        }));
-    }
-    if roster.mdrrr_r {
-        out.push(measure("MDRRRr", data, space, samples, || {
-            mdrrr_r_rrm(data, r, space, scale.mdrrr_r()).unwrap()
-        }));
-    }
-    if roster.mdrc {
-        out.push(measure("MDRC", data, space, samples, || {
-            mdrc(data, r, space, mdrc_options()).unwrap()
-        }));
-    }
-    if roster.mdrms {
-        out.push(measure("MDRMS", data, space, samples, || {
-            mdrms(data, r, space, scale.mdrms()).unwrap()
-        }));
-    }
-    out
+    let engine = scale.engine();
+    roster
+        .iter()
+        .map(|&algo| {
+            let solver = engine.solver(algo).expect("every algorithm is registered");
+            measure_solver(solver, data, r, space, samples)
+        })
+        .collect()
 }
 
 fn print_hd_table(x_label: &str, ticks: &[String], rows: &[Vec<Outcome>]) {
@@ -414,8 +393,11 @@ fn fig_hd_vs_n(id: &str, scale: Scale) {
         // MDRRRr does not scale (the paper stops it at 10K anti / 100K
         // others); mirror that cut-off.
         let mdrrr_cap = if name == "anti-correlated" { 10_000 } else { 100_000 };
-        let roster =
-            HdRoster { hdrrm: true, mdrrr_r: n <= mdrrr_cap, mdrc: true, mdrms: true };
+        let mut roster = vec![Algorithm::Hdrrm];
+        if n <= mdrrr_cap {
+            roster.push(Algorithm::MdrrrR);
+        }
+        roster.extend([Algorithm::Mdrc, Algorithm::Mdrms]);
         rows.push(hd_row(&data, 10, &FullSpace::new(4), scale, &roster));
     }
     println!("[{name}] d = 4, r = 10");
@@ -435,8 +417,11 @@ fn fig_hd_vs_d(id: &str, scale: Scale) {
     for &d in &ds {
         let data = gen(n, d, 16);
         let mdrrr_cap = if name == "anti-correlated" { 4 } else { 5 };
-        let roster =
-            HdRoster { hdrrm: true, mdrrr_r: d <= mdrrr_cap, mdrc: true, mdrms: true };
+        let mut roster = vec![Algorithm::Hdrrm];
+        if d <= mdrrr_cap {
+            roster.push(Algorithm::MdrrrR);
+        }
+        roster.extend([Algorithm::Mdrc, Algorithm::Mdrms]);
         rows.push(hd_row(&data, 10, &FullSpace::new(d), scale, &roster));
     }
     println!("[{name}] n = {}, r = 10", size_tick(n));
@@ -454,8 +439,8 @@ fn fig_hd_vs_r(id: &str, scale: Scale) {
     let ticks: Vec<String> = rs.iter().map(|r| r.to_string()).collect();
     let data = gen(n, 4, 19);
     let mut rows = Vec::new();
+    let roster = [Algorithm::Hdrrm, Algorithm::MdrrrR, Algorithm::Mdrc, Algorithm::Mdrms];
     for &r in &rs {
-        let roster = HdRoster { hdrrm: true, mdrrr_r: true, mdrc: true, mdrms: true };
         rows.push(hd_row(&data, r, &FullSpace::new(4), scale, &roster));
     }
     println!("[{name}] n = {}, d = 4", size_tick(n));
@@ -476,10 +461,8 @@ fn fig_hd_vs_delta(id: &str, scale: Scale) {
     let mut reg = Series::new("HDRRM regret");
     let mut m_col = Series::new("sample size m");
     for &delta in &deltas {
-        let opts = HdrrmOptions { delta, ..Default::default() };
-        let o = measure("HDRRM", &data, &FullSpace::new(4), scale.eval_samples(), || {
-            hdrrm(&data, 10, &FullSpace::new(4), opts).unwrap()
-        });
+        let solver = HdrrmSolver::new(HdrrmOptions { delta, ..Default::default() });
+        let o = measure_solver(&solver, &data, 10, &FullSpace::new(4), scale.eval_samples());
         time.push(o.seconds);
         reg.push(o.regret as f64);
         m_col.push(rrm_hd::paper_sample_size(n, 10, 4, delta) as f64);
@@ -499,8 +482,10 @@ fn fig25(scale: Scale) {
     let mut rows = Vec::new();
     for &n in ns {
         let data = rrm_data::synthetic::anticorrelated(n, 4, 25);
-        let roster =
-            HdRoster { hdrrm: true, mdrrr_r: n <= 100_000, mdrc: false, mdrms: false };
+        let mut roster = vec![Algorithm::Hdrrm];
+        if n <= 100_000 {
+            roster.push(Algorithm::MdrrrR);
+        }
         rows.push(hd_row(&data, 10, &space, scale, &roster));
     }
     println!("[anti-correlated, RRRM weak ranking c=2] d = 4, r = 10");
@@ -519,7 +504,10 @@ fn fig26(scale: Scale) {
     for &d in &ds {
         let data = rrm_data::synthetic::anticorrelated(n, d, 26);
         let space = WeakRankingSpace::new(d, 2);
-        let roster = HdRoster { hdrrm: true, mdrrr_r: d <= 5, mdrc: false, mdrms: false };
+        let mut roster = vec![Algorithm::Hdrrm];
+        if d <= 5 {
+            roster.push(Algorithm::MdrrrR);
+        }
         rows.push(hd_row(&data, 10, &space, scale, &roster));
     }
     println!("[anti-correlated, RRRM weak ranking c=2] n = {}, r = 10", size_tick(n));
@@ -536,7 +524,7 @@ fn fig27(scale: Scale) {
     let mut rows = Vec::new();
     for &n in ns {
         let data = nba_sim(n, 5, 27);
-        let roster = HdRoster { hdrrm: true, mdrrr_r: true, mdrc: true, mdrms: true };
+        let roster = [Algorithm::Hdrrm, Algorithm::MdrrrR, Algorithm::Mdrc, Algorithm::Mdrms];
         rows.push(hd_row(&data, 10, &FullSpace::new(5), scale, &roster));
     }
     println!("[nba-like] d = 5, r = 10");
@@ -553,7 +541,7 @@ fn fig28(scale: Scale) {
     let mut rows = Vec::new();
     for &n in ns {
         let data = weather_sim(n, 4, 28);
-        let roster = HdRoster { hdrrm: true, mdrrr_r: false, mdrc: true, mdrms: true };
+        let roster = [Algorithm::Hdrrm, Algorithm::Mdrc, Algorithm::Mdrms];
         rows.push(hd_row(&data, 10, &FullSpace::new(4), scale, &roster));
     }
     println!("[weather-like] d = 4, r = 10");
@@ -579,14 +567,8 @@ fn ablation(scale: Scale) {
         ("gamma=2", m_default, 2),
         ("gamma=10", m_default, 10),
     ] {
-        let opts = HdrrmOptions {
-            m_override: Some(m),
-            gamma,
-            ..scale.hdrrm()
-        };
-        let o = measure("HDRRM", &data, &FullSpace::new(4), samples, || {
-            hdrrm(&data, 10, &FullSpace::new(4), opts).unwrap()
-        });
+        let solver = HdrrmSolver::new(HdrrmOptions { m_override: Some(m), gamma, ..scale.hdrrm() });
+        let o = measure_solver(&solver, &data, 10, &FullSpace::new(4), samples);
         labels.push(label.to_string());
         time.push(o.seconds);
         reg.push(o.regret as f64);
@@ -601,10 +583,8 @@ fn ablation(scale: Scale) {
     let mut time = Series::new("time(s)");
     let mut reg = Series::new("regret");
     for (label, basis) in [("with basis (paper)", true), ("without basis", false)] {
-        let opts = HdrrmOptions { include_basis: basis, ..scale.hdrrm() };
-        let o = measure("HDRRM", &data_b, &FullSpace::new(4), samples, || {
-            hdrrm(&data_b, 10, &FullSpace::new(4), opts).unwrap()
-        });
+        let solver = HdrrmSolver::new(HdrrmOptions { include_basis: basis, ..scale.hdrrm() });
+        let o = measure_solver(&solver, &data_b, 10, &FullSpace::new(4), samples);
         labels.push(label.to_string());
         time.push(o.seconds);
         reg.push(o.regret as f64);
@@ -618,10 +598,8 @@ fn ablation(scale: Scale) {
     let mut time = Series::new("time(s)");
     let mut reg = Series::new("regret");
     for (label, sky) in [("skyline candidates", true), ("all candidates", false)] {
-        let opts = HdrrmOptions { skyline_candidates: sky, ..scale.hdrrm() };
-        let o = measure("HDRRM", &data, &FullSpace::new(4), samples, || {
-            hdrrm(&data, 10, &FullSpace::new(4), opts).unwrap()
-        });
+        let solver = HdrrmSolver::new(HdrrmOptions { skyline_candidates: sky, ..scale.hdrrm() });
+        let o = measure_solver(&solver, &data, 10, &FullSpace::new(4), samples);
         labels.push(label.to_string());
         time.push(o.seconds);
         reg.push(o.regret as f64);
@@ -635,10 +613,9 @@ fn ablation(scale: Scale) {
     let mut time = Series::new("time(s)");
     let mut reg = Series::new("regret");
     for (label, full) in [("skyline-crossing stream", false), ("full arrangement sweep", true)] {
-        let opts = Rrm2dOptions { use_full_sweep: full, ..Default::default() };
-        let o = measure("2DRRM", &data, &FullSpace::new(2), samples, || {
-            rrm_2d(&data, 5, &FullSpace::new(2), opts).unwrap()
-        });
+        let solver =
+            TwoDRrmSolver::new(Rrm2dOptions { use_full_sweep: full, ..Default::default() });
+        let o = measure_solver(&solver, &data, 5, &FullSpace::new(2), samples);
         labels.push(label.to_string());
         time.push(o.seconds);
         reg.push(o.regret as f64);

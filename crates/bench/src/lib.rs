@@ -3,13 +3,15 @@
 //! The `repro` binary (`cargo run --release -p bench --bin repro -- <id>`)
 //! regenerates each table/figure of the paper; this library holds the
 //! pieces shared between it and the Criterion benches: timed runs, the
-//! algorithm roster, and sweep configuration for quick vs full mode.
+//! algorithm roster — resolved through the [`Solver`] trait, so the
+//! harness never calls algorithm crates directly — and sweep
+//! configuration for quick vs full mode.
 
 use std::time::Instant;
 
-use rrm_core::{Dataset, Solution, UtilitySpace};
-use rrm_eval::estimate_rank_regret;
-use rrm_hd::{HdrrmOptions, MdrcOptions, MdrmsOptions, MdrrrROptions};
+use rank_regret::{Engine, Tuning};
+use rrm_core::{Budget, Dataset, Solver, UtilitySpace};
+use rrm_hd::{HdrrmOptions, MdrmsOptions, MdrrrROptions};
 
 /// One measured run of one algorithm.
 #[derive(Debug, Clone)]
@@ -70,6 +72,18 @@ impl Scale {
             Scale::Full => MdrmsOptions { samples: 5_000, ..Default::default() },
         }
     }
+
+    /// The scale-tuned [`Engine`] — the harness resolves every algorithm
+    /// through its registry, so solver construction/dispatch stays defined
+    /// in one place (`Engine::with_tuning`).
+    pub fn engine(self) -> Engine {
+        Engine::with_tuning(&Tuning {
+            hdrrm: self.hdrrm(),
+            mdrrr_r: self.mdrrr_r(),
+            mdrms: self.mdrms(),
+            ..Default::default()
+        })
+    }
 }
 
 /// Time a closure.
@@ -79,29 +93,28 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (v, start.elapsed().as_secs_f64())
 }
 
-/// Run a solver closure and measure its output quality over `space`.
-pub fn measure(
-    algorithm: &'static str,
+/// Run one RRM query through the [`Solver`] trait and measure its output
+/// quality over `space`. Thin harness adapter over
+/// [`rrm_eval::evaluate_rrm`] — the measurement logic lives there, this
+/// just maps it onto [`Outcome`] and panics on solver errors (a failing
+/// roster entry should abort the experiment loudly).
+pub fn measure_solver(
+    solver: &dyn Solver,
     data: &Dataset,
+    r: usize,
     space: &dyn UtilitySpace,
     eval_samples: usize,
-    solve: impl FnOnce() -> Solution,
 ) -> Outcome {
-    let (sol, seconds) = timed(solve);
-    let regret =
-        estimate_rank_regret(data, &sol.indices, space, eval_samples, 0xE7A1).max_rank;
+    let report =
+        rrm_eval::evaluate_rrm(solver, data, r, space, &Budget::UNLIMITED, eval_samples, 0xE7A1)
+            .unwrap_or_else(|e| panic!("{}: {e}", solver.name()));
     Outcome {
-        algorithm,
-        seconds,
-        regret,
-        certified: sol.certified_regret,
-        size: sol.size(),
+        algorithm: solver.name(),
+        seconds: report.seconds,
+        regret: report.estimated_regret,
+        certified: report.certified_regret,
+        size: report.size,
     }
-}
-
-/// MDRC options shared by the harness (defaults).
-pub fn mdrc_options() -> MdrcOptions {
-    MdrcOptions::default()
 }
 
 /// A seeded synthetic generator `(n, d, seed) -> Dataset`.
@@ -127,16 +140,24 @@ mod tests {
     }
 
     #[test]
-    fn measure_records_everything() {
+    fn measure_solver_goes_through_the_trait() {
         let data = rrm_data::synthetic::independent(100, 2, 0);
-        let out = measure("2DRRM", &data, &FullSpace::new(2), 500, || {
-            rrm_2d::rrm_2d(&data, 3, &FullSpace::new(2), rrm_2d::Rrm2dOptions::default())
-                .unwrap()
-        });
+        let engine = Scale::Quick.engine();
+        let solver = engine.solver(rrm_core::Algorithm::TwoDRrm).unwrap();
+        let out = measure_solver(solver, &data, 3, &FullSpace::new(2), 500);
         assert_eq!(out.algorithm, "2DRRM");
         assert!(out.size <= 3);
         assert!(out.certified.is_some());
         assert!(out.regret >= 1);
+    }
+
+    #[test]
+    fn scale_engine_resolves_every_algorithm() {
+        let engine = Scale::Quick.engine();
+        for algo in rrm_core::Algorithm::ALL {
+            let solver = engine.solver(algo).unwrap_or_else(|| panic!("{algo} missing"));
+            assert_eq!(solver.algorithm(), algo);
+        }
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub enum RrmError {
     InvalidSpace(String),
     /// An algorithm-specific precondition failed.
     Unsupported(String),
+    /// A solver violated its own contract (empty output, out-of-range
+    /// index, ...). Surfaced as an error instead of a panic so a
+    /// misbehaving baseline cannot crash the engine.
+    Internal(String),
 }
 
 impl fmt::Display for RrmError {
@@ -34,6 +38,7 @@ impl fmt::Display for RrmError {
             }
             RrmError::InvalidSpace(msg) => write!(f, "invalid utility space: {msg}"),
             RrmError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            RrmError::Internal(msg) => write!(f, "internal solver error: {msg}"),
         }
     }
 }
@@ -56,6 +61,7 @@ mod tests {
         assert!(RrmError::InvalidSpace("empty cone".into()).to_string().contains("empty cone"));
         assert!(RrmError::NonFiniteValue(f64::NAN).to_string().contains("non-finite"));
         assert!(RrmError::Unsupported("x".into()).to_string().contains("unsupported"));
+        assert!(RrmError::Internal("empty set".into()).to_string().contains("empty set"));
     }
 
     #[test]

@@ -33,11 +33,12 @@
 //! ```
 
 pub mod basis;
-pub mod sampling;
 pub mod dataset;
 pub mod error;
 pub mod problem;
 pub mod rank;
+pub mod sampling;
+pub mod solver;
 pub mod space;
 pub mod utility;
 
@@ -45,7 +46,9 @@ pub use basis::basis_indices;
 pub use dataset::Dataset;
 pub use error::RrmError;
 pub use problem::{Algorithm, RrmProblem, RrrProblem, Solution};
+pub use solver::{
+    rrr_via_rrm_search, BruteForceOptions, BruteForceSolver, Budget, DimRange, Solver,
+};
 pub use space::{
-    BiasedOrthantSpace, BoxSpace, ConeSpace, FullSpace, SphereCap, UtilitySpace,
-    WeakRankingSpace,
+    BiasedOrthantSpace, BoxSpace, ConeSpace, FullSpace, SphereCap, UtilitySpace, WeakRankingSpace,
 };

@@ -5,6 +5,8 @@
 //! reports back.
 
 use crate::dataset::Dataset;
+use crate::error::RrmError;
+use crate::solver::DimRange;
 
 /// The rank-regret *minimization* problem (Definition 3 / 4): find a set of
 /// at most `r` tuples minimizing `∇U(S)`.
@@ -44,6 +46,36 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
+    /// Every variant, in the paper's presentation order. The engine
+    /// registry and the CLI `--algo` flag iterate this list.
+    pub const ALL: [Algorithm; 8] = [
+        Algorithm::TwoDRrm,
+        Algorithm::TwoDRrr,
+        Algorithm::Hdrrm,
+        Algorithm::Mdrrr,
+        Algorithm::MdrrrR,
+        Algorithm::Mdrc,
+        Algorithm::Mdrms,
+        Algorithm::BruteForce,
+    ];
+
+    /// Parse a user-facing algorithm name (case-insensitive; `-`/`_`
+    /// ignored, so `mdrrr-r` and `MDRRRr` both resolve). The error lists
+    /// every valid name, so a typo on the CLI is self-correcting.
+    pub fn from_name(name: &str) -> Result<Algorithm, RrmError> {
+        let canon = |s: &str| -> String {
+            s.chars().filter(|c| *c != '-' && *c != '_').collect::<String>().to_lowercase()
+        };
+        let wanted = canon(name);
+        Algorithm::ALL.into_iter().find(|a| canon(a.name()) == wanted).ok_or_else(|| {
+            let valid: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+            RrmError::Unsupported(format!(
+                "unknown algorithm {name:?}; valid names: {}",
+                valid.join(", ")
+            ))
+        })
+    }
+
     pub fn name(self) -> &'static str {
         match self {
             Algorithm::TwoDRrm => "2DRRM",
@@ -78,6 +110,17 @@ impl Algorithm {
                 | Algorithm::BruteForce
         )
     }
+
+    /// Dataset dimensionalities the algorithm accepts: the 2D algorithms
+    /// are exact-but-planar, everything else needs `d ≥ 2`, and brute
+    /// force works from `d = 1` up (on tiny inputs).
+    pub fn supported_dims(self) -> DimRange {
+        match self {
+            Algorithm::TwoDRrm | Algorithm::TwoDRrr => DimRange::exactly(2),
+            Algorithm::BruteForce => DimRange::at_least(1),
+            _ => DimRange::at_least(2),
+        }
+    }
 }
 
 impl std::fmt::Display for Algorithm {
@@ -105,20 +148,29 @@ pub struct Solution {
 impl Solution {
     /// Normalize and validate a raw index list against a dataset.
     ///
-    /// # Panics
-    /// Panics when `indices` is empty or out of range (solver bug).
+    /// A violation (empty output, out-of-range index) is a solver bug; it
+    /// surfaces as [`RrmError::Internal`] so a misbehaving baseline
+    /// reports an error through the facade instead of crashing it.
     pub fn new(
         mut indices: Vec<u32>,
         certified_regret: Option<usize>,
         algorithm: Algorithm,
         data: &Dataset,
-    ) -> Self {
-        assert!(!indices.is_empty(), "solvers must return at least one tuple");
+    ) -> Result<Self, RrmError> {
+        if indices.is_empty() {
+            return Err(RrmError::Internal(format!(
+                "{algorithm} returned an empty representative set"
+            )));
+        }
         indices.sort_unstable();
         indices.dedup();
         let n = data.n() as u32;
-        assert!(indices.iter().all(|&i| i < n), "solution index out of range");
-        Self { indices, certified_regret, algorithm }
+        if let Some(&bad) = indices.iter().find(|&&i| i >= n) {
+            return Err(RrmError::Internal(format!(
+                "{algorithm} returned tuple index {bad}, out of range for n = {n}"
+            )));
+        }
+        Ok(Self { indices, certified_regret, algorithm })
     }
 
     /// Number of tuples in the representative set.
@@ -149,27 +201,49 @@ mod tests {
 
     #[test]
     fn solution_normalizes_indices() {
-        let s = Solution::new(vec![2, 0, 2], Some(1), Algorithm::TwoDRrm, &data());
+        let s = Solution::new(vec![2, 0, 2], Some(1), Algorithm::TwoDRrm, &data()).unwrap();
         assert_eq!(s.indices, vec![0, 2]);
         assert_eq!(s.size(), 2);
         assert_eq!(s.algorithm.name(), "2DRRM");
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
     fn solution_rejects_bad_index() {
-        Solution::new(vec![5], None, Algorithm::Mdrc, &data());
+        let err = Solution::new(vec![5], None, Algorithm::Mdrc, &data()).unwrap_err();
+        assert!(matches!(&err, RrmError::Internal(msg) if msg.contains("out of range")), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "at least one tuple")]
     fn solution_rejects_empty() {
-        Solution::new(vec![], None, Algorithm::Mdrc, &data());
+        let err = Solution::new(vec![], None, Algorithm::Mdrc, &data()).unwrap_err();
+        assert!(matches!(&err, RrmError::Internal(msg) if msg.contains("empty")), "{err}");
+    }
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for a in Algorithm::ALL {
+            assert_eq!(Algorithm::from_name(a.name()).unwrap(), a);
+            assert_eq!(Algorithm::from_name(&a.name().to_lowercase()).unwrap(), a);
+        }
+        assert_eq!(Algorithm::from_name("mdrrr-r").unwrap(), Algorithm::MdrrrR);
+        assert_eq!(Algorithm::from_name("brute_force").unwrap(), Algorithm::BruteForce);
+        let err = Algorithm::from_name("mdrx").unwrap_err();
+        assert!(err.to_string().contains("valid names"), "{err}");
+        assert!(err.to_string().contains("MDRC"), "{err}");
+    }
+
+    #[test]
+    fn supported_dims_match_table() {
+        assert!(Algorithm::TwoDRrm.supported_dims().contains(2));
+        assert!(!Algorithm::TwoDRrm.supported_dims().contains(3));
+        assert!(Algorithm::Hdrrm.supported_dims().contains(6));
+        assert!(!Algorithm::Hdrrm.supported_dims().contains(1));
+        assert!(Algorithm::BruteForce.supported_dims().contains(1));
     }
 
     #[test]
     fn materialize_and_percent() {
-        let s = Solution::new(vec![1], Some(3), Algorithm::Hdrrm, &data());
+        let s = Solution::new(vec![1], Some(3), Algorithm::Hdrrm, &data()).unwrap();
         let m = s.materialize(&data());
         assert_eq!(m.n(), 1);
         assert_eq!(m.row(0), &[0.5, 0.5]);

@@ -1,0 +1,507 @@
+//! The shared solver contract: every rank-regret algorithm in the
+//! workspace — the paper's 2DRRM/HDRRM and the Table III baselines —
+//! implements [`Solver`], so engines, benchmarks and tests can treat
+//! "an algorithm" as a value.
+//!
+//! The trait folds in the capability matrix that used to live only on
+//! [`Algorithm`]: whether the solver certifies a rank-regret bound,
+//! whether it accepts restricted utility spaces (the RRRM variant), and
+//! which dataset dimensionalities it handles. Callers check capabilities
+//! through [`Solver::ensure_supported`] and get a uniform
+//! [`RrmError::Unsupported`] instead of per-algorithm ad-hoc failures.
+//!
+//! [`Budget`] is the cross-algorithm resource knob: each solver maps the
+//! caps onto its own machinery (k-set enumeration limits, LP call limits,
+//! sampled-direction counts) and ignores the ones that do not apply.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+use crate::error::RrmError;
+use crate::problem::{Algorithm, Solution};
+use crate::rank;
+use crate::space::UtilitySpace;
+
+/// The dataset dimensionalities a solver accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DimRange {
+    /// Smallest accepted `d`.
+    pub min: usize,
+    /// Largest accepted `d` (`None` = unbounded).
+    pub max: Option<usize>,
+}
+
+impl DimRange {
+    pub const fn exactly(d: usize) -> Self {
+        Self { min: d, max: Some(d) }
+    }
+
+    pub const fn at_least(min: usize) -> Self {
+        Self { min, max: None }
+    }
+
+    pub fn contains(&self, d: usize) -> bool {
+        d >= self.min && self.max.is_none_or(|m| d <= m)
+    }
+}
+
+impl std::fmt::Display for DimRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.max {
+            Some(m) if m == self.min => write!(f, "d = {}", self.min),
+            Some(m) => write!(f, "{} <= d <= {}", self.min, m),
+            None => write!(f, "d >= {}", self.min),
+        }
+    }
+}
+
+/// Cross-algorithm resource budget. `Default` means unlimited: each
+/// solver falls back to its own options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Cap on enumerated candidate structures (k-sets, partition cells).
+    pub max_enumerations: Option<usize>,
+    /// Cap on LP feasibility checks.
+    pub max_lp_calls: Option<usize>,
+    /// Override for sampled-direction counts in randomized solvers
+    /// (HDRRM's `|Da|`, MDRRRr/MDRMS direction samples).
+    pub samples: Option<usize>,
+}
+
+impl Budget {
+    pub const UNLIMITED: Budget =
+        Budget { max_enumerations: None, max_lp_calls: None, samples: None };
+
+    /// Budget with a sampled-direction override, the knob benchmarks use
+    /// most.
+    pub fn with_samples(samples: usize) -> Self {
+        Budget { samples: Some(samples), ..Budget::UNLIMITED }
+    }
+}
+
+/// A rank-regret algorithm as a value: both problem directions plus the
+/// capability queries of the paper's Table III.
+pub trait Solver: Send + Sync {
+    /// Which [`Algorithm`] this solver implements.
+    fn algorithm(&self) -> Algorithm;
+
+    /// Rank-regret *minimization* (RRM / RRRM): best set of ≤ `r` tuples.
+    fn solve_rrm(
+        &self,
+        data: &Dataset,
+        r: usize,
+        space: &dyn UtilitySpace,
+        budget: &Budget,
+    ) -> Result<Solution, RrmError>;
+
+    /// Rank-regret *representative* (RRR): smallest set with regret ≤ `k`.
+    fn solve_rrr(
+        &self,
+        data: &Dataset,
+        k: usize,
+        space: &dyn UtilitySpace,
+        budget: &Budget,
+    ) -> Result<Solution, RrmError>;
+
+    /// Display name (the paper's spelling, e.g. `MDRRRr`).
+    fn name(&self) -> &'static str {
+        self.algorithm().name()
+    }
+
+    /// Does the solver certify a rank-regret bound for its output?
+    fn has_regret_guarantee(&self) -> bool {
+        self.algorithm().has_regret_guarantee()
+    }
+
+    /// Can the solver handle restricted utility spaces (RRRM)?
+    fn supports_restricted_space(&self) -> bool {
+        self.algorithm().supports_restricted_space()
+    }
+
+    /// Accepted dataset dimensionalities.
+    fn supported_dims(&self) -> DimRange {
+        self.algorithm().supported_dims()
+    }
+
+    /// Uniform capability check: dimensionality and space restrictions.
+    /// Engines call this once before dispatch so every capability mismatch
+    /// surfaces as the same graceful [`RrmError::Unsupported`].
+    fn ensure_supported(&self, data: &Dataset, space: &dyn UtilitySpace) -> Result<(), RrmError> {
+        let dims = self.supported_dims();
+        if !dims.contains(data.dim()) {
+            return Err(RrmError::Unsupported(format!(
+                "{} requires {dims}, got d = {}",
+                self.name(),
+                data.dim()
+            )));
+        }
+        if space.dim() != data.dim() {
+            return Err(RrmError::DimensionMismatch { expected: data.dim(), got: space.dim() });
+        }
+        if !space.is_full() && !self.supports_restricted_space() {
+            return Err(RrmError::Unsupported(format!(
+                "{} does not support restricted utility spaces (Table III)",
+                self.name()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Generic RRR fallback for solvers with no native representative mode
+/// (MDRC, MDRMS): exponential-then-binary search over the size budget
+/// `r`, accepting the smallest `r` whose solution's rank-regret —
+/// *estimated* on a deterministic direction sample — meets the threshold.
+///
+/// The result inherits the inner solver's (lack of) certificate:
+/// `certified_regret` is `None`, because the estimate is not a guarantee.
+pub fn rrr_via_rrm_search(
+    solver: &dyn Solver,
+    data: &Dataset,
+    k: usize,
+    space: &dyn UtilitySpace,
+    budget: &Budget,
+) -> Result<Solution, RrmError> {
+    if k == 0 {
+        return Err(RrmError::Unsupported("rank-regret thresholds start at 1".into()));
+    }
+    let n = data.n();
+    let m = budget.samples.unwrap_or(512).max(1);
+    let mut rng = StdRng::seed_from_u64(0x5EA7C4);
+    let dirs: Vec<Vec<f64>> = (0..m).map(|_| space.sample_direction(&mut rng)).collect();
+    let estimate = |sol: &Solution| -> usize {
+        dirs.iter()
+            .map(|u| rank::rank_regret_of_set(data, u, &sol.indices))
+            .max()
+            .expect("at least one direction")
+    };
+    let attempt = |r: usize| -> Result<Option<(Solution, usize)>, RrmError> {
+        match solver.solve_rrm(data, r, space, budget) {
+            Ok(sol) => {
+                let est = estimate(&sol);
+                Ok(Some((sol, est)))
+            }
+            // "This r is below the solver's minimum output size" is an
+            // expected probe outcome; the search just moves to a larger r.
+            Err(RrmError::OutputSizeTooSmall { .. }) => Ok(None),
+            // Everything else — notably `Internal` contract violations —
+            // must surface, not be mistaken for infeasibility.
+            Err(e) => Err(e),
+        }
+    };
+
+    // Exponential phase: find any feasible size, remembering the largest
+    // size already proven infeasible so the binary phase does not re-probe
+    // below it (same scheme as `mdrrr_rrm` and `rrm_via_rrr_2d`).
+    let mut hi = 1usize;
+    let mut largest_infeasible = 0usize;
+    let mut feasible: Option<(usize, Solution)> = None;
+    loop {
+        if let Some((sol, est)) = attempt(hi)? {
+            if est <= k {
+                feasible = Some((hi, sol));
+                break;
+            }
+        }
+        if hi >= n {
+            break;
+        }
+        largest_infeasible = hi;
+        hi = (hi * 2).min(n);
+    }
+    let (mut hi, mut best) = match feasible {
+        Some((r, sol)) => (r, sol),
+        None => {
+            return Err(RrmError::Unsupported(format!(
+                "{} could not reach rank-regret <= {k} even with r = {n}",
+                solver.name()
+            )))
+        }
+    };
+
+    // Binary phase: shrink to the smallest feasible size.
+    let mut lo = largest_infeasible + 1;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match attempt(mid)? {
+            Some((sol, est)) if est <= k => {
+                hi = mid;
+                best = sol;
+            }
+            _ => lo = mid + 1,
+        }
+    }
+    Ok(best)
+}
+
+/// Options for [`BruteForceSolver`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BruteForceOptions {
+    /// Directions sampled to evaluate each candidate subset.
+    pub samples: usize,
+    /// RNG seed for the direction sample.
+    pub seed: u64,
+    /// Refuse datasets larger than this (subset enumeration blows up).
+    pub max_tuples: usize,
+}
+
+impl Default for BruteForceOptions {
+    fn default() -> Self {
+        Self { samples: 4096, seed: 0xB01_DFACE, max_tuples: 20 }
+    }
+}
+
+/// Exhaustive search over candidate subsets, the reference implementation
+/// behind tests and the parity harness. Exact over its sampled direction
+/// set; only usable on tiny datasets (`n ≤ max_tuples`).
+#[derive(Debug, Clone, Default)]
+pub struct BruteForceSolver {
+    pub options: BruteForceOptions,
+}
+
+impl BruteForceSolver {
+    /// Per-direction ranks of every tuple: `ranks[dir][tuple]`.
+    fn rank_table(&self, data: &Dataset, space: &dyn UtilitySpace, m: usize) -> Vec<Vec<usize>> {
+        let mut rng = StdRng::seed_from_u64(self.options.seed);
+        (0..m)
+            .map(|_| {
+                let u = space.sample_direction(&mut rng);
+                let scores = crate::utility::utilities(data, &u);
+                (0..data.n() as u32).map(|i| rank::rank_of_index(&scores, i)).collect()
+            })
+            .collect()
+    }
+
+    /// Best subset of size ≤ `r`: minimal worst-case (over directions)
+    /// best-member rank. Returns `(indices, regret)`.
+    fn best_subset(ranks: &[Vec<usize>], n: usize, r: usize) -> (Vec<u32>, usize) {
+        let r = r.min(n);
+        let mut best_set: Vec<u32> = Vec::new();
+        let mut best_regret = usize::MAX;
+        // Enumerate subsets of size exactly r (regret is monotone in set
+        // growth, so smaller subsets never beat the best r-subset).
+        let mut subset: Vec<u32> = (0..r as u32).collect();
+        loop {
+            let mut worst = 0usize;
+            for per_dir in ranks {
+                let best_rank = subset.iter().map(|&i| per_dir[i as usize]).min().expect("r >= 1");
+                worst = worst.max(best_rank);
+                if worst >= best_regret {
+                    break; // cannot beat the incumbent
+                }
+            }
+            if worst < best_regret {
+                best_regret = worst;
+                best_set = subset.clone();
+            }
+            // Next lexicographic r-combination of 0..n.
+            let mut i = r;
+            loop {
+                if i == 0 {
+                    return (best_set, best_regret);
+                }
+                i -= 1;
+                if (subset[i] as usize) < n - (r - i) {
+                    subset[i] += 1;
+                    for j in i + 1..r {
+                        subset[j] = subset[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    fn check_size(&self, data: &Dataset) -> Result<(), RrmError> {
+        if data.n() > self.options.max_tuples {
+            return Err(RrmError::Unsupported(format!(
+                "brute force enumerates subsets; n = {} exceeds max_tuples = {}",
+                data.n(),
+                self.options.max_tuples
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Solver for BruteForceSolver {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::BruteForce
+    }
+
+    fn solve_rrm(
+        &self,
+        data: &Dataset,
+        r: usize,
+        space: &dyn UtilitySpace,
+        budget: &Budget,
+    ) -> Result<Solution, RrmError> {
+        if r == 0 {
+            return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
+        }
+        self.check_size(data)?;
+        self.ensure_supported(data, space)?;
+        let m = budget.samples.unwrap_or(self.options.samples).max(1);
+        let ranks = self.rank_table(data, space, m);
+        let (set, regret) = Self::best_subset(&ranks, data.n(), r);
+        Solution::new(set, Some(regret), Algorithm::BruteForce, data)
+    }
+
+    fn solve_rrr(
+        &self,
+        data: &Dataset,
+        k: usize,
+        space: &dyn UtilitySpace,
+        budget: &Budget,
+    ) -> Result<Solution, RrmError> {
+        if k == 0 {
+            return Err(RrmError::Unsupported("rank-regret thresholds start at 1".into()));
+        }
+        self.check_size(data)?;
+        self.ensure_supported(data, space)?;
+        let m = budget.samples.unwrap_or(self.options.samples).max(1);
+        let ranks = self.rank_table(data, space, m);
+        // Smallest r whose optimum meets the threshold. The full set
+        // always contains each direction's rank-1 tuple, so this
+        // terminates with regret 1 at the latest.
+        for r in 1..=data.n() {
+            let (set, regret) = Self::best_subset(&ranks, data.n(), r);
+            if regret <= k {
+                return Solution::new(set, Some(regret), Algorithm::BruteForce, data);
+            }
+        }
+        Err(RrmError::Internal("brute force failed to reach regret 1 with the full dataset".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{FullSpace, WeakRankingSpace};
+
+    fn table1() -> Dataset {
+        Dataset::from_rows(&[
+            [0.0, 1.0],
+            [0.4, 0.95],
+            [0.57, 0.75],
+            [0.79, 0.6],
+            [0.2, 0.5],
+            [0.35, 0.3],
+            [1.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    /// A solver that violates its contract on every RRM call.
+    struct BrokenSolver;
+
+    impl Solver for BrokenSolver {
+        fn algorithm(&self) -> Algorithm {
+            Algorithm::Mdrc
+        }
+        fn solve_rrm(
+            &self,
+            data: &Dataset,
+            _r: usize,
+            _space: &dyn UtilitySpace,
+            _budget: &Budget,
+        ) -> Result<Solution, RrmError> {
+            // Empty output: the contract violation Solution::new now types.
+            Solution::new(vec![], None, Algorithm::Mdrc, data)
+        }
+        fn solve_rrr(
+            &self,
+            data: &Dataset,
+            k: usize,
+            space: &dyn UtilitySpace,
+            budget: &Budget,
+        ) -> Result<Solution, RrmError> {
+            rrr_via_rrm_search(self, data, k, space, budget)
+        }
+    }
+
+    #[test]
+    fn rrr_search_propagates_internal_errors() {
+        // The RRR-via-RRM fallback must surface a misbehaving inner
+        // solver's Internal error, not translate it into "infeasible".
+        let err = BrokenSolver
+            .solve_rrr(&table1(), 3, &FullSpace::new(2), &Budget::with_samples(16))
+            .unwrap_err();
+        assert!(matches!(&err, RrmError::Internal(msg) if msg.contains("empty")), "{err}");
+    }
+
+    #[test]
+    fn dim_range_contains() {
+        assert!(DimRange::exactly(2).contains(2));
+        assert!(!DimRange::exactly(2).contains(3));
+        assert!(DimRange::at_least(2).contains(17));
+        assert!(!DimRange::at_least(2).contains(1));
+        assert_eq!(DimRange::exactly(2).to_string(), "d = 2");
+        assert_eq!(DimRange::at_least(2).to_string(), "d >= 2");
+    }
+
+    #[test]
+    fn budget_default_is_unlimited() {
+        assert_eq!(Budget::default(), Budget::UNLIMITED);
+        assert_eq!(Budget::with_samples(100).samples, Some(100));
+    }
+
+    #[test]
+    fn brute_force_finds_the_paper_example_optimum() {
+        // Table I: the best single representative is t3 (index 2) with
+        // rank-regret 3.
+        let solver = BruteForceSolver::default();
+        let sol = solver.solve_rrm(&table1(), 1, &FullSpace::new(2), &Budget::default()).unwrap();
+        assert_eq!(sol.indices, vec![2]);
+        assert_eq!(sol.certified_regret, Some(3));
+        assert_eq!(sol.algorithm, Algorithm::BruteForce);
+    }
+
+    #[test]
+    fn brute_force_rrr_matches_duality() {
+        let solver = BruteForceSolver::default();
+        // Threshold 3 is achievable with one tuple (t3), so RRR returns 1.
+        let sol = solver.solve_rrr(&table1(), 3, &FullSpace::new(2), &Budget::default()).unwrap();
+        assert_eq!(sol.size(), 1);
+        // Threshold 1 needs every envelope tuple.
+        let sol = solver.solve_rrr(&table1(), 1, &FullSpace::new(2), &Budget::default()).unwrap();
+        assert_eq!(sol.certified_regret, Some(1));
+        assert!(sol.size() >= 2);
+    }
+
+    #[test]
+    fn brute_force_respects_restricted_space() {
+        let solver = BruteForceSolver::default();
+        let sol = solver
+            .solve_rrm(&table1(), 1, &WeakRankingSpace::new(2, 1), &Budget::default())
+            .unwrap();
+        assert!(sol.certified_regret.unwrap() <= 3);
+    }
+
+    #[test]
+    fn brute_force_rejects_large_inputs() {
+        let rows: Vec<[f64; 2]> = (0..50).map(|i| [i as f64, 50.0 - i as f64]).collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        let solver = BruteForceSolver::default();
+        let err = solver.solve_rrm(&data, 2, &FullSpace::new(2), &Budget::default()).unwrap_err();
+        assert!(matches!(err, RrmError::Unsupported(_)));
+    }
+
+    #[test]
+    fn ensure_supported_reports_uniform_errors() {
+        let solver = BruteForceSolver::default();
+        // Space dimension mismatch.
+        let err = solver.ensure_supported(&table1(), &FullSpace::new(3)).unwrap_err();
+        assert!(matches!(err, RrmError::DimensionMismatch { expected: 2, got: 3 }));
+    }
+
+    #[test]
+    fn budget_sample_override_is_honoured() {
+        let solver = BruteForceSolver::default();
+        // One sampled direction: the certificate is that direction's rank.
+        let sol =
+            solver.solve_rrm(&table1(), 1, &FullSpace::new(2), &Budget::with_samples(1)).unwrap();
+        assert!(sol.certified_regret.unwrap() <= 3);
+    }
+}

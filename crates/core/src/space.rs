@@ -291,12 +291,10 @@ impl UtilitySpace for BoxSpace {
         if s <= DIR_TOL {
             return false;
         }
-        u.iter()
-            .zip(self.lo.iter().zip(&self.hi))
-            .all(|(&x, (&l, &h))| {
-                let w = x / s;
-                w >= l - DIR_TOL && w <= h + DIR_TOL
-            })
+        u.iter().zip(self.lo.iter().zip(&self.hi)).all(|(&x, (&l, &h))| {
+            let w = x / s;
+            w >= l - DIR_TOL && w <= h + DIR_TOL
+        })
     }
 
     fn sample_direction(&self, rng: &mut dyn RngCore) -> Vec<f64> {
@@ -402,11 +400,8 @@ impl UtilitySpace for SphereCap {
         }
         // Tiny caps: jitter around the center until a member appears.
         loop {
-            let mut u: Vec<f64> = self
-                .center
-                .iter()
-                .map(|&c| (c + 0.05 * sampling::gauss(rng)).max(0.0))
-                .collect();
+            let mut u: Vec<f64> =
+                self.center.iter().map(|&c| (c + 0.05 * sampling::gauss(rng)).max(0.0)).collect();
             let n = l2_norm(&u);
             if n > DIR_TOL {
                 for x in &mut u {

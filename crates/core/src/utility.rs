@@ -64,10 +64,7 @@ pub fn score(data: &Dataset, u: &[f64], index: u32) -> f64 {
 
 /// Highest utility among the tuples at `indices` (`w(u, S)` in the paper).
 pub fn best_score_of_set(data: &Dataset, u: &[f64], indices: &[u32]) -> f64 {
-    indices
-        .iter()
-        .map(|&i| score(data, u, i))
-        .fold(f64::NEG_INFINITY, f64::max)
+    indices.iter().map(|&i| score(data, u, i)).fold(f64::NEG_INFINITY, f64::max)
 }
 
 #[cfg(test)]

@@ -18,11 +18,8 @@ pub struct CsvTable {
 /// non-empty line (comma, semicolon or tab); `has_header` controls whether
 /// that line is column names or data.
 pub fn parse_csv(text: &str, has_header: bool) -> Result<CsvTable, RrmError> {
-    let mut lines = text
-        .lines()
-        .enumerate()
-        .map(|(i, l)| (i + 1, l.trim()))
-        .filter(|(_, l)| !l.is_empty());
+    let mut lines =
+        text.lines().enumerate().map(|(i, l)| (i + 1, l.trim())).filter(|(_, l)| !l.is_empty());
 
     let Some((first_no, first)) = lines.next() else {
         return Err(RrmError::EmptyDataset);
@@ -44,9 +41,7 @@ pub fn parse_csv(text: &str, has_header: bool) -> Result<CsvTable, RrmError> {
         for field in line.split(delim) {
             let field = field.trim();
             let v: f64 = field.parse().map_err(|_| {
-                RrmError::Unsupported(format!(
-                    "line {line_no}: cannot parse {field:?} as a number"
-                ))
+                RrmError::Unsupported(format!("line {line_no}: cannot parse {field:?} as a number"))
             })?;
             if !v.is_finite() {
                 return Err(RrmError::NonFiniteValue(v));

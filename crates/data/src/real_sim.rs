@@ -89,9 +89,8 @@ pub fn weather_sim(n: usize, d: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     const SEASONS: usize = 8;
     // Random cluster centers, spread over [0.15, 0.85]^d.
-    let centers: Vec<Vec<f64>> = (0..SEASONS)
-        .map(|_| (0..d).map(|_| 0.15 + 0.7 * rng.random::<f64>()).collect())
-        .collect();
+    let centers: Vec<Vec<f64>> =
+        (0..SEASONS).map(|_| (0..d).map(|_| 0.15 + 0.7 * rng.random::<f64>()).collect()).collect();
     let mut values = Vec::with_capacity(n * d);
     for _ in 0..n {
         let c = &centers[rng.random_range(0..SEASONS)];

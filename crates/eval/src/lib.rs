@@ -11,6 +11,8 @@
 //!   (usable wherever `d = 2`, and as ground truth in tests);
 //! * [`regret_ratio`] — the RMS objective, for the MDRMS comparison and
 //!   the shift-invariance demonstrations;
+//! * [`solver_report`] — run any [`rrm_core::Solver`] through the trait
+//!   and report time, size, certificate and estimated regret in one call;
 //! * [`report`] — small table/series printing helpers shared by the
 //!   experiment harness.
 
@@ -19,8 +21,10 @@ pub mod profile;
 pub mod rank_regret;
 pub mod regret_ratio;
 pub mod report;
+pub mod solver_report;
 
 pub use exact2d::exact_rank_regret_2d;
 pub use profile::{coverage_ratio, rank_profile, RankProfile};
 pub use rank_regret::{estimate_rank_regret, estimate_rank_regret_seq, RegretEstimate};
 pub use regret_ratio::{estimate_regret_ratio, RatioEstimate};
+pub use solver_report::{evaluate_rrm, evaluate_rrr, SolverReport};

@@ -31,10 +31,7 @@ impl RankProfile {
     /// quantile list when possible; use [`coverage_ratio`] for exact
     /// per-k values.
     pub fn quantile(&self, q: f64) -> Option<usize> {
-        self.quantiles
-            .iter()
-            .find(|(qq, _)| (qq - q).abs() < 1e-12)
-            .map(|&(_, r)| r)
+        self.quantiles.iter().find(|(qq, _)| (qq - q).abs() < 1e-12).map(|&(_, r)| r)
     }
 }
 
@@ -118,17 +115,16 @@ fn sample_ranks(
                             best = s;
                         }
                     }
-                    let above =
-                        flat.chunks_exact(d).filter(|c| rrm_core::utility::dot(&u, c) > best).count();
+                    let above = flat
+                        .chunks_exact(d)
+                        .filter(|c| rrm_core::utility::dot(&u, c) > best)
+                        .count();
                     out.push(above + 1);
                 }
                 out
             }));
         }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("profile worker panicked"))
-            .collect()
+        handles.into_iter().flat_map(|h| h.join().expect("profile worker panicked")).collect()
     })
 }
 

@@ -46,11 +46,16 @@ pub fn estimate_rank_regret(
                 // overall sample set is independent of the thread count...
                 // as long as the chunk boundaries are (they are: fixed by
                 // `samples` and `threads` at entry).
-                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(t as u64 + 1)));
+                let mut rng = StdRng::seed_from_u64(
+                    seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(t as u64 + 1)),
+                );
                 worst_rank_over(data, set, space, hi - lo, &mut rng)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("estimator thread panicked")).collect::<Vec<_>>()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("estimator thread panicked"))
+            .collect::<Vec<_>>()
     });
     let mut best = RegretEstimate { max_rank: 0, witness: Vec::new(), samples };
     for r in results {

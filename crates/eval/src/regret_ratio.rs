@@ -92,8 +92,7 @@ mod tests {
         let d = table1();
         let expected = [1.0, 0.6, 0.43, 0.40, 0.8, 0.7, 1.0];
         for (i, &want) in expected.iter().enumerate() {
-            let e =
-                estimate_regret_ratio(&d, &[i as u32], &FullSpace::new(2), 20_000, 3);
+            let e = estimate_regret_ratio(&d, &[i as u32], &FullSpace::new(2), 20_000, 3);
             assert!(
                 (e.max_ratio - want).abs() < 0.02,
                 "t{}: got {:.3}, expected {want}",
@@ -110,9 +109,7 @@ mod tests {
         // lowest rank-regret.
         let d = table1();
         let ratios: Vec<f64> = (0..7)
-            .map(|i| {
-                estimate_regret_ratio(&d, &[i], &FullSpace::new(2), 20_000, 4).max_ratio
-            })
+            .map(|i| estimate_regret_ratio(&d, &[i], &FullSpace::new(2), 20_000, 4).max_ratio)
             .collect();
         let best = (0..7).min_by(|&a, &b| ratios[a].partial_cmp(&ratios[b]).unwrap());
         assert_eq!(best, Some(3), "t4 minimizes regret-ratio: {ratios:?}");
@@ -133,8 +130,7 @@ mod tests {
         let d = table1();
         let shifted = d.shift(&[0.0, 4.0]);
         let before = estimate_regret_ratio(&d, &[6], &FullSpace::new(2), 20_000, 6).max_ratio;
-        let after =
-            estimate_regret_ratio(&shifted, &[6], &FullSpace::new(2), 20_000, 6).max_ratio;
+        let after = estimate_regret_ratio(&shifted, &[6], &FullSpace::new(2), 20_000, 6).max_ratio;
         // t7 = (1, 0): ratio 100% unshifted; after the shift every tuple
         // scores at least 4·u2, compressing ratios dramatically.
         assert!(before > 0.95, "before {before}");

@@ -107,11 +107,7 @@ mod tests {
         let mut b = Series::new("MDRC k");
         b.push(12.0);
         b.push_missing();
-        let t = render_table(
-            "n",
-            &["1K".to_string(), "10K".to_string()],
-            &[a, b],
-        );
+        let t = render_table("n", &["1K".to_string(), "10K".to_string()], &[a, b]);
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("HDRRM time(s)"));

@@ -131,9 +131,8 @@ mod tests {
     fn figure_4_rank_read() {
         // "the number of lines above l1 for x = 0.25 is 1": only l2.
         let lines = DualLine::from_dataset(&table1());
-        let above: Vec<usize> = (0..7)
-            .filter(|&i| i != 0 && lines[i].eval(0.25) > lines[0].eval(0.25))
-            .collect();
+        let above: Vec<usize> =
+            (0..7).filter(|&i| i != 0 && lines[i].eval(0.25) > lines[0].eval(0.25)).collect();
         assert_eq!(above, vec![1]);
     }
 

@@ -55,9 +55,7 @@ pub fn upper_envelope(lines: &[DualLine], c0: f64, c1: f64) -> Vec<EnvelopeSegme
                 Some(&top) => {
                     let lt = &lines[top as usize];
                     // x where the new (steeper) line overtakes the top.
-                    let x = l
-                        .intersection_x(lt)
-                        .expect("slopes are strictly increasing");
+                    let x = l.intersection_x(lt).expect("slopes are strictly increasing");
                     if x <= *from.last().expect("parallel stacks") {
                         // The top line never shows before the new one takes
                         // over: pop it.
@@ -88,8 +86,7 @@ pub fn upper_envelope(lines: &[DualLine], c0: f64, c1: f64) -> Vec<EnvelopeSegme
 /// The distinct line ids on the envelope, ascending — the unique minimal
 /// rank-regret-1 representative set for the weight range.
 pub fn envelope_lines(lines: &[DualLine], c0: f64, c1: f64) -> Vec<u32> {
-    let mut ids: Vec<u32> =
-        upper_envelope(lines, c0, c1).into_iter().map(|s| s.line).collect();
+    let mut ids: Vec<u32> = upper_envelope(lines, c0, c1).into_iter().map(|s| s.line).collect();
     ids.sort_unstable();
     ids.dedup();
     ids
@@ -146,9 +143,7 @@ mod tests {
             for s in &segs {
                 let mid = 0.5 * (s.from_x + s.to_x);
                 let best = (0..lines.len())
-                    .max_by(|&a, &b| {
-                        lines[a].eval(mid).partial_cmp(&lines[b].eval(mid)).unwrap()
-                    })
+                    .max_by(|&a, &b| lines[a].eval(mid).partial_cmp(&lines[b].eval(mid)).unwrap())
                     .unwrap();
                 assert!(
                     (lines[best].eval(mid) - lines[s.line as usize].eval(mid)).abs() < 1e-12,

@@ -95,9 +95,7 @@ pub fn stream_crossings<F: FnMut(&Crossing)>(
     for &t in tracked {
         mask[t as usize] = true;
     }
-    let bucket_of = |x: f64| {
-        (((x - x_lo) / span * BUCKETS as f64) as usize).min(BUCKETS - 1)
-    };
+    let bucket_of = |x: f64| (((x - x_lo) / span * BUCKETS as f64) as usize).min(BUCKETS - 1);
     // Pass 1: histogram.
     let mut hist = vec![0usize; BUCKETS];
     for_each_raw_crossing(lines, tracked, &mask, x_lo, x_hi, |x, _, _| {
@@ -188,8 +186,7 @@ mod tests {
 
     fn lines3() -> Vec<DualLine> {
         // t1, t2, t3 of Table I.
-        let d =
-            Dataset::from_rows(&[[0.0, 1.0], [0.4, 0.95], [0.57, 0.75]]).unwrap();
+        let d = Dataset::from_rows(&[[0.0, 1.0], [0.4, 0.95], [0.57, 0.75]]).unwrap();
         DualLine::from_dataset(&d)
     }
 
@@ -239,10 +236,8 @@ mod tests {
 
     #[test]
     fn parallel_lines_never_cross() {
-        let lines = vec![
-            DualLine { slope: 1.0, intercept: 0.0 },
-            DualLine { slope: 1.0, intercept: 0.5 },
-        ];
+        let lines =
+            vec![DualLine { slope: 1.0, intercept: 0.0 }, DualLine { slope: 1.0, intercept: 0.5 }];
         assert!(crossings_with_tracked(&lines, &[0, 1], 0.0, 1.0).is_empty());
     }
 
@@ -305,8 +300,8 @@ mod tests {
             // Midpoint of the previous gap: compare with brute force.
             let mid = 0.5 * (prev_x + c.x);
             for i in 0..7usize {
-                let brute =
-                    1 + (0..7).filter(|&j| j != i && lines[j].eval(mid) > lines[i].eval(mid)).count();
+                let brute = 1
+                    + (0..7).filter(|&j| j != i && lines[j].eval(mid) > lines[i].eval(mid)).count();
                 assert_eq!(rank[i], brute, "line {i} at x={mid}");
             }
             rank[c.down as usize] += 1;

@@ -90,9 +90,7 @@ fn dedup_directions(dirs: &mut Vec<Vec<f64>>) {
     const TOL: f64 = 1e-10;
     let mut kept: Vec<Vec<f64>> = Vec::with_capacity(dirs.len());
     for v in dirs.drain(..) {
-        let dup = kept
-            .iter()
-            .any(|k| k.iter().zip(&v).all(|(a, b)| (a - b).abs() < TOL));
+        let dup = kept.iter().any(|k| k.iter().zip(&v).all(|(a, b)| (a - b).abs() < TOL));
         if !dup {
             kept.push(v);
         }
@@ -130,9 +128,8 @@ mod tests {
         use rand::Rng;
         for _ in 0..200 {
             let d = rng.random_range(2..=6);
-            let angles: Vec<f64> = (0..d - 1)
-                .map(|_| rng.random_range(0.0..=std::f64::consts::FRAC_PI_2))
-                .collect();
+            let angles: Vec<f64> =
+                (0..d - 1).map(|_| rng.random_range(0.0..=std::f64::consts::FRAC_PI_2)).collect();
             let u = angles_to_direction(&angles);
             assert_eq!(u.len(), d);
             assert!(u.iter().all(|&x| x >= 0.0));
@@ -183,10 +180,7 @@ mod tests {
             let mut e = vec![0.0; 3];
             e[axis] = 1.0;
             assert!(
-                grid.iter().any(|v| v
-                    .iter()
-                    .zip(&e)
-                    .all(|(a, b)| (a - b).abs() < 1e-9)),
+                grid.iter().any(|v| v.iter().zip(&e).all(|(a, b)| (a - b).abs() < 1e-9)),
                 "axis {axis} missing from grid"
             );
         }
@@ -204,13 +198,7 @@ mod tests {
                 let u = orthant_direction(d, &mut rng);
                 let best = grid
                     .iter()
-                    .map(|v| {
-                        u.iter()
-                            .zip(v)
-                            .map(|(a, b)| (a - b) * (a - b))
-                            .sum::<f64>()
-                            .sqrt()
-                    })
+                    .map(|v| u.iter().zip(v).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt())
                     .fold(f64::INFINITY, f64::min);
                 assert!(best <= sigma + 1e-9, "d={d} γ={gamma}: dist {best} > σ {sigma}");
             }

@@ -22,11 +22,8 @@ pub fn max_dot(delta: &[f64], cone_rows: &[Vec<f64>]) -> Option<f64> {
 
 fn extremal_dot(delta: &[f64], cone_rows: &[Vec<f64>], maximize: bool) -> Option<f64> {
     let d = delta.len();
-    let mut lp = if maximize {
-        LinearProgram::maximize(delta)
-    } else {
-        LinearProgram::minimize(delta)
-    };
+    let mut lp =
+        if maximize { LinearProgram::maximize(delta) } else { LinearProgram::minimize(delta) };
     lp.constrain(&vec![1.0; d], Relation::Eq, 1.0);
     for row in cone_rows {
         lp.constrain(row, Relation::Ge, 0.0);

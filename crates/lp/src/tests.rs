@@ -178,8 +178,7 @@ fn strict_margin_separable() {
 #[test]
 fn strict_margin_infeasible_pair() {
     // Rows (1,-1) and (-1,1) can both be >= z only for z <= 0.
-    let z = cone::strict_feasibility_margin(2, &[vec![1.0, -1.0], vec![-1.0, 1.0]], &[])
-        .unwrap();
+    let z = cone::strict_feasibility_margin(2, &[vec![1.0, -1.0], vec![-1.0, 1.0]], &[]).unwrap();
     assert!(z.abs() < 1e-7, "boundary-only feasibility should give margin 0, got {z}");
 }
 
@@ -187,12 +186,7 @@ fn strict_margin_infeasible_pair() {
 fn strict_witness_respects_cone() {
     // Witness for "first attribute strictly better" restricted to u2 >= u1:
     // impossible (u1 - u2 >= z > 0 contradicts u2 - u1 >= 0).
-    let w = cone::strict_feasibility_witness(
-        2,
-        &[vec![1.0, -1.0]],
-        &[vec![-1.0, 1.0]],
-        1e-7,
-    );
+    let w = cone::strict_feasibility_witness(2, &[vec![1.0, -1.0]], &[vec![-1.0, 1.0]], 1e-7);
     assert!(w.is_none());
     // Without the cone restriction a witness exists and favours attr 1.
     let w = cone::strict_feasibility_witness(2, &[vec![1.0, -1.0]], &[], 1e-7).unwrap();

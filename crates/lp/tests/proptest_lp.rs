@@ -25,10 +25,7 @@ fn instance() -> impl Strategy<Value = Instance> {
             let pos = 0i32..50;
             (
                 proptest::collection::vec(coeff.clone(), nvars),
-                proptest::collection::vec(
-                    proptest::collection::vec(coeff, nvars),
-                    nrows,
-                ),
+                proptest::collection::vec(proptest::collection::vec(coeff, nvars), nrows),
                 proptest::collection::vec(pos.clone(), nrows),
                 proptest::collection::vec(pos, nvars),
             )

@@ -169,10 +169,8 @@ mod tests {
             // Brute force over all subsets.
             let mut best: Option<usize> = None;
             for mask in 1u32..(1 << n) {
-                let subset: Vec<&Interval> = (0..n)
-                    .filter(|&i| mask & (1 << i) != 0)
-                    .map(|i| &intervals[i])
-                    .collect();
+                let subset: Vec<&Interval> =
+                    (0..n).filter(|&i| mask & (1 << i) != 0).map(|i| &intervals[i]).collect();
                 let mut pts: Vec<f64> = subset.iter().flat_map(|v| [v.lo, v.hi]).collect();
                 pts.push(0.0);
                 pts.push(1.0);

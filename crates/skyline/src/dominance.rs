@@ -79,11 +79,7 @@ mod tests {
             ([0.5, 0.5], [0.5, 0.5]),
         ];
         for (a, b) in pairs {
-            assert_eq!(
-                u_dominates(a, b, &[], TOL),
-                dominates(a, b),
-                "{a:?} vs {b:?}"
-            );
+            assert_eq!(u_dominates(a, b, &[], TOL), dominates(a, b), "{a:?} vs {b:?}");
         }
     }
 

@@ -43,9 +43,9 @@ pub fn u_skyline(data: &Dataset, space: &dyn UtilitySpace) -> Result<Vec<u32>, R
     let mut out = Vec::with_capacity(candidates.len());
     for &t in &candidates {
         let row_t = data.row(t as usize);
-        let dominated = candidates.iter().any(|&s| {
-            s != t && u_dominates(data.row(s as usize), row_t, &rows, TOL)
-        });
+        let dominated = candidates
+            .iter()
+            .any(|&s| s != t && u_dominates(data.row(s as usize), row_t, &rows, TOL));
         if !dominated {
             out.push(t);
         }
@@ -88,11 +88,7 @@ pub fn u_skyline_sampled(
     // Score matrix: candidate x direction.
     let scores: Vec<Vec<f64>> = candidates
         .iter()
-        .map(|&t| {
-            dirs.iter()
-                .map(|u| rrm_core::utility::dot(u, data.row(t as usize)))
-                .collect()
-        })
+        .map(|&t| dirs.iter().map(|u| rrm_core::utility::dot(u, data.row(t as usize))).collect())
         .collect();
     let mut out = Vec::new();
     'outer: for (i, &t) in candidates.iter().enumerate() {
@@ -205,9 +201,8 @@ mod tests {
     #[test]
     fn restricted_skyline_subset_property_random_3d() {
         let mut rng = StdRng::seed_from_u64(23);
-        let rows: Vec<Vec<f64>> = (0..60)
-            .map(|_| (0..3).map(|_| rng.random::<f64>()).collect())
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..60).map(|_| (0..3).map(|_| rng.random::<f64>()).collect()).collect();
         let d = Dataset::from_rows(&rows).unwrap();
         let space = WeakRankingSpace::new(3, 2);
         let restricted = u_skyline(&d, &space).unwrap();
@@ -221,9 +216,8 @@ mod tests {
     fn restricted_skyline_contains_every_top1() {
         // Theorem 3's engine: for any u in U, the top-1 tuple must survive.
         let mut rng = StdRng::seed_from_u64(31);
-        let rows: Vec<Vec<f64>> = (0..50)
-            .map(|_| (0..3).map(|_| rng.random::<f64>()).collect())
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..50).map(|_| (0..3).map(|_| rng.random::<f64>()).collect()).collect();
         let d = Dataset::from_rows(&rows).unwrap();
         let space = WeakRankingSpace::new(3, 1);
         let restricted = u_skyline(&d, &space).unwrap();
@@ -238,9 +232,8 @@ mod tests {
     #[test]
     fn sampled_u_skyline_for_cap() {
         let mut rng = StdRng::seed_from_u64(41);
-        let rows: Vec<Vec<f64>> = (0..40)
-            .map(|_| (0..3).map(|_| rng.random::<f64>()).collect())
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..40).map(|_| (0..3).map(|_| rng.random::<f64>()).collect()).collect();
         let d = Dataset::from_rows(&rows).unwrap();
         let cap = SphereCap::new(&[1.0, 1.0, 1.0], 0.3);
         let sky = u_skyline_sampled(&d, &cap, 200, &mut rng);

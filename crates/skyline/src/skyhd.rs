@@ -22,10 +22,7 @@ pub fn skyline(data: &Dataset) -> Vec<u32> {
     let mut idx: Vec<u32> = (0..n as u32).collect();
     let sums: Vec<f64> = data.rows().map(|r| r.iter().sum()).collect();
     idx.sort_unstable_by(|&a, &b| {
-        sums[b as usize]
-            .partial_cmp(&sums[a as usize])
-            .expect("finite")
-            .then(a.cmp(&b))
+        sums[b as usize].partial_cmp(&sums[a as usize]).expect("finite").then(a.cmp(&b))
     });
 
     let mut out: Vec<u32> = Vec::new();
@@ -80,11 +77,7 @@ mod tests {
             let n = rng.random_range(1..50);
             let d_attrs = rng.random_range(3..=5);
             let rows: Vec<Vec<f64>> = (0..n)
-                .map(|_| {
-                    (0..d_attrs)
-                        .map(|_| (rng.random_range(0..8) as f64) / 8.0)
-                        .collect()
-                })
+                .map(|_| (0..d_attrs).map(|_| (rng.random_range(0..8) as f64) / 8.0).collect())
                 .collect();
             let d = Dataset::from_rows(&rows).unwrap();
             assert_eq!(skyline(&d), brute_force(&d), "trial {trial}");
@@ -93,8 +86,7 @@ mod tests {
 
     #[test]
     fn duplicates_survive_in_hd() {
-        let d = Dataset::from_rows(&[[0.5, 0.5, 0.5], [0.5, 0.5, 0.5], [0.1, 0.1, 0.1]])
-            .unwrap();
+        let d = Dataset::from_rows(&[[0.5, 0.5, 0.5], [0.5, 0.5, 0.5], [0.1, 0.1, 0.1]]).unwrap();
         assert_eq!(skyline(&d), vec![0, 1]);
     }
 

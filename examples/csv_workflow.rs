@@ -46,14 +46,8 @@ fn main() -> Result<(), RrmError> {
     println!("{}", to_csv(&table.headers, &sol.materialize(&table.data)));
 
     // 4. Beyond the paper: the whole rank distribution, not just the max.
-    let profile = rank_profile(
-        &data,
-        &sol.indices,
-        &FullSpace::new(3),
-        20_000,
-        &[0.5, 0.9, 0.99],
-        7,
-    );
+    let profile =
+        rank_profile(&data, &sol.indices, &FullSpace::new(3), 20_000, &[0.5, 0.9, 0.99], 7);
     println!(
         "rank profile over 20K preference draws: median {}, p90 {}, p99 {}, worst {}",
         profile.quantile(0.5).unwrap(),

@@ -32,8 +32,7 @@ fn main() -> Result<(), RrmError> {
     // Spend a bigger budget and the guarantee tightens.
     for r in 2..=4 {
         let sol = rank_regret::minimize(&data).size(r).solve()?;
-        let members: Vec<String> =
-            sol.indices.iter().map(|i| format!("t{}", i + 1)).collect();
+        let members: Vec<String> = sol.indices.iter().map(|i| format!("t{}", i + 1)).collect();
         println!(
             "best {r}-tuple representative: {{{}}} (worst-case rank {})",
             members.join(", "),

@@ -63,10 +63,6 @@ fn main() -> Result<(), RrmError> {
         data.n(),
         100.0 * ratio_unshifted
     );
-    println!(
-        "RRM still picks t{} — worst-case rank {}",
-        rrm_b.indices[0] + 1,
-        rank_of_rrm_pick
-    );
+    println!("RRM still picks t{} — worst-case rank {}", rrm_b.indices[0] + 1, rank_of_rrm_pick);
     Ok(())
 }

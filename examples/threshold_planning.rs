@@ -25,11 +25,7 @@ fn main() -> Result<(), RrmError> {
     // Direct threshold queries (exact RRR).
     for k in [1usize, 5, 20] {
         let sol = rank_regret::represent(&data).threshold(k).solve()?;
-        println!(
-            "\nguarantee top-{k} for everyone -> {} tuples: {:?}",
-            sol.size(),
-            sol.indices
-        );
+        println!("\nguarantee top-{k} for everyone -> {} tuples: {:?}", sol.size(), sol.indices);
         // Consistency with the frontier: the minimal size whose frontier
         // regret meets the threshold.
         if let Some(p) = frontier.iter().find(|p| p.regret <= k) {

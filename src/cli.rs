@@ -9,6 +9,8 @@
 //! rrm frontier  --input cars.csv --max-size 10 [common flags]   (d = 2 only)
 //!
 //! common flags:
+//!   --algo NAME            pick an algorithm (2drrm, 2drrr, hdrrm, mdrrr,
+//!                          mdrrr-r, mdrc, mdrms, bruteforce); default: auto
 //!   --no-header            first CSV line is data, not column names
 //!   --columns 0,2,3        use only these columns (0-based)
 //!   --negate 1,2           smaller-is-better columns to negate first
@@ -16,8 +18,11 @@
 //!   --weak-ranking c       restrict to u[0] >= u[1] >= ... >= u[c]
 //!   --quick                smaller HDRRM sample budget (delta = 0.1)
 //! ```
+//!
+//! `--algo` resolves through the engine registry ([`crate::Engine`]);
+//! an unknown name errors with the list of valid ones.
 
-use crate::{minimize, represent, Dataset, RrmError, Solution, WeakRankingSpace};
+use crate::{minimize, represent, Algorithm, Dataset, RrmError, Solution, WeakRankingSpace};
 use rrm_2d::{pareto_frontier, Rrm2dOptions};
 use rrm_core::FullSpace;
 use rrm_data::csv::read_csv_file;
@@ -28,6 +33,7 @@ use rrm_hd::HdrrmOptions;
 pub struct Args {
     pub command: Command,
     pub input: String,
+    pub algo: Option<Algorithm>,
     pub has_header: bool,
     pub columns: Option<Vec<usize>>,
     pub negate: Vec<usize>,
@@ -48,6 +54,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut it = argv.iter();
     let sub = it.next().ok_or_else(usage)?;
     let mut input: Option<String> = None;
+    let mut algo: Option<Algorithm> = None;
     let mut has_header = true;
     let mut columns = None;
     let mut negate = Vec::new();
@@ -64,6 +71,9 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         };
         match flag.as_str() {
             "--input" => input = Some(value("--input")?),
+            "--algo" => {
+                algo = Some(Algorithm::from_name(&value("--algo")?).map_err(|e| e.to_string())?)
+            }
             "--no-header" => has_header = false,
             "--columns" => columns = Some(parse_index_list(&value("--columns")?)?),
             "--negate" => negate = parse_index_list(&value("--negate")?)?,
@@ -73,9 +83,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--quick" => quick = true,
             "--size" => size = Some(parse_usize("--size", &value("--size")?)?),
-            "--threshold" => {
-                threshold = Some(parse_usize("--threshold", &value("--threshold")?)?)
-            }
+            "--threshold" => threshold = Some(parse_usize("--threshold", &value("--threshold")?)?),
             "--max-size" => max_size = Some(parse_usize("--max-size", &value("--max-size")?)?),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -89,13 +97,13 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         "frontier" => Command::Frontier { max_size: max_size.ok_or("--max-size is required")? },
         other => return Err(format!("unknown subcommand {other}\n{}", usage())),
     };
-    Ok(Args { command, input, has_header, columns, negate, normalize, weak_ranking, quick })
+    Ok(Args { command, input, algo, has_header, columns, negate, normalize, weak_ranking, quick })
 }
 
 fn usage() -> String {
     "usage: rrm <minimize|represent|frontier> --input FILE \
-     [--size R | --threshold K | --max-size R] [--no-header] [--columns LIST] \
-     [--negate LIST] [--no-normalize] [--weak-ranking C] [--quick]"
+     [--size R | --threshold K | --max-size R] [--algo NAME] [--no-header] \
+     [--columns LIST] [--negate LIST] [--no-normalize] [--weak-ranking C] [--quick]"
         .to_string()
 }
 
@@ -153,6 +161,9 @@ pub fn run(args: &Args) -> Result<String, RrmError> {
             if let Some(s) = space {
                 b = b.space(s);
             }
+            if let Some(a) = args.algo {
+                b = b.algo(a);
+            }
             let sol = b.solve()?;
             render_solution(&mut out, &headers, &data, &sol);
         }
@@ -160,6 +171,9 @@ pub fn run(args: &Args) -> Result<String, RrmError> {
             let mut b = represent(&data).threshold(threshold).hdrrm_options(hdrrm_options);
             if let Some(s) = space {
                 b = b.space(s);
+            }
+            if let Some(a) = args.algo {
+                b = b.algo(a);
             }
             let sol = b.solve()?;
             render_solution(&mut out, &headers, &data, &sol);
@@ -169,6 +183,16 @@ pub fn run(args: &Args) -> Result<String, RrmError> {
                 return Err(RrmError::Unsupported(
                     "frontier requires exactly 2 columns (use --columns)".into(),
                 ));
+            }
+            // The frontier is a property of the exact 2D sweep; silently
+            // computing it with 2DRRM after the user asked for another
+            // algorithm would misattribute the output.
+            if let Some(a) = args.algo {
+                if a != Algorithm::TwoDRrm {
+                    return Err(RrmError::Unsupported(format!(
+                        "frontier is computed by the exact 2D sweep (2DRRM); --algo {a} is not supported here"
+                    )));
+                }
             }
             let points =
                 pareto_frontier(&data, max_size, &FullSpace::new(2), Rrm2dOptions::default())?;
@@ -192,8 +216,7 @@ fn render_solution(out: &mut String, headers: &[String], data: &Dataset, sol: &S
     );
     let _ = writeln!(out, "{:>8}  {}", "row", headers.join("  "));
     for &i in &sol.indices {
-        let vals: Vec<String> =
-            data.row(i as usize).iter().map(|v| format!("{v:.4}")).collect();
+        let vals: Vec<String> = data.row(i as usize).iter().map(|v| format!("{v:.4}")).collect();
         let _ = writeln!(out, "{:>8}  {}", i, vals.join("  "));
     }
 }
@@ -226,6 +249,53 @@ mod tests {
         assert_eq!(a.columns, Some(vec![0, 2]));
         assert_eq!(a.negate, vec![1]);
         assert_eq!(a.weak_ranking, Some(1));
+    }
+
+    #[test]
+    fn parses_algo_flag_through_the_registry() {
+        let a = parse_args(&argv("minimize --input x.csv --size 3 --algo mdrc")).unwrap();
+        assert_eq!(a.algo, Some(Algorithm::Mdrc));
+        let a = parse_args(&argv("minimize --input x.csv --size 3 --algo MDRRR-r")).unwrap();
+        assert_eq!(a.algo, Some(Algorithm::MdrrrR));
+        // A typo errors and lists every valid name.
+        let err = parse_args(&argv("minimize --input x.csv --size 3 --algo mdrx")).unwrap_err();
+        assert!(err.contains("valid names"), "{err}");
+        assert!(err.contains("HDRRM"), "{err}");
+    }
+
+    #[test]
+    fn algo_flag_drives_the_solver_end_to_end() {
+        let dir = std::env::temp_dir().join("rrm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("algo.csv");
+        std::fs::write(
+            &path,
+            "hp,mpg\n0.0,1.0\n0.4,0.95\n0.57,0.75\n0.79,0.6\n0.2,0.5\n0.35,0.3\n1.0,0.0\n",
+        )
+        .unwrap();
+        let base = format!("minimize --input {} --size 1 --no-normalize", path.display());
+        // Brute force agrees with the exact 2D solver on Table I.
+        let report =
+            run(&parse_args(&argv(&format!("{base} --algo bruteforce"))).unwrap()).unwrap();
+        assert!(report.contains("BruteForce: 1 tuples"), "{report}");
+        assert!(report.contains("certified rank-regret 3"), "{report}");
+        // A no-guarantee baseline reports n/a instead of a certificate.
+        let report = run(&parse_args(&argv(&format!("{base} --algo mdrms"))).unwrap()).unwrap();
+        assert!(report.contains("MDRMS"), "{report}");
+        assert!(report.contains("n/a"), "{report}");
+        // Capability mismatch surfaces as a clean error: MDRRR + RRRM.
+        let res =
+            run(&parse_args(&argv(&format!("{base} --algo mdrrr --weak-ranking 1"))).unwrap());
+        assert!(matches!(res, Err(RrmError::Unsupported(_))), "{res:?}");
+        // Frontier is 2DRRM-only: any other --algo errors instead of being
+        // silently ignored.
+        let frontier = format!("frontier --input {} --max-size 3", path.display());
+        let res = run(&parse_args(&argv(&format!("{frontier} --algo hdrrm"))).unwrap());
+        assert!(
+            matches!(&res, Err(RrmError::Unsupported(msg)) if msg.contains("2DRRM")),
+            "{res:?}"
+        );
+        assert!(run(&parse_args(&argv(&format!("{frontier} --algo 2drrm"))).unwrap()).is_ok());
     }
 
     #[test]
@@ -267,9 +337,8 @@ mod tests {
         let path = dir.join("grid.csv");
         std::fs::write(&path, "a,b,c\n1,2,3\n3,2,1\n2,3,1\n1,1,1\n").unwrap();
         // Frontier on 3 columns: rejected.
-        let args =
-            parse_args(&argv(&format!("frontier --input {} --max-size 3", path.display())))
-                .unwrap();
+        let args = parse_args(&argv(&format!("frontier --input {} --max-size 3", path.display())))
+            .unwrap();
         assert!(run(&args).is_err());
         // Projected to 2 columns: works.
         let args = parse_args(&argv(&format!(
@@ -289,11 +358,9 @@ mod tests {
         // Tuple 0 dominates once price (col 1) is negated: best quality,
         // lowest price.
         std::fs::write(&path, "quality,price\n0.9,10\n0.8,50\n0.7,90\n").unwrap();
-        let args = parse_args(&argv(&format!(
-            "minimize --input {} --size 1 --negate 1",
-            path.display()
-        )))
-        .unwrap();
+        let args =
+            parse_args(&argv(&format!("minimize --input {} --size 1 --negate 1", path.display())))
+                .unwrap();
         let report = run(&args).unwrap();
         assert!(report.contains("certified rank-regret 1"), "{report}");
     }

@@ -1,0 +1,291 @@
+//! The engine layer: one registry of [`Solver`]s, one dispatch path.
+//!
+//! Every way of running a rank-regret query — the [`minimize`]/
+//! [`represent`] builders, the CLI, the bench harness — funnels into
+//! [`Engine::run`]. The engine owns a solver per [`Algorithm`] variant,
+//! resolves the `Auto` policy (2DRRM when `d = 2`, HDRRM otherwise),
+//! checks capabilities once, and delegates through the trait. Adding an
+//! algorithm means implementing [`Solver`] and registering it here;
+//! nothing else in the stack changes.
+//!
+//! [`minimize`]: crate::minimize
+//! [`represent`]: crate::represent
+
+use rrm_core::{
+    Algorithm, BruteForceOptions, BruteForceSolver, Budget, Dataset, FullSpace, RrmError, Solution,
+    Solver, UtilitySpace,
+};
+
+use rrm_2d::{Rrm2dOptions, TwoDRrmSolver, TwoDRrrSolver};
+use rrm_hd::{
+    HdrrmOptions, HdrrmSolver, KsetLimits, MdrcOptions, MdrcSolver, MdrmsOptions, MdrmsSolver,
+    MdrrrROptions, MdrrrRSolver, MdrrrSolver,
+};
+
+/// Which query the engine should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// RRM / RRRM: best set of at most `param` tuples.
+    Minimize,
+    /// RRR: smallest set with rank-regret at most `param`.
+    Represent,
+}
+
+/// Algorithm selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AlgoChoice {
+    /// 2DRRM for `d = 2` (exact), HDRRM otherwise.
+    #[default]
+    Auto,
+    /// A specific registered algorithm.
+    Fixed(Algorithm),
+}
+
+/// Per-algorithm tuning carried by an [`Engine`]; `Default` mirrors the
+/// paper's experimental settings.
+#[derive(Debug, Clone, Default)]
+pub struct Tuning {
+    pub rrm2d: Rrm2dOptions,
+    pub hdrrm: HdrrmOptions,
+    pub mdrrr: KsetLimits,
+    pub mdrrr_r: MdrrrROptions,
+    pub mdrc: MdrcOptions,
+    pub mdrms: MdrmsOptions,
+    pub brute_force: BruteForceOptions,
+}
+
+/// A registry of solvers, one per [`Algorithm`] variant.
+pub struct Engine {
+    solvers: Vec<Box<dyn Solver>>,
+}
+
+impl Engine {
+    /// All eight algorithms with default (paper) tuning.
+    pub fn new() -> Self {
+        Self::with_tuning(&Tuning::default())
+    }
+
+    /// All eight algorithms with explicit tuning.
+    pub fn with_tuning(t: &Tuning) -> Self {
+        let solvers: Vec<Box<dyn Solver>> = vec![
+            Box::new(TwoDRrmSolver::new(t.rrm2d)),
+            Box::new(TwoDRrrSolver),
+            Box::new(HdrrmSolver::new(t.hdrrm)),
+            Box::new(MdrrrSolver::new(t.mdrrr)),
+            Box::new(MdrrrRSolver::new(t.mdrrr_r)),
+            Box::new(MdrcSolver::new(t.mdrc)),
+            Box::new(MdrmsSolver::new(t.mdrms)),
+            Box::new(BruteForceSolver { options: t.brute_force }),
+        ];
+        Self { solvers }
+    }
+
+    /// Iterate every registered solver, in [`Algorithm::ALL`] order.
+    pub fn registry(&self) -> impl Iterator<Item = &dyn Solver> {
+        self.solvers.iter().map(|s| s.as_ref())
+    }
+
+    /// Look up the solver for one algorithm.
+    pub fn solver(&self, algo: Algorithm) -> Option<&dyn Solver> {
+        self.registry().find(|s| s.algorithm() == algo)
+    }
+
+    /// The `Auto` policy: the exact planar solver when it applies, the
+    /// scalable HD solver otherwise.
+    pub fn auto_policy(d: usize) -> Algorithm {
+        if d == 2 {
+            Algorithm::TwoDRrm
+        } else {
+            Algorithm::Hdrrm
+        }
+    }
+
+    /// Resolve a selection policy against the registry.
+    pub fn resolve(&self, choice: AlgoChoice, d: usize) -> Result<&dyn Solver, RrmError> {
+        let algo = match choice {
+            AlgoChoice::Auto => Self::auto_policy(d),
+            AlgoChoice::Fixed(a) => a,
+        };
+        self.solver(algo).ok_or_else(|| {
+            RrmError::Unsupported(format!("algorithm {algo} is not registered in this engine"))
+        })
+    }
+
+    /// The single dispatch path behind every facade query: resolve the
+    /// algorithm, check its capabilities against the data and space, and
+    /// run the task through the [`Solver`] trait.
+    pub fn run(
+        &self,
+        data: &Dataset,
+        kind: TaskKind,
+        param: usize,
+        space: &dyn UtilitySpace,
+        choice: AlgoChoice,
+        budget: &Budget,
+    ) -> Result<Solution, RrmError> {
+        let solver = self.resolve(choice, data.dim())?;
+        solver.ensure_supported(data, space)?;
+        match kind {
+            TaskKind::Minimize => solver.solve_rrm(data, param, space, budget),
+            TaskKind::Represent => solver.solve_rrr(data, param, space, budget),
+        }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A fluent query against an [`Engine`]: data, task, space, algorithm
+/// selection and budget. Built by [`crate::minimize`] / [`crate::represent`].
+pub struct Query<'a> {
+    data: &'a Dataset,
+    kind: TaskKind,
+    /// `r` for minimize, `k` for represent.
+    param: usize,
+    /// Which task the parameter setter belonged to — [`Query::size`] on a
+    /// represent query (or [`Query::threshold`] on a minimize query) is a
+    /// caller bug that the merged builder can no longer reject at compile
+    /// time, so [`Query::solve`] rejects it with a typed error instead of
+    /// silently running the wrong problem.
+    param_from: Option<TaskKind>,
+    space: Option<Box<dyn UtilitySpace>>,
+    choice: AlgoChoice,
+    budget: Budget,
+    tuning: Tuning,
+}
+
+impl<'a> Query<'a> {
+    pub(crate) fn new(data: &'a Dataset, kind: TaskKind) -> Self {
+        Self {
+            data,
+            kind,
+            param: 1,
+            param_from: None,
+            space: None,
+            choice: AlgoChoice::Auto,
+            budget: Budget::UNLIMITED,
+            tuning: Tuning::default(),
+        }
+    }
+
+    /// Output size bound `r` (minimize queries; default 1).
+    pub fn size(mut self, r: usize) -> Self {
+        self.param = r;
+        self.param_from = Some(TaskKind::Minimize);
+        self
+    }
+
+    /// Rank-regret threshold `k` (represent queries; default 1).
+    pub fn threshold(mut self, k: usize) -> Self {
+        self.param = k;
+        self.param_from = Some(TaskKind::Represent);
+        self
+    }
+
+    /// Restrict the utility space (turns RRM into RRRM).
+    pub fn space(mut self, space: impl UtilitySpace + 'static) -> Self {
+        self.space = Some(Box::new(space));
+        self
+    }
+
+    /// Select a specific algorithm from the registry.
+    pub fn algo(mut self, algorithm: Algorithm) -> Self {
+        self.choice = AlgoChoice::Fixed(algorithm);
+        self
+    }
+
+    /// Select by policy ([`AlgoChoice::Auto`] or fixed); see also the
+    /// [`crate::SolverChoice`] compatibility shim.
+    pub fn choice(mut self, choice: AlgoChoice) -> Self {
+        self.choice = choice;
+        self
+    }
+
+    /// Cross-algorithm resource budget (sample counts, enumeration caps).
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Tune HDRRM (γ, δ, sample count, seed).
+    pub fn hdrrm_options(mut self, options: HdrrmOptions) -> Self {
+        self.tuning.hdrrm = options;
+        self
+    }
+
+    /// Tune the 2D solver (event chunking, paper-faithful sweep).
+    pub fn rrm2d_options(mut self, options: Rrm2dOptions) -> Self {
+        self.tuning.rrm2d = options;
+        self
+    }
+
+    /// Replace the whole tuning bundle.
+    pub fn tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Run the query through [`Engine::run`].
+    pub fn solve(self) -> Result<Solution, RrmError> {
+        if let Some(from) = self.param_from {
+            if from != self.kind {
+                let (got, want) = match self.kind {
+                    TaskKind::Minimize => (".threshold()", "minimize queries take .size()"),
+                    TaskKind::Represent => (".size()", "represent queries take .threshold()"),
+                };
+                return Err(RrmError::Unsupported(format!(
+                    "{got} used on the wrong query kind: {want}"
+                )));
+            }
+        }
+        let engine = Engine::with_tuning(&self.tuning);
+        let space: Box<dyn UtilitySpace> =
+            self.space.unwrap_or_else(|| Box::new(FullSpace::new(self.data.dim())));
+        engine.run(self.data, self.kind, self.param, space.as_ref(), self.choice, &self.budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_eight_algorithms_once() {
+        let engine = Engine::new();
+        let mut algos: Vec<Algorithm> = engine.registry().map(|s| s.algorithm()).collect();
+        assert_eq!(algos.len(), Algorithm::ALL.len());
+        algos.dedup();
+        assert_eq!(algos, Algorithm::ALL.to_vec());
+        for a in Algorithm::ALL {
+            assert!(engine.solver(a).is_some(), "{a} missing from registry");
+        }
+    }
+
+    #[test]
+    fn auto_policy_matches_the_paper() {
+        assert_eq!(Engine::auto_policy(2), Algorithm::TwoDRrm);
+        assert_eq!(Engine::auto_policy(3), Algorithm::Hdrrm);
+        assert_eq!(Engine::auto_policy(7), Algorithm::Hdrrm);
+    }
+
+    #[test]
+    fn run_rejects_capability_mismatch_uniformly() {
+        let engine = Engine::new();
+        let data =
+            Dataset::from_rows(&[[0.1, 0.9, 0.5], [0.9, 0.1, 0.5], [0.5, 0.5, 0.5]]).unwrap();
+        let err = engine
+            .run(
+                &data,
+                TaskKind::Minimize,
+                1,
+                &FullSpace::new(3),
+                AlgoChoice::Fixed(Algorithm::TwoDRrm),
+                &Budget::UNLIMITED,
+            )
+            .unwrap_err();
+        assert!(matches!(err, RrmError::Unsupported(_)), "{err}");
+    }
+}

@@ -6,7 +6,8 @@
 //! (**2DRRM**), its high-dimensional discretize-and-cover algorithm
 //! (**HDRRM**), the restricted-space problem variant (**RRRM**), the dual
 //! threshold problem (**RRR**), and the baselines it is evaluated against
-//! (2DRRR, MDRRR, MDRRRr, MDRC, MDRMS).
+//! (2DRRR, MDRRR, MDRRRr, MDRC, MDRMS) — all behind one [`Solver`] trait
+//! and one [`Engine`] dispatch path.
 //!
 //! ## The problem
 //!
@@ -28,10 +29,19 @@
 //!     [0.2, 0.5], [0.35, 0.3], [1.0, 0.0],
 //! ]).unwrap();
 //!
-//! // The best single representative for *any* linear preference:
+//! // The best single representative for *any* linear preference.
+//! // `Auto` picks the exact 2D solver here (d = 2).
 //! let sol = rank_regret::minimize(&cars).size(1).solve().unwrap();
 //! assert_eq!(sol.indices, vec![2]);              // t3 of the paper's Table I
 //! assert_eq!(sol.certified_regret, Some(3));     // its exact rank-regret
+//!
+//! // Any of the paper's eight algorithms is one selector away:
+//! let baseline = rank_regret::minimize(&cars)
+//!     .size(1)
+//!     .algo(Algorithm::BruteForce)
+//!     .solve()
+//!     .unwrap();
+//! assert_eq!(baseline.indices, sol.indices);
 //!
 //! // A user who cares about MPG at least as much as HP (RRRM):
 //! let sol = rank_regret::minimize(&cars)
@@ -44,21 +54,54 @@
 //! // The dual question (RRR): how few tuples guarantee top-2 for everyone?
 //! let sol = rank_regret::represent(&cars).threshold(2).solve().unwrap();
 //! assert!(sol.certified_regret.unwrap() <= 2);
+//!
+//! // Capability mismatches fail gracefully: MDRRR has no RRRM mode
+//! // (Table III), so a restricted space is a typed error, not a panic.
+//! let err = rank_regret::minimize(&cars)
+//!     .size(1)
+//!     .algo(Algorithm::Mdrrr)
+//!     .space(WeakRankingSpace::new(2, 1))
+//!     .solve()
+//!     .unwrap_err();
+//! assert!(matches!(err, RrmError::Unsupported(_)));
+//! ```
+//!
+//! ## The engine layer
+//!
+//! [`Engine`] holds one [`Solver`] per [`Algorithm`] variant. Iterate
+//! them, query capabilities, or dispatch directly:
+//!
+//! ```
+//! use rank_regret::prelude::*;
+//! use rank_regret::{Engine, TaskKind, AlgoChoice};
+//!
+//! let engine = Engine::new();
+//! assert_eq!(engine.registry().count(), 8);
+//! for solver in engine.registry() {
+//!     let _ = (solver.name(), solver.has_regret_guarantee(),
+//!              solver.supports_restricted_space(), solver.supported_dims());
+//! }
+//!
+//! let cars = Dataset::from_rows(&[[0.0, 1.0], [0.6, 0.7], [1.0, 0.0]]).unwrap();
+//! let sol = engine.run(&cars, TaskKind::Minimize, 1, &FullSpace::new(2),
+//!                      AlgoChoice::Auto, &Budget::UNLIMITED).unwrap();
+//! assert_eq!(sol.size(), 1);
 //! ```
 //!
 //! ## Crate map
 //!
 //! | Crate | Contents |
 //! |-------|----------|
-//! | [`core`](rrm_core) | datasets, utility spaces, ranking primitives |
-//! | [`algos2d`](rrm_2d) | 2DRRM (exact), 2DRRR baseline, Pareto frontier |
-//! | [`algoshd`](rrm_hd) | HDRRM/ASMS, MDRRR, MDRRRr, MDRC, MDRMS |
+//! | [`core`](rrm_core) | datasets, utility spaces, ranking primitives, the [`Solver`] trait, [`Budget`], brute force |
+//! | [`algos2d`](rrm_2d) | 2DRRM (exact) + 2DRRR baseline solvers, Pareto frontier |
+//! | [`algoshd`](rrm_hd) | HDRRM/ASMS, MDRRR, MDRRRr, MDRC, MDRMS solvers |
 //! | [`skyline`](rrm_skyline) | skyline and restricted U-skyline |
 //! | [`geom`](rrm_geom) | dual arrangement, polar grids |
 //! | [`lp`](rrm_lp) | dense two-phase simplex |
 //! | [`setcover`](rrm_setcover) | lazy greedy set cover, interval cover |
 //! | [`data`](rrm_data) | synthetic + simulated-real workloads |
-//! | [`eval`](rrm_eval) | regret estimators (sampled and exact-2D) |
+//! | [`eval`](rrm_eval) | regret estimators (sampled and exact-2D), solver reports |
+//! | `rank_regret` (this crate) | the [`Engine`]/[`Query`] layer, builders, CLI |
 
 pub use rrm_2d;
 pub use rrm_core;
@@ -71,24 +114,26 @@ pub use rrm_setcover;
 pub use rrm_skyline;
 
 pub use rrm_core::{
-    Algorithm, BiasedOrthantSpace, BoxSpace, ConeSpace, Dataset, FullSpace, RrmError,
-    Solution, SphereCap, UtilitySpace, WeakRankingSpace,
+    Algorithm, BiasedOrthantSpace, BoxSpace, Budget, ConeSpace, Dataset, DimRange, FullSpace,
+    RrmError, Solution, Solver, SphereCap, UtilitySpace, WeakRankingSpace,
 };
 
 pub mod cli;
+pub mod engine;
+
+pub use engine::{AlgoChoice, Engine, Query, TaskKind, Tuning};
 
 /// Everything a typical caller needs.
 pub mod prelude {
     pub use crate::{
-        minimize, represent, Algorithm, BiasedOrthantSpace, BoxSpace, ConeSpace, Dataset,
-        FullSpace, RrmError, Solution, SphereCap, UtilitySpace, WeakRankingSpace,
+        minimize, represent, Algorithm, BiasedOrthantSpace, BoxSpace, Budget, ConeSpace, Dataset,
+        Engine, FullSpace, RrmError, Solution, Solver, SphereCap, UtilitySpace, WeakRankingSpace,
     };
 }
 
-use ::rrm_2d::{rrm_2d as rrm_2d_solve, rrr_exact_2d, Rrm2dOptions};
-use ::rrm_hd::{hdrrm, hdrrr, HdrrmOptions};
-
-/// Which solver the facade should use.
+/// Pre-engine solver selector, kept for source compatibility. Maps onto
+/// [`AlgoChoice`]; new code should pass an [`Algorithm`] to
+/// [`Query::algo`] instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SolverChoice {
     /// 2DRRM for `d = 2` (exact), HDRRM otherwise.
@@ -100,159 +145,44 @@ pub enum SolverChoice {
     Hdrrm,
 }
 
-/// Start a rank-regret **minimization** query (RRM, or RRRM with
-/// [`MinimizeBuilder::space`]): best set of at most `r` tuples.
-pub fn minimize(data: &Dataset) -> MinimizeBuilder<'_> {
-    MinimizeBuilder {
-        data,
-        r: 1,
-        space: None,
-        solver: SolverChoice::Auto,
-        hdrrm_options: HdrrmOptions::default(),
-        rrm2d_options: Rrm2dOptions::default(),
+impl From<SolverChoice> for AlgoChoice {
+    fn from(choice: SolverChoice) -> AlgoChoice {
+        match choice {
+            SolverChoice::Auto => AlgoChoice::Auto,
+            SolverChoice::Exact2d => AlgoChoice::Fixed(Algorithm::TwoDRrm),
+            SolverChoice::Hdrrm => AlgoChoice::Fixed(Algorithm::Hdrrm),
+        }
     }
+}
+
+impl<'a> Query<'a> {
+    /// Source-compatibility shim for the pre-engine API.
+    pub fn solver(self, choice: SolverChoice) -> Self {
+        self.choice(choice.into())
+    }
+}
+
+/// Start a rank-regret **minimization** query (RRM, or RRRM with
+/// [`Query::space`]): best set of at most `r` tuples.
+pub fn minimize(data: &Dataset) -> Query<'_> {
+    Query::new(data, TaskKind::Minimize)
 }
 
 /// Start a rank-regret **representative** query (RRR): smallest set with
 /// rank-regret at most `k`.
-pub fn represent(data: &Dataset) -> RepresentBuilder<'_> {
-    RepresentBuilder {
-        data,
-        k: 1,
-        space: None,
-        solver: SolverChoice::Auto,
-        hdrrm_options: HdrrmOptions::default(),
-        rrm2d_options: Rrm2dOptions::default(),
-    }
+pub fn represent(data: &Dataset) -> Query<'_> {
+    Query::new(data, TaskKind::Represent)
 }
 
-/// Builder for [`minimize`].
-pub struct MinimizeBuilder<'a> {
-    data: &'a Dataset,
-    r: usize,
-    space: Option<Box<dyn UtilitySpace>>,
-    solver: SolverChoice,
-    hdrrm_options: HdrrmOptions,
-    rrm2d_options: Rrm2dOptions,
-}
-
-impl<'a> MinimizeBuilder<'a> {
-    /// Output size bound `r` (default 1).
-    pub fn size(mut self, r: usize) -> Self {
-        self.r = r;
-        self
-    }
-
-    /// Restrict the utility space (turns RRM into RRRM).
-    pub fn space(mut self, space: impl UtilitySpace + 'static) -> Self {
-        self.space = Some(Box::new(space));
-        self
-    }
-
-    /// Force a specific solver.
-    pub fn solver(mut self, solver: SolverChoice) -> Self {
-        self.solver = solver;
-        self
-    }
-
-    /// Tune HDRRM (γ, δ, sample count, seed).
-    pub fn hdrrm_options(mut self, options: HdrrmOptions) -> Self {
-        self.hdrrm_options = options;
-        self
-    }
-
-    /// Tune the 2D solver (event chunking, paper-faithful sweep).
-    pub fn rrm2d_options(mut self, options: Rrm2dOptions) -> Self {
-        self.rrm2d_options = options;
-        self
-    }
-
-    /// Run the query.
-    pub fn solve(self) -> Result<Solution, RrmError> {
-        let d = self.data.dim();
-        let space: Box<dyn UtilitySpace> =
-            self.space.unwrap_or_else(|| Box::new(FullSpace::new(d)));
-        let use_exact = match self.solver {
-            SolverChoice::Exact2d if d != 2 => {
-                return Err(RrmError::Unsupported("the exact solver requires d = 2".into()))
-            }
-            SolverChoice::Exact2d => true,
-            SolverChoice::Hdrrm => false,
-            SolverChoice::Auto => d == 2,
-        };
-        if use_exact {
-            rrm_2d_solve(self.data, self.r, space.as_ref(), self.rrm2d_options)
-        } else {
-            hdrrm(self.data, self.r, space.as_ref(), self.hdrrm_options)
-        }
-    }
-}
-
-/// Builder for [`represent`].
-pub struct RepresentBuilder<'a> {
-    data: &'a Dataset,
-    k: usize,
-    space: Option<Box<dyn UtilitySpace>>,
-    solver: SolverChoice,
-    hdrrm_options: HdrrmOptions,
-    rrm2d_options: Rrm2dOptions,
-}
-
-impl<'a> RepresentBuilder<'a> {
-    /// Rank-regret threshold `k` (default 1: contain everyone's top-1).
-    pub fn threshold(mut self, k: usize) -> Self {
-        self.k = k;
-        self
-    }
-
-    /// Restrict the utility space (restricted RRR).
-    pub fn space(mut self, space: impl UtilitySpace + 'static) -> Self {
-        self.space = Some(Box::new(space));
-        self
-    }
-
-    /// Force a specific solver.
-    pub fn solver(mut self, solver: SolverChoice) -> Self {
-        self.solver = solver;
-        self
-    }
-
-    /// Tune HDRRM (γ, δ, sample count, seed).
-    pub fn hdrrm_options(mut self, options: HdrrmOptions) -> Self {
-        self.hdrrm_options = options;
-        self
-    }
-
-    /// Tune the 2D solver.
-    pub fn rrm2d_options(mut self, options: Rrm2dOptions) -> Self {
-        self.rrm2d_options = options;
-        self
-    }
-
-    /// Run the query.
-    pub fn solve(self) -> Result<Solution, RrmError> {
-        let d = self.data.dim();
-        let space: Box<dyn UtilitySpace> =
-            self.space.unwrap_or_else(|| Box::new(FullSpace::new(d)));
-        let use_exact = match self.solver {
-            SolverChoice::Exact2d if d != 2 => {
-                return Err(RrmError::Unsupported("the exact solver requires d = 2".into()))
-            }
-            SolverChoice::Exact2d => true,
-            SolverChoice::Hdrrm => false,
-            SolverChoice::Auto => d == 2,
-        };
-        if use_exact {
-            rrr_exact_2d(self.data, self.k, space.as_ref(), self.rrm2d_options)
-        } else {
-            hdrrr(self.data, self.k, space.as_ref(), self.hdrrm_options)
-        }
-    }
-}
+/// Pre-engine name for [`Query`], kept for source compatibility.
+pub type MinimizeBuilder<'a> = Query<'a>;
+/// Pre-engine name for [`Query`], kept for source compatibility.
+pub type RepresentBuilder<'a> = Query<'a>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rrm_hd::HdrrmOptions;
 
     fn table1() -> Dataset {
         Dataset::from_rows(&[
@@ -323,11 +253,43 @@ mod tests {
 
     #[test]
     fn restricted_space_via_builder() {
-        let sol = minimize(&table1())
-            .size(1)
-            .space(WeakRankingSpace::new(2, 1))
-            .solve()
-            .unwrap();
+        let sol = minimize(&table1()).size(1).space(WeakRankingSpace::new(2, 1)).solve().unwrap();
         assert!(sol.certified_regret.unwrap() <= 3);
+    }
+
+    #[test]
+    fn every_algorithm_is_reachable_from_the_facade() {
+        // The acceptance bar for the engine refactor: all eight variants
+        // runnable with one selector, on the Table I dataset.
+        for algo in Algorithm::ALL {
+            let sol = minimize(&table1())
+                .size(3)
+                .algo(algo)
+                .budget(Budget::with_samples(400))
+                .solve()
+                .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert_eq!(sol.algorithm, algo, "{algo}");
+            assert!(sol.size() <= 3, "{algo}");
+        }
+    }
+
+    #[test]
+    fn mismatched_setter_is_rejected_not_misrun() {
+        // The merged Query can no longer reject this at compile time, so
+        // it must be a typed runtime error, never a silently-wrong query.
+        let err = minimize(&table1()).threshold(2).solve().unwrap_err();
+        assert!(matches!(&err, RrmError::Unsupported(msg) if msg.contains(".size()")), "{err}");
+        let err = represent(&table1()).size(2).solve().unwrap_err();
+        assert!(
+            matches!(&err, RrmError::Unsupported(msg) if msg.contains(".threshold()")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn solver_choice_shim_maps_to_algo_choice() {
+        assert_eq!(AlgoChoice::from(SolverChoice::Auto), AlgoChoice::Auto);
+        assert_eq!(AlgoChoice::from(SolverChoice::Exact2d), AlgoChoice::Fixed(Algorithm::TwoDRrm));
+        assert_eq!(AlgoChoice::from(SolverChoice::Hdrrm), AlgoChoice::Fixed(Algorithm::Hdrrm));
     }
 }

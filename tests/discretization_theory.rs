@@ -38,10 +38,7 @@ fn theorem7_epsilon_utility_guarantee() {
         // The small-w_k branch of the proof uses w(u, B) ≥ 1/√d; either
         // branch implies the following joint bound.
         let floor = (1.0 - eps) * wk.min(1.0 / (1.0 - eps) / (d as f64).sqrt());
-        assert!(
-            ws >= floor - 1e-9,
-            "w(u,S) = {ws} below (1-eps) floor {floor} for u = {u:?}"
-        );
+        assert!(ws >= floor - 1e-9, "w(u,S) = {ws} below (1-eps) floor {floor} for u = {u:?}");
     }
 }
 
@@ -89,9 +86,7 @@ fn grid_covering_radius_shrinks() {
             let u = space.sample_direction(&mut rng);
             let best = grid
                 .iter()
-                .map(|v| {
-                    u.iter().zip(v).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
-                })
+                .map(|v| u.iter().zip(v).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt())
                 .fold(f64::INFINITY, f64::min);
             worst = worst.max(best);
         }
@@ -124,10 +119,7 @@ fn percentage_regret_comparable_across_sizes() {
     // Absolute regrets differ by ~4x (they scale with n, Theorem 2), while
     // percentages land in the same ballpark.
     assert!(kl > 2 * ks, "absolute regret should grow with n: {ks} vs {kl}");
-    assert!(
-        (ps - pl).abs() < ps.max(pl),
-        "percentages should be comparable: {ps:.2}% vs {pl:.2}%"
-    );
+    assert!((ps - pl).abs() < ps.max(pl), "percentages should be comparable: {ps:.2}% vs {pl:.2}%");
 }
 
 /// Validation: solutions built from a tiny Dataset::prefix of a sweep

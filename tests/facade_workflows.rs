@@ -34,9 +34,7 @@ fn minimize_with_every_space_type() {
                 let b = rank_regret::minimize(&data).size(r).hdrrm_options(quick_hd());
                 match name {
                     "weak" => b.space(WeakRankingSpace::new(4, 2)).solve(),
-                    "cone" => {
-                        b.space(ConeSpace::new(4, vec![vec![1.0, 0.0, 0.0, -1.0]])).solve()
-                    }
+                    "cone" => b.space(ConeSpace::new(4, vec![vec![1.0, 0.0, 0.0, -1.0]])).solve(),
                     "box" => b.space(BoxSpace::around(&[0.4, 0.3, 0.2, 0.1], 0.15)).solve(),
                     "cap" => b.space(SphereCap::new(&[1.0, 1.0, 1.0, 1.0], 0.4)).solve(),
                     "biased" => {
@@ -58,11 +56,7 @@ fn minimize_with_every_space_type() {
 #[test]
 fn represent_hd_path() {
     let data = independent(600, 3, 92);
-    let sol = rank_regret::represent(&data)
-        .threshold(5)
-        .hdrrm_options(quick_hd())
-        .solve()
-        .unwrap();
+    let sol = rank_regret::represent(&data).threshold(5).hdrrm_options(quick_hd()).solve().unwrap();
     assert_eq!(sol.certified_regret, Some(5));
     // Verify over fresh samples with slack (certificate is over D).
     let est = estimate_rank_regret(&data, &sol.indices, &FullSpace::new(3), 10_000, 93);
@@ -72,11 +66,7 @@ fn represent_hd_path() {
 #[test]
 fn solver_choice_is_respected() {
     let data = independent(200, 2, 94);
-    let exact = rank_regret::minimize(&data)
-        .size(4)
-        .solver(SolverChoice::Exact2d)
-        .solve()
-        .unwrap();
+    let exact = rank_regret::minimize(&data).size(4).solver(SolverChoice::Exact2d).solve().unwrap();
     assert_eq!(exact.algorithm, Algorithm::TwoDRrm);
     let hd = rank_regret::minimize(&data)
         .size(4)
@@ -124,8 +114,7 @@ fn shift_invariance_through_the_facade() {
     let data3 = independent(300, 3, 97);
     let shifted3 = data3.shift(&[1.0, 2.0, 3.0]);
     let a = rank_regret::minimize(&data3).size(8).hdrrm_options(quick_hd()).solve().unwrap();
-    let b =
-        rank_regret::minimize(&shifted3).size(8).hdrrm_options(quick_hd()).solve().unwrap();
+    let b = rank_regret::minimize(&shifted3).size(8).hdrrm_options(quick_hd()).solve().unwrap();
     // HDRRM samples directions independently of the data, and ranks are
     // shift invariant, so the whole pipeline is deterministic under shift.
     assert_eq!(a.indices, b.indices);

@@ -5,8 +5,9 @@
 use rank_regret::{Dataset, FullSpace, WeakRankingSpace};
 use rrm_data::synthetic::{anticorrelated, independent};
 use rrm_eval::{estimate_rank_regret, estimate_regret_ratio};
-use rrm_hd::{hdrrm, mdrc, mdrms, mdrrr_r_rrm, HdrrmOptions, MdrcOptions, MdrmsOptions,
-             MdrrrROptions};
+use rrm_hd::{
+    hdrrm, mdrc, mdrms, mdrrr_r_rrm, HdrrmOptions, MdrcOptions, MdrmsOptions, MdrrrROptions,
+};
 
 const SAMPLES: usize = 30_000;
 
@@ -66,13 +67,9 @@ fn mdrms_good_ratio_bad_rank() {
     // Section II: minimizing regret-ratio does not minimize rank-regret.
     let data = anticorrelated(2_000, 4, 406);
     let r = 10;
-    let rms = mdrms(
-        &data,
-        r,
-        &FullSpace::new(4),
-        MdrmsOptions { samples: 8_000, ..Default::default() },
-    )
-    .unwrap();
+    let rms =
+        mdrms(&data, r, &FullSpace::new(4), MdrmsOptions { samples: 8_000, ..Default::default() })
+            .unwrap();
     let h = hdrrm(&data, r, &FullSpace::new(4), HdrrmOptions::default()).unwrap();
     let ratio_rms =
         estimate_regret_ratio(&data, &rms.indices, &FullSpace::new(4), SAMPLES, 3).max_ratio;
@@ -91,13 +88,9 @@ fn rrrm_restriction_improves_quality() {
     let data = anticorrelated(3_000, 4, 407);
     let space = WeakRankingSpace::new(4, 2);
     let r = 10;
-    let restricted = hdrrm(
-        &data,
-        r,
-        &space,
-        HdrrmOptions { m_override: Some(2_500), ..Default::default() },
-    )
-    .unwrap();
+    let restricted =
+        hdrrm(&data, r, &space, HdrrmOptions { m_override: Some(2_500), ..Default::default() })
+            .unwrap();
     let full = hdrrm(
         &data,
         r,
@@ -127,20 +120,11 @@ fn mdrrr_r_quality_between_hdrrm_and_heuristics() {
         HdrrmOptions { m_override: Some(2_000), ..Default::default() },
     )
     .unwrap();
-    let healthy = mdrrr_r_rrm(
-        &data,
-        r,
-        &FullSpace::new(3),
-        MdrrrROptions { samples: 8_000, seed: 9 },
-    )
-    .unwrap();
-    let starved = mdrrr_r_rrm(
-        &data,
-        r,
-        &FullSpace::new(3),
-        MdrrrROptions { samples: 60, seed: 9 },
-    )
-    .unwrap();
+    let healthy =
+        mdrrr_r_rrm(&data, r, &FullSpace::new(3), MdrrrROptions { samples: 8_000, seed: 9 })
+            .unwrap();
+    let starved =
+        mdrrr_r_rrm(&data, r, &FullSpace::new(3), MdrrrROptions { samples: 10, seed: 9 }).unwrap();
     let kh = measured_regret(&data, &h.indices, 6);
     let k_healthy = measured_regret(&data, &healthy.indices, 6);
     let k_starved = measured_regret(&data, &starved.indices, 6);

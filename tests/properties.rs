@@ -11,10 +11,8 @@ use rrm_skyline::skyline;
 /// arithmetic keeps comparisons deterministic without being degenerate).
 fn small_dataset() -> impl Strategy<Value = Dataset> {
     proptest::collection::vec((0u32..10_000, 0u32..10_000), 3..40).prop_map(|pairs| {
-        let rows: Vec<[f64; 2]> = pairs
-            .into_iter()
-            .map(|(a, b)| [a as f64 / 10_000.0, b as f64 / 10_000.0])
-            .collect();
+        let rows: Vec<[f64; 2]> =
+            pairs.into_iter().map(|(a, b)| [a as f64 / 10_000.0, b as f64 / 10_000.0]).collect();
         Dataset::from_rows(&rows).unwrap()
     })
 }

@@ -1,0 +1,175 @@
+//! Registry parity: every solver registered in the [`Engine`] runs on the
+//! paper's Table I dataset through the single dispatch path, and the
+//! capability matrix (Table III) is enforced — guarantees are real
+//! certificates, restricted spaces either work or fail gracefully.
+
+use rank_regret::prelude::*;
+use rank_regret::{AlgoChoice, TaskKind};
+
+fn table1() -> Dataset {
+    Dataset::from_rows(&[
+        [0.0, 1.0],
+        [0.4, 0.95],
+        [0.57, 0.75],
+        [0.79, 0.6],
+        [0.2, 0.5],
+        [0.35, 0.3],
+        [1.0, 0.0],
+    ])
+    .unwrap()
+}
+
+/// Sampled direction budget: plenty for n = 7, keeps MDRRRr/MDRMS fast.
+fn budget() -> Budget {
+    Budget::with_samples(2_000)
+}
+
+#[test]
+fn every_registered_solver_returns_a_valid_set() {
+    let engine = Engine::new();
+    let data = table1();
+    let r = 3;
+    assert_eq!(engine.registry().count(), Algorithm::ALL.len());
+    for solver in engine.registry() {
+        let algo = solver.algorithm();
+        let sol = engine
+            .run(
+                &data,
+                TaskKind::Minimize,
+                r,
+                &FullSpace::new(2),
+                AlgoChoice::Fixed(algo),
+                &budget(),
+            )
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+        assert_eq!(sol.algorithm, algo, "{algo} mislabeled its solution");
+        assert!(sol.size() >= 1 && sol.size() <= r, "{algo}: size {}", sol.size());
+        assert!(
+            sol.indices.iter().all(|&i| (i as usize) < data.n()),
+            "{algo}: out-of-range index in {:?}",
+            sol.indices
+        );
+        // Sorted + deduplicated is part of the Solution contract.
+        assert!(sol.indices.windows(2).all(|w| w[0] < w[1]), "{algo}: {:?}", sol.indices);
+    }
+}
+
+#[test]
+fn certified_solvers_never_beat_the_brute_force_optimum() {
+    let engine = Engine::new();
+    let data = table1();
+    let r = 2;
+    // Ground truth: the exact optimum over all r-subsets (brute force with
+    // a dense direction sample equals the 2D exact DP on this dataset).
+    let optimum = engine
+        .run(
+            &data,
+            TaskKind::Minimize,
+            r,
+            &FullSpace::new(2),
+            AlgoChoice::Fixed(Algorithm::BruteForce),
+            &budget(),
+        )
+        .unwrap()
+        .certified_regret
+        .unwrap();
+    let exact = engine
+        .run(
+            &data,
+            TaskKind::Minimize,
+            r,
+            &FullSpace::new(2),
+            AlgoChoice::Fixed(Algorithm::TwoDRrm),
+            &budget(),
+        )
+        .unwrap()
+        .certified_regret
+        .unwrap();
+    assert_eq!(optimum, exact, "brute force disagrees with the exact 2D DP");
+
+    for solver in engine.registry() {
+        let algo = solver.algorithm();
+        let sol = engine
+            .run(
+                &data,
+                TaskKind::Minimize,
+                r,
+                &FullSpace::new(2),
+                AlgoChoice::Fixed(algo),
+                &budget(),
+            )
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+        if solver.has_regret_guarantee() {
+            let certified = sol
+                .certified_regret
+                .unwrap_or_else(|| panic!("{algo} claims a guarantee but gave no certificate"));
+            assert!(
+                certified >= optimum,
+                "{algo} certified {certified}, below the optimum {optimum}"
+            );
+        }
+    }
+}
+
+#[test]
+fn restricted_space_capability_is_enforced_not_panicked() {
+    let engine = Engine::new();
+    let data = table1();
+    for solver in engine.registry() {
+        let algo = solver.algorithm();
+        let result = engine.run(
+            &data,
+            TaskKind::Minimize,
+            3,
+            &WeakRankingSpace::new(2, 1),
+            AlgoChoice::Fixed(algo),
+            &budget(),
+        );
+        if solver.supports_restricted_space() {
+            let sol = result.unwrap_or_else(|e| panic!("{algo} should accept RRRM: {e}"));
+            assert!(sol.size() <= 3, "{algo}");
+        } else {
+            assert!(
+                matches!(result, Err(RrmError::Unsupported(_))),
+                "{algo} should reject RRRM with Unsupported, got {result:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_algorithm_answers_the_represent_direction() {
+    let engine = Engine::new();
+    let data = table1();
+    for solver in engine.registry() {
+        let algo = solver.algorithm();
+        let sol = engine
+            .run(
+                &data,
+                TaskKind::Represent,
+                3,
+                &FullSpace::new(2),
+                AlgoChoice::Fixed(algo),
+                &budget(),
+            )
+            .unwrap_or_else(|e| panic!("{algo} represent: {e}"));
+        assert_eq!(sol.algorithm, algo);
+        assert!(sol.size() >= 1 && sol.size() <= data.n(), "{algo}");
+        // Guaranteed solvers certify a regret within the threshold.
+        if solver.has_regret_guarantee() {
+            assert!(sol.certified_regret.unwrap() <= 3, "{algo}: {:?}", sol.certified_regret);
+        }
+    }
+}
+
+#[test]
+fn capability_matrix_is_consistent_between_enum_and_trait() {
+    let engine = Engine::new();
+    for solver in engine.registry() {
+        let algo = solver.algorithm();
+        assert_eq!(solver.has_regret_guarantee(), algo.has_regret_guarantee(), "{algo}");
+        assert_eq!(solver.supports_restricted_space(), algo.supports_restricted_space(), "{algo}");
+        assert_eq!(solver.supported_dims(), algo.supported_dims(), "{algo}");
+        assert_eq!(solver.name(), algo.name(), "{algo}");
+    }
+}

@@ -40,11 +40,8 @@ fn budget_larger_than_dataset() {
 #[test]
 fn threshold_larger_than_dataset() {
     let data = rrm_data::synthetic::independent(20, 3, 1);
-    let sol = rank_regret::represent(&data)
-        .threshold(1000)
-        .hdrrm_options(quick_hd())
-        .solve()
-        .unwrap();
+    let sol =
+        rank_regret::represent(&data).threshold(1000).hdrrm_options(quick_hd()).solve().unwrap();
     assert!(!sol.indices.is_empty());
 }
 
@@ -66,8 +63,7 @@ fn extreme_value_ranges() {
     let (exact, _) = exact_rank_regret_2d(&data, &sol.indices, 0.0, 1.0);
     assert_eq!(k, exact);
     // Normalization gives the same certified value (order-preserving).
-    let sol_n =
-        rrm_2d(&data.normalize(), 2, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+    let sol_n = rrm_2d(&data.normalize(), 2, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
     assert_eq!(sol_n.certified_regret, sol.certified_regret);
 }
 

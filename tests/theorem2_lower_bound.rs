@@ -17,10 +17,7 @@ fn arc_optimum_scales_like_n_over_r() {
         let sol = rrm_2d(&data, r, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
         let k = sol.certified_regret.unwrap();
         let bound = n / (2 * (r + 1)) - 2;
-        assert!(
-            k >= bound,
-            "n={n} r={r}: optimal regret {k} below the Ω(n/r) bound {bound}"
-        );
+        assert!(k >= bound, "n={n} r={r}: optimal regret {k} below the Ω(n/r) bound {bound}");
         // And the optimum is not wildly above the bound either (the
         // construction is tight up to constants).
         assert!(k <= 2 * n / r.max(1), "n={n} r={r}: regret {k} unexpectedly large");
@@ -53,9 +50,5 @@ fn higher_dims_inherit_the_bound() {
     let data2 = data.project(&[0, 1]).unwrap();
     let sol = rrm_2d(&data2, 4, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
     let est = estimate_rank_regret_seq(&data, &sol.indices, &FullSpace::new(4), 20_000, 11);
-    assert!(
-        est.max_rank >= n / 10 - 2,
-        "embedded arc regret {} too small for n={n}",
-        est.max_rank
-    );
+    assert!(est.max_rank >= n / 10 - 2, "embedded arc regret {} too small for n={n}", est.max_rank);
 }
