@@ -22,7 +22,8 @@ pub mod solver;
 
 pub use pareto::{pareto_frontier, rrr_exact_2d, ParetoPoint};
 pub use rrm2d::{
-    rrm_2d, rrm_2d_on_interval, rrm_2d_with_stats, weight_interval, Rrm2dOptions, SweepStats,
+    rrm_2d, rrm_2d_on_interval, rrm_2d_with_stats, weight_interval, Prepared2d, Rrm2dOptions,
+    SweepStats,
 };
-pub use rrr2d::{rrm_via_rrr_2d, rrr_2d, rrr_2d_on_interval};
+pub use rrr2d::{rrm_via_rrr_2d, rrr_2d, rrr_2d_on_interval, PreparedRrr2d};
 pub use solver::{TwoDRrmSolver, TwoDRrrSolver};

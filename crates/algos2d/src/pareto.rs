@@ -7,9 +7,9 @@
 //! with a binary search; for small instances the frontier route is also
 //! exposed because it answers *all* thresholds at once.
 
-use rrm_core::{Algorithm, Dataset, RrmError, Solution, UtilitySpace};
+use rrm_core::{Dataset, RrmError, Solution, UtilitySpace};
 
-use crate::rrm2d::{rrm_2d_on_interval, weight_interval, Rrm2dOptions};
+use crate::rrm2d::{Prepared2d, Rrm2dOptions};
 
 /// One point of the trade-off curve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,15 +28,16 @@ pub fn pareto_frontier(
     space: &dyn UtilitySpace,
     options: Rrm2dOptions,
 ) -> Result<Vec<ParetoPoint>, RrmError> {
-    let mut out = Vec::new();
-    // One DP run per budget keeps the implementation simple and exact;
-    // the budgets share the event generation cost through the stream.
+    // One DP replay per budget over shared prepared state: the skyline,
+    // event stream and initial ranks are computed once for the whole curve.
     // (A single run with r = max_r would fill all columns, but the final
     // fold state of lower columns is only valid for the *last* event, so
-    // per-budget runs are the straightforward correct choice.)
+    // per-budget replays are the straightforward correct choice.)
+    let prepared = Prepared2d::new(data, space, options)?;
+    let mut out = Vec::new();
     let mut prev = usize::MAX;
     for r in 1..=max_r {
-        let sol = rrm_2d_on_interval_cached(data, r, space, options)?;
+        let sol = prepared.solve_rrm(r)?;
         let k = sol.certified_regret.expect("2DRRM always certifies");
         debug_assert!(k <= prev, "frontier must be monotone");
         prev = k;
@@ -50,16 +51,6 @@ pub fn pareto_frontier(
         }
     }
     Ok(out)
-}
-
-fn rrm_2d_on_interval_cached(
-    data: &Dataset,
-    r: usize,
-    space: &dyn UtilitySpace,
-    options: Rrm2dOptions,
-) -> Result<Solution, RrmError> {
-    let (c0, c1) = weight_interval(space)?;
-    rrm_2d_on_interval(data, r, c0, c1, options)
 }
 
 /// Exact RRR in 2D: the minimum-size set with rank-regret at most `k`,
@@ -78,28 +69,9 @@ pub fn rrr_exact_2d(
     if k == 0 {
         return Err(RrmError::Unsupported("rank-regret thresholds start at 1".into()));
     }
-    // Upper bound: the whole candidate set (regret 1 ≤ k).
-    let (c0, c1) = weight_interval(space)?;
-    let sky = rrm_skyline::restricted::u_skyline_2d(data, c0, c1);
-    let mut lo = 1usize;
-    let mut hi = sky.len();
-    let mut best: Option<Solution> = None;
-    while lo <= hi {
-        let mid = lo + (hi - lo) / 2;
-        let sol = rrm_2d_on_interval(data, mid, c0, c1, options)?;
-        if sol.certified_regret.expect("certified") <= k {
-            hi = mid - 1;
-            best = Some(sol);
-        } else {
-            lo = mid + 1;
-        }
-    }
-    best.ok_or_else(|| RrmError::Unsupported("no candidate set meets the threshold".into())).map(
-        |mut s| {
-            s.algorithm = Algorithm::TwoDRrm;
-            s
-        },
-    )
+    // Prepare-then-query: the binary search's probes all share one sweep
+    // cache (and the memo lets repeated probe sizes cost nothing).
+    Prepared2d::new(data, space, options)?.solve_rrr(k)
 }
 
 #[cfg(test)]

@@ -26,10 +26,14 @@
 //! deterministic order, which can momentarily over-count a rank at a
 //! measure-zero point — the usual general-position caveat.
 
+use std::collections::HashMap;
+use std::sync::Mutex;
+
 use rrm_core::{Algorithm, Dataset, RrmError, Solution, UtilitySpace};
 use rrm_geom::dual::{normalized_interval_2d, DualLine};
-use rrm_geom::events::{initial_ranks, stream_crossings};
+use rrm_geom::events::{crossings_with_tracked_capped, initial_ranks, stream_crossings};
 use rrm_geom::sweep::arrangement_sweep;
+use rrm_geom::Crossing;
 use rrm_skyline::restricted::u_skyline_2d;
 
 use crate::matrix::DpMatrix;
@@ -119,41 +123,20 @@ pub fn rrm_2d_on_interval(
     rrm_2d_impl(data, r, c0, c1, options, None)
 }
 
-fn rrm_2d_impl(
-    data: &Dataset,
-    r: usize,
-    c0: f64,
-    c1: f64,
-    options: Rrm2dOptions,
-    mut stats: Option<&mut SweepStats>,
-) -> Result<Solution, RrmError> {
-    if data.dim() != 2 {
-        return Err(RrmError::DimensionMismatch { expected: 2, got: data.dim() });
-    }
-    if r == 0 {
-        return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
-    }
-    assert!(c0 <= c1, "empty weight interval");
-
-    // Theorem 3: candidates are the (restricted) skyline.
-    let candidates = u_skyline_2d(data, c0, c1);
-    let lines = DualLine::from_dataset(data);
-
-    // Deduplicate identical dual lines among candidates (exact duplicate
-    // tuples): a convex chain uses strictly increasing slopes, so at most
-    // one copy could ever appear in a solution.
+/// Deduplicate identical dual lines among candidates (exact duplicate
+/// tuples share one dual line; a convex chain uses strictly increasing
+/// slopes, so at most one copy could ever appear in a solution), then sort
+/// by slope ascending (the paper's g(1..s) order).
+fn dedup_candidates(lines: &[DualLine], candidates: &[u32]) -> Vec<u32> {
     let mut sky: Vec<u32> = Vec::with_capacity(candidates.len());
-    {
-        let mut seen: Vec<(f64, f64)> = Vec::new();
-        for &c in &candidates {
-            let l = &lines[c as usize];
-            if !seen.iter().any(|&(s, b)| s == l.slope && b == l.intercept) {
-                seen.push((l.slope, l.intercept));
-                sky.push(c);
-            }
+    let mut seen: Vec<(f64, f64)> = Vec::new();
+    for &c in candidates {
+        let l = &lines[c as usize];
+        if !seen.iter().any(|&(s, b)| s == l.slope && b == l.intercept) {
+            seen.push((l.slope, l.intercept));
+            sky.push(c);
         }
     }
-    // Sort skyline lines by slope ascending (the paper's g(1..s) order).
     sky.sort_unstable_by(|&a, &b| {
         lines[a as usize]
             .slope
@@ -161,28 +144,32 @@ fn rrm_2d_impl(
             .expect("finite slopes")
             .then(a.cmp(&b))
     });
-    let s = sky.len();
+    sky
+}
 
-    if let Some(st) = stats.as_deref_mut() {
-        st.candidates = s;
-    }
-
-    // The whole candidate set has rank-regret 1 (the top-1 for any u in the
-    // space is never U-dominated, hence a candidate).
-    if s <= r {
-        return Solution::new(sky, Some(1), Algorithm::TwoDRrm, data);
-    }
-
+/// The shared DP core: one matrix run over an event source. `for_each`
+/// must yield the crossings of `stream_crossings(lines, sky, c0, c1, ..)`
+/// in exactly that order (streamed, materialized, or full-sweep — all
+/// three are order-identical for tracked lines). Requires `sky.len() > r`
+/// (the caller handles the trivial whole-skyline case).
+fn dp_run(
+    data: &Dataset,
+    lines: &[DualLine],
+    sky: &[u32],
+    init_ranks: &[usize],
+    r: usize,
+    for_each: impl FnOnce(&mut dyn FnMut(f64, u32, u32)),
+    stats: Option<&mut SweepStats>,
+) -> Result<Solution, RrmError> {
     // Row lookup: line id -> skyline row (usize::MAX = not a skyline line).
     let mut row_of = vec![usize::MAX; lines.len()];
     for (i, &id) in sky.iter().enumerate() {
         row_of[id as usize] = i;
     }
 
-    let all_ranks = initial_ranks(&lines, c0);
-    let mut rank: Vec<u32> = all_ranks.iter().map(|&v| v as u32).collect();
+    let mut rank: Vec<u32> = init_ranks.iter().map(|&v| v as u32).collect();
     let sky_ranks: Vec<u32> = sky.iter().map(|&id| rank[id as usize]).collect();
-    let mut m = DpMatrix::new(&sky, &sky_ranks, r);
+    let mut m = DpMatrix::new(sky, &sky_ranks, r);
 
     // Event replay: at each crossing the `down` line's rank increases.
     // `extend` must see `M[i_down, h-1]` pre-fold, hence extend-then-fold.
@@ -203,20 +190,202 @@ fn rrm_2d_impl(
             m.fold_rank(i_down, rank[down as usize]);
         }
     };
-
-    if options.use_full_sweep {
-        arrangement_sweep(&lines, c0, c1, |x, down, up, _| apply(x, down, up));
-    } else {
-        stream_crossings(&lines, &sky, c0, c1, options.chunk_target, |c| apply(c.x, c.down, c.up));
-    }
+    for_each(&mut apply);
 
     let (best_row, best_rank) = m.best_final();
     let chain = m.chain_lines(best_row, r);
     if let Some(st) = stats {
-        counters.candidates = s;
+        counters.candidates = sky.len();
         *st = counters;
     }
     Solution::new(chain, Some(best_rank as usize), Algorithm::TwoDRrm, data)
+}
+
+fn rrm_2d_impl(
+    data: &Dataset,
+    r: usize,
+    c0: f64,
+    c1: f64,
+    options: Rrm2dOptions,
+    mut stats: Option<&mut SweepStats>,
+) -> Result<Solution, RrmError> {
+    if data.dim() != 2 {
+        return Err(RrmError::DimensionMismatch { expected: 2, got: data.dim() });
+    }
+    if r == 0 {
+        return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
+    }
+    assert!(c0 <= c1, "empty weight interval");
+
+    // Theorem 3: candidates are the (restricted) skyline.
+    let candidates = u_skyline_2d(data, c0, c1);
+    let lines = DualLine::from_dataset(data);
+    let sky = dedup_candidates(&lines, &candidates);
+    let s = sky.len();
+
+    if let Some(st) = stats.as_deref_mut() {
+        st.candidates = s;
+    }
+
+    // The whole candidate set has rank-regret 1 (the top-1 for any u in the
+    // space is never U-dominated, hence a candidate).
+    if s <= r {
+        return Solution::new(sky, Some(1), Algorithm::TwoDRrm, data);
+    }
+
+    let all_ranks = initial_ranks(&lines, c0);
+    dp_run(
+        data,
+        &lines,
+        &sky,
+        &all_ranks,
+        r,
+        |apply| {
+            if options.use_full_sweep {
+                arrangement_sweep(&lines, c0, c1, |x, down, up, _| apply(x, down, up));
+            } else {
+                stream_crossings(&lines, &sky, c0, c1, options.chunk_target, |c| {
+                    apply(c.x, c.down, c.up)
+                });
+            }
+        },
+        stats,
+    )
+}
+
+/// [`rrm_2d`] bound to one dataset and utility space: the prepare-once /
+/// query-many form of the exact 2D solver.
+///
+/// Preparation renders the space onto its weight interval, computes the
+/// restricted skyline, the dual lines and the initial ranks, and — when
+/// they fit the [`Rrm2dOptions::chunk_target`] memory budget — materializes
+/// the sorted crossing stream, so each query is one DP replay instead of a
+/// full sweep reconstruction. Solutions are memoized per `r`, which also
+/// makes the exact-RRR binary search ([`Prepared2d::solve_rrr`]) and the
+/// Pareto frontier ([`crate::pareto_frontier`]) share probe work.
+///
+/// Every query returns exactly what the one-shot [`rrm_2d`] /
+/// [`crate::rrr_exact_2d`] would return for the same inputs.
+pub struct Prepared2d {
+    data: Dataset,
+    options: Rrm2dOptions,
+    c0: f64,
+    c1: f64,
+    /// Deduplicated candidates in ascending slope order (the DP rows).
+    sky: Vec<u32>,
+    /// Pre-dedup candidate count: the RRR binary search's upper bound
+    /// (kept separate so the search probes the same sizes as the one-shot
+    /// [`crate::rrr_exact_2d`]).
+    sky_total: usize,
+    lines: Vec<DualLine>,
+    init_ranks: Vec<usize>,
+    /// Materialized crossings, `None` when they exceed the chunk budget
+    /// (the DP then streams per query: slower, but memory stays bounded).
+    events: Option<Vec<Crossing>>,
+    memo: Mutex<HashMap<usize, Solution>>,
+}
+
+impl Prepared2d {
+    pub fn new(
+        data: &Dataset,
+        space: &dyn UtilitySpace,
+        options: Rrm2dOptions,
+    ) -> Result<Self, RrmError> {
+        if data.dim() != 2 {
+            return Err(RrmError::DimensionMismatch { expected: 2, got: data.dim() });
+        }
+        let (c0, c1) = weight_interval(space)?;
+        let candidates = u_skyline_2d(data, c0, c1);
+        let sky_total = candidates.len();
+        let lines = DualLine::from_dataset(data);
+        let sky = dedup_candidates(&lines, &candidates);
+        let init_ranks = initial_ranks(&lines, c0);
+        let events = crossings_with_tracked_capped(&lines, &sky, c0, c1, options.chunk_target);
+        Ok(Self {
+            data: data.clone(),
+            options,
+            c0,
+            c1,
+            sky,
+            sky_total,
+            lines,
+            init_ranks,
+            events,
+            memo: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The dataset this state was prepared on.
+    pub fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Number of candidate (restricted-skyline, deduplicated) tuples.
+    pub fn candidates(&self) -> usize {
+        self.sky.len()
+    }
+
+    /// Exact RRM for one size budget, replaying the cached sweep.
+    pub fn solve_rrm(&self, r: usize) -> Result<Solution, RrmError> {
+        if r == 0 {
+            return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
+        }
+        if let Some(sol) = self.memo.lock().expect("2D memo poisoned").get(&r) {
+            return Ok(sol.clone());
+        }
+        let sol = if self.sky.len() <= r {
+            Solution::new(self.sky.clone(), Some(1), Algorithm::TwoDRrm, &self.data)?
+        } else {
+            dp_run(
+                &self.data,
+                &self.lines,
+                &self.sky,
+                &self.init_ranks,
+                r,
+                |apply| match &self.events {
+                    Some(events) => {
+                        for c in events {
+                            apply(c.x, c.down, c.up);
+                        }
+                    }
+                    None => stream_crossings(
+                        &self.lines,
+                        &self.sky,
+                        self.c0,
+                        self.c1,
+                        self.options.chunk_target,
+                        |c| apply(c.x, c.down, c.up),
+                    ),
+                },
+                None,
+            )?
+        };
+        self.memo.lock().expect("2D memo poisoned").insert(r, sol.clone());
+        Ok(sol)
+    }
+
+    /// Exact RRR: binary search on the output size over [`Self::solve_rrm`]
+    /// (the same search as [`crate::rrr_exact_2d`], with every probe
+    /// memoized).
+    pub fn solve_rrr(&self, k: usize) -> Result<Solution, RrmError> {
+        if k == 0 {
+            return Err(RrmError::Unsupported("rank-regret thresholds start at 1".into()));
+        }
+        let mut lo = 1usize;
+        let mut hi = self.sky_total;
+        let mut best: Option<Solution> = None;
+        while lo <= hi {
+            let mid = lo + (hi - lo) / 2;
+            let sol = self.solve_rrm(mid)?;
+            if sol.certified_regret.expect("certified") <= k {
+                hi = mid - 1;
+                best = Some(sol);
+            } else {
+                lo = mid + 1;
+            }
+        }
+        best.ok_or_else(|| RrmError::Unsupported("no candidate set meets the threshold".into()))
+    }
 }
 
 #[cfg(test)]
@@ -400,6 +569,68 @@ mod tests {
         assert!(full.events >= stats.events, "full {} < stream {}", full.events, stats.events);
         assert_eq!(full.case1_events, stats.case1_events);
         assert_eq!(full.extensions, stats.extensions);
+    }
+
+    #[test]
+    fn prepared_replay_equals_one_shot() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let rows: Vec<[f64; 2]> =
+            (0..120).map(|_| [rng.random::<f64>(), rng.random::<f64>()]).collect();
+        let d = Dataset::from_rows(&rows).unwrap();
+        for space in [
+            Box::new(FullSpace::new(2)) as Box<dyn rrm_core::UtilitySpace>,
+            Box::new(WeakRankingSpace::new(2, 1)),
+        ] {
+            let prepared = Prepared2d::new(&d, space.as_ref(), Rrm2dOptions::default()).unwrap();
+            for r in 1..=6 {
+                let one_shot = rrm_2d(&d, r, space.as_ref(), Rrm2dOptions::default()).unwrap();
+                assert_eq!(prepared.solve_rrm(r).unwrap(), one_shot, "r={r}");
+                // Memoized second ask: still identical.
+                assert_eq!(prepared.solve_rrm(r).unwrap(), one_shot, "r={r} (memo)");
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_streaming_fallback_equals_materialized() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(12);
+        let rows: Vec<[f64; 2]> = (0..80)
+            .map(|_| {
+                let t = rng.random::<f64>();
+                [t, 1.0 - t + 0.05 * rng.random::<f64>()]
+            })
+            .collect();
+        let d = Dataset::from_rows(&rows).unwrap();
+        // chunk_target 1 forces the no-cache streaming path.
+        let tiny = Rrm2dOptions { chunk_target: 1, ..Default::default() };
+        let streamed = Prepared2d::new(&d, &FullSpace::new(2), tiny).unwrap();
+        let cached = Prepared2d::new(&d, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+        for r in [1usize, 3, 5] {
+            assert_eq!(streamed.solve_rrm(r).unwrap(), cached.solve_rrm(r).unwrap(), "r={r}");
+        }
+    }
+
+    #[test]
+    fn prepared_rrr_matches_exact_search() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        let rows: Vec<[f64; 2]> =
+            (0..90).map(|_| [rng.random::<f64>(), rng.random::<f64>()]).collect();
+        let d = Dataset::from_rows(&rows).unwrap();
+        let prepared = Prepared2d::new(&d, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
+        for k in [1usize, 2, 4, 7] {
+            let one_shot =
+                crate::pareto::rrr_exact_2d(&d, k, &FullSpace::new(2), Rrm2dOptions::default())
+                    .unwrap();
+            assert_eq!(prepared.solve_rrr(k).unwrap(), one_shot, "k={k}");
+        }
+        assert!(prepared.solve_rrr(0).is_err());
+        assert!(prepared.solve_rrm(0).is_err());
     }
 
     #[test]

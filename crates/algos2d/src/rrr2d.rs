@@ -13,6 +13,9 @@
 //! the size budget `r`, using the doubling + halving scheme of Section
 //! V-B.2 ("improved binary search").
 
+use std::collections::HashMap;
+use std::sync::Mutex;
+
 use rrm_core::{Algorithm, Dataset, RrmError, Solution, UtilitySpace};
 use rrm_geom::dual::DualLine;
 use rrm_geom::events::{crossings_with_tracked, initial_ranks, Crossing};
@@ -100,11 +103,111 @@ impl SweepCache {
     }
 }
 
+/// The 2DRRR baseline bound to one dataset and weight interval: the sweep
+/// cache (candidates, sorted crossings, initial ranks) is built once, and
+/// per-threshold covers are memoized, so repeated queries — and the RRM
+/// adaptation's whole binary search — replay cached state.
+///
+/// Queries return exactly what [`rrr_2d`] / [`rrm_via_rrr_2d`] return.
+pub struct PreparedRrr2d {
+    data: Dataset,
+    cache: SweepCache,
+    covers: Mutex<HashMap<usize, Option<Vec<u32>>>>,
+}
+
+impl PreparedRrr2d {
+    pub fn new(data: &Dataset, space: &dyn UtilitySpace) -> Result<Self, RrmError> {
+        if data.dim() != 2 {
+            return Err(RrmError::DimensionMismatch { expected: 2, got: data.dim() });
+        }
+        let (c0, c1) = weight_interval(space)?;
+        Ok(Self {
+            data: data.clone(),
+            cache: SweepCache::build(data, c0, c1),
+            covers: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The dataset this state was prepared on.
+    pub fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
+    fn cover(&self, k: usize) -> Option<Vec<u32>> {
+        if let Some(cover) = self.covers.lock().expect("cover memo poisoned").get(&k) {
+            return cover.clone();
+        }
+        // Compute outside the lock so concurrent queries never serialize
+        // on a cache miss (the cover is deterministic per threshold).
+        let cover = self.cache.cover(k);
+        self.covers.lock().expect("cover memo poisoned").entry(k).or_insert(cover).clone()
+    }
+
+    /// RRR for one threshold (identical to [`rrr_2d`]).
+    pub fn solve_rrr(&self, k: usize) -> Result<Solution, RrmError> {
+        if k == 0 {
+            return Err(RrmError::Unsupported("rank-regret thresholds start at 1".into()));
+        }
+        let ids = self.cover(k).expect(
+            "rank-k windows always cover the range (the top-1 line is in every window set)",
+        );
+        Solution::new(ids, Some((2 * k).saturating_sub(1)), Algorithm::TwoDRrr, &self.data)
+    }
+
+    /// RRM via the smallest feasible threshold (identical to
+    /// [`rrm_via_rrr_2d`], with every probed cover memoized).
+    pub fn solve_rrm(&self, r: usize) -> Result<Solution, RrmError> {
+        if r == 0 {
+            return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
+        }
+        let n = self.data.n();
+
+        // Doubling phase.
+        let mut k = 1usize;
+        let mut feasible: Option<(usize, Vec<u32>)> = None;
+        while k <= n {
+            if let Some(ids) = self.cover(k) {
+                if ids.len() <= r {
+                    feasible = Some((k, ids));
+                    break;
+                }
+            }
+            k *= 2;
+        }
+        let (found_k, mut best_ids) =
+            feasible.unwrap_or_else(|| (n, self.cover(n).expect("k = n always covers")));
+        // Binary phase on (found_k/2, found_k].
+        let mut lo = found_k / 2 + 1;
+        let mut hi = found_k;
+        let mut best_k = found_k;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.cover(mid) {
+                Some(ids) if ids.len() <= r => {
+                    best_ids = ids;
+                    best_k = mid;
+                    hi = mid;
+                }
+                _ => lo = mid + 1,
+            }
+        }
+        best_ids.truncate(r);
+        Solution::new(
+            best_ids,
+            Some((2 * best_k).saturating_sub(1)),
+            Algorithm::TwoDRrr,
+            &self.data,
+        )
+    }
+}
+
 /// RRR baseline: a set of size at most the optimal rank-k representative's
 /// size, with certified rank-regret at most `2k − 1`.
 pub fn rrr_2d(data: &Dataset, k: usize, space: &dyn UtilitySpace) -> Result<Solution, RrmError> {
-    let (c0, c1) = weight_interval(space)?;
-    rrr_2d_on_interval(data, k, c0, c1)
+    if k == 0 {
+        return Err(RrmError::Unsupported("rank-regret thresholds start at 1".into()));
+    }
+    PreparedRrr2d::new(data, space)?.solve_rrr(k)
 }
 
 /// [`rrr_2d`] over an explicit weight interval.
@@ -134,47 +237,10 @@ pub fn rrm_via_rrr_2d(
     r: usize,
     space: &dyn UtilitySpace,
 ) -> Result<Solution, RrmError> {
-    if data.dim() != 2 {
-        return Err(RrmError::DimensionMismatch { expected: 2, got: data.dim() });
-    }
     if r == 0 {
         return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
     }
-    let (c0, c1) = weight_interval(space)?;
-    let cache = SweepCache::build(data, c0, c1);
-    let n = data.n();
-
-    // Doubling phase.
-    let mut k = 1usize;
-    let mut feasible: Option<(usize, Vec<u32>)> = None;
-    while k <= n {
-        if let Some(ids) = cache.cover(k) {
-            if ids.len() <= r {
-                feasible = Some((k, ids));
-                break;
-            }
-        }
-        k *= 2;
-    }
-    let (found_k, mut best_ids) =
-        feasible.unwrap_or_else(|| (n, cache.cover(n).expect("k = n always covers")));
-    // Binary phase on (found_k/2, found_k].
-    let mut lo = found_k / 2 + 1;
-    let mut hi = found_k;
-    let mut best_k = found_k;
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        match cache.cover(mid) {
-            Some(ids) if ids.len() <= r => {
-                best_ids = ids;
-                best_k = mid;
-                hi = mid;
-            }
-            _ => lo = mid + 1,
-        }
-    }
-    best_ids.truncate(r);
-    Solution::new(best_ids, Some((2 * best_k).saturating_sub(1)), Algorithm::TwoDRrr, data)
+    PreparedRrr2d::new(data, space)?.solve_rrm(r)
 }
 
 #[cfg(test)]

@@ -6,11 +6,13 @@
 //! advertises that, and engines turn it into a uniform
 //! `RrmError::Unsupported` before dispatch.
 
-use rrm_core::{Algorithm, Budget, Dataset, RrmError, Solution, Solver, UtilitySpace};
+use rrm_core::{
+    Algorithm, Budget, Dataset, PreparedSolver, RrmError, Solution, Solver, UtilitySpace,
+};
 
 use crate::pareto::rrr_exact_2d;
-use crate::rrm2d::{rrm_2d, Rrm2dOptions};
-use crate::rrr2d::{rrm_via_rrr_2d, rrr_2d};
+use crate::rrm2d::{rrm_2d, Prepared2d, Rrm2dOptions};
+use crate::rrr2d::{rrm_via_rrr_2d, rrr_2d, PreparedRrr2d};
 
 /// **2DRRM** (paper Section IV): exact RRM/RRRM via the dual-line sweep,
 /// exact RRR via binary search on the DP.
@@ -49,6 +51,40 @@ impl Solver for TwoDRrmSolver {
     ) -> Result<Solution, RrmError> {
         rrr_exact_2d(data, k, space, self.options)
     }
+
+    fn prepare(
+        &self,
+        data: &Dataset,
+        space: &dyn UtilitySpace,
+    ) -> Result<Box<dyn PreparedSolver>, RrmError> {
+        self.ensure_supported(data, space)?;
+        Ok(Box::new(PreparedTwoDRrm { inner: Prepared2d::new(data, space, self.options)? }))
+    }
+}
+
+/// [`Prepared2d`] behind the [`PreparedSolver`] contract (the 2D solvers
+/// take no budget knobs, so the budget is ignored exactly as in the
+/// one-shot path).
+struct PreparedTwoDRrm {
+    inner: Prepared2d,
+}
+
+impl PreparedSolver for PreparedTwoDRrm {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::TwoDRrm
+    }
+
+    fn dataset(&self) -> &Dataset {
+        self.inner.dataset()
+    }
+
+    fn solve_rrm(&self, r: usize, _budget: &Budget) -> Result<Solution, RrmError> {
+        self.inner.solve_rrm(r)
+    }
+
+    fn solve_rrr(&self, k: usize, _budget: &Budget) -> Result<Solution, RrmError> {
+        self.inner.solve_rrr(k)
+    }
 }
 
 /// **2DRRR** (Asudeh et al.): native RRR via rank-window interval cover
@@ -83,6 +119,38 @@ impl Solver for TwoDRrrSolver {
     ) -> Result<Solution, RrmError> {
         self.ensure_supported(data, space)?;
         rrr_2d(data, k, space)
+    }
+
+    fn prepare(
+        &self,
+        data: &Dataset,
+        space: &dyn UtilitySpace,
+    ) -> Result<Box<dyn PreparedSolver>, RrmError> {
+        self.ensure_supported(data, space)?;
+        Ok(Box::new(PreparedTwoDRrr { inner: PreparedRrr2d::new(data, space)? }))
+    }
+}
+
+/// [`PreparedRrr2d`] behind the [`PreparedSolver`] contract.
+struct PreparedTwoDRrr {
+    inner: PreparedRrr2d,
+}
+
+impl PreparedSolver for PreparedTwoDRrr {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::TwoDRrr
+    }
+
+    fn dataset(&self) -> &Dataset {
+        self.inner.dataset()
+    }
+
+    fn solve_rrm(&self, r: usize, _budget: &Budget) -> Result<Solution, RrmError> {
+        self.inner.solve_rrm(r)
+    }
+
+    fn solve_rrr(&self, k: usize, _budget: &Budget) -> Result<Solution, RrmError> {
+        self.inner.solve_rrr(k)
     }
 }
 

@@ -1,7 +1,7 @@
 //! **HDRRM** — the paper's HD algorithm (Algorithm 3, Theorems 9–11).
 //!
 //! 1. Discretize the (restricted) function space into `D = Da ∪ Db`.
-//! 2. Search the smallest threshold `k` for which [`crate::asms`] returns
+//! 2. Search the smallest threshold `k` for which [`mod@crate::asms`] returns
 //!    at most `r` tuples, with the *improved binary search*: double `k`
 //!    until feasible, then binary-search the last gap. (ASMS cost grows
 //!    with `k`, so keeping probed thresholds small matters — Section
@@ -15,11 +15,17 @@
 //! a prefix of `Φ_{k_hi}` — the top-`k_hi` lists are computed once and
 //! sliced, provided they fit a memory budget.
 
-use rrm_core::{basis_indices, Algorithm, Dataset, RrmError, Solution, UtilitySpace};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use rrm_core::{
+    basis_indices, cache_bounded, Algorithm, Budget, Dataset, RrmError, Solution, UtilitySpace,
+    PREPARED_CACHE_CAP,
+};
 
 use crate::asms::asms_with_topk;
 use crate::common::batch_topk;
-use crate::discretize::{build_vector_set, paper_sample_size};
+use crate::discretize::{build_vector_set, paper_sample_size, Discretization};
 
 /// Tuning knobs for [`hdrrm`]. Defaults mirror the paper's experiments.
 #[derive(Debug, Clone, Copy)]
@@ -148,6 +154,203 @@ pub fn hdrrm(
     }
 
     Solution::new(best_q, Some(best_k), Algorithm::Hdrrm, data)
+}
+
+/// HDRRM bound to one dataset and utility space: the prepare-once /
+/// query-many form of the paper's HD algorithm.
+///
+/// Preparation computes the boundary-tuple basis `B` and the skyline
+/// candidate mask once. Discretized vector sets (keyed by their sample
+/// count `m`, which the Theorem 10 formula ties to the queried `r`) and
+/// top-k lists are cached across queries: a repeated query re-runs only
+/// the greedy covers, and the binary-search phases of *different* queries
+/// share one top-`k` computation through the ASMS prefix property.
+///
+/// Every query returns exactly what the one-shot [`hdrrm`] / [`hdrrr`]
+/// would return for the same inputs — the caches are keyed by the same
+/// deterministic seeds the one-shot path uses.
+pub struct PreparedHdrrm {
+    data: Dataset,
+    space: Box<dyn UtilitySpace>,
+    options: HdrrmOptions,
+    /// The boundary-tuple basis `B` (always computed: RRR needs it even
+    /// when `include_basis` is off for RRM).
+    basis: Vec<u32>,
+    mask: Option<Vec<bool>>,
+    discs: Mutex<HashMap<usize, Arc<Discretization>>>,
+    /// Per sample count `m`: the largest `k` computed so far and its
+    /// top-k lists (every smaller threshold is a prefix).
+    topk: Mutex<HashMap<usize, (usize, TopkLists)>>,
+}
+
+/// Shared top-k index lists, one per discretized direction.
+type TopkLists = Arc<Vec<Vec<u32>>>;
+
+impl PreparedHdrrm {
+    pub fn new(
+        data: &Dataset,
+        space: &dyn UtilitySpace,
+        options: HdrrmOptions,
+    ) -> Result<Self, RrmError> {
+        let d = data.dim();
+        if d < 2 {
+            return Err(RrmError::Unsupported("HDRRM requires d >= 2".into()));
+        }
+        if space.dim() != d {
+            return Err(RrmError::DimensionMismatch { expected: d, got: space.dim() });
+        }
+        let basis = basis_indices(data);
+        let mask = options.skyline_candidates.then(|| {
+            let sky = rrm_skyline::skyline(data);
+            let mut mask = vec![false; data.n()];
+            for &s in &sky {
+                mask[s as usize] = true;
+            }
+            mask
+        });
+        Ok(Self {
+            data: data.clone(),
+            space: space.clone_box(),
+            options,
+            basis,
+            mask,
+            discs: Mutex::new(HashMap::new()),
+            topk: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The dataset this state was prepared on.
+    pub fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
+    fn disc(&self, m: usize) -> Arc<Discretization> {
+        if let Some(disc) = self.discs.lock().expect("discretization cache poisoned").get(&m) {
+            return disc.clone();
+        }
+        // Build outside the lock: concurrent misses duplicate work (the
+        // result is deterministic) but never block other queries.
+        let disc = Arc::new(build_vector_set(
+            self.data.dim(),
+            self.space.as_ref(),
+            m,
+            self.options.gamma,
+            self.options.seed,
+        ));
+        cache_bounded(
+            &mut self.discs.lock().expect("discretization cache poisoned"),
+            m,
+            disc,
+            PREPARED_CACHE_CAP,
+        )
+    }
+
+    /// Top-k lists over the size-`m` discretization, with at least `k`
+    /// entries per direction. Within the cache budget, one computation at
+    /// the largest requested `k` serves every smaller threshold (the ASMS
+    /// prefix property); above it, lists are computed fresh per call —
+    /// exactly the one-shot memory/speed trade.
+    fn lists(&self, m: usize, k: usize) -> TopkLists {
+        let disc = self.disc(m);
+        if disc.dirs.len().saturating_mul(k) > self.options.cache_budget_entries {
+            return Arc::new(batch_topk(&self.data, &disc.dirs, k));
+        }
+        if let Some((cached_k, lists)) = self.topk.lock().expect("top-k cache poisoned").get(&m) {
+            if *cached_k >= k {
+                return lists.clone();
+            }
+        }
+        // Compute outside the lock (batch_topk is the dominant cost);
+        // racers duplicate deterministic work instead of serializing.
+        let lists = Arc::new(batch_topk(&self.data, &disc.dirs, k));
+        let mut cache = self.topk.lock().expect("top-k cache poisoned");
+        match cache.get(&m) {
+            Some((cached_k, existing)) if *cached_k >= k => existing.clone(),
+            Some(_) => {
+                // Upgrading an existing entry to a deeper k never grows
+                // the entry count.
+                cache.insert(m, (k, lists.clone()));
+                lists
+            }
+            None => {
+                if cache.len() < PREPARED_CACHE_CAP {
+                    cache.insert(m, (k, lists.clone()));
+                }
+                lists
+            }
+        }
+    }
+
+    /// The effective sample count for an RRM query (budget override, then
+    /// option override, then the Theorem 10 formula — identical precedence
+    /// to the one-shot [`hdrrm`] behind a budget-applying solver).
+    fn rrm_samples(&self, r: usize, budget: &Budget) -> usize {
+        budget.samples.or(self.options.m_override).unwrap_or_else(|| {
+            paper_sample_size(self.data.n(), r, self.data.dim(), self.options.delta)
+        })
+    }
+
+    /// RRM for one size budget (identical to [`hdrrm`]).
+    pub fn solve_rrm(&self, r: usize, budget: &Budget) -> Result<Solution, RrmError> {
+        let n = self.data.n();
+        let basis: &[u32] = if self.options.include_basis { &self.basis } else { &[] };
+        if r < basis.len().max(1) {
+            return Err(RrmError::OutputSizeTooSmall { requested: r, minimum: basis.len().max(1) });
+        }
+        let m = self.rrm_samples(r, budget);
+        let mask_ref = self.mask.as_deref();
+
+        // Doubling phase (Algorithm 3 lines 2–6), probing through the
+        // shared top-k cache.
+        let mut prev_k = 0usize;
+        let mut k = 1usize;
+        let (mut best_k, mut best_q);
+        loop {
+            let lists = self.lists(m, k);
+            let q = asms_with_topk(n, k, basis, &lists, mask_ref);
+            if q.len() <= r {
+                best_k = k;
+                best_q = q;
+                let mut lo = prev_k + 1;
+                let mut hi = k;
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    let q_mid = asms_with_topk(n, mid, basis, &self.lists(m, mid), mask_ref);
+                    if q_mid.len() <= r {
+                        best_k = mid;
+                        best_q = q_mid;
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+                break;
+            }
+            if k >= n {
+                // Unreachable: at k = n the universe is empty and ASMS
+                // returns exactly the basis, which fits r.
+                unreachable!("ASMS at k = n returns the basis");
+            }
+            prev_k = k;
+            k = (k * 2).min(n);
+        }
+
+        Solution::new(best_q, Some(best_k), Algorithm::Hdrrm, &self.data)
+    }
+
+    /// RRR for one threshold (identical to [`hdrrr`]).
+    pub fn solve_rrr(&self, k: usize, budget: &Budget) -> Result<Solution, RrmError> {
+        if k == 0 {
+            return Err(RrmError::Unsupported("rank-regret thresholds start at 1".into()));
+        }
+        let n = self.data.n();
+        let m = budget.samples.or(self.options.m_override).unwrap_or_else(|| {
+            paper_sample_size(n, (2 * self.basis.len()).max(8), self.data.dim(), self.options.delta)
+        });
+        let k = k.min(n);
+        let q = asms_with_topk(n, k, &self.basis, &self.lists(m, k), self.mask.as_deref());
+        Solution::new(q, Some(k), Algorithm::Hdrrm, &self.data)
+    }
 }
 
 /// The RRR (threshold) variant in HD: one ASMS call at threshold `k`

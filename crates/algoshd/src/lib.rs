@@ -3,11 +3,11 @@
 //!
 //! | Module | Algorithm | Guarantee on rank-regret | RRRM | Scalable |
 //! |--------|-----------|--------------------------|------|----------|
-//! | [`hdrrm`] | **HDRRM** (this paper) | yes (over the discretized set `D`, Theorems 6–10) | yes | yes |
-//! | [`mdrrr`] | MDRRR (Asudeh et al.) | yes (exact k-set enumeration) | no | no (few hundred tuples) |
-//! | [`mdrrr_r`] | MDRRRr (randomized) | no | yes | limited |
-//! | [`mdrc`] | MDRC (space partitioning) | no | no | yes |
-//! | [`mdrms`] | MDRMS (regret-ratio / RMS) | no (wrong objective) | yes | yes |
+//! | [`mod@hdrrm`] | **HDRRM** (this paper) | yes (over the discretized set `D`, Theorems 6–10) | yes | yes |
+//! | [`mod@mdrrr`] | MDRRR (Asudeh et al.) | yes (exact k-set enumeration) | no | no (few hundred tuples) |
+//! | [`mod@mdrrr_r`] | MDRRRr (randomized) | no | yes | limited |
+//! | [`mod@mdrc`] | MDRC (space partitioning) | no | no | yes |
+//! | [`mod@mdrms`] | MDRMS (regret-ratio / RMS) | no (wrong objective) | yes | yes |
 //!
 //! This is Table III of the paper, encoded in the implementations: `mdrrr`
 //! rejects restricted spaces, `mdrc` rejects them too, and only `hdrrm`
@@ -28,7 +28,7 @@ pub mod solver;
 pub use asms::asms;
 pub use cube::{cube, cube_ratio_bound};
 pub use discretize::{build_vector_set, paper_sample_size, Discretization};
-pub use hdrrm::{hdrrm, hdrrr, HdrrmOptions};
+pub use hdrrm::{hdrrm, hdrrr, HdrrmOptions, PreparedHdrrm};
 pub use ksets::{enumerate_ksets, KsetEnumeration, KsetLimits};
 pub use mdrc::{mdrc, mdrc_rrm, MdrcOptions};
 pub use mdrms::{mdrms, MdrmsOptions};

@@ -51,43 +51,80 @@ pub fn mdrms(
     if space.dim() != data.dim() {
         return Err(RrmError::DimensionMismatch { expected: data.dim(), got: space.dim() });
     }
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let dirs: Vec<Vec<f64>> = (0..opts.samples).map(|_| space.sample_direction(&mut rng)).collect();
-    let top1 = batch_top1_scores(data, &dirs);
+    let mut greedy = GreedyRms::new(data, space, opts);
+    let chosen = greedy.prefix(data, r);
+    Solution::new(chosen, None, Algorithm::Mdrms, data)
+}
 
-    // Candidates: skyline when affordable, else an even subsample of it.
-    let sky = rrm_skyline::skyline(data);
-    let candidates: Vec<u32> = if sky.len() <= opts.max_candidates {
-        sky
-    } else {
-        let step = sky.len() as f64 / opts.max_candidates as f64;
-        (0..opts.max_candidates).map(|i| sky[(i as f64 * step) as usize]).collect()
-    };
+/// Resumable greedy state: each pick depends only on earlier picks, so one
+/// growing prefix answers every size budget — the one-shot [`mdrms`] runs
+/// it once, the prepared path keeps it alive and extends it on demand
+/// (`mdrms(r)` is always the first `r` picks of `mdrms(r')` for `r' ≥ r`).
+pub(crate) struct GreedyRms {
+    dirs: Vec<Vec<f64>>,
+    top1: Vec<f64>,
+    candidates: Vec<u32>,
+    best_scores: Vec<f64>,
+    in_set: Vec<bool>,
+    chosen: Vec<u32>,
+    /// Set when no candidate remains or the worst ratio reached zero —
+    /// further budget cannot add picks.
+    done: bool,
+}
 
-    // Score matrix rows on demand: per candidate, its score per direction.
-    // Greedy state: best score per direction of the chosen set.
-    let mut best_scores = vec![f64::NEG_INFINITY; dirs.len()];
-    let mut chosen: Vec<u32> = Vec::with_capacity(r);
-    let mut in_set = vec![false; data.n()];
-    for _ in 0..r {
-        let pick = best_addition(data, &candidates, &dirs, &top1, &best_scores, &in_set);
-        let Some(t) = pick else { break };
-        in_set[t as usize] = true;
-        chosen.push(t);
-        let row = data.row(t as usize);
-        for (b, u) in best_scores.iter_mut().zip(&dirs) {
-            let s = utility::dot(u, row);
-            if s > *b {
-                *b = s;
+impl GreedyRms {
+    pub(crate) fn new(data: &Dataset, space: &dyn UtilitySpace, opts: MdrmsOptions) -> Self {
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let dirs: Vec<Vec<f64>> =
+            (0..opts.samples).map(|_| space.sample_direction(&mut rng)).collect();
+        let top1 = batch_top1_scores(data, &dirs);
+
+        // Candidates: skyline when affordable, else an even subsample of it.
+        let sky = rrm_skyline::skyline(data);
+        let candidates: Vec<u32> = if sky.len() <= opts.max_candidates {
+            sky
+        } else {
+            let step = sky.len() as f64 / opts.max_candidates as f64;
+            (0..opts.max_candidates).map(|i| sky[(i as f64 * step) as usize]).collect()
+        };
+
+        let best_scores = vec![f64::NEG_INFINITY; dirs.len()];
+        let in_set = vec![false; data.n()];
+        Self { dirs, top1, candidates, best_scores, in_set, chosen: Vec::new(), done: false }
+    }
+
+    /// Extend the greedy sequence to `r` picks (or until it saturates) and
+    /// return the first `min(r, picks)` of them.
+    pub(crate) fn prefix(&mut self, data: &Dataset, r: usize) -> Vec<u32> {
+        while self.chosen.len() < r && !self.done {
+            let pick = best_addition(
+                data,
+                &self.candidates,
+                &self.dirs,
+                &self.top1,
+                &self.best_scores,
+                &self.in_set,
+            );
+            let Some(t) = pick else {
+                self.done = true;
+                break;
+            };
+            self.in_set[t as usize] = true;
+            self.chosen.push(t);
+            let row = data.row(t as usize);
+            for (b, u) in self.best_scores.iter_mut().zip(&self.dirs) {
+                let s = utility::dot(u, row);
+                if s > *b {
+                    *b = s;
+                }
+            }
+            // Early exit: ratio already zero everywhere.
+            if worst_ratio(&self.best_scores, &self.top1) <= 0.0 {
+                self.done = true;
             }
         }
-        // Early exit: ratio already zero everywhere.
-        let worst = worst_ratio(&best_scores, &top1);
-        if worst <= 0.0 {
-            break;
-        }
+        self.chosen[..r.min(self.chosen.len())].to_vec()
     }
-    Solution::new(chosen, None, Algorithm::Mdrms, data)
 }
 
 fn worst_ratio(best_scores: &[f64], top1: &[f64]) -> f64 {

@@ -56,15 +56,26 @@ pub fn mdrrr(data: &Dataset, k: usize, limits: KsetLimits) -> Result<Solution, R
 /// MDRRR adapted to RRM with the improved (doubling + binary) search on
 /// `k`, as the paper's experiments run it.
 pub fn mdrrr_rrm(data: &Dataset, r: usize, limits: KsetLimits) -> Result<Solution, RrmError> {
+    rrm_search_with(data.n(), r, |k| mdrrr(data, k, limits))
+}
+
+/// The doubling + binary search on `k` shared by [`mdrrr_rrm`] and the
+/// prepared path: `probe(k)` answers one threshold. Kept closure-driven so
+/// prepared solvers can memoize enumerations without duplicating the
+/// search (which would risk parity drift).
+pub(crate) fn rrm_search_with(
+    n: usize,
+    r: usize,
+    mut probe: impl FnMut(usize) -> Result<Solution, RrmError>,
+) -> Result<Solution, RrmError> {
     if r == 0 {
         return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
     }
-    let n = data.n();
     let mut prev_k = 0usize;
     let mut k = 1usize;
     let mut best: Option<Solution> = None;
     loop {
-        let sol = mdrrr(data, k, limits)?;
+        let sol = probe(k)?;
         if sol.size() <= r {
             best = Some(sol);
             break;
@@ -84,7 +95,7 @@ pub fn mdrrr_rrm(data: &Dataset, r: usize, limits: KsetLimits) -> Result<Solutio
     let mut hi = k;
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        let sol = mdrrr(data, mid, limits)?;
+        let sol = probe(mid)?;
         if sol.size() <= r {
             best = sol;
             hi = mid;

@@ -31,16 +31,17 @@ impl Default for MdrrrROptions {
     }
 }
 
-/// Distinct top-k sets observed across sampled directions.
-fn sample_ksets(
-    data: &Dataset,
-    k: usize,
-    space: &dyn UtilitySpace,
-    opts: MdrrrROptions,
-) -> Vec<Vec<u32>> {
+/// The sampled direction pool (deterministic per seed and sample count —
+/// the prepared path caches it per sample count and reuses it for every
+/// threshold).
+pub(crate) fn sampled_dirs(space: &dyn UtilitySpace, opts: MdrrrROptions) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    let dirs: Vec<Vec<f64>> = (0..opts.samples).map(|_| space.sample_direction(&mut rng)).collect();
-    let lists = batch_topk(data, &dirs, k);
+    (0..opts.samples).map(|_| space.sample_direction(&mut rng)).collect()
+}
+
+/// Distinct top-k sets observed across the given directions.
+pub(crate) fn ksets_from_dirs(data: &Dataset, k: usize, dirs: &[Vec<f64>]) -> Vec<Vec<u32>> {
+    let lists = batch_topk(data, dirs, k);
     let mut seen: HashSet<Vec<u32>> = HashSet::with_capacity(lists.len() / 4);
     for mut l in lists {
         l.sort_unstable();
@@ -52,6 +53,16 @@ fn sample_ksets(
     let mut ksets: Vec<Vec<u32>> = seen.into_iter().collect();
     ksets.sort_unstable();
     ksets
+}
+
+/// Distinct top-k sets observed across sampled directions.
+fn sample_ksets(
+    data: &Dataset,
+    k: usize,
+    space: &dyn UtilitySpace,
+    opts: MdrrrROptions,
+) -> Vec<Vec<u32>> {
+    ksets_from_dirs(data, k, &sampled_dirs(space, opts))
 }
 
 /// MDRRRr for the RRR problem over a (possibly restricted) space. The
@@ -81,17 +92,28 @@ pub fn mdrrr_r_rrm(
     space: &dyn UtilitySpace,
     opts: MdrrrROptions,
 ) -> Result<Solution, RrmError> {
-    if r == 0 {
-        return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
-    }
     if space.dim() != data.dim() {
         return Err(RrmError::DimensionMismatch { expected: data.dim(), got: space.dim() });
     }
-    let n = data.n();
+    rrm_search_sampled(data.n(), r, |k| mdrrr_r(data, k, space, opts))
+}
+
+/// The doubling + binary search of [`mdrrr_r_rrm`], closure-driven so the
+/// prepared path can memoize the per-threshold hitting sets. Unlike the
+/// exact enumeration's search, a feasible threshold always exists (the
+/// top-n hitting set is any single tuple).
+pub(crate) fn rrm_search_sampled(
+    n: usize,
+    r: usize,
+    mut probe: impl FnMut(usize) -> Result<Solution, RrmError>,
+) -> Result<Solution, RrmError> {
+    if r == 0 {
+        return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
+    }
     let mut prev_k = 0usize;
     let mut k = 1usize;
     let sol = loop {
-        let sol = mdrrr_r(data, k, space, opts)?;
+        let sol = probe(k)?;
         if sol.size() <= r {
             break sol;
         }
@@ -106,7 +128,7 @@ pub fn mdrrr_r_rrm(
     let mut hi = k;
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        let sol = mdrrr_r(data, mid, space, opts)?;
+        let sol = probe(mid)?;
         if sol.size() <= r {
             best = sol;
             hi = mid;

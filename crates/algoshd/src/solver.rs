@@ -7,16 +7,22 @@
 //! sample counts for the randomized ones, k-set/LP limits for MDRRR —
 //! and ignored where they do not apply.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use rrm_core::{
-    rrr_via_rrm_search, Algorithm, Budget, Dataset, RrmError, Solution, Solver, UtilitySpace,
+    cache_bounded, rrr_via_rrm_search, rrr_via_rrm_search_with, Algorithm, Budget, Dataset,
+    PreparedSolver, RrmError, Solution, Solver, UtilitySpace, PREPARED_CACHE_CAP,
 };
 
-use crate::hdrrm::{hdrrm, hdrrr, HdrrmOptions};
+use crate::hdrrm::{hdrrm, hdrrr, HdrrmOptions, PreparedHdrrm};
 use crate::ksets::KsetLimits;
 use crate::mdrc::{mdrc, MdrcOptions};
-use crate::mdrms::{mdrms, MdrmsOptions};
-use crate::mdrrr::{mdrrr, mdrrr_rrm};
-use crate::mdrrr_r::{mdrrr_r, mdrrr_r_rrm, MdrrrROptions};
+use crate::mdrms::{mdrms, GreedyRms, MdrmsOptions};
+use crate::mdrrr::{hit_ksets, mdrrr, mdrrr_rrm, rrm_search_with};
+use crate::mdrrr_r::{
+    ksets_from_dirs, mdrrr_r, mdrrr_r_rrm, rrm_search_sampled, sampled_dirs, MdrrrROptions,
+};
 
 /// **HDRRM** (paper Section V): discretize-and-cover with a certificate
 /// over the discretized direction set (Theorem 10).
@@ -62,6 +68,38 @@ impl Solver for HdrrmSolver {
         budget: &Budget,
     ) -> Result<Solution, RrmError> {
         hdrrr(data, k, space, self.budgeted(budget))
+    }
+
+    fn prepare(
+        &self,
+        data: &Dataset,
+        space: &dyn UtilitySpace,
+    ) -> Result<Box<dyn PreparedSolver>, RrmError> {
+        self.ensure_supported(data, space)?;
+        Ok(Box::new(PreparedHdrrmSolver { inner: PreparedHdrrm::new(data, space, self.options)? }))
+    }
+}
+
+/// [`PreparedHdrrm`] behind the [`PreparedSolver`] contract.
+struct PreparedHdrrmSolver {
+    inner: PreparedHdrrm,
+}
+
+impl PreparedSolver for PreparedHdrrmSolver {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Hdrrm
+    }
+
+    fn dataset(&self) -> &Dataset {
+        self.inner.dataset()
+    }
+
+    fn solve_rrm(&self, r: usize, budget: &Budget) -> Result<Solution, RrmError> {
+        self.inner.solve_rrm(r, budget)
+    }
+
+    fn solve_rrr(&self, k: usize, budget: &Budget) -> Result<Solution, RrmError> {
+        self.inner.solve_rrr(k, budget)
     }
 }
 
@@ -118,6 +156,75 @@ impl Solver for MdrrrSolver {
         self.ensure_supported(data, space)?;
         mdrrr(data, k, self.budgeted(budget))
     }
+
+    fn prepare(
+        &self,
+        data: &Dataset,
+        space: &dyn UtilitySpace,
+    ) -> Result<Box<dyn PreparedSolver>, RrmError> {
+        self.ensure_supported(data, space)?;
+        Ok(Box::new(PreparedMdrrr {
+            data: data.clone(),
+            limits: self.limits,
+            memo: Mutex::new(HashMap::new()),
+        }))
+    }
+}
+
+/// MDRRR bound to one dataset: k-set enumerations (the expensive, LP-heavy
+/// part) are memoized per `(k, effective limits)`, so the RRM adaptation's
+/// threshold search — and any repeated query — re-enumerates nothing.
+struct PreparedMdrrr {
+    data: Dataset,
+    limits: KsetLimits,
+    memo: Mutex<HashMap<(usize, usize, usize), Solution>>,
+}
+
+impl PreparedMdrrr {
+    fn budgeted(&self, budget: &Budget) -> KsetLimits {
+        let mut limits = self.limits;
+        if let Some(cap) = budget.max_enumerations {
+            limits.max_ksets = limits.max_ksets.min(cap);
+        }
+        if let Some(cap) = budget.max_lp_calls {
+            limits.max_lp_calls = limits.max_lp_calls.min(cap);
+        }
+        limits
+    }
+
+    fn probe(&self, k: usize, limits: KsetLimits) -> Result<Solution, RrmError> {
+        let key = (k, limits.max_ksets, limits.max_lp_calls);
+        if let Some(sol) = self.memo.lock().expect("MDRRR memo poisoned").get(&key) {
+            return Ok(sol.clone());
+        }
+        let sol = mdrrr(&self.data, k, limits)?;
+        let sol = cache_bounded(
+            &mut self.memo.lock().expect("MDRRR memo poisoned"),
+            key,
+            sol,
+            8 * PREPARED_CACHE_CAP,
+        );
+        Ok(sol)
+    }
+}
+
+impl PreparedSolver for PreparedMdrrr {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Mdrrr
+    }
+
+    fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
+    fn solve_rrm(&self, r: usize, budget: &Budget) -> Result<Solution, RrmError> {
+        let limits = self.budgeted(budget);
+        rrm_search_with(self.data.n(), r, |k| self.probe(k, limits))
+    }
+
+    fn solve_rrr(&self, k: usize, budget: &Budget) -> Result<Solution, RrmError> {
+        self.probe(k, self.budgeted(budget))
+    }
 }
 
 /// **MDRRRr** (Asudeh et al.): randomized k-set discovery — restricted
@@ -165,6 +272,105 @@ impl Solver for MdrrrRSolver {
     ) -> Result<Solution, RrmError> {
         mdrrr_r(data, k, space, self.budgeted(budget))
     }
+
+    fn prepare(
+        &self,
+        data: &Dataset,
+        space: &dyn UtilitySpace,
+    ) -> Result<Box<dyn PreparedSolver>, RrmError> {
+        self.ensure_supported(data, space)?;
+        Ok(Box::new(PreparedMdrrrR {
+            data: data.clone(),
+            space: space.clone_box(),
+            options: self.options,
+            dirs: Mutex::new(HashMap::new()),
+            ksets: Mutex::new(HashMap::new()),
+        }))
+    }
+}
+
+/// MDRRRr bound to one dataset + space: the sampled direction pool is
+/// drawn once per sample count (it is seed-deterministic) and the observed
+/// k-set families are memoized per `(k, samples)`, so repeated thresholds
+/// and the whole RRM search skip the `O(samples · n · d)` scoring.
+struct PreparedMdrrrR {
+    data: Dataset,
+    space: Box<dyn UtilitySpace>,
+    options: MdrrrROptions,
+    dirs: Mutex<HashMap<usize, Arc<Vec<Vec<f64>>>>>,
+    ksets: Mutex<KsetCache>,
+}
+
+/// Observed k-set families keyed by `(k, samples)`.
+type KsetCache = HashMap<(usize, usize), Arc<Vec<Vec<u32>>>>;
+
+impl PreparedMdrrrR {
+    fn budgeted(&self, budget: &Budget) -> MdrrrROptions {
+        let mut options = self.options;
+        if let Some(m) = budget.samples {
+            options.samples = m;
+        }
+        options
+    }
+
+    fn dirs(&self, opts: MdrrrROptions) -> Arc<Vec<Vec<f64>>> {
+        if let Some(dirs) = self.dirs.lock().expect("direction cache poisoned").get(&opts.samples) {
+            return dirs.clone();
+        }
+        let dirs = Arc::new(sampled_dirs(self.space.as_ref(), opts));
+        cache_bounded(
+            &mut self.dirs.lock().expect("direction cache poisoned"),
+            opts.samples,
+            dirs,
+            PREPARED_CACHE_CAP,
+        )
+    }
+
+    fn probe(&self, k: usize, opts: MdrrrROptions) -> Result<Solution, RrmError> {
+        if k == 0 {
+            return Err(RrmError::Unsupported("rank-regret thresholds start at 1".into()));
+        }
+        let k = k.min(self.data.n());
+        let key = (k, opts.samples);
+        let cached = self.ksets.lock().expect("k-set cache poisoned").get(&key).cloned();
+        let ksets = match cached {
+            Some(ksets) => ksets,
+            None => {
+                // Scoring outside the lock: deterministic, so racers can
+                // safely duplicate it instead of serializing.
+                let ksets = Arc::new(ksets_from_dirs(&self.data, k, &self.dirs(opts)));
+                // The key carries k (legitimately many values per search),
+                // so allow more entries than the per-budget caches do.
+                cache_bounded(
+                    &mut self.ksets.lock().expect("k-set cache poisoned"),
+                    key,
+                    ksets,
+                    8 * PREPARED_CACHE_CAP,
+                )
+            }
+        };
+        let ids = hit_ksets(self.data.n(), &ksets);
+        Solution::new(ids, None, Algorithm::MdrrrR, &self.data)
+    }
+}
+
+impl PreparedSolver for PreparedMdrrrR {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::MdrrrR
+    }
+
+    fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
+    fn solve_rrm(&self, r: usize, budget: &Budget) -> Result<Solution, RrmError> {
+        let opts = self.budgeted(budget);
+        rrm_search_sampled(self.data.n(), r, |k| self.probe(k, opts))
+    }
+
+    fn solve_rrr(&self, k: usize, budget: &Budget) -> Result<Solution, RrmError> {
+        self.probe(k, self.budgeted(budget))
+    }
 }
 
 /// **MDRC** (Asudeh et al.): recursive angle-space partitioning — fast,
@@ -205,6 +411,62 @@ impl Solver for MdrcSolver {
     ) -> Result<Solution, RrmError> {
         self.ensure_supported(data, space)?;
         rrr_via_rrm_search(self, data, k, space, budget)
+    }
+
+    fn prepare(
+        &self,
+        data: &Dataset,
+        space: &dyn UtilitySpace,
+    ) -> Result<Box<dyn PreparedSolver>, RrmError> {
+        self.ensure_supported(data, space)?;
+        Ok(Box::new(PreparedMdrc {
+            data: data.clone(),
+            space: space.clone_box(),
+            options: self.options,
+            memo: Mutex::new(HashMap::new()),
+        }))
+    }
+}
+
+/// MDRC bound to one dataset: the partition refinement is adaptive in `r`
+/// with little reusable sub-structure, so the prepared handle memoizes
+/// whole solutions per size budget — repeat queries (and every probe of
+/// the RRR-via-RRM search) are free after the first.
+struct PreparedMdrc {
+    data: Dataset,
+    space: Box<dyn UtilitySpace>,
+    options: MdrcOptions,
+    memo: Mutex<HashMap<usize, Solution>>,
+}
+
+impl PreparedMdrc {
+    fn rrm_memo(&self, r: usize) -> Result<Solution, RrmError> {
+        if let Some(sol) = self.memo.lock().expect("MDRC memo poisoned").get(&r) {
+            return Ok(sol.clone());
+        }
+        let sol = mdrc(&self.data, r, self.space.as_ref(), self.options)?;
+        self.memo.lock().expect("MDRC memo poisoned").insert(r, sol.clone());
+        Ok(sol)
+    }
+}
+
+impl PreparedSolver for PreparedMdrc {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Mdrc
+    }
+
+    fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
+    fn solve_rrm(&self, r: usize, _budget: &Budget) -> Result<Solution, RrmError> {
+        self.rrm_memo(r)
+    }
+
+    fn solve_rrr(&self, k: usize, budget: &Budget) -> Result<Solution, RrmError> {
+        rrr_via_rrm_search_with("MDRC", &self.data, k, self.space.as_ref(), budget, |r| {
+            self.rrm_memo(r)
+        })
     }
 }
 
@@ -253,6 +515,92 @@ impl Solver for MdrmsSolver {
         budget: &Budget,
     ) -> Result<Solution, RrmError> {
         rrr_via_rrm_search(self, data, k, space, budget)
+    }
+
+    fn prepare(
+        &self,
+        data: &Dataset,
+        space: &dyn UtilitySpace,
+    ) -> Result<Box<dyn PreparedSolver>, RrmError> {
+        self.ensure_supported(data, space)?;
+        Ok(Box::new(PreparedMdrms {
+            data: data.clone(),
+            space: space.clone_box(),
+            options: self.options,
+            greedy: Mutex::new(HashMap::new()),
+        }))
+    }
+}
+
+/// MDRMS bound to one dataset + space: the sampled directions, top-1
+/// scores and the greedy pick sequence live across queries (one per
+/// effective sample count). `mdrms(r)` is a prefix of `mdrms(r')` for
+/// `r' ≥ r`, so a larger budget extends the cached sequence in place and a
+/// smaller one slices it.
+struct PreparedMdrms {
+    data: Dataset,
+    space: Box<dyn UtilitySpace>,
+    options: MdrmsOptions,
+    /// One resumable greedy state per effective sample count, each behind
+    /// its own lock: queries for the *same* budget serialize (the prefix
+    /// is mutable state), queries for different budgets do not.
+    greedy: Mutex<HashMap<usize, Arc<Mutex<GreedyRms>>>>,
+}
+
+impl PreparedMdrms {
+    fn budgeted(&self, budget: &Budget) -> MdrmsOptions {
+        let mut options = self.options;
+        if let Some(m) = budget.samples {
+            options.samples = m;
+        }
+        options
+    }
+
+    fn rrm_with(&self, r: usize, opts: MdrmsOptions) -> Result<Solution, RrmError> {
+        if r == 0 {
+            return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
+        }
+        let state = self.greedy.lock().expect("greedy cache poisoned").get(&opts.samples).cloned();
+        let state = match state {
+            Some(state) => state,
+            None => {
+                // Build outside the outer lock (direction sampling and
+                // top-1 scoring are the heavy part), then insert-or-reuse.
+                let built =
+                    Arc::new(Mutex::new(GreedyRms::new(&self.data, self.space.as_ref(), opts)));
+                cache_bounded(
+                    &mut self.greedy.lock().expect("greedy cache poisoned"),
+                    opts.samples,
+                    built,
+                    PREPARED_CACHE_CAP,
+                )
+            }
+        };
+        // Same-budget queries serialize here — the greedy prefix is
+        // resumable *mutable* state; extending it concurrently would race.
+        let chosen = state.lock().expect("greedy state poisoned").prefix(&self.data, r);
+        Solution::new(chosen, None, Algorithm::Mdrms, &self.data)
+    }
+}
+
+impl PreparedSolver for PreparedMdrms {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Mdrms
+    }
+
+    fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
+    fn solve_rrm(&self, r: usize, budget: &Budget) -> Result<Solution, RrmError> {
+        self.rrm_with(r, self.budgeted(budget))
+    }
+
+    fn solve_rrr(&self, k: usize, budget: &Budget) -> Result<Solution, RrmError> {
+        let opts = self.budgeted(budget);
+        rrr_via_rrm_search_with("MDRMS", &self.data, k, self.space.as_ref(), budget, |r| {
+            self.rrm_with(r, opts)
+        })
     }
 }
 
@@ -304,6 +652,77 @@ mod tests {
         let rrr =
             solver.solve_rrr(&data, 30, &FullSpace::new(3), &Budget::with_samples(128)).unwrap();
         assert_eq!(rrr.algorithm, Algorithm::Mdrms);
+    }
+
+    #[test]
+    fn prepared_hdrrm_matches_one_shot_across_queries() {
+        let data = small();
+        let space = FullSpace::new(3);
+        let solver = HdrrmSolver::default();
+        let budget = Budget::with_samples(150);
+        let prepared = solver.prepare(&data, &space).unwrap();
+        for r in [6usize, 8, 12] {
+            let one_shot = solver.solve_rrm(&data, r, &space, &budget).unwrap();
+            assert_eq!(prepared.solve_rrm(r, &budget).unwrap(), one_shot, "r={r}");
+        }
+        for k in [2usize, 10] {
+            let one_shot = solver.solve_rrr(&data, k, &space, &budget).unwrap();
+            assert_eq!(prepared.solve_rrr(k, &budget).unwrap(), one_shot, "k={k}");
+        }
+    }
+
+    #[test]
+    fn prepared_baselines_match_one_shot() {
+        let space = FullSpace::new(3);
+        // Tight LP cap: debug-profile simplex calls are ~50ms each, and
+        // MDRRR's one-shot side re-enumerates per probe. Parity holds
+        // under any cap — both paths see the same one.
+        let budget =
+            Budget { samples: Some(400), max_enumerations: Some(500), max_lp_calls: Some(150) };
+        // MDRRR on a deliberately tiny instance (LP cost per feasibility
+        // check grows with k·(n−k) rows); the rest at a larger n.
+        let cases: Vec<(Box<dyn Solver>, Dataset)> = vec![
+            (Box::new(MdrrrSolver::default()), rrm_data::synthetic::independent(13, 3, 8)),
+            (Box::new(MdrrrRSolver::default()), rrm_data::synthetic::independent(22, 3, 8)),
+            (Box::new(MdrcSolver::default()), rrm_data::synthetic::independent(22, 3, 8)),
+            (Box::new(MdrmsSolver::default()), rrm_data::synthetic::independent(22, 3, 8)),
+        ];
+        for (solver, data) in &cases {
+            let prepared = solver.prepare(data, &space).unwrap();
+            for r in [3usize, 6] {
+                let one_shot = solver.solve_rrm(data, r, &space, &budget).unwrap();
+                assert_eq!(
+                    prepared.solve_rrm(r, &budget).unwrap(),
+                    one_shot,
+                    "{} r={r}",
+                    solver.name()
+                );
+            }
+            for k in [3usize, 5] {
+                let one_shot = solver.solve_rrr(data, k, &space, &budget).unwrap();
+                assert_eq!(
+                    prepared.solve_rrr(k, &budget).unwrap(),
+                    one_shot,
+                    "{} k={k}",
+                    solver.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_mdrms_prefix_property_under_interleaved_budgets() {
+        // Queries arriving out of size order must not perturb the greedy
+        // sequence: ask big, then small, then medium.
+        let data = rrm_data::synthetic::anticorrelated(120, 3, 9);
+        let space = FullSpace::new(3);
+        let budget = Budget::with_samples(300);
+        let solver = MdrmsSolver::default();
+        let prepared = solver.prepare(&data, &space).unwrap();
+        for r in [8usize, 2, 5] {
+            let one_shot = solver.solve_rrm(&data, r, &space, &budget).unwrap();
+            assert_eq!(prepared.solve_rrm(r, &budget).unwrap(), one_shot, "r={r}");
+        }
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //!
 //! Ids: `table1 table2 table3 theorem2 fig09 fig10 fig11 fig12 fig13 fig14
 //! fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25 fig26
-//! fig27 fig28 ablation`. Default scale is `--quick` (minutes for `all`);
+//! fig27 fig28 ablation amortize`. (`amortize` is not a paper figure: it
+//! measures the session API's prepare-once / query-many speedup across
+//! all eight algorithms and writes `BENCH_session.json`.) Default scale is `--quick` (minutes for `all`);
 //! `--full` mirrors the paper's parameters. Absolute times differ from the
 //! paper's C++/Core-i7 testbed; the *shape* of each series is the
 //! reproduction target (EXPERIMENTS.md records both).
@@ -28,7 +30,7 @@ fn main() {
     let all: Vec<&str> = vec![
         "table1", "table2", "table3", "theorem2", "fig09", "fig10", "fig11", "fig12", "fig13",
         "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
-        "fig24", "fig25", "fig26", "fig27", "fig28", "ablation",
+        "fig24", "fig25", "fig26", "fig27", "fig28", "ablation", "amortize",
     ];
     match id {
         "all" => {
@@ -75,6 +77,7 @@ fn run(id: &str, scale: Scale) {
         "fig27" => fig27(scale),
         "fig28" => fig28(scale),
         "ablation" => ablation(scale),
+        "amortize" => amortize(scale),
         _ => unreachable!(),
     }
 }
@@ -302,8 +305,8 @@ fn fig12(scale: Scale) {
 
 // ---------------------------------------------------------------- HD ----
 
-/// One HD experiment row: run the roster on `data` through the [`Solver`]
-/// trait, report times+regrets.
+/// One HD experiment row: run the roster on `data` through the
+/// [`rrm_core::Solver`] trait, report times+regrets.
 fn hd_row(
     data: &Dataset,
     r: usize,
@@ -621,4 +624,167 @@ fn ablation(scale: Scale) {
         reg.push(o.regret as f64);
     }
     println!("{}", render_table("variant", &labels, &[time, reg]));
+}
+
+/// Session amortization: the prepare-once / query-many API against
+/// one-shot solving, per algorithm, on the serving workload the paper
+/// motivates (one dataset, a stream of queries with repeating sizes).
+/// Prints a table and writes `BENCH_session.json` with the raw numbers.
+fn amortize(scale: Scale) {
+    use rank_regret::Session;
+
+    struct Entry {
+        algorithm: &'static str,
+        n: usize,
+        d: usize,
+        queries: usize,
+        one_shot_seconds: f64,
+        prepare_seconds: f64,
+        prepared_query_seconds: f64,
+    }
+
+    let engine = scale.engine();
+    // Per algorithm: a dataset it can handle at benchmarkable scale, a
+    // stream of query sizes (3 distinct values x 4 rounds — repeats are
+    // the point: that is what serving traffic looks like), and a sample
+    // budget that keeps the randomized solvers comparable on both paths.
+    let workloads: Vec<(Algorithm, Dataset, Vec<usize>, Budget)> = vec![
+        (
+            Algorithm::TwoDRrm,
+            rrm_data::synthetic::anticorrelated(2_000, 2, 77),
+            vec![4, 8, 16, 4, 8, 16, 4, 8, 16, 4, 8, 16],
+            Budget::UNLIMITED,
+        ),
+        (
+            Algorithm::TwoDRrr,
+            rrm_data::synthetic::anticorrelated(2_000, 2, 77),
+            vec![4, 8, 16, 4, 8, 16, 4, 8, 16, 4, 8, 16],
+            Budget::UNLIMITED,
+        ),
+        (
+            Algorithm::Hdrrm,
+            rrm_data::synthetic::independent(2_000, 4, 77),
+            vec![8, 12, 16, 8, 12, 16, 8, 12, 16, 8, 12, 16],
+            Budget::with_samples(300),
+        ),
+        (
+            Algorithm::Mdrrr,
+            rrm_data::synthetic::independent(25, 3, 77),
+            vec![2, 4, 6, 2, 4, 6, 2, 4, 6, 2, 4, 6],
+            // Cap the k-set enumeration: unlimited LP budgets put this
+            // baseline in the minutes-per-query regime (the paper's "does
+            // not scale" point); the cap binds both paths identically.
+            Budget { samples: None, max_enumerations: Some(10_000), max_lp_calls: Some(100_000) },
+        ),
+        (
+            Algorithm::MdrrrR,
+            rrm_data::synthetic::independent(2_000, 4, 77),
+            vec![8, 12, 16, 8, 12, 16, 8, 12, 16, 8, 12, 16],
+            Budget::with_samples(2_000),
+        ),
+        (
+            Algorithm::Mdrc,
+            rrm_data::synthetic::independent(2_000, 4, 77),
+            vec![8, 12, 16, 8, 12, 16, 8, 12, 16, 8, 12, 16],
+            Budget::with_samples(300),
+        ),
+        (
+            Algorithm::Mdrms,
+            rrm_data::synthetic::independent(2_000, 4, 77),
+            vec![8, 12, 16, 8, 12, 16, 8, 12, 16, 8, 12, 16],
+            Budget::with_samples(300),
+        ),
+        (
+            Algorithm::BruteForce,
+            rrm_data::synthetic::independent(16, 2, 77),
+            vec![1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3],
+            Budget::with_samples(2_000),
+        ),
+    ];
+
+    println!(
+        "{:<11} {:>5} {:>2} {:>4} {:>12} {:>12} {:>12} {:>9}",
+        "algorithm", "n", "d", "Q", "one-shot(s)", "prepare(s)", "queries(s)", "speedup"
+    );
+    let mut entries: Vec<Entry> = Vec::new();
+    for (algo, data, sizes, budget) in &workloads {
+        let solver = engine.solver(*algo).expect("registered");
+        let space = FullSpace::new(data.dim());
+
+        // One-shot path: every query re-derives the per-dataset state.
+        let (results, one_shot_seconds) = timed(|| {
+            sizes
+                .iter()
+                .map(|&r| solver.solve_rrm(data, r, &space, budget).expect("one-shot solve"))
+                .collect::<Vec<_>>()
+        });
+
+        // Prepared path: bind once, then the same query stream.
+        let (prepared, prepare_seconds) = timed(|| solver.prepare(data, &space).expect("prepare"));
+        let (prepared_results, prepared_query_seconds) = timed(|| {
+            sizes
+                .iter()
+                .map(|&r| prepared.solve_rrm(r, budget).expect("prepared solve"))
+                .collect::<Vec<_>>()
+        });
+        // The whole point is amortization *without* answer drift.
+        assert_eq!(results, prepared_results, "{algo}: prepared path diverged");
+
+        let speedup = one_shot_seconds / prepared_query_seconds.max(1e-9);
+        println!(
+            "{:<11} {:>5} {:>2} {:>4} {:>12.4} {:>12.4} {:>12.4} {:>8.1}x",
+            solver.name(),
+            data.n(),
+            data.dim(),
+            sizes.len(),
+            one_shot_seconds,
+            prepare_seconds,
+            prepared_query_seconds,
+            speedup,
+        );
+        entries.push(Entry {
+            algorithm: solver.name(),
+            n: data.n(),
+            d: data.dim(),
+            queries: sizes.len(),
+            one_shot_seconds,
+            prepare_seconds,
+            prepared_query_seconds,
+        });
+    }
+
+    // Hand-rolled JSON (no serde in the offline container).
+    let mut json = String::from("{\"experiment\":\"session_amortization\",\"entries\":[\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!(
+            "  {{\"algorithm\":\"{}\",\"n\":{},\"d\":{},\"queries\":{},\
+             \"one_shot_seconds\":{:.6},\"one_shot_per_query\":{:.6},\
+             \"prepare_seconds\":{:.6},\"prepared_query_seconds\":{:.6},\
+             \"prepared_per_query\":{:.6},\"per_query_speedup\":{:.2}}}{sep}\n",
+            e.algorithm,
+            e.n,
+            e.d,
+            e.queries,
+            e.one_shot_seconds,
+            e.one_shot_seconds / e.queries as f64,
+            e.prepare_seconds,
+            e.prepared_query_seconds,
+            e.prepared_query_seconds / e.queries as f64,
+            (e.one_shot_seconds / e.queries as f64)
+                / (e.prepared_query_seconds / e.queries as f64).max(1e-9),
+        ));
+    }
+    json.push_str("]}\n");
+    std::fs::write("BENCH_session.json", &json).expect("write BENCH_session.json");
+    println!("wrote BENCH_session.json");
+
+    // Smoke the batch surface too: a Session over the 2D dataset must
+    // reproduce the direct prepared results.
+    let (_, data, sizes, budget) = &workloads[0];
+    let session = Session::new(data.clone());
+    let requests: Vec<rank_regret::Request> =
+        sizes.iter().map(|&r| rank_regret::Request::minimize(r).budget(budget.clone())).collect();
+    let ok = session.run_batch(&requests).into_iter().filter(|r| r.is_ok()).count();
+    println!("session batch: {ok}/{} requests answered", requests.len());
 }

@@ -10,14 +10,21 @@
 use std::time::Instant;
 
 use rank_regret::{Engine, Tuning};
-use rrm_core::{Budget, Dataset, Solver, UtilitySpace};
+use rrm_core::{Budget, Dataset, PreparedSolver, Solver, UtilitySpace};
 use rrm_hd::{HdrrmOptions, MdrmsOptions, MdrrrROptions};
 
 /// One measured run of one algorithm.
 #[derive(Debug, Clone)]
 pub struct Outcome {
     pub algorithm: &'static str,
+    /// Total wall-clock: `prepare_seconds + query_seconds`.
     pub seconds: f64,
+    /// Time spent building dataset-bound state ([`Solver::prepare`]);
+    /// zero on the one-shot path, where that work is folded into the
+    /// query.
+    pub prepare_seconds: f64,
+    /// Time spent answering the query itself.
+    pub query_seconds: f64,
     /// Measured rank-regret over the query space (sampled estimator).
     pub regret: usize,
     /// The solver's own certificate, when it provides one.
@@ -111,6 +118,33 @@ pub fn measure_solver(
     Outcome {
         algorithm: solver.name(),
         seconds: report.seconds,
+        prepare_seconds: 0.0,
+        query_seconds: report.seconds,
+        regret: report.estimated_regret,
+        certified: report.certified_regret,
+        size: report.size,
+    }
+}
+
+/// Run one RRM query through an already-prepared handle and measure it.
+/// `prepare_seconds` is the (amortized) preparation time the caller
+/// measured — it is recorded in the outcome but `query_seconds` is what
+/// this query actually cost.
+pub fn measure_prepared(
+    prepared: &dyn PreparedSolver,
+    r: usize,
+    space: &dyn UtilitySpace,
+    budget: &Budget,
+    eval_samples: usize,
+    prepare_seconds: f64,
+) -> Outcome {
+    let report = rrm_eval::evaluate_rrm_prepared(prepared, r, space, budget, eval_samples, 0xE7A1)
+        .unwrap_or_else(|e| panic!("{}: {e}", prepared.name()));
+    Outcome {
+        algorithm: prepared.name(),
+        seconds: prepare_seconds + report.seconds,
+        prepare_seconds,
+        query_seconds: report.seconds,
         regret: report.estimated_regret,
         certified: report.certified_regret,
         size: report.size,
@@ -149,6 +183,34 @@ mod tests {
         assert!(out.size <= 3);
         assert!(out.certified.is_some());
         assert!(out.regret >= 1);
+        // One-shot: all time is query time.
+        assert_eq!(out.prepare_seconds, 0.0);
+        assert_eq!(out.seconds, out.query_seconds);
+    }
+
+    #[test]
+    fn measure_prepared_splits_the_timing() {
+        let data = rrm_data::synthetic::independent(100, 2, 0);
+        let engine = Scale::Quick.engine();
+        let solver = engine.solver(rrm_core::Algorithm::TwoDRrm).unwrap();
+        let (prepared, prep_secs) =
+            timed(|| solver.prepare(&data, &FullSpace::new(2)).expect("preparable"));
+        let out = measure_prepared(
+            prepared.as_ref(),
+            3,
+            &FullSpace::new(2),
+            &Budget::UNLIMITED,
+            500,
+            prep_secs,
+        );
+        assert_eq!(out.algorithm, "2DRRM");
+        assert_eq!(out.prepare_seconds, prep_secs);
+        assert!((out.seconds - (out.prepare_seconds + out.query_seconds)).abs() < 1e-12);
+        // Same answer as the one-shot path.
+        let one_shot = measure_solver(solver, &data, 3, &FullSpace::new(2), 500);
+        assert_eq!(out.size, one_shot.size);
+        assert_eq!(out.certified, one_shot.certified);
+        assert_eq!(out.regret, one_shot.regret);
     }
 
     #[test]

@@ -3,7 +3,17 @@
 use std::fmt;
 
 /// Errors produced by dataset construction and the solvers.
+///
+/// # API stability
+///
+/// The enum is `#[non_exhaustive]`: future releases may add variants (new
+/// solver preconditions, new session-level failures) without a breaking
+/// change, so downstream `match`es must keep a wildcard arm. Match on the
+/// variants you can handle and treat the rest generically via [`Display`].
+///
+/// [`Display`]: std::fmt::Display
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum RrmError {
     /// A dataset must contain at least one tuple and one attribute.
     EmptyDataset,

@@ -47,7 +47,9 @@ pub use dataset::Dataset;
 pub use error::RrmError;
 pub use problem::{Algorithm, RrmProblem, RrrProblem, Solution};
 pub use solver::{
-    rrr_via_rrm_search, BruteForceOptions, BruteForceSolver, Budget, DimRange, Solver,
+    cache_bounded, rrr_via_rrm_search, rrr_via_rrm_search_with, BruteForceOptions,
+    BruteForceSolver, Budget, DimRange, PreparedBruteForce, PreparedSolver, Solver,
+    PREPARED_CACHE_CAP,
 };
 pub use space::{
     BiasedOrthantSpace, BoxSpace, ConeSpace, FullSpace, SphereCap, UtilitySpace, WeakRankingSpace,

@@ -59,6 +59,13 @@ impl Algorithm {
         Algorithm::BruteForce,
     ];
 
+    /// Position of this variant in [`Algorithm::ALL`] — a dense index for
+    /// registry tables, so engines can look solvers up in O(1) instead of
+    /// scanning their roster.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// Parse a user-facing algorithm name (case-insensitive; `-`/`_`
     /// ignored, so `mdrrr-r` and `MDRRRr` both resolve). The error lists
     /// every valid name, so a typo on the CLI is self-correcting.
@@ -230,6 +237,13 @@ mod tests {
         let err = Algorithm::from_name("mdrx").unwrap_err();
         assert!(err.to_string().contains("valid names"), "{err}");
         assert!(err.to_string().contains("MDRC"), "{err}");
+    }
+
+    #[test]
+    fn index_is_the_position_in_all() {
+        for (i, a) in Algorithm::ALL.into_iter().enumerate() {
+            assert_eq!(a.index(), i, "{a}");
+        }
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! caps onto its own machinery (k-set enumeration limits, LP call limits,
 //! sampled-direction counts) and ignores the ones that do not apply.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -124,6 +127,31 @@ pub trait Solver: Send + Sync {
         self.algorithm().supported_dims()
     }
 
+    /// Bind this solver to one dataset + utility space, building all the
+    /// dataset-dependent state (Pareto frontiers, discretization grids,
+    /// candidate pools, ...) **once** so that many queries with varying
+    /// `r`/`k` can be answered cheaply through the returned
+    /// [`PreparedSolver`].
+    ///
+    /// The prepared handle is `Send + Sync`; read-only queries against it
+    /// may run concurrently. Results are *identical* to the one-shot
+    /// [`Solver::solve_rrm`]/[`Solver::solve_rrr`] paths — preparation is
+    /// purely a caching contract, never an approximation.
+    ///
+    /// Capability checks ([`Solver::ensure_supported`]) run here, so a
+    /// prepared handle never fails a query for capability reasons.
+    ///
+    /// The default implementation reports that the solver has no prepared
+    /// mode; every solver shipped in this workspace overrides it.
+    fn prepare(
+        &self,
+        data: &Dataset,
+        space: &dyn UtilitySpace,
+    ) -> Result<Box<dyn PreparedSolver>, RrmError> {
+        let _ = (data, space);
+        Err(RrmError::Unsupported(format!("{} has no prepared (session) mode", self.name())))
+    }
+
     /// Uniform capability check: dimensionality and space restrictions.
     /// Engines call this once before dispatch so every capability mismatch
     /// surfaces as the same graceful [`RrmError::Unsupported`].
@@ -149,6 +177,65 @@ pub trait Solver: Send + Sync {
     }
 }
 
+/// A [`Solver`] bound to one dataset and utility space: the
+/// *prepare-once / query-many* half of the API.
+///
+/// Construction happens through [`Solver::prepare`], which front-loads all
+/// per-dataset work; `solve_rrm`/`solve_rrr` then answer individual
+/// queries cheaply and repeatedly. Handles are `Send + Sync` so one
+/// prepared instance can serve concurrent read-only queries (the serving
+/// workload of the paper: many users, one dataset, varying `r`/`k`).
+///
+/// Implementations must return exactly what the one-shot path returns for
+/// the same query — cached state is a performance contract, not a
+/// different algorithm. `tests/session_parity.rs` enforces this for every
+/// registered solver.
+pub trait PreparedSolver: Send + Sync {
+    /// Which [`Algorithm`] answered.
+    fn algorithm(&self) -> Algorithm;
+
+    /// The dataset this handle was prepared on.
+    fn dataset(&self) -> &Dataset;
+
+    /// Rank-regret *minimization* for one size budget `r`.
+    fn solve_rrm(&self, r: usize, budget: &Budget) -> Result<Solution, RrmError>;
+
+    /// Rank-regret *representative* for one threshold `k`.
+    fn solve_rrr(&self, k: usize, budget: &Budget) -> Result<Solution, RrmError>;
+
+    /// Display name (the paper's spelling).
+    fn name(&self) -> &'static str {
+        self.algorithm().name()
+    }
+}
+
+/// Cap for prepared-solver side caches keyed by *request-supplied* values
+/// (budget sample counts, enumeration limits). A long-lived session
+/// answering untrusted requests must not grow memory with every distinct
+/// budget it sees: entries up to the cap are cached for the session's
+/// lifetime, further variants are computed but not retained.
+pub const PREPARED_CACHE_CAP: usize = 16;
+
+/// Insert-or-reuse with a size bound: returns the cached value for `key`
+/// when present; otherwise caches `value` if the map holds fewer than
+/// `cap` entries, and returns it either way (uncached beyond the cap —
+/// correct but unamortized, which is the right failure mode for a
+/// hostile stream of distinct budgets).
+pub fn cache_bounded<K: Eq + std::hash::Hash, V: Clone>(
+    map: &mut HashMap<K, V>,
+    key: K,
+    value: V,
+    cap: usize,
+) -> V {
+    if let Some(existing) = map.get(&key) {
+        return existing.clone();
+    }
+    if map.len() < cap {
+        map.insert(key, value.clone());
+    }
+    value
+}
+
 /// Generic RRR fallback for solvers with no native representative mode
 /// (MDRC, MDRMS): exponential-then-binary search over the size budget
 /// `r`, accepting the smallest `r` whose solution's rank-regret —
@@ -163,6 +250,23 @@ pub fn rrr_via_rrm_search(
     space: &dyn UtilitySpace,
     budget: &Budget,
 ) -> Result<Solution, RrmError> {
+    rrr_via_rrm_search_with(solver.name(), data, k, space, budget, |r| {
+        solver.solve_rrm(data, r, space, budget)
+    })
+}
+
+/// The closure-driven core of [`rrr_via_rrm_search`]: `solve_rrm` answers
+/// one size probe. Prepared solvers pass their memoized query path here so
+/// the whole exponential/binary search reuses cached per-dataset state
+/// while producing exactly the one-shot results.
+pub fn rrr_via_rrm_search_with(
+    name: &str,
+    data: &Dataset,
+    k: usize,
+    space: &dyn UtilitySpace,
+    budget: &Budget,
+    mut solve_rrm: impl FnMut(usize) -> Result<Solution, RrmError>,
+) -> Result<Solution, RrmError> {
     if k == 0 {
         return Err(RrmError::Unsupported("rank-regret thresholds start at 1".into()));
     }
@@ -176,8 +280,8 @@ pub fn rrr_via_rrm_search(
             .max()
             .expect("at least one direction")
     };
-    let attempt = |r: usize| -> Result<Option<(Solution, usize)>, RrmError> {
-        match solver.solve_rrm(data, r, space, budget) {
+    let mut attempt = |r: usize| -> Result<Option<(Solution, usize)>, RrmError> {
+        match solve_rrm(r) {
             Ok(sol) => {
                 let est = estimate(&sol);
                 Ok(Some((sol, est)))
@@ -214,8 +318,7 @@ pub fn rrr_via_rrm_search(
         Some((r, sol)) => (r, sol),
         None => {
             return Err(RrmError::Unsupported(format!(
-                "{} could not reach rank-regret <= {k} even with r = {n}",
-                solver.name()
+                "{name} could not reach rank-regret <= {k} even with r = {n}"
             )))
         }
     };
@@ -373,6 +476,87 @@ impl Solver for BruteForceSolver {
         }
         Err(RrmError::Internal("brute force failed to reach regret 1 with the full dataset".into()))
     }
+
+    fn prepare(
+        &self,
+        data: &Dataset,
+        space: &dyn UtilitySpace,
+    ) -> Result<Box<dyn PreparedSolver>, RrmError> {
+        self.check_size(data)?;
+        self.ensure_supported(data, space)?;
+        Ok(Box::new(PreparedBruteForce {
+            options: self.options,
+            data: data.clone(),
+            space: space.clone_box(),
+            tables: Mutex::new(HashMap::new()),
+        }))
+    }
+}
+
+/// [`BruteForceSolver`] bound to one dataset: the per-direction rank table
+/// (the expensive `O(m · n log n)` part) is computed once per sample count
+/// and shared by every query; each query is then just the subset
+/// enumeration.
+pub struct PreparedBruteForce {
+    options: BruteForceOptions,
+    data: Dataset,
+    space: Box<dyn UtilitySpace>,
+    /// Rank tables keyed by the effective sample count `m` (the budget can
+    /// override the option, so different queries may need different
+    /// tables; each is deterministic per `m`).
+    tables: Mutex<HashMap<usize, Arc<Vec<Vec<usize>>>>>,
+}
+
+impl PreparedBruteForce {
+    fn table(&self, budget: &Budget) -> Arc<Vec<Vec<usize>>> {
+        let m = budget.samples.unwrap_or(self.options.samples).max(1);
+        if let Some(table) = self.tables.lock().expect("rank-table cache poisoned").get(&m) {
+            return table.clone();
+        }
+        // Compute outside the lock: concurrent misses duplicate the
+        // deterministic work instead of blocking each other.
+        let solver = BruteForceSolver { options: self.options };
+        let table = Arc::new(solver.rank_table(&self.data, self.space.as_ref(), m));
+        cache_bounded(
+            &mut self.tables.lock().expect("rank-table cache poisoned"),
+            m,
+            table,
+            PREPARED_CACHE_CAP,
+        )
+    }
+}
+
+impl PreparedSolver for PreparedBruteForce {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::BruteForce
+    }
+
+    fn dataset(&self) -> &Dataset {
+        &self.data
+    }
+
+    fn solve_rrm(&self, r: usize, budget: &Budget) -> Result<Solution, RrmError> {
+        if r == 0 {
+            return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
+        }
+        let ranks = self.table(budget);
+        let (set, regret) = BruteForceSolver::best_subset(&ranks, self.data.n(), r);
+        Solution::new(set, Some(regret), Algorithm::BruteForce, &self.data)
+    }
+
+    fn solve_rrr(&self, k: usize, budget: &Budget) -> Result<Solution, RrmError> {
+        if k == 0 {
+            return Err(RrmError::Unsupported("rank-regret thresholds start at 1".into()));
+        }
+        let ranks = self.table(budget);
+        for r in 1..=self.data.n() {
+            let (set, regret) = BruteForceSolver::best_subset(&ranks, self.data.n(), r);
+            if regret <= k {
+                return Solution::new(set, Some(regret), Algorithm::BruteForce, &self.data);
+            }
+        }
+        Err(RrmError::Internal("brute force failed to reach regret 1 with the full dataset".into()))
+    }
 }
 
 #[cfg(test)]
@@ -494,6 +678,66 @@ mod tests {
         // Space dimension mismatch.
         let err = solver.ensure_supported(&table1(), &FullSpace::new(3)).unwrap_err();
         assert!(matches!(err, RrmError::DimensionMismatch { expected: 2, got: 3 }));
+    }
+
+    #[test]
+    fn cache_bounded_stops_growing_at_the_cap() {
+        let mut map: HashMap<usize, usize> = HashMap::new();
+        for key in 0..10 {
+            assert_eq!(cache_bounded(&mut map, key, key * 10, 3), key * 10);
+        }
+        assert_eq!(map.len(), 3, "entries beyond the cap must not be retained");
+        // Cached keys keep returning the stored value...
+        assert_eq!(cache_bounded(&mut map, 0, 999, 3), 0);
+        // ...and uncached keys still compute correctly, just unretained.
+        assert_eq!(cache_bounded(&mut map, 42, 420, 3), 420);
+        assert_eq!(map.len(), 3);
+    }
+
+    #[test]
+    fn prepared_brute_force_matches_one_shot_across_queries() {
+        let solver = BruteForceSolver::default();
+        let space = FullSpace::new(2);
+        let budget = Budget::with_samples(256);
+        let prepared = solver.prepare(&table1(), &space).unwrap();
+        assert_eq!(prepared.algorithm(), Algorithm::BruteForce);
+        assert_eq!(prepared.dataset().n(), 7);
+        // One handle answers many r and k values, identically to one-shot.
+        for r in 1..=4 {
+            let one_shot = solver.solve_rrm(&table1(), r, &space, &budget).unwrap();
+            assert_eq!(prepared.solve_rrm(r, &budget).unwrap(), one_shot, "r={r}");
+        }
+        for k in 1..=3 {
+            let one_shot = solver.solve_rrr(&table1(), k, &space, &budget).unwrap();
+            assert_eq!(prepared.solve_rrr(k, &budget).unwrap(), one_shot, "k={k}");
+        }
+        // Zero parameters stay typed errors on the prepared path too.
+        assert!(matches!(prepared.solve_rrm(0, &budget), Err(RrmError::OutputSizeTooSmall { .. })));
+        assert!(matches!(prepared.solve_rrr(0, &budget), Err(RrmError::Unsupported(_))));
+    }
+
+    #[test]
+    fn prepare_rejects_what_one_shot_rejects() {
+        // Oversized dataset and capability mismatches fail at prepare time,
+        // so a handle that exists can always answer.
+        let rows: Vec<[f64; 2]> = (0..50).map(|i| [i as f64, 50.0 - i as f64]).collect();
+        let big = Dataset::from_rows(&rows).unwrap();
+        let solver = BruteForceSolver::default();
+        assert!(matches!(solver.prepare(&big, &FullSpace::new(2)), Err(RrmError::Unsupported(_))));
+        assert!(matches!(
+            solver.prepare(&table1(), &FullSpace::new(3)),
+            Err(RrmError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn default_prepare_reports_no_prepared_mode() {
+        // A custom solver that does not override `prepare` degrades
+        // gracefully instead of panicking.
+        let Err(err) = BrokenSolver.prepare(&table1(), &FullSpace::new(2)) else {
+            panic!("default prepare must not succeed");
+        };
+        assert!(matches!(&err, RrmError::Unsupported(msg) if msg.contains("prepared")), "{err}");
     }
 
     #[test]

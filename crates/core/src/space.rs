@@ -57,6 +57,17 @@ pub trait UtilitySpace: Send + Sync {
 
     /// Short human-readable label for reports.
     fn label(&self) -> String;
+
+    /// Clone into an owned trait object. Prepared solvers keep the space
+    /// they were built against so later queries (with new sample budgets)
+    /// can draw fresh directions from it.
+    fn clone_box(&self) -> Box<dyn UtilitySpace>;
+}
+
+impl Clone for Box<dyn UtilitySpace> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 fn in_orthant(u: &[f64]) -> bool {
@@ -103,6 +114,10 @@ impl UtilitySpace for FullSpace {
 
     fn label(&self) -> String {
         format!("L (full orthant, d={})", self.d)
+    }
+
+    fn clone_box(&self) -> Box<dyn UtilitySpace> {
+        Box::new(*self)
     }
 }
 
@@ -172,6 +187,10 @@ impl UtilitySpace for ConeSpace {
     fn label(&self) -> String {
         format!("cone ({} rows, d={})", self.rows.len(), self.d)
     }
+
+    fn clone_box(&self) -> Box<dyn UtilitySpace> {
+        Box::new(self.clone())
+    }
 }
 
 // ------------------------------------------------------------------------
@@ -235,6 +254,10 @@ impl UtilitySpace for WeakRankingSpace {
 
     fn label(&self) -> String {
         format!("weak ranking (c={}, d={})", self.c, self.d)
+    }
+
+    fn clone_box(&self) -> Box<dyn UtilitySpace> {
+        Box::new(*self)
     }
 }
 
@@ -350,6 +373,10 @@ impl UtilitySpace for BoxSpace {
     fn label(&self) -> String {
         format!("weight box (d={})", self.dim())
     }
+
+    fn clone_box(&self) -> Box<dyn UtilitySpace> {
+        Box::new(self.clone())
+    }
 }
 
 // ------------------------------------------------------------------------
@@ -420,6 +447,10 @@ impl UtilitySpace for SphereCap {
 
     fn label(&self) -> String {
         format!("sphere cap (d={})", self.dim())
+    }
+
+    fn clone_box(&self) -> Box<dyn UtilitySpace> {
+        Box::new(self.clone())
     }
 }
 
@@ -492,6 +523,10 @@ impl UtilitySpace for BiasedOrthantSpace {
 
     fn label(&self) -> String {
         format!("biased orthant (kappa={}, d={})", self.kappa, self.dim())
+    }
+
+    fn clone_box(&self) -> Box<dyn UtilitySpace> {
+        Box::new(self.clone())
     }
 }
 

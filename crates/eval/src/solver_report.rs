@@ -7,7 +7,7 @@
 
 use std::time::Instant;
 
-use rrm_core::{Algorithm, Budget, Dataset, RrmError, Solver, UtilitySpace};
+use rrm_core::{Algorithm, Budget, Dataset, PreparedSolver, RrmError, Solver, UtilitySpace};
 
 use crate::rank_regret::estimate_rank_regret;
 
@@ -79,6 +79,38 @@ pub fn evaluate_rrr(
     Ok(report(&sol, data, space, eval_samples, seed, seconds))
 }
 
+/// Run an RRM query through a *prepared* handle and evaluate the result.
+/// `seconds` covers only the query — preparation happened earlier and is
+/// the caller's to time (the amortization benches report both).
+pub fn evaluate_rrm_prepared(
+    prepared: &dyn PreparedSolver,
+    r: usize,
+    space: &dyn UtilitySpace,
+    budget: &Budget,
+    eval_samples: usize,
+    seed: u64,
+) -> Result<SolverReport, RrmError> {
+    let start = Instant::now();
+    let sol = prepared.solve_rrm(r, budget)?;
+    let seconds = start.elapsed().as_secs_f64();
+    Ok(report(&sol, prepared.dataset(), space, eval_samples, seed, seconds))
+}
+
+/// [`evaluate_rrm_prepared`]'s RRR counterpart.
+pub fn evaluate_rrr_prepared(
+    prepared: &dyn PreparedSolver,
+    k: usize,
+    space: &dyn UtilitySpace,
+    budget: &Budget,
+    eval_samples: usize,
+    seed: u64,
+) -> Result<SolverReport, RrmError> {
+    let start = Instant::now();
+    let sol = prepared.solve_rrr(k, budget)?;
+    let seconds = start.elapsed().as_secs_f64();
+    Ok(report(&sol, prepared.dataset(), space, eval_samples, seed, seconds))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +129,26 @@ mod tests {
         assert!(rep.seconds >= 0.0);
         // The certificate and the estimate agree on this trivial input.
         assert_eq!(rep.certified_regret.unwrap(), rep.estimated_regret);
+    }
+
+    #[test]
+    fn prepared_report_matches_one_shot_report() {
+        let data = Dataset::from_rows(&[[0.0, 1.0], [0.57, 0.75], [1.0, 0.0]]).unwrap();
+        let solver = BruteForceSolver::default();
+        let space = FullSpace::new(2);
+        let one_shot =
+            evaluate_rrm(&solver, &data, 1, &space, &Budget::default(), 2_000, 7).unwrap();
+        let prepared = solver.prepare(&data, &space).unwrap();
+        let rep = evaluate_rrm_prepared(prepared.as_ref(), 1, &space, &Budget::default(), 2_000, 7)
+            .unwrap();
+        // Identical everything except wall-clock.
+        assert_eq!(rep.algorithm, one_shot.algorithm);
+        assert_eq!(rep.size, one_shot.size);
+        assert_eq!(rep.certified_regret, one_shot.certified_regret);
+        assert_eq!(rep.estimated_regret, one_shot.estimated_regret);
+        let rrr = evaluate_rrr_prepared(prepared.as_ref(), 2, &space, &Budget::default(), 2_000, 7)
+            .unwrap();
+        assert_eq!(rrr.algorithm, Algorithm::BruteForce);
     }
 
     #[test]

@@ -137,6 +137,47 @@ pub fn stream_crossings<F: FnMut(&Crossing)>(
     }
 }
 
+/// [`crossings_with_tracked`] with an abandon cap: materialize the sorted
+/// crossing stream unless it would exceed `cap` events, in which case the
+/// buffer is dropped mid-pass and `None` is returned (callers fall back to
+/// [`stream_crossings`], which bounds memory). One enumeration pass either
+/// way; the sort only happens on success.
+pub fn crossings_with_tracked_capped(
+    lines: &[DualLine],
+    tracked: &[u32],
+    x_lo: f64,
+    x_hi: f64,
+    cap: usize,
+) -> Option<Vec<Crossing>> {
+    let mut mask = vec![false; lines.len()];
+    for &t in tracked {
+        mask[t as usize] = true;
+    }
+    let mut out: Vec<Crossing> = Vec::new();
+    let mut overflow = false;
+    for_each_raw_crossing(lines, tracked, &mask, x_lo, x_hi, |x, down, up| {
+        if overflow {
+            return;
+        }
+        if out.len() >= cap {
+            overflow = true;
+            out = Vec::new(); // release the buffer mid-pass
+            return;
+        }
+        out.push(Crossing { x, down, up });
+    });
+    if overflow {
+        return None;
+    }
+    out.sort_unstable_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .expect("finite crossings")
+            .then(a.down.cmp(&b.down))
+            .then(a.up.cmp(&b.up))
+    });
+    Some(out)
+}
+
 /// Shared enumeration core of [`crossings_with_tracked`] and
 /// [`stream_crossings`]: calls `f(x, down, up)` for every tracked crossing
 /// in `(x_lo, x_hi]`, in arbitrary order.

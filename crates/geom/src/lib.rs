@@ -26,5 +26,5 @@ pub mod sweep;
 pub use chain::{chain_to_vec, ChainNode};
 pub use dual::DualLine;
 pub use envelope::{envelope_lines, upper_envelope, EnvelopeSegment};
-pub use events::{crossings_with_tracked, Crossing};
+pub use events::{crossings_with_tracked, crossings_with_tracked_capped, Crossing};
 pub use polar::{angles_to_direction, direction_to_angles, polar_grid};

@@ -11,6 +11,8 @@
 //! common flags:
 //!   --algo NAME            pick an algorithm (2drrm, 2drrr, hdrrm, mdrrr,
 //!                          mdrrr-r, mdrc, mdrms, bruteforce); default: auto
+//!   --format text|json     report format (default: text); json emits a
+//!                          machine-readable solution report with timings
 //!   --no-header            first CSV line is data, not column names
 //!   --columns 0,2,3        use only these columns (0-based)
 //!   --negate 1,2           smaller-is-better columns to negate first
@@ -20,9 +22,15 @@
 //! ```
 //!
 //! `--algo` resolves through the engine registry ([`crate::Engine`]);
-//! an unknown name errors with the list of valid ones.
+//! an unknown name errors with the list of valid ones. Queries run through
+//! a [`crate::Session`] — one prepare, then the query — and both phases
+//! are timed separately in the report.
 
-use crate::{minimize, represent, Algorithm, Dataset, RrmError, Solution, WeakRankingSpace};
+use std::time::Instant;
+
+use crate::{
+    AlgoChoice, Algorithm, Dataset, Engine, Request, RrmError, Solution, Tuning, WeakRankingSpace,
+};
 use rrm_2d::{pareto_frontier, Rrm2dOptions};
 use rrm_core::FullSpace;
 use rrm_data::csv::read_csv_file;
@@ -34,12 +42,24 @@ pub struct Args {
     pub command: Command,
     pub input: String,
     pub algo: Option<Algorithm>,
+    pub format: Format,
     pub has_header: bool,
     pub columns: Option<Vec<usize>>,
     pub negate: Vec<usize>,
     pub normalize: bool,
     pub weak_ranking: Option<usize>,
     pub quick: bool,
+}
+
+/// Report format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Human-readable table (the default).
+    #[default]
+    Text,
+    /// Hand-rolled machine-readable JSON: indices, certified regret,
+    /// algorithm, and prepare/query timings.
+    Json,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +75,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let sub = it.next().ok_or_else(usage)?;
     let mut input: Option<String> = None;
     let mut algo: Option<Algorithm> = None;
+    let mut format = Format::Text;
     let mut has_header = true;
     let mut columns = None;
     let mut negate = Vec::new();
@@ -73,6 +94,13 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--input" => input = Some(value("--input")?),
             "--algo" => {
                 algo = Some(Algorithm::from_name(&value("--algo")?).map_err(|e| e.to_string())?)
+            }
+            "--format" => {
+                format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("--format: expected text or json, got {other:?}")),
+                }
             }
             "--no-header" => has_header = false,
             "--columns" => columns = Some(parse_index_list(&value("--columns")?)?),
@@ -97,13 +125,25 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         "frontier" => Command::Frontier { max_size: max_size.ok_or("--max-size is required")? },
         other => return Err(format!("unknown subcommand {other}\n{}", usage())),
     };
-    Ok(Args { command, input, algo, has_header, columns, negate, normalize, weak_ranking, quick })
+    Ok(Args {
+        command,
+        input,
+        algo,
+        format,
+        has_header,
+        columns,
+        negate,
+        normalize,
+        weak_ranking,
+        quick,
+    })
 }
 
 fn usage() -> String {
     "usage: rrm <minimize|represent|frontier> --input FILE \
-     [--size R | --threshold K | --max-size R] [--algo NAME] [--no-header] \
-     [--columns LIST] [--negate LIST] [--no-normalize] [--weak-ranking C] [--quick]"
+     [--size R | --threshold K | --max-size R] [--algo NAME] [--format text|json] \
+     [--no-header] [--columns LIST] [--negate LIST] [--no-normalize] \
+     [--weak-ranking C] [--quick]"
         .to_string()
 }
 
@@ -137,46 +177,55 @@ pub fn run(args: &Args) -> Result<String, RrmError> {
     }
     let d = data.dim();
 
-    let hdrrm_options = if args.quick {
-        HdrrmOptions { delta: 0.1, ..Default::default() }
-    } else {
-        HdrrmOptions::default()
+    let tuning = Tuning {
+        hdrrm: if args.quick {
+            HdrrmOptions { delta: 0.1, ..Default::default() }
+        } else {
+            HdrrmOptions::default()
+        },
+        ..Default::default()
     };
-    let space = args.weak_ranking.map(|c| WeakRankingSpace::new(d, c));
+    let choice = match args.algo {
+        Some(a) => AlgoChoice::Fixed(a),
+        None => AlgoChoice::Auto,
+    };
 
-    let mut out = String::new();
-    use std::fmt::Write as _;
-    let summary = rrm_data::stats::summarize(&data);
-    let _ = writeln!(
-        out,
-        "loaded {} tuples x {} attributes from {} (mean pairwise correlation {:+.2})",
-        data.n(),
-        d,
-        args.input,
-        summary.mean_pairwise_correlation()
-    );
     match args.command {
-        Command::Minimize { size } => {
-            let mut b = minimize(&data).size(size).hdrrm_options(hdrrm_options);
-            if let Some(s) = space {
-                b = b.space(s);
+        Command::Minimize { .. } | Command::Represent { .. } => {
+            let request = match args.command {
+                Command::Minimize { size } => Request::minimize(size),
+                Command::Represent { threshold } => Request::represent(threshold),
+                Command::Frontier { .. } => unreachable!(),
             }
-            if let Some(a) = args.algo {
-                b = b.algo(a);
+            .choice(choice);
+            // Prepare-once / query-once through the session, with the two
+            // phases timed separately.
+            let mut session = Engine::with_tuning(&tuning).session(data);
+            if let Some(c) = args.weak_ranking {
+                session = session.space(WeakRankingSpace::new(d, c));
             }
-            let sol = b.solve()?;
-            render_solution(&mut out, &headers, &data, &sol);
-        }
-        Command::Represent { threshold } => {
-            let mut b = represent(&data).threshold(threshold).hdrrm_options(hdrrm_options);
-            if let Some(s) = space {
-                b = b.space(s);
+            let prepare_start = Instant::now();
+            session.prepared(choice)?;
+            let prepare_seconds = prepare_start.elapsed().as_secs_f64();
+            let response = session.run(&request)?;
+            match args.format {
+                Format::Text => Ok(render_text(
+                    args,
+                    &headers,
+                    session.data(),
+                    &response.solution,
+                    prepare_seconds,
+                    response.seconds,
+                )),
+                Format::Json => Ok(render_json(
+                    args,
+                    session.data(),
+                    &request,
+                    &response.solution,
+                    prepare_seconds,
+                    response.seconds,
+                )),
             }
-            if let Some(a) = args.algo {
-                b = b.algo(a);
-            }
-            let sol = b.solve()?;
-            render_solution(&mut out, &headers, &data, &sol);
         }
         Command::Frontier { max_size } => {
             if d != 2 {
@@ -194,30 +243,145 @@ pub fn run(args: &Args) -> Result<String, RrmError> {
                     )));
                 }
             }
+            let start = Instant::now();
             let points =
                 pareto_frontier(&data, max_size, &FullSpace::new(2), Rrm2dOptions::default())?;
-            let _ = writeln!(out, "{:>6} {:>18}", "size", "best worst-rank");
-            for p in &points {
-                let _ = writeln!(out, "{:>6} {:>18}", p.r, p.regret);
+            let seconds = start.elapsed().as_secs_f64();
+            match args.format {
+                Format::Text => {
+                    let mut out = String::new();
+                    use std::fmt::Write as _;
+                    let _ = writeln!(out, "{}", loaded_line(args, &data));
+                    let _ = writeln!(out, "{:>6} {:>18}", "size", "best worst-rank");
+                    for p in &points {
+                        let _ = writeln!(out, "{:>6} {:>18}", p.r, p.regret);
+                    }
+                    Ok(out)
+                }
+                Format::Json => {
+                    let mut out = String::new();
+                    use std::fmt::Write as _;
+                    let _ = write!(
+                        out,
+                        "{{\"command\":\"frontier\",\"input\":{},\"n\":{},\"d\":{},\
+                         \"algorithm\":\"2DRRM\",\"max_size\":{max_size},\"frontier\":[",
+                        json_string(&args.input),
+                        data.n(),
+                        data.dim(),
+                    );
+                    for (i, p) in points.iter().enumerate() {
+                        let sep = if i == 0 { "" } else { "," };
+                        let _ = write!(out, "{sep}{{\"r\":{},\"regret\":{}}}", p.r, p.regret);
+                    }
+                    let _ = writeln!(out, "],\"seconds\":{}}}", json_f64(seconds));
+                    Ok(out)
+                }
             }
         }
     }
-    Ok(out)
 }
 
-fn render_solution(out: &mut String, headers: &[String], data: &Dataset, sol: &Solution) {
+fn loaded_line(args: &Args, data: &Dataset) -> String {
+    let summary = rrm_data::stats::summarize(data);
+    format!(
+        "loaded {} tuples x {} attributes from {} (mean pairwise correlation {:+.2})",
+        data.n(),
+        data.dim(),
+        args.input,
+        summary.mean_pairwise_correlation()
+    )
+}
+
+fn render_text(
+    args: &Args,
+    headers: &[String],
+    data: &Dataset,
+    sol: &Solution,
+    prepare_seconds: f64,
+    query_seconds: f64,
+) -> String {
+    let mut out = String::new();
     use std::fmt::Write as _;
+    let _ = writeln!(out, "{}", loaded_line(args, data));
     let _ = writeln!(
         out,
-        "{}: {} tuples, certified rank-regret {}",
+        "{}: {} tuples, certified rank-regret {} (prepared in {:.3}s, answered in {:.3}s)",
         sol.algorithm,
         sol.size(),
         sol.certified_regret.map_or("n/a".into(), |k| k.to_string()),
+        prepare_seconds,
+        query_seconds,
     );
     let _ = writeln!(out, "{:>8}  {}", "row", headers.join("  "));
     for &i in &sol.indices {
         let vals: Vec<String> = data.row(i as usize).iter().map(|v| format!("{v:.4}")).collect();
         let _ = writeln!(out, "{:>8}  {}", i, vals.join("  "));
+    }
+    out
+}
+
+/// Hand-rolled JSON solution report (the offline-vendor constraint rules
+/// out serde; the grammar here is tiny and fully escaped).
+fn render_json(
+    args: &Args,
+    data: &Dataset,
+    request: &Request,
+    sol: &Solution,
+    prepare_seconds: f64,
+    query_seconds: f64,
+) -> String {
+    let command = match args.command {
+        Command::Minimize { .. } => "minimize",
+        Command::Represent { .. } => "represent",
+        Command::Frontier { .. } => "frontier",
+    };
+    let indices: Vec<String> = sol.indices.iter().map(|i| i.to_string()).collect();
+    let certified = sol.certified_regret.map_or("null".to_string(), |k| k.to_string());
+    format!(
+        "{{\"command\":\"{command}\",\"input\":{input},\"n\":{n},\"d\":{d},\
+         \"param\":{param},\"algorithm\":\"{algo}\",\"indices\":[{indices}],\
+         \"size\":{size},\"certified_regret\":{certified},\
+         \"prepare_seconds\":{prep},\"query_seconds\":{query}}}\n",
+        input = json_string(&args.input),
+        n = data.n(),
+        d = data.dim(),
+        param = request.param(),
+        algo = sol.algorithm,
+        indices = indices.join(","),
+        size = sol.size(),
+        prep = json_f64(prepare_seconds),
+        query = json_f64(query_seconds),
+    )
+}
+
+/// Escape a string per RFC 8259.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON has no NaN/Infinity; timings are finite, but keep the encoder
+/// total anyway.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -296,6 +460,71 @@ mod tests {
             "{res:?}"
         );
         assert!(run(&parse_args(&argv(&format!("{frontier} --algo 2drrm"))).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn parses_format_flag() {
+        let a = parse_args(&argv("minimize --input x.csv --size 1")).unwrap();
+        assert_eq!(a.format, Format::Text);
+        let a = parse_args(&argv("minimize --input x.csv --size 1 --format json")).unwrap();
+        assert_eq!(a.format, Format::Json);
+        let a = parse_args(&argv("minimize --input x.csv --size 1 --format text")).unwrap();
+        assert_eq!(a.format, Format::Text);
+        let err = parse_args(&argv("minimize --input x.csv --size 1 --format xml")).unwrap_err();
+        assert!(err.contains("expected text or json"), "{err}");
+    }
+
+    #[test]
+    fn json_report_is_machine_readable() {
+        let dir = std::env::temp_dir().join("rrm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("json.csv");
+        std::fs::write(
+            &path,
+            "hp,mpg\n0.0,1.0\n0.4,0.95\n0.57,0.75\n0.79,0.6\n0.2,0.5\n0.35,0.3\n1.0,0.0\n",
+        )
+        .unwrap();
+        let args = parse_args(&argv(&format!(
+            "minimize --input {} --size 1 --no-normalize --format json",
+            path.display()
+        )))
+        .unwrap();
+        let report = run(&args).unwrap();
+        // Table I ground truth, now as JSON fields.
+        assert!(report.contains("\"command\":\"minimize\""), "{report}");
+        assert!(report.contains("\"algorithm\":\"2DRRM\""), "{report}");
+        assert!(report.contains("\"indices\":[2]"), "{report}");
+        assert!(report.contains("\"certified_regret\":3"), "{report}");
+        assert!(report.contains("\"n\":7,\"d\":2"), "{report}");
+        assert!(report.contains("\"prepare_seconds\":"), "{report}");
+        assert!(report.contains("\"query_seconds\":"), "{report}");
+        // No-certificate algorithms emit null, not a fake number.
+        let args = parse_args(&argv(&format!(
+            "minimize --input {} --size 1 --no-normalize --format json --algo mdrms",
+            path.display()
+        )))
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("\"certified_regret\":null"), "{report}");
+        // Frontier as JSON.
+        let args = parse_args(&argv(&format!(
+            "frontier --input {} --max-size 3 --format json",
+            path.display()
+        )))
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("\"command\":\"frontier\""), "{report}");
+        assert!(report.contains("\"frontier\":[{\"r\":1,\"regret\":"), "{report}");
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        assert_eq!(json_string("plain.csv"), "\"plain.csv\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(json_string("ctrl\u{1}"), "\"ctrl\\u0001\"");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
     }
 
     #[test]

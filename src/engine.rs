@@ -1,19 +1,28 @@
-//! The engine layer: one registry of [`Solver`]s, one dispatch path.
+//! The engine layer: one registry of [`Solver`]s, one dispatch path, and
+//! the [`Session`] that binds it all to a dataset.
 //!
 //! Every way of running a rank-regret query — the [`minimize`]/
-//! [`represent`] builders, the CLI, the bench harness — funnels into
-//! [`Engine::run`]. The engine owns a solver per [`Algorithm`] variant,
-//! resolves the `Auto` policy (2DRRM when `d = 2`, HDRRM otherwise),
-//! checks capabilities once, and delegates through the trait. Adding an
-//! algorithm means implementing [`Solver`] and registering it here;
-//! nothing else in the stack changes.
+//! [`represent`] builders, the CLI, the bench harness — expresses the
+//! query as a typed [`Request`] and runs it either one-shot
+//! ([`Engine::run`]) or through a [`Session`], which prepares each
+//! algorithm's dataset-dependent state once ([`Solver::prepare`]) and then
+//! answers arbitrarily many requests cheaply ([`Session::run`],
+//! [`Session::run_batch`]). The engine owns a solver per [`Algorithm`]
+//! variant (indexed by discriminant — lookups are O(1)), resolves the
+//! `Auto` policy (2DRRM when `d = 2`, HDRRM otherwise), checks
+//! capabilities once, and delegates through the trait. Adding an algorithm
+//! means implementing [`Solver`] and registering it here; nothing else in
+//! the stack changes.
 //!
 //! [`minimize`]: crate::minimize
 //! [`represent`]: crate::represent
 
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
 use rrm_core::{
-    Algorithm, BruteForceOptions, BruteForceSolver, Budget, Dataset, FullSpace, RrmError, Solution,
-    Solver, UtilitySpace,
+    Algorithm, BruteForceOptions, BruteForceSolver, Budget, Dataset, FullSpace, PreparedSolver,
+    RrmError, Solution, Solver, UtilitySpace,
 };
 
 use rrm_2d::{Rrm2dOptions, TwoDRrmSolver, TwoDRrrSolver};
@@ -22,13 +31,99 @@ use rrm_hd::{
     MdrrrROptions, MdrrrRSolver, MdrrrSolver,
 };
 
-/// Which query the engine should run.
+/// Which query a [`Request`] asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaskKind {
-    /// RRM / RRRM: best set of at most `param` tuples.
+    /// RRM / RRRM: best set of at most `r` tuples.
     Minimize,
-    /// RRR: smallest set with rank-regret at most `param`.
+    /// RRR: smallest set with rank-regret at most `k`.
     Represent,
+}
+
+/// The task half of a [`Request`]: the constructor ties the parameter to
+/// its problem direction, so "a size used as a threshold" (the old
+/// `Query::param_from` footgun) is unrepresentable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Task {
+    Minimize { r: usize },
+    Represent { k: usize },
+}
+
+/// A typed rank-regret query: the task (with its parameter bound at
+/// construction), plus algorithm selection and resource budget.
+///
+/// ```
+/// use rank_regret::{Request, Algorithm, Budget};
+///
+/// let q = Request::minimize(5).algo(Algorithm::Hdrrm).budget(Budget::with_samples(500));
+/// assert_eq!(q.param(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    task: Task,
+    /// Algorithm selection policy (default [`AlgoChoice::Auto`]).
+    pub choice: AlgoChoice,
+    /// Cross-algorithm resource budget (default unlimited).
+    pub budget: Budget,
+}
+
+impl Request {
+    /// RRM / RRRM: best set of at most `r` tuples.
+    pub fn minimize(r: usize) -> Self {
+        Self { task: Task::Minimize { r }, choice: AlgoChoice::Auto, budget: Budget::UNLIMITED }
+    }
+
+    /// RRR: smallest set with rank-regret at most `k`.
+    pub fn represent(k: usize) -> Self {
+        Self { task: Task::Represent { k }, choice: AlgoChoice::Auto, budget: Budget::UNLIMITED }
+    }
+
+    /// Select a specific algorithm.
+    pub fn algo(mut self, algorithm: Algorithm) -> Self {
+        self.choice = AlgoChoice::Fixed(algorithm);
+        self
+    }
+
+    /// Select by policy.
+    pub fn choice(mut self, choice: AlgoChoice) -> Self {
+        self.choice = choice;
+        self
+    }
+
+    /// Attach a resource budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Which problem direction this request asks for.
+    pub fn kind(&self) -> TaskKind {
+        match self.task {
+            Task::Minimize { .. } => TaskKind::Minimize,
+            Task::Represent { .. } => TaskKind::Represent,
+        }
+    }
+
+    /// The task parameter: `r` for minimize, `k` for represent.
+    pub fn param(&self) -> usize {
+        match self.task {
+            Task::Minimize { r } => r,
+            Task::Represent { k } => k,
+        }
+    }
+}
+
+/// What a [`Session`] query returns: the solution plus per-query timing
+/// and the request it answers (so batch responses stay correlated).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request this response answers.
+    pub request: Request,
+    /// The solver's answer.
+    pub solution: Solution,
+    /// Wall-clock seconds spent answering *this query* — preparation time
+    /// is paid once at first use and amortized away.
+    pub seconds: f64,
 }
 
 /// Algorithm selection policy.
@@ -56,6 +151,9 @@ pub struct Tuning {
 
 /// A registry of solvers, one per [`Algorithm`] variant.
 pub struct Engine {
+    /// Indexed by [`Algorithm::index`] — construction order *is* the
+    /// discriminant order, so lookups are a direct array access instead of
+    /// a roster scan.
     solvers: Vec<Box<dyn Solver>>,
 }
 
@@ -77,6 +175,10 @@ impl Engine {
             Box::new(MdrmsSolver::new(t.mdrms)),
             Box::new(BruteForceSolver { options: t.brute_force }),
         ];
+        debug_assert!(
+            solvers.iter().enumerate().all(|(i, s)| s.algorithm().index() == i),
+            "registry must be built in Algorithm::ALL order"
+        );
         Self { solvers }
     }
 
@@ -85,9 +187,11 @@ impl Engine {
         self.solvers.iter().map(|s| s.as_ref())
     }
 
-    /// Look up the solver for one algorithm.
+    /// Look up the solver for one algorithm — O(1) by discriminant index.
     pub fn solver(&self, algo: Algorithm) -> Option<&dyn Solver> {
-        self.registry().find(|s| s.algorithm() == algo)
+        let solver = self.solvers.get(algo.index())?.as_ref();
+        debug_assert_eq!(solver.algorithm(), algo);
+        Some(solver)
     }
 
     /// The `Auto` policy: the exact planar solver when it applies, the
@@ -111,30 +215,164 @@ impl Engine {
         })
     }
 
-    /// The single dispatch path behind every facade query: resolve the
-    /// algorithm, check its capabilities against the data and space, and
-    /// run the task through the [`Solver`] trait.
+    /// One-shot dispatch for a typed [`Request`]: resolve the algorithm,
+    /// check its capabilities against the data and space, and run the task
+    /// through the [`Solver`] trait. For repeated queries over one
+    /// dataset, bind a [`Session`] instead — it amortizes the per-dataset
+    /// work this path redoes on every call.
     pub fn run(
         &self,
         data: &Dataset,
-        kind: TaskKind,
-        param: usize,
         space: &dyn UtilitySpace,
-        choice: AlgoChoice,
-        budget: &Budget,
+        request: &Request,
     ) -> Result<Solution, RrmError> {
-        let solver = self.resolve(choice, data.dim())?;
+        let solver = self.resolve(request.choice, data.dim())?;
         solver.ensure_supported(data, space)?;
-        match kind {
-            TaskKind::Minimize => solver.solve_rrm(data, param, space, budget),
-            TaskKind::Represent => solver.solve_rrr(data, param, space, budget),
+        match request.task {
+            Task::Minimize { r } => solver.solve_rrm(data, r, space, &request.budget),
+            Task::Represent { k } => solver.solve_rrr(data, k, space, &request.budget),
         }
+    }
+
+    /// Prepare one algorithm selection against a dataset + space (resolve,
+    /// then [`Solver::prepare`]). [`Session`] callers get this lazily and
+    /// cached; call it directly to manage handles yourself.
+    pub fn prepare(
+        &self,
+        choice: AlgoChoice,
+        data: &Dataset,
+        space: &dyn UtilitySpace,
+    ) -> Result<Box<dyn PreparedSolver>, RrmError> {
+        self.resolve(choice, data.dim())?.prepare(data, space)
+    }
+
+    /// Consume the engine into a [`Session`] over `data` (full utility
+    /// space; use [`Session::space`] to restrict it).
+    pub fn session(self, data: Dataset) -> Session {
+        Session::with_engine(self, data)
     }
 }
 
 impl Default for Engine {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// An [`Engine`] bound to one dataset and utility space: the
+/// *prepare-once / query-many* entry point.
+///
+/// The session lazily builds one [`PreparedSolver`] per algorithm on first
+/// use and keeps it for the session's lifetime, so a stream of requests —
+/// the paper's serving workload: one dataset, many users, varying `r`/`k`
+/// — pays each algorithm's per-dataset cost exactly once. Results are
+/// identical to one-shot [`Engine::run`] calls.
+///
+/// Sessions are `Send + Sync`; share one behind an `&` (or the prepared
+/// handles behind their `Arc`s) and run read-only queries from many
+/// threads concurrently.
+///
+/// ```
+/// use rank_regret::{Dataset, Request, Session};
+///
+/// let data = Dataset::from_rows(&[[0.0, 1.0], [0.57, 0.75], [1.0, 0.0]]).unwrap();
+/// let session = Session::new(data);
+/// // Prepared state is shared across these queries.
+/// for r in 1..=3 {
+///     let resp = session.run(&Request::minimize(r)).unwrap();
+///     assert!(resp.solution.size() <= r);
+/// }
+/// ```
+pub struct Session {
+    engine: Engine,
+    data: Dataset,
+    space: Box<dyn UtilitySpace>,
+    /// One lazily-initialized prepared handle per [`Algorithm`] variant,
+    /// indexed by discriminant. Failed preparations are cached too — a
+    /// capability mismatch fails every query the same way.
+    prepared: Vec<OnceLock<Result<Arc<dyn PreparedSolver>, RrmError>>>,
+}
+
+impl Session {
+    /// Bind the default engine (all eight algorithms, paper tuning) to
+    /// `data` over the full utility space.
+    pub fn new(data: Dataset) -> Self {
+        Self::with_engine(Engine::new(), data)
+    }
+
+    /// Bind an explicitly tuned engine to `data`.
+    pub fn with_engine(engine: Engine, data: Dataset) -> Self {
+        let space: Box<dyn UtilitySpace> = Box::new(FullSpace::new(data.dim()));
+        Self { engine, data, space, prepared: Self::empty_slots() }
+    }
+
+    fn empty_slots() -> Vec<OnceLock<Result<Arc<dyn PreparedSolver>, RrmError>>> {
+        (0..Algorithm::ALL.len()).map(|_| OnceLock::new()).collect()
+    }
+
+    /// Restrict the utility space (RRM becomes RRRM). Resets any prepared
+    /// state — it was built against the previous space.
+    pub fn space(self, space: impl UtilitySpace + 'static) -> Self {
+        self.boxed_space(Box::new(space))
+    }
+
+    /// [`Session::space`] for an already-boxed space.
+    pub fn boxed_space(mut self, space: Box<dyn UtilitySpace>) -> Self {
+        self.space = space;
+        self.prepared = Self::empty_slots();
+        self
+    }
+
+    /// The dataset this session serves.
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// The utility space queries run over.
+    pub fn utility_space(&self) -> &dyn UtilitySpace {
+        self.space.as_ref()
+    }
+
+    /// The engine behind this session.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The shared prepared handle for one algorithm selection, built on
+    /// first use. The returned `Arc` is `Send + Sync`: clone it out and
+    /// query from as many threads as you like.
+    pub fn prepared(&self, choice: AlgoChoice) -> Result<Arc<dyn PreparedSolver>, RrmError> {
+        let algo = match choice {
+            AlgoChoice::Auto => Engine::auto_policy(self.data.dim()),
+            AlgoChoice::Fixed(a) => a,
+        };
+        let slot = self.prepared.get(algo.index()).ok_or_else(|| {
+            RrmError::Unsupported(format!("algorithm {algo} is not registered in this engine"))
+        })?;
+        slot.get_or_init(|| {
+            self.engine
+                .prepare(AlgoChoice::Fixed(algo), &self.data, self.space.as_ref())
+                .map(Arc::from)
+        })
+        .clone()
+    }
+
+    /// Answer one request through the prepared state.
+    pub fn run(&self, request: &Request) -> Result<Response, RrmError> {
+        let prepared = self.prepared(request.choice)?;
+        let start = Instant::now();
+        let solution = match request.task {
+            Task::Minimize { r } => prepared.solve_rrm(r, &request.budget),
+            Task::Represent { k } => prepared.solve_rrr(k, &request.budget),
+        }?;
+        Ok(Response { request: request.clone(), solution, seconds: start.elapsed().as_secs_f64() })
+    }
+
+    /// Answer a batch of requests, one result per request in order. A
+    /// failing request (capability mismatch, infeasible parameter) does
+    /// not abort the rest of the batch.
+    pub fn run_batch(&self, requests: &[Request]) -> Vec<Result<Response, RrmError>> {
+        requests.iter().map(|request| self.run(request)).collect()
     }
 }
 
@@ -228,8 +466,11 @@ impl<'a> Query<'a> {
         self
     }
 
-    /// Run the query through [`Engine::run`].
-    pub fn solve(self) -> Result<Solution, RrmError> {
+    /// The typed [`Request`] this builder describes, or the mis-pairing
+    /// error when a parameter setter was used on the wrong query kind (the
+    /// merged builder cannot reject that at compile time; [`Request`]'s
+    /// own constructors can — prefer them in new code).
+    pub fn request(&self) -> Result<Request, RrmError> {
         if let Some(from) = self.param_from {
             if from != self.kind {
                 let (got, want) = match self.kind {
@@ -241,10 +482,29 @@ impl<'a> Query<'a> {
                 )));
             }
         }
-        let engine = Engine::with_tuning(&self.tuning);
-        let space: Box<dyn UtilitySpace> =
-            self.space.unwrap_or_else(|| Box::new(FullSpace::new(self.data.dim())));
-        engine.run(self.data, self.kind, self.param, space.as_ref(), self.choice, &self.budget)
+        let request = match self.kind {
+            TaskKind::Minimize => Request::minimize(self.param),
+            TaskKind::Represent => Request::represent(self.param),
+        };
+        Ok(request.choice(self.choice).budget(self.budget.clone()))
+    }
+
+    /// Bind the query's data, space and tuning into a [`Session`] — the
+    /// prepare-once / query-many handle. The dataset is cloned into the
+    /// session (sessions own their data so prepared handles can outlive
+    /// the borrow and cross threads).
+    pub fn session(&self) -> Session {
+        let session = Engine::with_tuning(&self.tuning).session(self.data.clone());
+        match &self.space {
+            Some(space) => session.boxed_space(space.clone_box()),
+            None => session,
+        }
+    }
+
+    /// Run the query: a thin wrapper over a one-shot [`Session`].
+    pub fn solve(self) -> Result<Solution, RrmError> {
+        let request = self.request()?;
+        self.session().run(&request).map(|response| response.solution)
     }
 }
 
@@ -277,15 +537,86 @@ mod tests {
         let data =
             Dataset::from_rows(&[[0.1, 0.9, 0.5], [0.9, 0.1, 0.5], [0.5, 0.5, 0.5]]).unwrap();
         let err = engine
-            .run(
-                &data,
-                TaskKind::Minimize,
-                1,
-                &FullSpace::new(3),
-                AlgoChoice::Fixed(Algorithm::TwoDRrm),
-                &Budget::UNLIMITED,
-            )
+            .run(&data, &FullSpace::new(3), &Request::minimize(1).algo(Algorithm::TwoDRrm))
             .unwrap_err();
         assert!(matches!(err, RrmError::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn request_constructors_bind_parameters_to_their_task() {
+        let q = Request::minimize(7);
+        assert_eq!(q.kind(), TaskKind::Minimize);
+        assert_eq!(q.param(), 7);
+        assert_eq!(q.choice, AlgoChoice::Auto);
+        assert_eq!(q.budget, Budget::UNLIMITED);
+        let q = Request::represent(3).algo(Algorithm::Hdrrm).budget(Budget::with_samples(10));
+        assert_eq!(q.kind(), TaskKind::Represent);
+        assert_eq!(q.param(), 3);
+        assert_eq!(q.choice, AlgoChoice::Fixed(Algorithm::Hdrrm));
+        assert_eq!(q.budget.samples, Some(10));
+    }
+
+    #[test]
+    fn session_matches_one_shot_engine_run() {
+        let data = Dataset::from_rows(&[
+            [0.0, 1.0],
+            [0.4, 0.95],
+            [0.57, 0.75],
+            [0.79, 0.6],
+            [0.2, 0.5],
+            [0.35, 0.3],
+            [1.0, 0.0],
+        ])
+        .unwrap();
+        let engine = Engine::new();
+        let session = Session::new(data.clone());
+        for r in 1..=4 {
+            let request = Request::minimize(r);
+            let one_shot = engine.run(&data, &FullSpace::new(2), &request).unwrap();
+            let response = session.run(&request).unwrap();
+            assert_eq!(response.solution, one_shot, "r={r}");
+            assert_eq!(response.request, request);
+            assert!(response.seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn session_batch_isolates_per_request_failures() {
+        let data = Dataset::from_rows(&[[0.0, 1.0], [0.57, 0.75], [1.0, 0.0]]).unwrap();
+        let session = Session::new(data);
+        let batch = [
+            Request::minimize(1),
+            Request::minimize(0), // infeasible: typed error, not an abort
+            Request::represent(2),
+        ];
+        let results = session.run_batch(&batch);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(RrmError::OutputSizeTooSmall { .. })));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn session_caches_prepared_failures() {
+        // 2DRRM on 3D data: the first query fails at prepare, the second
+        // hits the cached error — same type both times.
+        let data =
+            Dataset::from_rows(&[[0.1, 0.9, 0.5], [0.9, 0.1, 0.5], [0.5, 0.5, 0.5]]).unwrap();
+        let session = Session::new(data);
+        for _ in 0..2 {
+            let err = session.run(&Request::minimize(1).algo(Algorithm::TwoDRrm)).unwrap_err();
+            assert!(matches!(err, RrmError::Unsupported(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn session_prepared_handles_are_shareable() {
+        let data = Dataset::from_rows(&[[0.0, 1.0], [0.57, 0.75], [1.0, 0.0]]).unwrap();
+        let session = Session::new(data);
+        let handle = session.prepared(AlgoChoice::Auto).unwrap();
+        let again = session.prepared(AlgoChoice::Fixed(Algorithm::TwoDRrm)).unwrap();
+        // Auto resolves to 2DRRM on d = 2; both asks share one handle.
+        assert!(Arc::ptr_eq(&handle, &again));
+        assert_eq!(handle.algorithm(), Algorithm::TwoDRrm);
     }
 }

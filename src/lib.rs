@@ -18,7 +18,15 @@
 //! scale-free and *shift invariant*: translating any attribute leaves the
 //! answer unchanged (Theorem 1 of the paper).
 //!
-//! ## Quickstart
+//! ## Quickstart: prepare once, query many
+//!
+//! The recommended way to use this library is a [`Session`]: bind the
+//! engine to a dataset once, then answer as many typed [`Request`]s as
+//! you like. All per-dataset work — skyline/Pareto filtering, dual
+//! arrangements, discretization grids, k-set state — happens at first use
+//! and is reused by every later query, so a query stream (the paper's
+//! serving workload: one catalog, many users, varying `r`/`k`) runs
+//! orders of magnitude faster than re-solving from scratch.
 //!
 //! ```
 //! use rank_regret::prelude::*;
@@ -29,19 +37,50 @@
 //!     [0.2, 0.5], [0.35, 0.3], [1.0, 0.0],
 //! ]).unwrap();
 //!
-//! // The best single representative for *any* linear preference.
-//! // `Auto` picks the exact 2D solver here (d = 2).
-//! let sol = rank_regret::minimize(&cars).size(1).solve().unwrap();
-//! assert_eq!(sol.indices, vec![2]);              // t3 of the paper's Table I
-//! assert_eq!(sol.certified_regret, Some(3));     // its exact rank-regret
+//! // Bind once. `Auto` picks the exact 2D solver here (d = 2).
+//! let session = Session::new(cars);
 //!
-//! // Any of the paper's eight algorithms is one selector away:
-//! let baseline = rank_regret::minimize(&cars)
-//!     .size(1)
-//!     .algo(Algorithm::BruteForce)
-//!     .solve()
-//!     .unwrap();
-//! assert_eq!(baseline.indices, sol.indices);
+//! // The best single representative for *any* linear preference.
+//! let resp = session.run(&Request::minimize(1)).unwrap();
+//! assert_eq!(resp.solution.indices, vec![2]);          // t3 of Table I
+//! assert_eq!(resp.solution.certified_regret, Some(3)); // exact rank-regret
+//!
+//! // More queries against the same prepared state: different sizes, the
+//! // dual threshold problem, other algorithms — all cheap now.
+//! let batch = [
+//!     Request::minimize(2),
+//!     Request::represent(2),
+//!     Request::minimize(1).algo(Algorithm::BruteForce).budget(Budget::with_samples(2_000)),
+//! ];
+//! for result in session.run_batch(&batch) {
+//!     let resp = result.unwrap();
+//!     assert!(resp.solution.size() >= 1);
+//! }
+//!
+//! // Requests are impossible to mis-pair: `minimize` takes the size `r`,
+//! // `represent` takes the threshold `k`, bound at construction.
+//! assert_eq!(Request::represent(2).param(), 2);
+//! ```
+//!
+//! Prepared handles are `Send + Sync` — share a session across threads
+//! and run read-only queries concurrently (see
+//! `examples/session_reuse.rs`).
+//!
+//! ## One-shot queries
+//!
+//! For a single ad-hoc query, the [`minimize`]/[`represent`] builders are
+//! thin wrappers that bind a one-shot session behind the scenes:
+//!
+//! ```
+//! use rank_regret::prelude::*;
+//!
+//! let cars = Dataset::from_rows(&[
+//!     [0.0, 1.0], [0.4, 0.95], [0.57, 0.75], [0.79, 0.6],
+//!     [0.2, 0.5], [0.35, 0.3], [1.0, 0.0],
+//! ]).unwrap();
+//!
+//! let sol = rank_regret::minimize(&cars).size(1).solve().unwrap();
+//! assert_eq!(sol.indices, vec![2]);
 //!
 //! // A user who cares about MPG at least as much as HP (RRRM):
 //! let sol = rank_regret::minimize(&cars)
@@ -50,10 +89,6 @@
 //!     .solve()
 //!     .unwrap();
 //! assert!(sol.certified_regret.unwrap() <= 3);
-//!
-//! // The dual question (RRR): how few tuples guarantee top-2 for everyone?
-//! let sol = rank_regret::represent(&cars).threshold(2).solve().unwrap();
-//! assert!(sol.certified_regret.unwrap() <= 2);
 //!
 //! // Capability mismatches fail gracefully: MDRRR has no RRRM mode
 //! // (Table III), so a restricted space is a typed error, not a panic.
@@ -68,12 +103,13 @@
 //!
 //! ## The engine layer
 //!
-//! [`Engine`] holds one [`Solver`] per [`Algorithm`] variant. Iterate
-//! them, query capabilities, or dispatch directly:
+//! [`Engine`] holds one [`Solver`] per [`Algorithm`] variant (indexed by
+//! discriminant — lookups are O(1)). Iterate them, query capabilities,
+//! dispatch a typed request one-shot, or prepare handles yourself:
 //!
 //! ```
 //! use rank_regret::prelude::*;
-//! use rank_regret::{Engine, TaskKind, AlgoChoice};
+//! use rank_regret::{Engine, AlgoChoice};
 //!
 //! let engine = Engine::new();
 //! assert_eq!(engine.registry().count(), 8);
@@ -83,9 +119,14 @@
 //! }
 //!
 //! let cars = Dataset::from_rows(&[[0.0, 1.0], [0.6, 0.7], [1.0, 0.0]]).unwrap();
-//! let sol = engine.run(&cars, TaskKind::Minimize, 1, &FullSpace::new(2),
-//!                      AlgoChoice::Auto, &Budget::UNLIMITED).unwrap();
+//! let sol = engine.run(&cars, &FullSpace::new(2), &Request::minimize(1)).unwrap();
 //! assert_eq!(sol.size(), 1);
+//!
+//! // Or hold a prepared handle directly (what Session does lazily):
+//! let prepared = engine
+//!     .prepare(AlgoChoice::Auto, &cars, &FullSpace::new(2))
+//!     .unwrap();
+//! assert_eq!(prepared.solve_rrm(1, &Budget::UNLIMITED).unwrap(), sol);
 //! ```
 //!
 //! ## Crate map
@@ -115,19 +156,20 @@ pub use rrm_skyline;
 
 pub use rrm_core::{
     Algorithm, BiasedOrthantSpace, BoxSpace, Budget, ConeSpace, Dataset, DimRange, FullSpace,
-    RrmError, Solution, Solver, SphereCap, UtilitySpace, WeakRankingSpace,
+    PreparedSolver, RrmError, Solution, Solver, SphereCap, UtilitySpace, WeakRankingSpace,
 };
 
 pub mod cli;
 pub mod engine;
 
-pub use engine::{AlgoChoice, Engine, Query, TaskKind, Tuning};
+pub use engine::{AlgoChoice, Engine, Query, Request, Response, Session, TaskKind, Tuning};
 
 /// Everything a typical caller needs.
 pub mod prelude {
     pub use crate::{
-        minimize, represent, Algorithm, BiasedOrthantSpace, BoxSpace, Budget, ConeSpace, Dataset,
-        Engine, FullSpace, RrmError, Solution, Solver, SphereCap, UtilitySpace, WeakRankingSpace,
+        minimize, represent, session, Algorithm, BiasedOrthantSpace, BoxSpace, Budget, ConeSpace,
+        Dataset, Engine, FullSpace, PreparedSolver, Request, Response, RrmError, Session, Solution,
+        Solver, SphereCap, UtilitySpace, WeakRankingSpace,
     };
 }
 
@@ -172,6 +214,13 @@ pub fn minimize(data: &Dataset) -> Query<'_> {
 /// rank-regret at most `k`.
 pub fn represent(data: &Dataset) -> Query<'_> {
     Query::new(data, TaskKind::Represent)
+}
+
+/// Bind a [`Session`] over a clone of `data` with the default engine —
+/// the prepare-once / query-many entry point. Use [`Session::with_engine`]
+/// or [`Query::session`] for tuned engines or restricted spaces.
+pub fn session(data: &Dataset) -> Session {
+    Session::new(data.clone())
 }
 
 /// Pre-engine name for [`Query`], kept for source compatibility.

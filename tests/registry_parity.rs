@@ -4,7 +4,6 @@
 //! certificates, restricted spaces either work or fail gracefully.
 
 use rank_regret::prelude::*;
-use rank_regret::{AlgoChoice, TaskKind};
 
 fn table1() -> Dataset {
     Dataset::from_rows(&[
@@ -33,14 +32,7 @@ fn every_registered_solver_returns_a_valid_set() {
     for solver in engine.registry() {
         let algo = solver.algorithm();
         let sol = engine
-            .run(
-                &data,
-                TaskKind::Minimize,
-                r,
-                &FullSpace::new(2),
-                AlgoChoice::Fixed(algo),
-                &budget(),
-            )
+            .run(&data, &FullSpace::new(2), &Request::minimize(r).algo(algo).budget(budget()))
             .unwrap_or_else(|e| panic!("{algo}: {e}"));
         assert_eq!(sol.algorithm, algo, "{algo} mislabeled its solution");
         assert!(sol.size() >= 1 && sol.size() <= r, "{algo}: size {}", sol.size());
@@ -64,11 +56,8 @@ fn certified_solvers_never_beat_the_brute_force_optimum() {
     let optimum = engine
         .run(
             &data,
-            TaskKind::Minimize,
-            r,
             &FullSpace::new(2),
-            AlgoChoice::Fixed(Algorithm::BruteForce),
-            &budget(),
+            &Request::minimize(r).algo(Algorithm::BruteForce).budget(budget()),
         )
         .unwrap()
         .certified_regret
@@ -76,11 +65,8 @@ fn certified_solvers_never_beat_the_brute_force_optimum() {
     let exact = engine
         .run(
             &data,
-            TaskKind::Minimize,
-            r,
             &FullSpace::new(2),
-            AlgoChoice::Fixed(Algorithm::TwoDRrm),
-            &budget(),
+            &Request::minimize(r).algo(Algorithm::TwoDRrm).budget(budget()),
         )
         .unwrap()
         .certified_regret
@@ -90,14 +76,7 @@ fn certified_solvers_never_beat_the_brute_force_optimum() {
     for solver in engine.registry() {
         let algo = solver.algorithm();
         let sol = engine
-            .run(
-                &data,
-                TaskKind::Minimize,
-                r,
-                &FullSpace::new(2),
-                AlgoChoice::Fixed(algo),
-                &budget(),
-            )
+            .run(&data, &FullSpace::new(2), &Request::minimize(r).algo(algo).budget(budget()))
             .unwrap_or_else(|e| panic!("{algo}: {e}"));
         if solver.has_regret_guarantee() {
             let certified = sol
@@ -119,11 +98,8 @@ fn restricted_space_capability_is_enforced_not_panicked() {
         let algo = solver.algorithm();
         let result = engine.run(
             &data,
-            TaskKind::Minimize,
-            3,
             &WeakRankingSpace::new(2, 1),
-            AlgoChoice::Fixed(algo),
-            &budget(),
+            &Request::minimize(3).algo(algo).budget(budget()),
         );
         if solver.supports_restricted_space() {
             let sol = result.unwrap_or_else(|e| panic!("{algo} should accept RRRM: {e}"));
@@ -144,14 +120,7 @@ fn every_algorithm_answers_the_represent_direction() {
     for solver in engine.registry() {
         let algo = solver.algorithm();
         let sol = engine
-            .run(
-                &data,
-                TaskKind::Represent,
-                3,
-                &FullSpace::new(2),
-                AlgoChoice::Fixed(algo),
-                &budget(),
-            )
+            .run(&data, &FullSpace::new(2), &Request::represent(3).algo(algo).budget(budget()))
             .unwrap_or_else(|e| panic!("{algo} represent: {e}"));
         assert_eq!(sol.algorithm, algo);
         assert!(sol.size() >= 1 && sol.size() <= data.n(), "{algo}");

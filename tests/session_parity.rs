@@ -1,0 +1,196 @@
+//! Session parity: the prepare-once / query-many path must return
+//! *exactly* what the one-shot engine path returns — for every registered
+//! algorithm, across repeated queries with varying `r`/`k`, over seeded
+//! random datasets, and under concurrent access to a shared [`Session`].
+//!
+//! Preparation is a caching contract, never an approximation; these tests
+//! are the enforcement.
+
+use rank_regret::prelude::*;
+use rank_regret::rrm_data::synthetic::independent;
+use rank_regret::AlgoChoice;
+
+/// Budget shared by both paths: sample counts keep the randomized solvers
+/// fast, the enumeration/LP caps keep MDRRR's exact k-set enumeration
+/// bounded in debug builds, and — being part of the request — the budget
+/// exercises the per-budget caching of the prepared path. Parity is
+/// unaffected: both paths see the identical caps.
+fn budget() -> Budget {
+    Budget {
+        samples: Some(500),
+        max_enumerations: Some(500),
+        // Debug-profile LPs cost ~50ms each at these sizes; a tight cap
+        // keeps MDRRR's enumeration bounded. Completeness is not under
+        // test here — parity is, and both paths see the identical cap.
+        max_lp_calls: Some(150),
+    }
+}
+
+/// One-shot result via the engine, as `Result` so error parity is checked
+/// alongside solution parity.
+fn one_shot(engine: &Engine, data: &Dataset, request: &Request) -> Result<Solution, RrmError> {
+    engine.run(data, &FullSpace::new(data.dim()), request)
+}
+
+#[test]
+fn prepared_path_matches_one_shot_for_all_algorithms_2d() {
+    // d = 2 is the one dimensionality every algorithm supports (brute
+    // force caps n at 20), so this covers the full registry.
+    let engine = Engine::new();
+    for seed in 0..2u64 {
+        let data = independent(16, 2, seed);
+        let session = Session::new(data.clone());
+        for algo in Algorithm::ALL {
+            for request in [
+                Request::minimize(1).algo(algo).budget(budget()),
+                Request::minimize(2).algo(algo).budget(budget()),
+                Request::minimize(4).algo(algo).budget(budget()),
+                Request::represent(1).algo(algo).budget(budget()),
+                Request::represent(3).algo(algo).budget(budget()),
+            ] {
+                let expected = one_shot(&engine, &data, &request);
+                let got = session.run(&request).map(|resp| resp.solution);
+                assert_eq!(got, expected, "seed {seed}, {algo}, {request:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn prepared_path_matches_one_shot_in_higher_dimensions() {
+    let engine = Engine::new();
+    for seed in [7u64] {
+        let data = independent(20, 3, seed);
+        let session = Session::new(data.clone());
+        for algo in [Algorithm::Hdrrm, Algorithm::MdrrrR, Algorithm::Mdrc, Algorithm::Mdrms] {
+            for request in [
+                Request::minimize(4).algo(algo).budget(budget()),
+                Request::minimize(7).algo(algo).budget(budget()),
+                Request::represent(3).algo(algo).budget(budget()),
+                Request::represent(8).algo(algo).budget(budget()),
+            ] {
+                let expected = one_shot(&engine, &data, &request);
+                let got = session.run(&request).map(|resp| resp.solution);
+                assert_eq!(got, expected, "seed {seed}, {algo}, {request:?}");
+            }
+        }
+        // MDRRR separately, on a smaller instance: its LP cost per
+        // feasibility check grows with k·(n−k) rows and the one-shot side
+        // of this comparison re-enumerates per probe.
+        let data = independent(13, 3, seed);
+        let session = Session::new(data.clone());
+        for request in [
+            Request::minimize(4).algo(Algorithm::Mdrrr).budget(budget()),
+            Request::minimize(6).algo(Algorithm::Mdrrr).budget(budget()),
+            Request::represent(2).algo(Algorithm::Mdrrr).budget(budget()),
+            Request::represent(5).algo(Algorithm::Mdrrr).budget(budget()),
+        ] {
+            let expected = one_shot(&engine, &data, &request);
+            let got = session.run(&request).map(|resp| resp.solution);
+            assert_eq!(got, expected, "seed {seed}, MDRRR, {request:?}");
+        }
+    }
+}
+
+#[test]
+fn one_prepared_handle_answers_many_parameters() {
+    // A single PreparedSolver queried with a sweep of r and k values must
+    // track fresh one-shot runs at every point — out of order, repeated,
+    // and interleaved between the two problem directions.
+    let engine = Engine::new();
+    let data = independent(120, 2, 42);
+    let prepared =
+        engine.prepare(AlgoChoice::Fixed(Algorithm::TwoDRrm), &data, &FullSpace::new(2)).unwrap();
+    let b = Budget::UNLIMITED;
+    for r in [5usize, 1, 3, 5, 2] {
+        let expected =
+            one_shot(&engine, &data, &Request::minimize(r).algo(Algorithm::TwoDRrm)).unwrap();
+        assert_eq!(prepared.solve_rrm(r, &b).unwrap(), expected, "r={r}");
+    }
+    for k in [4usize, 1, 2, 4] {
+        let expected =
+            one_shot(&engine, &data, &Request::represent(k).algo(Algorithm::TwoDRrm)).unwrap();
+        assert_eq!(prepared.solve_rrr(k, &b).unwrap(), expected, "k={k}");
+    }
+}
+
+#[test]
+fn batch_equals_individual_runs() {
+    let data = independent(60, 3, 17);
+    let session = rank_regret::session(&data);
+    let requests: Vec<Request> = vec![
+        Request::minimize(5).budget(budget()),
+        Request::minimize(8).budget(budget()),
+        Request::represent(6).budget(budget()),
+        Request::minimize(5).algo(Algorithm::Mdrms).budget(budget()),
+        Request::minimize(0).budget(budget()), // typed failure mid-batch
+        Request::represent(2).budget(budget()),
+    ];
+    let batched = session.run_batch(&requests);
+    assert_eq!(batched.len(), requests.len());
+    for (request, result) in requests.iter().zip(&batched) {
+        let individual = session.run(request);
+        match (result, &individual) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.solution, b.solution, "{request:?}");
+                assert_eq!(&a.request, request);
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "{request:?}"),
+            other => panic!("batch/individual disagree for {request:?}: {other:?}"),
+        }
+    }
+    assert!(matches!(batched[4], Err(RrmError::OutputSizeTooSmall { .. })));
+}
+
+#[test]
+fn concurrent_queries_over_a_shared_session() {
+    // The Send + Sync contract: one Session, many threads, read-only
+    // queries — every thread must see exactly the sequential answers.
+    let data = independent(150, 2, 99);
+    let session = Session::new(data);
+    let requests: Vec<Request> = (1..=4)
+        .flat_map(|r| {
+            [
+                Request::minimize(r),
+                Request::minimize(r).algo(Algorithm::TwoDRrr),
+                Request::represent(r).budget(budget()),
+                Request::minimize(r).algo(Algorithm::Mdrms).budget(budget()),
+            ]
+        })
+        .collect();
+    // Sequential ground truth first (also warms the prepared handles —
+    // the threads below then exercise the shared-read path).
+    let expected: Vec<Result<Solution, RrmError>> =
+        requests.iter().map(|q| session.run(q).map(|resp| resp.solution)).collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let session = &session;
+            let requests = &requests;
+            let expected = &expected;
+            scope.spawn(move || {
+                // Each thread walks the batch from a different offset so
+                // lock orders interleave.
+                for i in 0..requests.len() {
+                    let idx = (i + t * 3) % requests.len();
+                    let got = session.run(&requests[idx]).map(|resp| resp.solution);
+                    assert_eq!(got, expected[idx], "thread {t}, request {idx}");
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn facade_builders_ride_the_session_path() {
+    // minimize()/represent() are documented as thin wrappers over a
+    // one-shot session; their results must equal explicit session runs.
+    let data = independent(80, 2, 5);
+    let via_builder = rank_regret::minimize(&data).size(3).solve().unwrap();
+    let via_session = rank_regret::session(&data).run(&Request::minimize(3)).unwrap().solution;
+    assert_eq!(via_builder, via_session);
+
+    let via_builder = rank_regret::represent(&data).threshold(2).solve().unwrap();
+    let via_session = rank_regret::session(&data).run(&Request::represent(2)).unwrap().solution;
+    assert_eq!(via_builder, via_session);
+}

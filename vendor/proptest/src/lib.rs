@@ -161,7 +161,7 @@ pub mod collection {
     use super::{StdRng, Strategy};
     use rand::Rng;
 
-    /// Element-count bound for [`vec`]: an exact count or a half-open
+    /// Element-count bound for [`vec()`]: an exact count or a half-open
     /// range, mirroring upstream's `SizeRange` conversions.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
