@@ -32,23 +32,39 @@ pub fn pareto_frontier(
     // event stream and initial ranks are computed once for the whole curve.
     // (A single run with r = max_r would fill all columns, but the final
     // fold state of lower columns is only valid for the *last* event, so
-    // per-budget replays are the straightforward correct choice.)
+    // per-budget replays are the straightforward correct choice — and
+    // being independent, they fill the memo concurrently under the
+    // options' exec policy.)
     let prepared = Prepared2d::new(data, space, options)?;
-    let mut out = Vec::new();
+    // Budgets at or past the candidate count answer with the whole
+    // candidate set (regret 1) — no replay needed.
+    let replay_max = max_r.min(prepared.candidates());
+    // Doubling waves ([1,1], [2,3], [4,7], ...) keep the old early exit —
+    // once a wave reaches regret 1, larger budgets are never replayed —
+    // while each wave's replays fill the memo concurrently. At most 2x
+    // the early-exit point's work, instead of all of `replay_max`.
+    let mut out = Vec::with_capacity(max_r);
     let mut prev = usize::MAX;
-    for r in 1..=max_r {
-        let sol = prepared.solve_rrm(r)?;
-        let k = sol.certified_regret.expect("2DRRM always certifies");
-        debug_assert!(k <= prev, "frontier must be monotone");
-        prev = k;
-        out.push(ParetoPoint { r, regret: k });
-        if k == 1 {
-            // Larger budgets cannot improve on rank-regret 1.
-            for r2 in r + 1..=max_r {
-                out.push(ParetoPoint { r: r2, regret: 1 });
+    let mut next = 1usize;
+    'waves: while next <= replay_max {
+        let hi = (2 * next - 1).min(replay_max);
+        let rs: Vec<usize> = (next..=hi).collect();
+        let solutions = prepared.solve_rrm_many(&rs)?;
+        for (r, sol) in rs.iter().zip(&solutions) {
+            let k = sol.certified_regret.expect("2DRRM always certifies");
+            debug_assert!(k <= prev, "frontier must be monotone");
+            prev = k;
+            out.push(ParetoPoint { r: *r, regret: k });
+            if k == 1 {
+                break 'waves;
             }
-            break;
         }
+        next = hi + 1;
+    }
+    // Larger budgets cannot improve on rank-regret 1 (and the whole
+    // candidate set always achieves it).
+    for r in out.len() + 1..=max_r {
+        out.push(ParetoPoint { r, regret: 1 });
     }
     Ok(out)
 }

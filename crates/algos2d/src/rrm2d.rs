@@ -29,9 +29,9 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use rrm_core::{Algorithm, Dataset, RrmError, Solution, UtilitySpace};
+use rrm_core::{Algorithm, Dataset, ExecPolicy, RrmError, Solution, UtilitySpace};
 use rrm_geom::dual::{normalized_interval_2d, DualLine};
-use rrm_geom::events::{crossings_with_tracked_capped, initial_ranks, stream_crossings};
+use rrm_geom::events::{crossings_with_tracked_capped_par, initial_ranks, stream_crossings};
 use rrm_geom::sweep::arrangement_sweep;
 use rrm_geom::Crossing;
 use rrm_skyline::restricted::u_skyline_2d;
@@ -46,11 +46,15 @@ pub struct Rrm2dOptions {
     pub use_full_sweep: bool,
     /// Upper bound on crossings materialized at once by the event stream.
     pub chunk_target: usize,
+    /// Data-parallelism for crossing classification and the prepared
+    /// per-`r` memo fill. The DP replay itself is inherently sequential
+    /// (rank updates chain); outputs are identical at any thread count.
+    pub exec: ExecPolicy,
 }
 
 impl Default for Rrm2dOptions {
     fn default() -> Self {
-        Self { use_full_sweep: false, chunk_target: 4 << 20 }
+        Self { use_full_sweep: false, chunk_target: 4 << 20, exec: ExecPolicy::default() }
     }
 }
 
@@ -300,7 +304,17 @@ impl Prepared2d {
         let lines = DualLine::from_dataset(data);
         let sky = dedup_candidates(&lines, &candidates);
         let init_ranks = initial_ranks(&lines, c0);
-        let events = crossings_with_tracked_capped(&lines, &sky, c0, c1, options.chunk_target);
+        // Parallel classification: chunked per tracked line, merged by a
+        // deterministic total order — bit-identical to the sequential
+        // enumeration (see rrm_geom::events).
+        let events = crossings_with_tracked_capped_par(
+            &lines,
+            &sky,
+            c0,
+            c1,
+            options.chunk_target,
+            options.exec.parallelism,
+        );
         Ok(Self {
             data: data.clone(),
             options,
@@ -325,6 +339,37 @@ impl Prepared2d {
         self.sky.len()
     }
 
+    /// One DP replay for size budget `r` against the cached sweep state,
+    /// bypassing the memo (the unit of work of the parallel memo fill).
+    fn compute_rrm(&self, r: usize) -> Result<Solution, RrmError> {
+        if self.sky.len() <= r {
+            return Solution::new(self.sky.clone(), Some(1), Algorithm::TwoDRrm, &self.data);
+        }
+        dp_run(
+            &self.data,
+            &self.lines,
+            &self.sky,
+            &self.init_ranks,
+            r,
+            |apply| match &self.events {
+                Some(events) => {
+                    for c in events {
+                        apply(c.x, c.down, c.up);
+                    }
+                }
+                None => stream_crossings(
+                    &self.lines,
+                    &self.sky,
+                    self.c0,
+                    self.c1,
+                    self.options.chunk_target,
+                    |c| apply(c.x, c.down, c.up),
+                ),
+            },
+            None,
+        )
+    }
+
     /// Exact RRM for one size budget, replaying the cached sweep.
     pub fn solve_rrm(&self, r: usize) -> Result<Solution, RrmError> {
         if r == 0 {
@@ -333,35 +378,45 @@ impl Prepared2d {
         if let Some(sol) = self.memo.lock().expect("2D memo poisoned").get(&r) {
             return Ok(sol.clone());
         }
-        let sol = if self.sky.len() <= r {
-            Solution::new(self.sky.clone(), Some(1), Algorithm::TwoDRrm, &self.data)?
-        } else {
-            dp_run(
-                &self.data,
-                &self.lines,
-                &self.sky,
-                &self.init_ranks,
-                r,
-                |apply| match &self.events {
-                    Some(events) => {
-                        for c in events {
-                            apply(c.x, c.down, c.up);
-                        }
-                    }
-                    None => stream_crossings(
-                        &self.lines,
-                        &self.sky,
-                        self.c0,
-                        self.c1,
-                        self.options.chunk_target,
-                        |c| apply(c.x, c.down, c.up),
-                    ),
-                },
-                None,
-            )?
-        };
+        let sol = self.compute_rrm(r)?;
         self.memo.lock().expect("2D memo poisoned").insert(r, sol.clone());
         Ok(sol)
+    }
+
+    /// Answer many size budgets at once: uncached budgets are replayed
+    /// concurrently (one DP run per budget over the shared sweep state,
+    /// chunked by [`Rrm2dOptions::exec`]) and memoized; results come back
+    /// in request order. Each budget's replay is independent, so the
+    /// solutions are identical to serial [`Prepared2d::solve_rrm`] calls
+    /// at any thread count. This is the memo-fill path behind
+    /// [`crate::pareto_frontier`].
+    pub fn solve_rrm_many(&self, rs: &[usize]) -> Result<Vec<Solution>, RrmError> {
+        if rs.contains(&0) {
+            return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
+        }
+        let missing: Vec<usize> = {
+            let memo = self.memo.lock().expect("2D memo poisoned");
+            let mut missing: Vec<usize> =
+                rs.iter().copied().filter(|r| !memo.contains_key(r)).collect();
+            missing.sort_unstable();
+            missing.dedup();
+            missing
+        };
+        let computed =
+            rrm_par::par_map(&missing, self.options.exec.parallelism, |&r| self.compute_rrm(r));
+        {
+            let mut memo = self.memo.lock().expect("2D memo poisoned");
+            for (r, sol) in missing.iter().zip(&computed) {
+                if let Ok(sol) = sol {
+                    memo.insert(*r, sol.clone());
+                }
+            }
+        }
+        // Surface the first error (by ascending budget) before assembling.
+        for sol in computed {
+            sol?;
+        }
+        rs.iter().map(|&r| self.solve_rrm(r)).collect()
     }
 
     /// Exact RRR: binary search on the output size over [`Self::solve_rrm`]

@@ -16,9 +16,9 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use rrm_core::{Algorithm, Dataset, RrmError, Solution, UtilitySpace};
+use rrm_core::{Algorithm, Dataset, ExecPolicy, RrmError, Solution, UtilitySpace};
 use rrm_geom::dual::DualLine;
-use rrm_geom::events::{crossings_with_tracked, initial_ranks, Crossing};
+use rrm_geom::events::{crossings_with_tracked_capped_par, initial_ranks, Crossing};
 use rrm_setcover::interval::{cover_segment, Interval};
 use rrm_skyline::restricted::u_skyline_2d;
 
@@ -37,10 +37,14 @@ struct SweepCache {
 }
 
 impl SweepCache {
-    fn build(data: &Dataset, c0: f64, c1: f64) -> Self {
+    fn build(data: &Dataset, c0: f64, c1: f64, exec: ExecPolicy) -> Self {
         let sky = u_skyline_2d(data, c0, c1);
         let lines = DualLine::from_dataset(data);
-        let events = crossings_with_tracked(&lines, &sky, c0, c1);
+        // Crossing classification chunked per tracked line; the merged
+        // stream is bit-identical at any thread count.
+        let events =
+            crossings_with_tracked_capped_par(&lines, &sky, c0, c1, usize::MAX, exec.parallelism)
+                .expect("uncapped enumeration always materializes");
         let init_rank = initial_ranks(&lines, c0);
         Self { sky, events, init_rank, c0, c1 }
     }
@@ -117,13 +121,23 @@ pub struct PreparedRrr2d {
 
 impl PreparedRrr2d {
     pub fn new(data: &Dataset, space: &dyn UtilitySpace) -> Result<Self, RrmError> {
+        Self::new_with_exec(data, space, ExecPolicy::default())
+    }
+
+    /// [`PreparedRrr2d::new`] under an explicit execution policy for the
+    /// sweep-cache construction (queries are identical either way).
+    pub fn new_with_exec(
+        data: &Dataset,
+        space: &dyn UtilitySpace,
+        exec: ExecPolicy,
+    ) -> Result<Self, RrmError> {
         if data.dim() != 2 {
             return Err(RrmError::DimensionMismatch { expected: 2, got: data.dim() });
         }
         let (c0, c1) = weight_interval(space)?;
         Ok(Self {
             data: data.clone(),
-            cache: SweepCache::build(data, c0, c1),
+            cache: SweepCache::build(data, c0, c1, exec),
             covers: Mutex::new(HashMap::new()),
         })
     }
@@ -204,10 +218,21 @@ impl PreparedRrr2d {
 /// RRR baseline: a set of size at most the optimal rank-k representative's
 /// size, with certified rank-regret at most `2k − 1`.
 pub fn rrr_2d(data: &Dataset, k: usize, space: &dyn UtilitySpace) -> Result<Solution, RrmError> {
+    rrr_2d_with_exec(data, k, space, ExecPolicy::default())
+}
+
+/// [`rrr_2d`] under an explicit execution policy (the solver path;
+/// answers are identical at any thread count).
+pub fn rrr_2d_with_exec(
+    data: &Dataset,
+    k: usize,
+    space: &dyn UtilitySpace,
+    exec: ExecPolicy,
+) -> Result<Solution, RrmError> {
     if k == 0 {
         return Err(RrmError::Unsupported("rank-regret thresholds start at 1".into()));
     }
-    PreparedRrr2d::new(data, space)?.solve_rrr(k)
+    PreparedRrr2d::new_with_exec(data, space, exec)?.solve_rrr(k)
 }
 
 /// [`rrr_2d`] over an explicit weight interval.
@@ -223,7 +248,7 @@ pub fn rrr_2d_on_interval(
     if k == 0 {
         return Err(RrmError::Unsupported("rank-regret thresholds start at 1".into()));
     }
-    let cache = SweepCache::build(data, c0, c1);
+    let cache = SweepCache::build(data, c0, c1, ExecPolicy::default());
     let ids = cache
         .cover(k)
         .expect("rank-k windows always cover the range (the top-1 line is in every window set)");
@@ -237,10 +262,20 @@ pub fn rrm_via_rrr_2d(
     r: usize,
     space: &dyn UtilitySpace,
 ) -> Result<Solution, RrmError> {
+    rrm_via_rrr_2d_with_exec(data, r, space, ExecPolicy::default())
+}
+
+/// [`rrm_via_rrr_2d`] under an explicit execution policy.
+pub fn rrm_via_rrr_2d_with_exec(
+    data: &Dataset,
+    r: usize,
+    space: &dyn UtilitySpace,
+    exec: ExecPolicy,
+) -> Result<Solution, RrmError> {
     if r == 0 {
         return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
     }
-    PreparedRrr2d::new(data, space)?.solve_rrm(r)
+    PreparedRrr2d::new_with_exec(data, space, exec)?.solve_rrm(r)
 }
 
 #[cfg(test)]
@@ -249,6 +284,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use rrm_core::FullSpace;
+    use rrm_geom::events::crossings_with_tracked;
 
     use crate::rrm2d::{rrm_2d, Rrm2dOptions};
 

@@ -7,12 +7,12 @@
 //! `RrmError::Unsupported` before dispatch.
 
 use rrm_core::{
-    Algorithm, Budget, Dataset, PreparedSolver, RrmError, Solution, Solver, UtilitySpace,
+    Algorithm, Budget, Dataset, PreparedSolver, RrmError, Solution, Solver, SolverCtx, UtilitySpace,
 };
 
 use crate::pareto::rrr_exact_2d;
 use crate::rrm2d::{rrm_2d, Prepared2d, Rrm2dOptions};
-use crate::rrr2d::{rrm_via_rrr_2d, rrr_2d, PreparedRrr2d};
+use crate::rrr2d::{rrm_via_rrr_2d_with_exec, rrr_2d_with_exec, PreparedRrr2d};
 
 /// **2DRRM** (paper Section IV): exact RRM/RRRM via the dual-line sweep,
 /// exact RRR via binary search on the DP.
@@ -25,6 +25,14 @@ impl TwoDRrmSolver {
     pub fn new(options: Rrm2dOptions) -> Self {
         Self { options }
     }
+
+    /// Options with the context's execution policy applied (an explicit
+    /// engine policy overrides the options' default).
+    fn with_ctx(&self, ctx: &SolverCtx) -> Rrm2dOptions {
+        let mut options = self.options;
+        options.exec = ctx.exec.or(options.exec);
+        options
+    }
 }
 
 impl Solver for TwoDRrmSolver {
@@ -32,33 +40,36 @@ impl Solver for TwoDRrmSolver {
         Algorithm::TwoDRrm
     }
 
-    fn solve_rrm(
+    fn solve_rrm_ctx(
         &self,
         data: &Dataset,
         r: usize,
         space: &dyn UtilitySpace,
         _budget: &Budget,
+        ctx: &SolverCtx,
     ) -> Result<Solution, RrmError> {
-        rrm_2d(data, r, space, self.options)
+        rrm_2d(data, r, space, self.with_ctx(ctx))
     }
 
-    fn solve_rrr(
+    fn solve_rrr_ctx(
         &self,
         data: &Dataset,
         k: usize,
         space: &dyn UtilitySpace,
         _budget: &Budget,
+        ctx: &SolverCtx,
     ) -> Result<Solution, RrmError> {
-        rrr_exact_2d(data, k, space, self.options)
+        rrr_exact_2d(data, k, space, self.with_ctx(ctx))
     }
 
-    fn prepare(
+    fn prepare_ctx(
         &self,
         data: &Dataset,
         space: &dyn UtilitySpace,
+        ctx: &SolverCtx,
     ) -> Result<Box<dyn PreparedSolver>, RrmError> {
         self.ensure_supported(data, space)?;
-        Ok(Box::new(PreparedTwoDRrm { inner: Prepared2d::new(data, space, self.options)? }))
+        Ok(Box::new(PreparedTwoDRrm { inner: Prepared2d::new(data, space, self.with_ctx(ctx))? }))
     }
 }
 
@@ -99,35 +110,40 @@ impl Solver for TwoDRrrSolver {
         Algorithm::TwoDRrr
     }
 
-    fn solve_rrm(
+    fn solve_rrm_ctx(
         &self,
         data: &Dataset,
         r: usize,
         space: &dyn UtilitySpace,
         _budget: &Budget,
+        ctx: &SolverCtx,
     ) -> Result<Solution, RrmError> {
         self.ensure_supported(data, space)?;
-        rrm_via_rrr_2d(data, r, space)
+        rrm_via_rrr_2d_with_exec(data, r, space, ctx.exec)
     }
 
-    fn solve_rrr(
+    fn solve_rrr_ctx(
         &self,
         data: &Dataset,
         k: usize,
         space: &dyn UtilitySpace,
         _budget: &Budget,
+        ctx: &SolverCtx,
     ) -> Result<Solution, RrmError> {
         self.ensure_supported(data, space)?;
-        rrr_2d(data, k, space)
+        rrr_2d_with_exec(data, k, space, ctx.exec)
     }
 
-    fn prepare(
+    fn prepare_ctx(
         &self,
         data: &Dataset,
         space: &dyn UtilitySpace,
+        ctx: &SolverCtx,
     ) -> Result<Box<dyn PreparedSolver>, RrmError> {
         self.ensure_supported(data, space)?;
-        Ok(Box::new(PreparedTwoDRrr { inner: PreparedRrr2d::new(data, space)? }))
+        Ok(Box::new(PreparedTwoDRrr {
+            inner: PreparedRrr2d::new_with_exec(data, space, ctx.exec)?,
+        }))
     }
 }
 

@@ -7,7 +7,7 @@
 //! top-k contains `t`. Chvátal's greedy yields the `1 + ln|Dk|` size
 //! factor of Theorem 9.
 
-use rrm_core::Dataset;
+use rrm_core::{Dataset, Parallelism};
 use rrm_setcover::greedy_set_cover;
 
 use crate::common::batch_topk;
@@ -17,15 +17,18 @@ use crate::common::batch_topk;
 /// `basis` must be sorted; `dirs` is the discretized vector set `D`.
 /// `candidate_mask`, when given, restricts which tuples may be *chosen* by
 /// the cover (e.g. to skyline members — sound by Theorem 3); coverage
-/// accounting is unaffected.
+/// accounting is unaffected. The top-k scoring pass is chunked over
+/// `pol`'s threads; the greedy cover itself is sequential (each pick
+/// depends on the previous), so the output is identical at any count.
 pub fn asms(
     data: &Dataset,
     k: usize,
     basis: &[u32],
     dirs: &[Vec<f64>],
     candidate_mask: Option<&[bool]>,
+    pol: Parallelism,
 ) -> Vec<u32> {
-    let topk = batch_topk(data, dirs, k);
+    let topk = batch_topk(data, dirs, k, pol);
     asms_with_topk(data.n(), k, basis, &topk, candidate_mask)
 }
 
@@ -119,7 +122,7 @@ mod tests {
         let basis = basis_indices(&data);
         let disc = build_vector_set(3, &FullSpace::new(3), 300, 4, 1);
         for k in [1usize, 3, 10, 50] {
-            let q = asms(&data, k, &basis, &disc.dirs, None);
+            let q = asms(&data, k, &basis, &disc.dirs, None, Parallelism::Auto);
             for b in &basis {
                 assert!(q.contains(b), "k={k}: basis tuple {b} missing");
             }
@@ -133,8 +136,8 @@ mod tests {
         let data = independent(500, 4, 12);
         let basis = basis_indices(&data);
         let disc = build_vector_set(4, &FullSpace::new(4), 400, 4, 2);
-        let small_k = asms(&data, 2, &basis, &disc.dirs, None).len();
-        let large_k = asms(&data, 60, &basis, &disc.dirs, None).len();
+        let small_k = asms(&data, 2, &basis, &disc.dirs, None, Parallelism::Auto).len();
+        let large_k = asms(&data, 60, &basis, &disc.dirs, None, Parallelism::Auto).len();
         assert!(
             large_k <= small_k,
             "larger thresholds need no more tuples: k=2 -> {small_k}, k=60 -> {large_k}"
@@ -146,10 +149,10 @@ mod tests {
         let data = independent(300, 3, 13);
         let basis = basis_indices(&data);
         let disc = build_vector_set(3, &FullSpace::new(3), 200, 3, 3);
-        let top10 = crate::common::batch_topk(&data, &disc.dirs, 10);
+        let top10 = crate::common::batch_topk(&data, &disc.dirs, 10, Parallelism::Auto);
         for k in [1usize, 4, 7, 10] {
             let via_prefix = asms_with_topk(data.n(), k, &basis, &top10, None);
-            let direct = asms(&data, k, &basis, &disc.dirs, None);
+            let direct = asms(&data, k, &basis, &disc.dirs, None, Parallelism::Auto);
             assert_eq!(via_prefix, direct, "k={k}");
         }
     }
@@ -164,7 +167,7 @@ mod tests {
         for &s in &sky {
             mask[s as usize] = true;
         }
-        let q = asms(&data, 3, &basis, &disc.dirs, Some(&mask));
+        let q = asms(&data, 3, &basis, &disc.dirs, Some(&mask), Parallelism::Auto);
         assert!(regret_over_dirs(&data, &q, &disc.dirs) <= 3);
         // Chosen non-basis tuples are all skyline members.
         for &t in &q {
@@ -177,7 +180,7 @@ mod tests {
         let data = independent(50, 3, 15);
         let basis = basis_indices(&data);
         let disc = build_vector_set(3, &FullSpace::new(3), 100, 3, 5);
-        let q = asms(&data, 50, &basis, &disc.dirs, None);
+        let q = asms(&data, 50, &basis, &disc.dirs, None, Parallelism::Auto);
         assert_eq!(q, basis, "at k = n the universe Dk is empty");
     }
 
@@ -185,7 +188,7 @@ mod tests {
     fn empty_dirs_gives_basis() {
         let data = independent(20, 2, 16);
         let basis = basis_indices(&data);
-        let q = asms(&data, 1, &basis, &[], None);
+        let q = asms(&data, 1, &basis, &[], None, Parallelism::Auto);
         assert_eq!(q, basis);
     }
 }

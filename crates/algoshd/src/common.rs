@@ -1,68 +1,47 @@
-//! Shared machinery for the HD algorithms: parallel batch top-k scoring.
+//! Shared machinery for the HD algorithms: chunked batch top-k scoring on
+//! the [`rrm_par`] runtime.
 
 use rrm_core::rank::top_k_into;
 use rrm_core::utility::utilities_into;
-use rrm_core::Dataset;
+use rrm_core::{Dataset, Parallelism};
 
-/// Compute `Φk(u, D)` for every direction, in parallel over all cores.
+/// Compute `Φk(u, D)` for every direction, chunked over `pol`'s worker
+/// threads.
 ///
-/// Returns one index list per direction, best tuple first. This is the
-/// dominant cost of HDRRM (`O(|D| · n · d)` per call) and of MDRRRr.
-pub fn batch_topk(data: &Dataset, dirs: &[Vec<f64>], k: usize) -> Vec<Vec<u32>> {
+/// Returns one index list per direction, best tuple first, in direction
+/// order. This is the dominant cost of HDRRM (`O(|D| · n · d)` per call)
+/// and of MDRRRr. Per-direction lists are independent, so the output is
+/// bit-identical at any thread count.
+pub fn batch_topk(data: &Dataset, dirs: &[Vec<f64>], k: usize, pol: Parallelism) -> Vec<Vec<u32>> {
     assert!(k >= 1);
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let threads = pol.threads();
     let chunk = dirs.len().div_ceil(threads.max(1)).max(1);
-    let mut results: Vec<Vec<Vec<u32>>> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for dirs_chunk in dirs.chunks(chunk) {
-            handles.push(scope.spawn(move || {
-                let mut scores = Vec::new();
-                let mut scratch = Vec::new();
-                let mut out = Vec::new();
-                let mut lists = Vec::with_capacity(dirs_chunk.len());
-                for u in dirs_chunk {
-                    utilities_into(data, u, &mut scores);
-                    top_k_into(&scores, k, &mut scratch, &mut out);
-                    lists.push(out.clone());
-                }
-                lists
-            }));
+    let per_chunk = rrm_par::par_chunks(dirs, chunk, pol, |_, dirs_chunk| {
+        let mut scores = Vec::new();
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        let mut lists = Vec::with_capacity(dirs_chunk.len());
+        for u in dirs_chunk {
+            utilities_into(data, u, &mut scores);
+            top_k_into(&scores, k, &mut scratch, &mut out);
+            lists.push(out.clone());
         }
-        for h in handles {
-            results.push(h.join().expect("top-k worker panicked"));
-        }
+        lists
     });
-    results.into_iter().flatten().collect()
+    per_chunk.into_iter().flatten().collect()
 }
 
-/// Compute the top-1 score of the dataset for every direction, in parallel
-/// (the denominator of the regret-ratio in MDRMS).
-pub fn batch_top1_scores(data: &Dataset, dirs: &[Vec<f64>]) -> Vec<f64> {
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let chunk = dirs.len().div_ceil(threads.max(1)).max(1);
+/// Compute the top-1 score of the dataset for every direction, chunked
+/// over `pol`'s worker threads (the denominator of the regret-ratio in
+/// MDRMS). Output order follows `dirs`.
+pub fn batch_top1_scores(data: &Dataset, dirs: &[Vec<f64>], pol: Parallelism) -> Vec<f64> {
     let d = data.dim();
     let flat = data.flat();
-    let mut results: Vec<Vec<f64>> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for dirs_chunk in dirs.chunks(chunk) {
-            handles.push(scope.spawn(move || {
-                dirs_chunk
-                    .iter()
-                    .map(|u| {
-                        flat.chunks_exact(d)
-                            .map(|row| rrm_core::utility::dot(u, row))
-                            .fold(f64::NEG_INFINITY, f64::max)
-                    })
-                    .collect::<Vec<f64>>()
-            }));
-        }
-        for h in handles {
-            results.push(h.join().expect("scoring worker panicked"));
-        }
-    });
-    results.into_iter().flatten().collect()
+    rrm_par::par_map(dirs, pol, |u| {
+        flat.chunks_exact(d)
+            .map(|row| rrm_core::utility::dot(u, row))
+            .fold(f64::NEG_INFINITY, f64::max)
+    })
 }
 
 #[cfg(test)]
@@ -79,12 +58,14 @@ mod tests {
         let data = independent(300, 4, 1);
         let mut rng = StdRng::seed_from_u64(2);
         let dirs: Vec<Vec<f64>> = (0..50).map(|_| orthant_direction(4, &mut rng)).collect();
-        let batched = batch_topk(&data, &dirs, 7);
-        assert_eq!(batched.len(), 50);
-        for (u, got) in dirs.iter().zip(&batched) {
-            let scores = utility::utilities(&data, u);
-            let want = rank::top_k(&scores, 7).indices;
-            assert_eq!(got, &want);
+        for pol in [Parallelism::Sequential, Parallelism::Fixed(2), Parallelism::Fixed(7)] {
+            let batched = batch_topk(&data, &dirs, 7, pol);
+            assert_eq!(batched.len(), 50);
+            for (u, got) in dirs.iter().zip(&batched) {
+                let scores = utility::utilities(&data, u);
+                let want = rank::top_k(&scores, 7).indices;
+                assert_eq!(got, &want, "{pol:?}");
+            }
         }
     }
 
@@ -92,7 +73,7 @@ mod tests {
     fn batch_topk_k_exceeds_n() {
         let data = independent(5, 3, 3);
         let dirs = vec![vec![1.0, 0.0, 0.0]];
-        let lists = batch_topk(&data, &dirs, 100);
+        let lists = batch_topk(&data, &dirs, 100, Parallelism::Auto);
         assert_eq!(lists[0].len(), 5);
     }
 
@@ -101,18 +82,20 @@ mod tests {
         let data = independent(200, 3, 4);
         let mut rng = StdRng::seed_from_u64(5);
         let dirs: Vec<Vec<f64>> = (0..30).map(|_| orthant_direction(3, &mut rng)).collect();
-        let tops = batch_top1_scores(&data, &dirs);
-        for (u, &got) in dirs.iter().zip(&tops) {
-            let scores = utility::utilities(&data, u);
-            let want = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            assert_eq!(got, want);
+        for pol in [Parallelism::Sequential, Parallelism::Fixed(3)] {
+            let tops = batch_top1_scores(&data, &dirs, pol);
+            for (u, &got) in dirs.iter().zip(&tops) {
+                let scores = utility::utilities(&data, u);
+                let want = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                assert_eq!(got, want, "{pol:?}");
+            }
         }
     }
 
     #[test]
     fn empty_dirs() {
         let data = independent(10, 2, 6);
-        assert!(batch_topk(&data, &[], 3).is_empty());
-        assert!(batch_top1_scores(&data, &[]).is_empty());
+        assert!(batch_topk(&data, &[], 3, Parallelism::Auto).is_empty());
+        assert!(batch_top1_scores(&data, &[], Parallelism::Auto).is_empty());
     }
 }

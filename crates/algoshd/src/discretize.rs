@@ -8,7 +8,8 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rrm_core::UtilitySpace;
+use rrm_core::space::batch_contains;
+use rrm_core::{ExecPolicy, UtilitySpace};
 use rrm_geom::polar::polar_grid;
 
 /// The discretized direction set used by HDRRM.
@@ -50,6 +51,22 @@ pub fn build_vector_set(
     gamma: usize,
     seed: u64,
 ) -> Discretization {
+    build_vector_set_exec(d, space, m, gamma, seed, ExecPolicy::default())
+}
+
+/// [`build_vector_set`] under an explicit execution policy: `Da` sampling
+/// stays sequential (the RNG stream is part of the discretization's
+/// identity), while the `Db` grid's membership classification is chunked
+/// over the policy's threads. The resulting vector set is identical at
+/// any thread count.
+pub fn build_vector_set_exec(
+    d: usize,
+    space: &dyn UtilitySpace,
+    m: usize,
+    gamma: usize,
+    seed: u64,
+    exec: ExecPolicy,
+) -> Discretization {
     assert!(d >= 2, "HD discretization requires d >= 2");
     assert_eq!(space.dim(), d);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -58,11 +75,18 @@ pub fn build_vector_set(
         dirs.push(space.sample_direction(&mut rng));
     }
     let n_samples = dirs.len();
+    let grid = polar_grid(d, gamma, true);
     let mut n_grid = 0;
-    for v in polar_grid(d, gamma, true) {
-        if space.is_full() || space.contains_direction(&v) {
-            dirs.push(v);
-            n_grid += 1;
+    if space.is_full() {
+        n_grid = grid.len();
+        dirs.extend(grid);
+    } else {
+        let keep = batch_contains(space, &grid, exec.parallelism);
+        for (v, k) in grid.into_iter().zip(keep) {
+            if k {
+                dirs.push(v);
+                n_grid += 1;
+            }
         }
     }
     Discretization { dirs, n_samples, n_grid }

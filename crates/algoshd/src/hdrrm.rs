@@ -19,13 +19,13 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use rrm_core::{
-    basis_indices, cache_bounded, Algorithm, Budget, Dataset, RrmError, Solution, UtilitySpace,
-    PREPARED_CACHE_CAP,
+    basis_indices, cache_bounded, Algorithm, Budget, Dataset, ExecPolicy, RrmError, Solution,
+    UtilitySpace, PREPARED_CACHE_CAP,
 };
 
 use crate::asms::asms_with_topk;
 use crate::common::batch_topk;
-use crate::discretize::{build_vector_set, paper_sample_size, Discretization};
+use crate::discretize::{build_vector_set_exec, paper_sample_size, Discretization};
 
 /// Tuning knobs for [`hdrrm`]. Defaults mirror the paper's experiments.
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +52,10 @@ pub struct HdrrmOptions {
     /// phase, in entries (`|D| · k_hi`). Above it, lists are recomputed
     /// per probe.
     pub cache_budget_entries: usize,
+    /// Data-parallelism for the direction-batch kernels (top-k scoring,
+    /// grid membership). Engine-level contexts override the default;
+    /// outputs are identical at any thread count.
+    pub exec: ExecPolicy,
 }
 
 impl Default for HdrrmOptions {
@@ -64,6 +68,7 @@ impl Default for HdrrmOptions {
             skyline_candidates: true,
             include_basis: true,
             cache_budget_entries: 64 << 20, // 64M u32 entries = 256 MB
+            exec: ExecPolicy::default(),
         }
     }
 }
@@ -92,7 +97,7 @@ pub fn hdrrm(
     }
 
     let m = options.m_override.unwrap_or_else(|| paper_sample_size(n, r, d, options.delta));
-    let disc = build_vector_set(d, space, m, options.gamma, options.seed);
+    let disc = build_vector_set_exec(d, space, m, options.gamma, options.seed, options.exec);
 
     let mask = if options.skyline_candidates {
         let sky = rrm_skyline::skyline(data);
@@ -111,7 +116,7 @@ pub fn hdrrm(
     let mut k = 1usize;
     let (mut best_k, mut best_q);
     loop {
-        let topk = batch_topk(data, &disc.dirs, k);
+        let topk = batch_topk(data, &disc.dirs, k, options.exec.parallelism);
         let q = asms_with_topk(n, k, &basis, &topk, mask_ref);
         if q.len() <= r {
             best_k = k;
@@ -130,7 +135,7 @@ pub fn hdrrm(
                 let q_mid = match &cache {
                     Some(lists) => asms_with_topk(n, mid, &basis, lists, mask_ref),
                     None => {
-                        let lists = batch_topk(data, &disc.dirs, mid);
+                        let lists = batch_topk(data, &disc.dirs, mid, options.exec.parallelism);
                         asms_with_topk(n, mid, &basis, &lists, mask_ref)
                     }
                 };
@@ -230,12 +235,13 @@ impl PreparedHdrrm {
         }
         // Build outside the lock: concurrent misses duplicate work (the
         // result is deterministic) but never block other queries.
-        let disc = Arc::new(build_vector_set(
+        let disc = Arc::new(build_vector_set_exec(
             self.data.dim(),
             self.space.as_ref(),
             m,
             self.options.gamma,
             self.options.seed,
+            self.options.exec,
         ));
         cache_bounded(
             &mut self.discs.lock().expect("discretization cache poisoned"),
@@ -252,8 +258,9 @@ impl PreparedHdrrm {
     /// exactly the one-shot memory/speed trade.
     fn lists(&self, m: usize, k: usize) -> TopkLists {
         let disc = self.disc(m);
+        let pol = self.options.exec.parallelism;
         if disc.dirs.len().saturating_mul(k) > self.options.cache_budget_entries {
-            return Arc::new(batch_topk(&self.data, &disc.dirs, k));
+            return Arc::new(batch_topk(&self.data, &disc.dirs, k, pol));
         }
         if let Some((cached_k, lists)) = self.topk.lock().expect("top-k cache poisoned").get(&m) {
             if *cached_k >= k {
@@ -262,7 +269,7 @@ impl PreparedHdrrm {
         }
         // Compute outside the lock (batch_topk is the dominant cost);
         // racers duplicate deterministic work instead of serializing.
-        let lists = Arc::new(batch_topk(&self.data, &disc.dirs, k));
+        let lists = Arc::new(batch_topk(&self.data, &disc.dirs, k, pol));
         let mut cache = self.topk.lock().expect("top-k cache poisoned");
         match cache.get(&m) {
             Some((cached_k, existing)) if *cached_k >= k => existing.clone(),
@@ -378,7 +385,7 @@ pub fn hdrrr(
     let m = options
         .m_override
         .unwrap_or_else(|| paper_sample_size(n, (2 * basis.len()).max(8), d, options.delta));
-    let disc = build_vector_set(d, space, m, options.gamma, options.seed);
+    let disc = build_vector_set_exec(d, space, m, options.gamma, options.seed, options.exec);
     let mask = if options.skyline_candidates {
         let sky = rrm_skyline::skyline(data);
         let mut mask = vec![false; n];
@@ -389,13 +396,21 @@ pub fn hdrrr(
     } else {
         None
     };
-    let q = crate::asms::asms(data, k.min(n), &basis, &disc.dirs, mask.as_deref());
+    let q = crate::asms::asms(
+        data,
+        k.min(n),
+        &basis,
+        &disc.dirs,
+        mask.as_deref(),
+        options.exec.parallelism,
+    );
     Solution::new(q, Some(k.min(n)), Algorithm::Hdrrm, data)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::discretize::build_vector_set;
     use rrm_core::{FullSpace, WeakRankingSpace};
     use rrm_data::synthetic::{anticorrelated, correlated, independent};
 

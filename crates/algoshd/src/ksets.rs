@@ -12,7 +12,7 @@
 
 use std::collections::{HashSet, VecDeque};
 
-use rrm_core::{rank, utility, Dataset};
+use rrm_core::{rank, utility, Dataset, ExecPolicy};
 use rrm_lp::cone::strict_feasibility_margin;
 
 /// Margin below which a k-set region is treated as empty (boundary-only).
@@ -25,11 +25,15 @@ pub struct KsetLimits {
     pub max_ksets: usize,
     /// Stop after this many LP feasibility checks.
     pub max_lp_calls: usize,
+    /// Data-parallelism for the per-node LP feasibility batch (the
+    /// enumeration's dominant cost). The BFS order, the enumerated family
+    /// and the `complete` flag are identical at any thread count.
+    pub exec: ExecPolicy,
 }
 
 impl Default for KsetLimits {
     fn default() -> Self {
-        Self { max_ksets: 50_000, max_lp_calls: 2_000_000 }
+        Self { max_ksets: 50_000, max_lp_calls: 2_000_000, exec: ExecPolicy::default() }
     }
 }
 
@@ -83,6 +87,7 @@ pub fn enumerate_ksets(
     out.push(seed);
     let mut lp_calls = 0usize;
     let mut complete = true;
+    let pol = limits.exec.parallelism;
 
     'bfs: while let Some(t_set) = queue.pop_front() {
         let in_set = {
@@ -92,6 +97,12 @@ pub fn enumerate_ksets(
             }
             m
         };
+        // All unvisited single-swap neighbours of this node, in the
+        // deterministic (leave, enter) order the sequential walk used.
+        // Distinct pairs always yield distinct candidates, so collecting
+        // before the visited-set updates preserves the sequential
+        // semantics exactly.
+        let mut cands: Vec<Vec<u32>> = Vec::new();
         for &leave in &t_set {
             for enter in 0..n as u32 {
                 if in_set[enter as usize] {
@@ -100,22 +111,41 @@ pub fn enumerate_ksets(
                 let mut cand: Vec<u32> = t_set.iter().copied().filter(|&t| t != leave).collect();
                 cand.push(enter);
                 cand.sort_unstable();
-                if visited.contains(&cand) {
-                    continue;
-                }
-                if lp_calls >= limits.max_lp_calls || out.len() >= limits.max_ksets {
-                    complete = false;
-                    break 'bfs;
-                }
-                lp_calls += 1;
-                if region_nonempty(data, &cand, cone_rows) {
-                    visited.insert(cand.clone());
-                    queue.push_back(cand.clone());
-                    out.push(cand);
-                } else {
-                    visited.insert(cand);
+                if !visited.contains(&cand) {
+                    cands.push(cand);
                 }
             }
+        }
+        // LP feasibility in parallel waves. Each wave is bounded by BOTH
+        // remaining budgets — LP calls and k-set headroom — so a wave
+        // never runs an LP the capped sequential walk would have skipped
+        // (feasible picks per wave fit the headroom by construction, and
+        // infeasible candidates never consume headroom). Wave composition
+        // depends only on the budgets, never on the thread count, and
+        // results are applied in candidate order, so the enumeration is
+        // bit-identical at any parallelism.
+        let mut idx = 0usize;
+        while idx < cands.len() {
+            if lp_calls >= limits.max_lp_calls || out.len() >= limits.max_ksets {
+                complete = false;
+                break 'bfs;
+            }
+            let wave = (limits.max_lp_calls - lp_calls).min(limits.max_ksets - out.len());
+            let batch_end = (idx + wave).min(cands.len());
+            let batch = &cands[idx..batch_end];
+            lp_calls += batch.len();
+            let feasible =
+                rrm_par::par_map(batch, pol, |cand| region_nonempty(data, cand, cone_rows));
+            for (cand, ok) in batch.iter().zip(feasible) {
+                if ok {
+                    visited.insert(cand.clone());
+                    queue.push_back(cand.clone());
+                    out.push(cand.clone());
+                } else {
+                    visited.insert(cand.clone());
+                }
+            }
+            idx = batch_end;
         }
     }
     KsetEnumeration { ksets: out, complete, lp_calls }
@@ -250,8 +280,12 @@ mod tests {
     #[test]
     fn limits_truncate_gracefully() {
         let data = independent(40, 3, 37);
-        let e =
-            enumerate_ksets(&data, 5, &[], KsetLimits { max_ksets: 3, max_lp_calls: 1_000_000 });
+        let e = enumerate_ksets(
+            &data,
+            5,
+            &[],
+            KsetLimits { max_ksets: 3, max_lp_calls: 1_000_000, ..Default::default() },
+        );
         assert!(!e.complete);
         assert!(e.ksets.len() <= 3 + 1); // seed + up to limit
     }

@@ -12,7 +12,7 @@
 //! Restricted spaces are rejected, matching Table III ("Suitable for
 //! RRRM: No").
 
-use rrm_core::{rank, utility, Algorithm, Dataset, RrmError, Solution, UtilitySpace};
+use rrm_core::{rank, utility, Algorithm, Dataset, ExecPolicy, RrmError, Solution, UtilitySpace};
 use rrm_geom::polar::angles_to_direction;
 
 /// Options for [`mdrc`].
@@ -21,6 +21,10 @@ pub struct MdrcOptions {
     /// Extra probe directions per cell in addition to the `2^(d-1)`
     /// corners and the center (sampled on a fixed sub-grid).
     pub probes_per_axis: usize,
+    /// Data-parallelism for the per-cell probe evaluations. Engine-level
+    /// contexts override the default; representatives are identical at
+    /// any thread count.
+    pub exec: ExecPolicy,
 }
 
 #[derive(Debug, Clone)]
@@ -115,20 +119,42 @@ fn evaluate_cell(data: &Dataset, lo: &[f64], hi: &[f64], opts: MdrcOptions) -> C
         probes.push(lo.iter().zip(hi).map(|(a, b)| a + f * (b - a)).collect());
     }
 
-    // Worst rank per tuple across probes.
+    // Worst rank per tuple across probes: each chunk of probes streams
+    // its max updates into one n-length vector (the `O(n log n)` sorts
+    // dominate), then chunk vectors merge elementwise — `max` commutes,
+    // so the result is identical at any thread count, and transient
+    // memory is one vector per chunk rather than one per probe.
     let n = data.n();
-    let mut worst = vec![0usize; n];
-    for angles in &probes {
-        let u = angles_to_direction(angles);
-        let scores = utility::utilities(data, &u);
-        let order = rank::argsort_desc(&scores);
-        for (pos, &t) in order.iter().enumerate() {
-            let r = pos + 1;
-            if r > worst[t as usize] {
-                worst[t as usize] = r;
+    let pol = opts.exec.parallelism;
+    let chunk = probes.len().div_ceil(pol.threads().max(1)).max(1);
+    let worst = rrm_par::par_map_reduce(
+        &probes,
+        chunk,
+        pol,
+        |_, probe_chunk| {
+            let mut worst = vec![0usize; n];
+            for angles in probe_chunk {
+                let u = angles_to_direction(angles);
+                let scores = utility::utilities(data, &u);
+                let order = rank::argsort_desc(&scores);
+                for (pos, &t) in order.iter().enumerate() {
+                    if pos + 1 > worst[t as usize] {
+                        worst[t as usize] = pos + 1;
+                    }
+                }
             }
-        }
-    }
+            worst
+        },
+        |mut a, b| {
+            for (w, r) in a.iter_mut().zip(b) {
+                if r > *w {
+                    *w = r;
+                }
+            }
+            a
+        },
+    )
+    .expect("cells always have probes");
     let representative =
         (0..n as u32).min_by_key(|&t| worst[t as usize]).expect("non-empty dataset");
     Cell {
@@ -176,9 +202,20 @@ mod tests {
     #[test]
     fn probes_improve_or_match() {
         let data = independent(400, 3, 75);
-        let coarse =
-            mdrc(&data, 6, &FullSpace::new(3), MdrcOptions { probes_per_axis: 0 }).unwrap();
-        let fine = mdrc(&data, 6, &FullSpace::new(3), MdrcOptions { probes_per_axis: 3 }).unwrap();
+        let coarse = mdrc(
+            &data,
+            6,
+            &FullSpace::new(3),
+            MdrcOptions { probes_per_axis: 0, ..Default::default() },
+        )
+        .unwrap();
+        let fine = mdrc(
+            &data,
+            6,
+            &FullSpace::new(3),
+            MdrcOptions { probes_per_axis: 3, ..Default::default() },
+        )
+        .unwrap();
         let ec = estimate_rank_regret_seq(&data, &coarse.indices, &FullSpace::new(3), 4000, 76);
         let ef = estimate_rank_regret_seq(&data, &fine.indices, &FullSpace::new(3), 4000, 76);
         // More probes usually help; never catastrophically worse.

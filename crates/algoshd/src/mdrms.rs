@@ -14,7 +14,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rrm_core::{utility, Algorithm, Dataset, RrmError, Solution, UtilitySpace};
+use rrm_core::{
+    utility, Algorithm, Dataset, ExecPolicy, Parallelism, RrmError, Solution, UtilitySpace,
+};
 
 use crate::common::batch_top1_scores;
 
@@ -29,11 +31,15 @@ pub struct MdrmsOptions {
     /// used when smaller; otherwise an even subsample). Keeps the
     /// `O(r · candidates · samples)` cost bounded.
     pub max_candidates: usize,
+    /// Data-parallelism for the per-round candidate scan and the top-1
+    /// scoring pass. Engine-level contexts override the default; picks
+    /// are identical at any thread count.
+    pub exec: ExecPolicy,
 }
 
 impl Default for MdrmsOptions {
     fn default() -> Self {
-        Self { samples: 2_000, seed: 0x3A15, max_candidates: 20_000 }
+        Self { samples: 2_000, seed: 0x3A15, max_candidates: 20_000, exec: ExecPolicy::default() }
     }
 }
 
@@ -70,6 +76,8 @@ pub(crate) struct GreedyRms {
     /// Set when no candidate remains or the worst ratio reached zero —
     /// further budget cannot add picks.
     done: bool,
+    /// Thread policy for the per-round candidate scans.
+    pol: Parallelism,
 }
 
 impl GreedyRms {
@@ -77,7 +85,7 @@ impl GreedyRms {
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let dirs: Vec<Vec<f64>> =
             (0..opts.samples).map(|_| space.sample_direction(&mut rng)).collect();
-        let top1 = batch_top1_scores(data, &dirs);
+        let top1 = batch_top1_scores(data, &dirs, opts.exec.parallelism);
 
         // Candidates: skyline when affordable, else an even subsample of it.
         let sky = rrm_skyline::skyline(data);
@@ -90,7 +98,16 @@ impl GreedyRms {
 
         let best_scores = vec![f64::NEG_INFINITY; dirs.len()];
         let in_set = vec![false; data.n()];
-        Self { dirs, top1, candidates, best_scores, in_set, chosen: Vec::new(), done: false }
+        Self {
+            dirs,
+            top1,
+            candidates,
+            best_scores,
+            in_set,
+            chosen: Vec::new(),
+            done: false,
+            pol: opts.exec.parallelism,
+        }
     }
 
     /// Extend the greedy sequence to `r` picks (or until it saturates) and
@@ -104,6 +121,7 @@ impl GreedyRms {
                 &self.top1,
                 &self.best_scores,
                 &self.in_set,
+                self.pol,
             );
             let Some(t) = pick else {
                 self.done = true;
@@ -136,7 +154,11 @@ fn worst_ratio(best_scores: &[f64], top1: &[f64]) -> f64 {
 }
 
 /// The candidate whose addition minimizes the resulting worst ratio,
-/// evaluated in parallel over candidates.
+/// chunked over `pol`'s worker threads.
+///
+/// The per-chunk winner is merged through a strict total order on
+/// `(ratio, index)`, so the pick is identical at any thread count (and to
+/// a plain sequential scan).
 fn best_addition(
     data: &Dataset,
     candidates: &[u32],
@@ -144,49 +166,52 @@ fn best_addition(
     top1: &[f64],
     best_scores: &[f64],
     in_set: &[bool],
+    pol: Parallelism,
 ) -> Option<u32> {
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let chunk = candidates.len().div_ceil(threads.max(1)).max(1);
-    let mut results: Vec<(f64, u32)> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for cand_chunk in candidates.chunks(chunk) {
-            handles.push(scope.spawn(move || {
-                let mut local_best: Option<(f64, u32)> = None;
-                for &t in cand_chunk {
-                    if in_set[t as usize] {
-                        continue;
-                    }
-                    let row = data.row(t as usize);
-                    let mut worst = 0.0f64;
-                    for ((u, &b), &w1) in dirs.iter().zip(best_scores).zip(top1) {
-                        let s = utility::dot(u, row).max(b);
-                        let ratio = if w1 > 0.0 { ((w1 - s) / w1).clamp(0.0, 1.0) } else { 0.0 };
-                        if ratio > worst {
-                            worst = ratio;
-                        }
-                    }
-                    let better = match local_best {
-                        None => true,
-                        Some((bw, bt)) => worst < bw || (worst == bw && t < bt),
-                    };
-                    if better {
-                        local_best = Some((worst, t));
+    let chunk = candidates.len().div_ceil(pol.threads().max(1)).max(1);
+    rrm_par::par_map_reduce(
+        candidates,
+        chunk,
+        pol,
+        |_, cand_chunk| {
+            let mut local_best: Option<(f64, u32)> = None;
+            for &t in cand_chunk {
+                if in_set[t as usize] {
+                    continue;
+                }
+                let row = data.row(t as usize);
+                let mut worst = 0.0f64;
+                for ((u, &b), &w1) in dirs.iter().zip(best_scores).zip(top1) {
+                    let s = utility::dot(u, row).max(b);
+                    let ratio = if w1 > 0.0 { ((w1 - s) / w1).clamp(0.0, 1.0) } else { 0.0 };
+                    if ratio > worst {
+                        worst = ratio;
                     }
                 }
-                local_best
-            }));
-        }
-        for h in handles {
-            if let Some(r) = h.join().expect("mdrms worker panicked") {
-                results.push(r);
+                let better = match local_best {
+                    None => true,
+                    Some((bw, bt)) => worst < bw || (worst == bw && t < bt),
+                };
+                if better {
+                    local_best = Some((worst, t));
+                }
             }
-        }
-    });
-    results
-        .into_iter()
-        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite ratios").then(a.1.cmp(&b.1)))
-        .map(|(_, t)| t)
+            local_best
+        },
+        |a, b| match (a, b) {
+            (None, b) => b,
+            (a, None) => a,
+            (Some((aw, at)), Some((bw, bt))) => {
+                if bw < aw || (bw == aw && bt < at) {
+                    Some((bw, bt))
+                } else {
+                    Some((aw, at))
+                }
+            }
+        },
+    )
+    .flatten()
+    .map(|(_, t)| t)
 }
 
 #[cfg(test)]

@@ -140,7 +140,12 @@ mod tests {
     #[test]
     fn incomplete_enumeration_is_uncertified() {
         let data = independent(40, 3, 45);
-        let sol = mdrrr(&data, 4, KsetLimits { max_ksets: 5, max_lp_calls: 1_000_000 }).unwrap();
+        let sol = mdrrr(
+            &data,
+            4,
+            KsetLimits { max_ksets: 5, max_lp_calls: 1_000_000, ..Default::default() },
+        )
+        .unwrap();
         assert_eq!(sol.certified_regret, None);
     }
 

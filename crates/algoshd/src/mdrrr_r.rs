@@ -11,7 +11,7 @@ use std::collections::HashSet;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rrm_core::{Algorithm, Dataset, RrmError, Solution, UtilitySpace};
+use rrm_core::{Algorithm, Dataset, ExecPolicy, Parallelism, RrmError, Solution, UtilitySpace};
 
 use crate::common::batch_topk;
 use crate::mdrrr::hit_ksets;
@@ -23,11 +23,15 @@ pub struct MdrrrROptions {
     pub samples: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Data-parallelism for the k-set discovery scoring pass. Engine-level
+    /// contexts override the default; the discovered k-set family is
+    /// identical at any thread count.
+    pub exec: ExecPolicy,
 }
 
 impl Default for MdrrrROptions {
     fn default() -> Self {
-        Self { samples: 20_000, seed: 0x5EED }
+        Self { samples: 20_000, seed: 0x5EED, exec: ExecPolicy::default() }
     }
 }
 
@@ -39,9 +43,16 @@ pub(crate) fn sampled_dirs(space: &dyn UtilitySpace, opts: MdrrrROptions) -> Vec
     (0..opts.samples).map(|_| space.sample_direction(&mut rng)).collect()
 }
 
-/// Distinct top-k sets observed across the given directions.
-pub(crate) fn ksets_from_dirs(data: &Dataset, k: usize, dirs: &[Vec<f64>]) -> Vec<Vec<u32>> {
-    let lists = batch_topk(data, dirs, k);
+/// Distinct top-k sets observed across the given directions. The scoring
+/// pass (`O(|dirs| · n · d)`) is chunked over `pol`'s threads; dedup and
+/// ordering below keep the family deterministic.
+pub(crate) fn ksets_from_dirs(
+    data: &Dataset,
+    k: usize,
+    dirs: &[Vec<f64>],
+    pol: Parallelism,
+) -> Vec<Vec<u32>> {
+    let lists = batch_topk(data, dirs, k, pol);
     let mut seen: HashSet<Vec<u32>> = HashSet::with_capacity(lists.len() / 4);
     for mut l in lists {
         l.sort_unstable();
@@ -62,7 +73,7 @@ fn sample_ksets(
     space: &dyn UtilitySpace,
     opts: MdrrrROptions,
 ) -> Vec<Vec<u32>> {
-    ksets_from_dirs(data, k, &sampled_dirs(space, opts))
+    ksets_from_dirs(data, k, &sampled_dirs(space, opts), opts.exec.parallelism)
 }
 
 /// MDRRRr for the RRR problem over a (possibly restricted) space. The
@@ -147,7 +158,7 @@ mod tests {
     use rrm_eval::estimate_rank_regret_seq;
 
     fn opts(samples: usize, seed: u64) -> MdrrrROptions {
-        MdrrrROptions { samples, seed }
+        MdrrrROptions { samples, seed, ..Default::default() }
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::sync::{Arc, Mutex};
 
 use rrm_core::{
     cache_bounded, rrr_via_rrm_search, rrr_via_rrm_search_with, Algorithm, Budget, Dataset,
-    PreparedSolver, RrmError, Solution, Solver, UtilitySpace, PREPARED_CACHE_CAP,
+    PreparedSolver, RrmError, Solution, Solver, SolverCtx, UtilitySpace, PREPARED_CACHE_CAP,
 };
 
 use crate::hdrrm::{hdrrm, hdrrr, HdrrmOptions, PreparedHdrrm};
@@ -36,11 +36,12 @@ impl HdrrmSolver {
         Self { options }
     }
 
-    fn budgeted(&self, budget: &Budget) -> HdrrmOptions {
+    fn budgeted(&self, budget: &Budget, ctx: &SolverCtx) -> HdrrmOptions {
         let mut options = self.options;
         if let Some(m) = budget.samples {
             options.m_override = Some(m);
         }
+        options.exec = ctx.exec.or(options.exec);
         options
     }
 }
@@ -50,33 +51,38 @@ impl Solver for HdrrmSolver {
         Algorithm::Hdrrm
     }
 
-    fn solve_rrm(
+    fn solve_rrm_ctx(
         &self,
         data: &Dataset,
         r: usize,
         space: &dyn UtilitySpace,
         budget: &Budget,
+        ctx: &SolverCtx,
     ) -> Result<Solution, RrmError> {
-        hdrrm(data, r, space, self.budgeted(budget))
+        hdrrm(data, r, space, self.budgeted(budget, ctx))
     }
 
-    fn solve_rrr(
+    fn solve_rrr_ctx(
         &self,
         data: &Dataset,
         k: usize,
         space: &dyn UtilitySpace,
         budget: &Budget,
+        ctx: &SolverCtx,
     ) -> Result<Solution, RrmError> {
-        hdrrr(data, k, space, self.budgeted(budget))
+        hdrrr(data, k, space, self.budgeted(budget, ctx))
     }
 
-    fn prepare(
+    fn prepare_ctx(
         &self,
         data: &Dataset,
         space: &dyn UtilitySpace,
+        ctx: &SolverCtx,
     ) -> Result<Box<dyn PreparedSolver>, RrmError> {
         self.ensure_supported(data, space)?;
-        Ok(Box::new(PreparedHdrrmSolver { inner: PreparedHdrrm::new(data, space, self.options)? }))
+        let mut options = self.options;
+        options.exec = ctx.exec.or(options.exec);
+        Ok(Box::new(PreparedHdrrmSolver { inner: PreparedHdrrm::new(data, space, options)? }))
     }
 }
 
@@ -116,7 +122,7 @@ impl MdrrrSolver {
         Self { limits }
     }
 
-    fn budgeted(&self, budget: &Budget) -> KsetLimits {
+    fn budgeted(&self, budget: &Budget, ctx: &SolverCtx) -> KsetLimits {
         let mut limits = self.limits;
         if let Some(cap) = budget.max_enumerations {
             limits.max_ksets = limits.max_ksets.min(cap);
@@ -124,6 +130,7 @@ impl MdrrrSolver {
         if let Some(cap) = budget.max_lp_calls {
             limits.max_lp_calls = limits.max_lp_calls.min(cap);
         }
+        limits.exec = ctx.exec.or(limits.exec);
         limits
     }
 }
@@ -133,41 +140,42 @@ impl Solver for MdrrrSolver {
         Algorithm::Mdrrr
     }
 
-    fn solve_rrm(
+    fn solve_rrm_ctx(
         &self,
         data: &Dataset,
         r: usize,
         space: &dyn UtilitySpace,
         budget: &Budget,
+        ctx: &SolverCtx,
     ) -> Result<Solution, RrmError> {
         // The underlying enumeration has no restricted-space mode; guard
         // here so a direct trait call cannot silently ignore the space.
         self.ensure_supported(data, space)?;
-        mdrrr_rrm(data, r, self.budgeted(budget))
+        mdrrr_rrm(data, r, self.budgeted(budget, ctx))
     }
 
-    fn solve_rrr(
+    fn solve_rrr_ctx(
         &self,
         data: &Dataset,
         k: usize,
         space: &dyn UtilitySpace,
         budget: &Budget,
+        ctx: &SolverCtx,
     ) -> Result<Solution, RrmError> {
         self.ensure_supported(data, space)?;
-        mdrrr(data, k, self.budgeted(budget))
+        mdrrr(data, k, self.budgeted(budget, ctx))
     }
 
-    fn prepare(
+    fn prepare_ctx(
         &self,
         data: &Dataset,
         space: &dyn UtilitySpace,
+        ctx: &SolverCtx,
     ) -> Result<Box<dyn PreparedSolver>, RrmError> {
         self.ensure_supported(data, space)?;
-        Ok(Box::new(PreparedMdrrr {
-            data: data.clone(),
-            limits: self.limits,
-            memo: Mutex::new(HashMap::new()),
-        }))
+        let mut limits = self.limits;
+        limits.exec = ctx.exec.or(limits.exec);
+        Ok(Box::new(PreparedMdrrr { data: data.clone(), limits, memo: Mutex::new(HashMap::new()) }))
     }
 }
 
@@ -239,11 +247,12 @@ impl MdrrrRSolver {
         Self { options }
     }
 
-    fn budgeted(&self, budget: &Budget) -> MdrrrROptions {
+    fn budgeted(&self, budget: &Budget, ctx: &SolverCtx) -> MdrrrROptions {
         let mut options = self.options;
         if let Some(m) = budget.samples {
             options.samples = m;
         }
+        options.exec = ctx.exec.or(options.exec);
         options
     }
 }
@@ -253,36 +262,41 @@ impl Solver for MdrrrRSolver {
         Algorithm::MdrrrR
     }
 
-    fn solve_rrm(
+    fn solve_rrm_ctx(
         &self,
         data: &Dataset,
         r: usize,
         space: &dyn UtilitySpace,
         budget: &Budget,
+        ctx: &SolverCtx,
     ) -> Result<Solution, RrmError> {
-        mdrrr_r_rrm(data, r, space, self.budgeted(budget))
+        mdrrr_r_rrm(data, r, space, self.budgeted(budget, ctx))
     }
 
-    fn solve_rrr(
+    fn solve_rrr_ctx(
         &self,
         data: &Dataset,
         k: usize,
         space: &dyn UtilitySpace,
         budget: &Budget,
+        ctx: &SolverCtx,
     ) -> Result<Solution, RrmError> {
-        mdrrr_r(data, k, space, self.budgeted(budget))
+        mdrrr_r(data, k, space, self.budgeted(budget, ctx))
     }
 
-    fn prepare(
+    fn prepare_ctx(
         &self,
         data: &Dataset,
         space: &dyn UtilitySpace,
+        ctx: &SolverCtx,
     ) -> Result<Box<dyn PreparedSolver>, RrmError> {
         self.ensure_supported(data, space)?;
+        let mut options = self.options;
+        options.exec = ctx.exec.or(options.exec);
         Ok(Box::new(PreparedMdrrrR {
             data: data.clone(),
             space: space.clone_box(),
-            options: self.options,
+            options,
             dirs: Mutex::new(HashMap::new()),
             ksets: Mutex::new(HashMap::new()),
         }))
@@ -338,7 +352,12 @@ impl PreparedMdrrrR {
             None => {
                 // Scoring outside the lock: deterministic, so racers can
                 // safely duplicate it instead of serializing.
-                let ksets = Arc::new(ksets_from_dirs(&self.data, k, &self.dirs(opts)));
+                let ksets = Arc::new(ksets_from_dirs(
+                    &self.data,
+                    k,
+                    &self.dirs(opts),
+                    opts.exec.parallelism,
+                ));
                 // The key carries k (legitimately many values per search),
                 // so allow more entries than the per-budget caches do.
                 cache_bounded(
@@ -387,42 +406,53 @@ impl MdrcSolver {
     }
 }
 
+impl MdrcSolver {
+    fn with_ctx(&self, ctx: &SolverCtx) -> MdrcOptions {
+        let mut options = self.options;
+        options.exec = ctx.exec.or(options.exec);
+        options
+    }
+}
+
 impl Solver for MdrcSolver {
     fn algorithm(&self) -> Algorithm {
         Algorithm::Mdrc
     }
 
-    fn solve_rrm(
+    fn solve_rrm_ctx(
         &self,
         data: &Dataset,
         r: usize,
         space: &dyn UtilitySpace,
         _budget: &Budget,
+        ctx: &SolverCtx,
     ) -> Result<Solution, RrmError> {
-        mdrc(data, r, space, self.options)
+        mdrc(data, r, space, self.with_ctx(ctx))
     }
 
-    fn solve_rrr(
+    fn solve_rrr_ctx(
         &self,
         data: &Dataset,
         k: usize,
         space: &dyn UtilitySpace,
         budget: &Budget,
+        ctx: &SolverCtx,
     ) -> Result<Solution, RrmError> {
         self.ensure_supported(data, space)?;
-        rrr_via_rrm_search(self, data, k, space, budget)
+        rrr_via_rrm_search(self, data, k, space, budget, ctx)
     }
 
-    fn prepare(
+    fn prepare_ctx(
         &self,
         data: &Dataset,
         space: &dyn UtilitySpace,
+        ctx: &SolverCtx,
     ) -> Result<Box<dyn PreparedSolver>, RrmError> {
         self.ensure_supported(data, space)?;
         Ok(Box::new(PreparedMdrc {
             data: data.clone(),
             space: space.clone_box(),
-            options: self.options,
+            options: self.with_ctx(ctx),
             memo: Mutex::new(HashMap::new()),
         }))
     }
@@ -464,9 +494,15 @@ impl PreparedSolver for PreparedMdrc {
     }
 
     fn solve_rrr(&self, k: usize, budget: &Budget) -> Result<Solution, RrmError> {
-        rrr_via_rrm_search_with("MDRC", &self.data, k, self.space.as_ref(), budget, |r| {
-            self.rrm_memo(r)
-        })
+        rrr_via_rrm_search_with(
+            "MDRC",
+            &self.data,
+            k,
+            self.space.as_ref(),
+            budget,
+            self.options.exec,
+            |r| self.rrm_memo(r),
+        )
     }
 }
 
@@ -483,11 +519,12 @@ impl MdrmsSolver {
         Self { options }
     }
 
-    fn budgeted(&self, budget: &Budget) -> MdrmsOptions {
+    fn budgeted(&self, budget: &Budget, ctx: &SolverCtx) -> MdrmsOptions {
         let mut options = self.options;
         if let Some(m) = budget.samples {
             options.samples = m;
         }
+        options.exec = ctx.exec.or(options.exec);
         options
     }
 }
@@ -497,36 +534,41 @@ impl Solver for MdrmsSolver {
         Algorithm::Mdrms
     }
 
-    fn solve_rrm(
+    fn solve_rrm_ctx(
         &self,
         data: &Dataset,
         r: usize,
         space: &dyn UtilitySpace,
         budget: &Budget,
+        ctx: &SolverCtx,
     ) -> Result<Solution, RrmError> {
-        mdrms(data, r, space, self.budgeted(budget))
+        mdrms(data, r, space, self.budgeted(budget, ctx))
     }
 
-    fn solve_rrr(
+    fn solve_rrr_ctx(
         &self,
         data: &Dataset,
         k: usize,
         space: &dyn UtilitySpace,
         budget: &Budget,
+        ctx: &SolverCtx,
     ) -> Result<Solution, RrmError> {
-        rrr_via_rrm_search(self, data, k, space, budget)
+        rrr_via_rrm_search(self, data, k, space, budget, ctx)
     }
 
-    fn prepare(
+    fn prepare_ctx(
         &self,
         data: &Dataset,
         space: &dyn UtilitySpace,
+        ctx: &SolverCtx,
     ) -> Result<Box<dyn PreparedSolver>, RrmError> {
         self.ensure_supported(data, space)?;
+        let mut options = self.options;
+        options.exec = ctx.exec.or(options.exec);
         Ok(Box::new(PreparedMdrms {
             data: data.clone(),
             space: space.clone_box(),
-            options: self.options,
+            options,
             greedy: Mutex::new(HashMap::new()),
         }))
     }
@@ -598,9 +640,15 @@ impl PreparedSolver for PreparedMdrms {
 
     fn solve_rrr(&self, k: usize, budget: &Budget) -> Result<Solution, RrmError> {
         let opts = self.budgeted(budget);
-        rrr_via_rrm_search_with("MDRMS", &self.data, k, self.space.as_ref(), budget, |r| {
-            self.rrm_with(r, opts)
-        })
+        rrr_via_rrm_search_with(
+            "MDRMS",
+            &self.data,
+            k,
+            self.space.as_ref(),
+            budget,
+            opts.exec,
+            |r| self.rrm_with(r, opts),
+        )
     }
 }
 

@@ -7,16 +7,20 @@
 //!
 //! Ids: `table1 table2 table3 theorem2 fig09 fig10 fig11 fig12 fig13 fig14
 //! fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25 fig26
-//! fig27 fig28 ablation amortize`. (`amortize` is not a paper figure: it
-//! measures the session API's prepare-once / query-many speedup across
-//! all eight algorithms and writes `BENCH_session.json`.) Default scale is `--quick` (minutes for `all`);
+//! fig27 fig28 ablation amortize scale`. (`amortize` and `scale` are not
+//! paper figures: `amortize` measures the session API's prepare-once /
+//! query-many speedup and writes `BENCH_session.json`; `scale` sweeps the
+//! parallel runtime over thread counts {1,2,4,8}, asserts bit-identical
+//! solutions, and writes per-algorithm speedups to `BENCH_parallel.json`.)
+//! A global `--threads N` flag pins the worker count for every other
+//! experiment (0 = all cores; equivalent to RRM_THREADS). Default scale is `--quick` (minutes for `all`);
 //! `--full` mirrors the paper's parameters. Absolute times differ from the
 //! paper's C++/Core-i7 testbed; the *shape* of each series is the
 //! reproduction target (EXPERIMENTS.md records both).
 
 use bench::{measure_solver, timed, Outcome, Scale, SYNTHETICS};
 use rrm_2d::{Rrm2dOptions, TwoDRrmSolver};
-use rrm_core::{Algorithm, Budget, Dataset, FullSpace, UtilitySpace, WeakRankingSpace};
+use rrm_core::{Algorithm, Budget, Dataset, ExecPolicy, FullSpace, UtilitySpace, WeakRankingSpace};
 use rrm_data::real_sim::{island_sim, nba_sim, weather_sim};
 use rrm_data::synthetic::lower_bound_arc;
 use rrm_eval::report::{render_table, size_tick, Series};
@@ -24,13 +28,32 @@ use rrm_eval::{estimate_regret_ratio, exact_rank_regret_2d};
 use rrm_hd::{HdrrmOptions, HdrrmSolver};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).filter(|a| a != "--full").collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Global --threads N: pin the worker count for every chunked kernel
+    // (same effect as RRM_THREADS=N; 0 = all cores). Applied before any
+    // experiment runs, while the process is still single threaded.
+    let mut args: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--full" {
+            continue;
+        }
+        if a == "--threads" {
+            let n = it.next().and_then(|v| v.parse::<usize>().ok()).unwrap_or_else(|| {
+                eprintln!("--threads expects a number (0 = all cores)");
+                std::process::exit(2);
+            });
+            std::env::set_var("RRM_THREADS", n.to_string());
+            continue;
+        }
+        args.push(a);
+    }
     let scale = Scale::from_args();
     let id = args.first().map(String::as_str).unwrap_or("help");
     let all: Vec<&str> = vec![
         "table1", "table2", "table3", "theorem2", "fig09", "fig10", "fig11", "fig12", "fig13",
         "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
-        "fig24", "fig25", "fig26", "fig27", "fig28", "ablation", "amortize",
+        "fig24", "fig25", "fig26", "fig27", "fig28", "ablation", "amortize", "scale",
     ];
     match id {
         "all" => {
@@ -39,7 +62,7 @@ fn main() {
             }
         }
         "help" | "--help" => {
-            eprintln!("usage: repro <id|all> [--full]\nids: {}", all.join(" "));
+            eprintln!("usage: repro <id|all> [--full] [--threads N]\nids: {}", all.join(" "));
         }
         x if all.contains(&x) => run(x, scale),
         x => {
@@ -78,6 +101,7 @@ fn run(id: &str, scale: Scale) {
         "fig28" => fig28(scale),
         "ablation" => ablation(scale),
         "amortize" => amortize(scale),
+        "scale" => thread_scaling(scale),
         _ => unreachable!(),
     }
 }
@@ -787,4 +811,158 @@ fn amortize(scale: Scale) {
         sizes.iter().map(|&r| rank_regret::Request::minimize(r).budget(budget.clone())).collect();
     let ok = session.run_batch(&requests).into_iter().filter(|r| r.is_ok()).count();
     println!("session batch: {ok}/{} requests answered", requests.len());
+}
+
+/// Thread-scaling sweep for the parallel execution layer: per algorithm,
+/// one prepare + a query stream at 1/2/4/8 worker threads. Asserts the
+/// solutions are bit-identical across thread counts (the determinism
+/// contract), prints per-count timings, and writes `BENCH_parallel.json`
+/// with the speedups relative to one thread.
+fn thread_scaling(scale: Scale) {
+    use rank_regret::{Engine, Tuning};
+
+    let thread_counts = [1usize, 2, 4, 8];
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    // Per algorithm: a dataset sized so kernels dominate, a query stream,
+    // and a sample budget holding the randomized solvers to useful sizes.
+    let workloads: Vec<(Algorithm, Dataset, Vec<usize>, Budget)> = vec![
+        (
+            Algorithm::TwoDRrm,
+            rrm_data::synthetic::anticorrelated(4_000, 2, 88),
+            vec![4, 8, 16],
+            Budget::UNLIMITED,
+        ),
+        (
+            Algorithm::TwoDRrr,
+            rrm_data::synthetic::anticorrelated(4_000, 2, 88),
+            vec![4, 8, 16],
+            Budget::UNLIMITED,
+        ),
+        (
+            Algorithm::Hdrrm,
+            rrm_data::synthetic::independent(4_000, 4, 88),
+            vec![8, 12, 16],
+            Budget::with_samples(1_500),
+        ),
+        (
+            Algorithm::MdrrrR,
+            rrm_data::synthetic::independent(4_000, 4, 88),
+            vec![8, 12, 16],
+            Budget::with_samples(4_000),
+        ),
+        (
+            Algorithm::Mdrc,
+            rrm_data::synthetic::independent(20_000, 4, 88),
+            vec![8, 12, 16],
+            Budget::UNLIMITED,
+        ),
+        (
+            Algorithm::Mdrms,
+            rrm_data::synthetic::anticorrelated(8_000, 4, 88),
+            vec![8, 12, 16],
+            Budget::with_samples(1_000),
+        ),
+        (
+            Algorithm::Mdrrr,
+            rrm_data::synthetic::independent(22, 3, 88),
+            vec![3, 5],
+            Budget { samples: None, max_enumerations: Some(5_000), max_lp_calls: Some(50_000) },
+        ),
+        (
+            Algorithm::BruteForce,
+            rrm_data::synthetic::independent(16, 2, 88),
+            vec![1, 2, 3],
+            Budget::with_samples(20_000),
+        ),
+    ];
+
+    struct Entry {
+        algorithm: &'static str,
+        n: usize,
+        d: usize,
+        queries: usize,
+        seconds: Vec<f64>,
+    }
+
+    println!("machine cores: {cores} (speedups above the core count are not expected)");
+    println!(
+        "{:<11} {:>6} {:>2} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "algorithm", "n", "d", "t=1 (s)", "t=2 (s)", "t=4 (s)", "t=8 (s)", "x @ 4"
+    );
+    let mut entries: Vec<Entry> = Vec::new();
+    for (algo, data, sizes, budget) in &workloads {
+        let space = FullSpace::new(data.dim());
+        let mut seconds: Vec<f64> = Vec::new();
+        let mut baseline: Option<Vec<rrm_core::Solution>> = None;
+        for &t in &thread_counts {
+            let tuning = Tuning {
+                hdrrm: scale.hdrrm(),
+                mdrrr_r: scale.mdrrr_r(),
+                mdrms: scale.mdrms(),
+                exec: ExecPolicy::threads(t),
+                ..Default::default()
+            };
+            let engine = Engine::with_tuning(&tuning);
+            let (prepared, prep_s) = timed(|| {
+                engine
+                    .prepare(rank_regret::AlgoChoice::Fixed(*algo), data, &space)
+                    .expect("prepare")
+            });
+            let (results, query_s) = timed(|| {
+                sizes
+                    .iter()
+                    .map(|&r| prepared.solve_rrm(r, budget).expect("prepared solve"))
+                    .collect::<Vec<_>>()
+            });
+            // The determinism contract: identical solutions at any count.
+            match &baseline {
+                None => baseline = Some(results),
+                Some(b) => assert_eq!(b, &results, "{algo}: thread count changed the answer"),
+            }
+            seconds.push(prep_s + query_s);
+        }
+        let speedup4 = seconds[0] / seconds[2].max(1e-9);
+        println!(
+            "{:<11} {:>6} {:>2} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>7.2}x",
+            algo.name(),
+            data.n(),
+            data.dim(),
+            seconds[0],
+            seconds[1],
+            seconds[2],
+            seconds[3],
+            speedup4,
+        );
+        entries.push(Entry {
+            algorithm: algo.name(),
+            n: data.n(),
+            d: data.dim(),
+            queries: sizes.len(),
+            seconds,
+        });
+    }
+
+    // Hand-rolled JSON (no serde in the offline container).
+    let mut json = String::from("{\"experiment\":\"thread_scaling\",\"thread_counts\":[1,2,4,8],");
+    json.push_str(&format!("\"machine_cores\":{cores},\"entries\":[\n"));
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        let secs: Vec<String> = e.seconds.iter().map(|s| format!("{s:.6}")).collect();
+        let speedups: Vec<String> =
+            e.seconds.iter().map(|s| format!("{:.3}", e.seconds[0] / s.max(1e-9))).collect();
+        json.push_str(&format!(
+            "  {{\"algorithm\":\"{}\",\"n\":{},\"d\":{},\"queries\":{},\
+             \"seconds\":[{}],\"speedups\":[{}]}}{sep}\n",
+            e.algorithm,
+            e.n,
+            e.d,
+            e.queries,
+            secs.join(","),
+            speedups.join(","),
+        ));
+    }
+    json.push_str("]}\n");
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
 }

@@ -31,14 +31,19 @@ impl Dataset {
             return Err(RrmError::DimensionMismatch { expected: 1, got: 0 });
         }
         let mut values = Vec::with_capacity(rows.len() * d);
-        for row in rows {
+        for (i, row) in rows.iter().enumerate() {
             let row = row.as_ref();
             if row.len() != d {
                 return Err(RrmError::DimensionMismatch { expected: d, got: row.len() });
             }
+            // Validate while copying: the error names the first offending
+            // row instead of forcing callers to re-scan their input.
+            if let Some(&bad) = row.iter().find(|v| !v.is_finite()) {
+                return Err(RrmError::NonFiniteValue { row: i, value: bad });
+            }
             values.extend_from_slice(row);
         }
-        Self::from_flat(d, values)
+        Ok(Self { d, values })
     }
 
     /// Build a dataset from a row-major flat buffer of `n * d` values.
@@ -49,8 +54,8 @@ impl Dataset {
         if !values.len().is_multiple_of(d) {
             return Err(RrmError::DimensionMismatch { expected: d, got: values.len() % d });
         }
-        if let Some(&bad) = values.iter().find(|v| !v.is_finite()) {
-            return Err(RrmError::NonFiniteValue(bad));
+        if let Some((i, &bad)) = values.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(RrmError::NonFiniteValue { row: i / d, value: bad });
         }
         Ok(Self { d, values })
     }
@@ -209,9 +214,25 @@ mod tests {
     #[test]
     fn rejects_non_finite() {
         let rows = vec![vec![1.0, f64::NAN]];
-        assert!(matches!(Dataset::from_rows(&rows), Err(RrmError::NonFiniteValue(_))));
+        assert!(matches!(Dataset::from_rows(&rows), Err(RrmError::NonFiniteValue { row: 0, .. })));
         let rows = vec![vec![1.0, f64::INFINITY]];
         assert!(Dataset::from_rows(&rows).is_err());
+    }
+
+    #[test]
+    fn non_finite_error_names_the_first_bad_row() {
+        // Row 2 is the first offender; the error must say so even though
+        // row 3 is also bad.
+        let rows = vec![vec![0.0, 1.0], vec![0.5, 0.5], vec![f64::NAN, 0.1], vec![1.0, f64::NAN]];
+        let err = Dataset::from_rows(&rows).unwrap_err();
+        assert!(matches!(err, RrmError::NonFiniteValue { row: 2, .. }), "{err}");
+        assert!(err.to_string().contains("row 2"), "{err}");
+        // from_flat computes the row from the flat offset.
+        let err = Dataset::from_flat(2, vec![0.0, 1.0, 0.5, f64::INFINITY]).unwrap_err();
+        assert!(
+            matches!(err, RrmError::NonFiniteValue { row: 1, value } if value.is_infinite()),
+            "{err}"
+        );
     }
 
     #[test]

@@ -19,8 +19,14 @@ pub enum RrmError {
     EmptyDataset,
     /// Mismatched arity (ragged rows, wrong-size utility vector, ...).
     DimensionMismatch { expected: usize, got: usize },
-    /// NaN or infinite attribute value.
-    NonFiniteValue(f64),
+    /// NaN or infinite attribute value, with the 0-based index of the
+    /// first offending row so callers can point at the bad input record.
+    NonFiniteValue {
+        /// 0-based index of the first row containing the value.
+        row: usize,
+        /// The offending value.
+        value: f64,
+    },
     /// The requested output size cannot be honoured (e.g. HDRRM requires
     /// `r ≥ |B|` so the basis fits in the result).
     OutputSizeTooSmall { requested: usize, minimum: usize },
@@ -42,7 +48,9 @@ impl fmt::Display for RrmError {
             RrmError::DimensionMismatch { expected, got } => {
                 write!(f, "dimension mismatch: expected {expected}, got {got}")
             }
-            RrmError::NonFiniteValue(v) => write!(f, "non-finite attribute value: {v}"),
+            RrmError::NonFiniteValue { row, value } => {
+                write!(f, "non-finite attribute value {value} in row {row}")
+            }
             RrmError::OutputSizeTooSmall { requested, minimum } => {
                 write!(f, "output size {requested} too small; need at least {minimum}")
             }
@@ -69,7 +77,9 @@ mod tests {
             .to_string()
             .contains("at least 4"));
         assert!(RrmError::InvalidSpace("empty cone".into()).to_string().contains("empty cone"));
-        assert!(RrmError::NonFiniteValue(f64::NAN).to_string().contains("non-finite"));
+        let e = RrmError::NonFiniteValue { row: 7, value: f64::NAN };
+        assert!(e.to_string().contains("non-finite"));
+        assert!(e.to_string().contains("row 7"), "{e}");
         assert!(RrmError::Unsupported("x".into()).to_string().contains("unsupported"));
         assert!(RrmError::Internal("empty set".into()).to_string().contains("empty set"));
     }

@@ -35,6 +35,7 @@
 pub mod basis;
 pub mod dataset;
 pub mod error;
+pub mod exec;
 pub mod problem;
 pub mod rank;
 pub mod sampling;
@@ -45,6 +46,7 @@ pub mod utility;
 pub use basis::basis_indices;
 pub use dataset::Dataset;
 pub use error::RrmError;
+pub use exec::{ExecPolicy, Parallelism, SolverCtx};
 pub use problem::{Algorithm, RrmProblem, RrrProblem, Solution};
 pub use solver::{
     cache_bounded, rrr_via_rrm_search, rrr_via_rrm_search_with, BruteForceOptions,

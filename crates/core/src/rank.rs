@@ -7,6 +7,7 @@
 //! for every utility vector, making all algorithms deterministic.
 
 use crate::dataset::Dataset;
+use crate::exec::Parallelism;
 use crate::utility;
 
 /// Does tuple (score `a`, index `ia`) outrank tuple (score `b`, index `ib`)?
@@ -55,6 +56,27 @@ pub fn rank_regret_from_scores(scores: &[f64], indices: &[u32]) -> usize {
         }
     }
     rank_of_index(scores, best_i)
+}
+
+/// Worst-case (maximum) rank-regret of a set over `dirs`: the sampled
+/// estimate `∇D(S)` the search-based solvers bound against. Parallel form
+/// of `dirs.iter().map(|u| rank_regret_of_set(..)).max()`.
+pub fn max_rank_regret(
+    data: &Dataset,
+    dirs: &[Vec<f64>],
+    indices: &[u32],
+    pol: Parallelism,
+) -> Option<usize> {
+    assert!(!indices.is_empty(), "rank-regret of an empty set is undefined");
+    rrm_par::par_map_reduce(
+        dirs,
+        64,
+        pol,
+        |_, chunk| {
+            chunk.iter().map(|u| rank_regret_of_set(data, u, indices)).max().expect("chunk >= 1")
+        },
+        usize::max,
+    )
 }
 
 /// The top-k of a score vector.
@@ -206,6 +228,19 @@ mod tests {
         assert_eq!(rank_of_tuple(&d, &[1.0, 0.0], 0), 1);
         assert_eq!(rank_of_tuple(&d, &[1.0, 0.0], 1), 2);
         assert_eq!(rank_of_tuple(&d, &[0.0, 1.0], 0), 2);
+    }
+
+    #[test]
+    fn max_rank_regret_matches_serial_at_any_thread_count() {
+        let d = Dataset::from_rows(&[[0.0, 1.0], [0.4, 0.95], [0.57, 0.75], [1.0, 0.0]]).unwrap();
+        let dirs: Vec<Vec<f64>> =
+            (0..97).map(|i| vec![i as f64 / 96.0, 1.0 - i as f64 / 96.0]).collect();
+        let set = [0u32, 2];
+        let serial = dirs.iter().map(|u| rank_regret_of_set(&d, u, &set)).max();
+        for pol in [Parallelism::Sequential, Parallelism::Fixed(2), Parallelism::Fixed(7)] {
+            assert_eq!(max_rank_regret(&d, &dirs, &set, pol), serial, "{pol:?}");
+        }
+        assert_eq!(max_rank_regret(&d, &[], &set, Parallelism::Sequential), None);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use rand::SeedableRng;
 
 use crate::dataset::Dataset;
 use crate::error::RrmError;
+use crate::exec::{ExecPolicy, SolverCtx};
 use crate::problem::{Algorithm, Solution};
 use crate::rank;
 use crate::space::UtilitySpace;
@@ -90,21 +91,56 @@ pub trait Solver: Send + Sync {
     fn algorithm(&self) -> Algorithm;
 
     /// Rank-regret *minimization* (RRM / RRRM): best set of ≤ `r` tuples.
+    ///
+    /// Convenience form of [`Solver::solve_rrm_ctx`] under the default
+    /// [`SolverCtx`] (auto parallelism: `RRM_THREADS`, else all cores).
     fn solve_rrm(
         &self,
         data: &Dataset,
         r: usize,
         space: &dyn UtilitySpace,
         budget: &Budget,
+    ) -> Result<Solution, RrmError> {
+        self.solve_rrm_ctx(data, r, space, budget, &SolverCtx::default())
+    }
+
+    /// Rank-regret *minimization* under an explicit execution context.
+    ///
+    /// The context's [`ExecPolicy`] only controls how many threads the
+    /// solver's chunked kernels use — solutions are bit-identical at any
+    /// thread count (`tests/parallel_parity.rs` enforces this).
+    fn solve_rrm_ctx(
+        &self,
+        data: &Dataset,
+        r: usize,
+        space: &dyn UtilitySpace,
+        budget: &Budget,
+        ctx: &SolverCtx,
     ) -> Result<Solution, RrmError>;
 
     /// Rank-regret *representative* (RRR): smallest set with regret ≤ `k`.
+    ///
+    /// Convenience form of [`Solver::solve_rrr_ctx`] under the default
+    /// [`SolverCtx`].
     fn solve_rrr(
         &self,
         data: &Dataset,
         k: usize,
         space: &dyn UtilitySpace,
         budget: &Budget,
+    ) -> Result<Solution, RrmError> {
+        self.solve_rrr_ctx(data, k, space, budget, &SolverCtx::default())
+    }
+
+    /// Rank-regret *representative* under an explicit execution context
+    /// (see [`Solver::solve_rrm_ctx`] for the determinism contract).
+    fn solve_rrr_ctx(
+        &self,
+        data: &Dataset,
+        k: usize,
+        space: &dyn UtilitySpace,
+        budget: &Budget,
+        ctx: &SolverCtx,
     ) -> Result<Solution, RrmError>;
 
     /// Display name (the paper's spelling, e.g. `MDRRRr`).
@@ -141,14 +177,30 @@ pub trait Solver: Send + Sync {
     /// Capability checks ([`Solver::ensure_supported`]) run here, so a
     /// prepared handle never fails a query for capability reasons.
     ///
-    /// The default implementation reports that the solver has no prepared
-    /// mode; every solver shipped in this workspace overrides it.
+    /// Convenience form of [`Solver::prepare_ctx`] under the default
+    /// [`SolverCtx`].
     fn prepare(
         &self,
         data: &Dataset,
         space: &dyn UtilitySpace,
     ) -> Result<Box<dyn PreparedSolver>, RrmError> {
-        let _ = (data, space);
+        self.prepare_ctx(data, space, &SolverCtx::default())
+    }
+
+    /// [`Solver::prepare`] under an explicit execution context. The
+    /// prepared handle *captures* the context's [`ExecPolicy`]: every
+    /// later query runs its chunked kernels under that policy (queries
+    /// stay bit-identical to sequential execution either way).
+    ///
+    /// The default implementation reports that the solver has no prepared
+    /// mode; every solver shipped in this workspace overrides it.
+    fn prepare_ctx(
+        &self,
+        data: &Dataset,
+        space: &dyn UtilitySpace,
+        ctx: &SolverCtx,
+    ) -> Result<Box<dyn PreparedSolver>, RrmError> {
+        let _ = (data, space, ctx);
         Err(RrmError::Unsupported(format!("{} has no prepared (session) mode", self.name())))
     }
 
@@ -249,22 +301,27 @@ pub fn rrr_via_rrm_search(
     k: usize,
     space: &dyn UtilitySpace,
     budget: &Budget,
+    ctx: &SolverCtx,
 ) -> Result<Solution, RrmError> {
-    rrr_via_rrm_search_with(solver.name(), data, k, space, budget, |r| {
-        solver.solve_rrm(data, r, space, budget)
+    rrr_via_rrm_search_with(solver.name(), data, k, space, budget, ctx.exec, |r| {
+        solver.solve_rrm_ctx(data, r, space, budget, ctx)
     })
 }
 
 /// The closure-driven core of [`rrr_via_rrm_search`]: `solve_rrm` answers
 /// one size probe. Prepared solvers pass their memoized query path here so
 /// the whole exponential/binary search reuses cached per-dataset state
-/// while producing exactly the one-shot results.
+/// while producing exactly the one-shot results. The per-probe regret
+/// estimate (the `O(m · n · d)` inner loop) is chunked over `exec`'s
+/// threads; its direction sample is drawn once, sequentially, so the
+/// estimate is identical at any thread count.
 pub fn rrr_via_rrm_search_with(
     name: &str,
     data: &Dataset,
     k: usize,
     space: &dyn UtilitySpace,
     budget: &Budget,
+    exec: ExecPolicy,
     mut solve_rrm: impl FnMut(usize) -> Result<Solution, RrmError>,
 ) -> Result<Solution, RrmError> {
     if k == 0 {
@@ -275,9 +332,7 @@ pub fn rrr_via_rrm_search_with(
     let mut rng = StdRng::seed_from_u64(0x5EA7C4);
     let dirs: Vec<Vec<f64>> = (0..m).map(|_| space.sample_direction(&mut rng)).collect();
     let estimate = |sol: &Solution| -> usize {
-        dirs.iter()
-            .map(|u| rank::rank_regret_of_set(data, u, &sol.indices))
-            .max()
+        rank::max_rank_regret(data, &dirs, &sol.indices, exec.parallelism)
             .expect("at least one direction")
     };
     let mut attempt = |r: usize| -> Result<Option<(Solution, usize)>, RrmError> {
@@ -347,11 +402,14 @@ pub struct BruteForceOptions {
     pub seed: u64,
     /// Refuse datasets larger than this (subset enumeration blows up).
     pub max_tuples: usize,
+    /// Data-parallelism for the per-direction rank tables. Engine-level
+    /// contexts ([`SolverCtx`]) override the default.
+    pub exec: ExecPolicy,
 }
 
 impl Default for BruteForceOptions {
     fn default() -> Self {
-        Self { samples: 4096, seed: 0xB01_DFACE, max_tuples: 20 }
+        Self { samples: 4096, seed: 0xB01_DFACE, max_tuples: 20, exec: ExecPolicy::default() }
     }
 }
 
@@ -365,15 +423,19 @@ pub struct BruteForceSolver {
 
 impl BruteForceSolver {
     /// Per-direction ranks of every tuple: `ranks[dir][tuple]`.
+    ///
+    /// Directions are drawn sequentially (the RNG stream is part of the
+    /// algorithm's identity), then the `O(n²)`-per-direction rank counting
+    /// — the table's dominant cost — is chunked over the exec policy's
+    /// threads. Per-direction rows are independent, so the table is
+    /// identical at any thread count.
     fn rank_table(&self, data: &Dataset, space: &dyn UtilitySpace, m: usize) -> Vec<Vec<usize>> {
         let mut rng = StdRng::seed_from_u64(self.options.seed);
-        (0..m)
-            .map(|_| {
-                let u = space.sample_direction(&mut rng);
-                let scores = crate::utility::utilities(data, &u);
-                (0..data.n() as u32).map(|i| rank::rank_of_index(&scores, i)).collect()
-            })
-            .collect()
+        let dirs: Vec<Vec<f64>> = (0..m).map(|_| space.sample_direction(&mut rng)).collect();
+        rrm_par::par_map(&dirs, self.options.exec.parallelism, |u| {
+            let scores = crate::utility::utilities(data, u);
+            (0..data.n() as u32).map(|i| rank::rank_of_index(&scores, i)).collect()
+        })
     }
 
     /// Best subset of size ≤ `r`: minimal worst-case (over directions)
@@ -426,6 +488,14 @@ impl BruteForceSolver {
         }
         Ok(())
     }
+
+    /// A copy of this solver with the context's execution policy applied
+    /// (an explicit engine policy overrides the options' default).
+    fn with_ctx(&self, ctx: &SolverCtx) -> BruteForceSolver {
+        let mut options = self.options;
+        options.exec = ctx.exec.or(options.exec);
+        BruteForceSolver { options }
+    }
 }
 
 impl Solver for BruteForceSolver {
@@ -433,38 +503,42 @@ impl Solver for BruteForceSolver {
         Algorithm::BruteForce
     }
 
-    fn solve_rrm(
+    fn solve_rrm_ctx(
         &self,
         data: &Dataset,
         r: usize,
         space: &dyn UtilitySpace,
         budget: &Budget,
+        ctx: &SolverCtx,
     ) -> Result<Solution, RrmError> {
         if r == 0 {
             return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
         }
         self.check_size(data)?;
         self.ensure_supported(data, space)?;
-        let m = budget.samples.unwrap_or(self.options.samples).max(1);
-        let ranks = self.rank_table(data, space, m);
+        let solver = self.with_ctx(ctx);
+        let m = budget.samples.unwrap_or(solver.options.samples).max(1);
+        let ranks = solver.rank_table(data, space, m);
         let (set, regret) = Self::best_subset(&ranks, data.n(), r);
         Solution::new(set, Some(regret), Algorithm::BruteForce, data)
     }
 
-    fn solve_rrr(
+    fn solve_rrr_ctx(
         &self,
         data: &Dataset,
         k: usize,
         space: &dyn UtilitySpace,
         budget: &Budget,
+        ctx: &SolverCtx,
     ) -> Result<Solution, RrmError> {
         if k == 0 {
             return Err(RrmError::Unsupported("rank-regret thresholds start at 1".into()));
         }
         self.check_size(data)?;
         self.ensure_supported(data, space)?;
-        let m = budget.samples.unwrap_or(self.options.samples).max(1);
-        let ranks = self.rank_table(data, space, m);
+        let solver = self.with_ctx(ctx);
+        let m = budget.samples.unwrap_or(solver.options.samples).max(1);
+        let ranks = solver.rank_table(data, space, m);
         // Smallest r whose optimum meets the threshold. The full set
         // always contains each direction's rank-1 tuple, so this
         // terminates with regret 1 at the latest.
@@ -477,15 +551,16 @@ impl Solver for BruteForceSolver {
         Err(RrmError::Internal("brute force failed to reach regret 1 with the full dataset".into()))
     }
 
-    fn prepare(
+    fn prepare_ctx(
         &self,
         data: &Dataset,
         space: &dyn UtilitySpace,
+        ctx: &SolverCtx,
     ) -> Result<Box<dyn PreparedSolver>, RrmError> {
         self.check_size(data)?;
         self.ensure_supported(data, space)?;
         Ok(Box::new(PreparedBruteForce {
-            options: self.options,
+            options: self.with_ctx(ctx).options,
             data: data.clone(),
             space: space.clone_box(),
             tables: Mutex::new(HashMap::new()),
@@ -584,24 +659,26 @@ mod tests {
         fn algorithm(&self) -> Algorithm {
             Algorithm::Mdrc
         }
-        fn solve_rrm(
+        fn solve_rrm_ctx(
             &self,
             data: &Dataset,
             _r: usize,
             _space: &dyn UtilitySpace,
             _budget: &Budget,
+            _ctx: &SolverCtx,
         ) -> Result<Solution, RrmError> {
             // Empty output: the contract violation Solution::new now types.
             Solution::new(vec![], None, Algorithm::Mdrc, data)
         }
-        fn solve_rrr(
+        fn solve_rrr_ctx(
             &self,
             data: &Dataset,
             k: usize,
             space: &dyn UtilitySpace,
             budget: &Budget,
+            ctx: &SolverCtx,
         ) -> Result<Solution, RrmError> {
-            rrr_via_rrm_search(self, data, k, space, budget)
+            rrr_via_rrm_search(self, data, k, space, budget, ctx)
         }
     }
 
@@ -738,6 +815,33 @@ mod tests {
             panic!("default prepare must not succeed");
         };
         assert!(matches!(&err, RrmError::Unsupported(msg) if msg.contains("prepared")), "{err}");
+    }
+
+    #[test]
+    fn brute_force_is_bit_identical_across_thread_counts() {
+        use crate::exec::ExecPolicy;
+        let solver = BruteForceSolver::default();
+        let space = FullSpace::new(2);
+        let budget = Budget::with_samples(128);
+        let baseline = solver
+            .solve_rrm_ctx(
+                &table1(),
+                2,
+                &space,
+                &budget,
+                &SolverCtx::with_exec(ExecPolicy::sequential()),
+            )
+            .unwrap();
+        for threads in [2usize, 7] {
+            let ctx = SolverCtx::with_exec(ExecPolicy::threads(threads));
+            assert_eq!(
+                solver.solve_rrm_ctx(&table1(), 2, &space, &budget, &ctx).unwrap(),
+                baseline,
+                "threads={threads}"
+            );
+            let prepared = solver.prepare_ctx(&table1(), &space, &ctx).unwrap();
+            assert_eq!(prepared.solve_rrm(2, &budget).unwrap(), baseline, "threads={threads}");
+        }
     }
 
     #[test]

@@ -530,6 +530,24 @@ impl UtilitySpace for BiasedOrthantSpace {
     }
 }
 
+// ------------------------------------------------------------------------
+// Batch kernels
+// ------------------------------------------------------------------------
+
+/// Membership of every direction in `dirs`, chunked over `pol` worker
+/// threads (the classification step HDRRM runs when restricting a polar
+/// grid to `U`, and the filter estimators apply to candidate pools).
+///
+/// Per-direction answers are independent, so the output is identical at
+/// any thread count; order follows `dirs`.
+pub fn batch_contains(
+    space: &dyn UtilitySpace,
+    dirs: &[Vec<f64>],
+    pol: crate::exec::Parallelism,
+) -> Vec<bool> {
+    rrm_par::par_map(dirs, pol, |u| space.contains_direction(u))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,6 +712,18 @@ mod tests {
         let tight = mean_dot(10.0, &mut r);
         assert!(tight > loose + 0.05, "kappa must concentrate: {loose} vs {tight}");
         assert!(tight > 0.98, "kappa = 10 should hug the center: {tight}");
+    }
+
+    #[test]
+    fn batch_contains_matches_serial_at_any_thread_count() {
+        use crate::exec::Parallelism;
+        let w = WeakRankingSpace::new(3, 1);
+        let mut r = rng();
+        let dirs: Vec<Vec<f64>> = (0..73).map(|_| sampling::orthant_direction(3, &mut r)).collect();
+        let serial: Vec<bool> = dirs.iter().map(|u| w.contains_direction(u)).collect();
+        for pol in [Parallelism::Sequential, Parallelism::Fixed(2), Parallelism::Fixed(7)] {
+            assert_eq!(batch_contains(&w, &dirs, pol), serial, "{pol:?}");
+        }
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub fn parse_csv(text: &str, has_header: bool) -> Result<CsvTable, RrmError> {
                 RrmError::Unsupported(format!("line {line_no}: cannot parse {field:?} as a number"))
             })?;
             if !v.is_finite() {
-                return Err(RrmError::NonFiniteValue(v));
+                return Err(RrmError::NonFiniteValue { row: rows.len(), value: v });
             }
             row.push(v);
         }

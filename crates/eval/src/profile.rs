@@ -87,44 +87,25 @@ fn sample_ranks(
     samples: usize,
     seed: u64,
 ) -> Vec<usize> {
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let chunk = samples.div_ceil(threads).max(1);
+    // One sequential direction stream (machine-independent), then the
+    // rank counting chunked over RRM_THREADS/all cores (evaluation
+    // utility, not the Session serving path — no per-call ExecPolicy;
+    // bound its CPU use via RRM_THREADS). The seed offset matches this
+    // sampler's historical single-chunk stream.
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64));
+    let dirs: Vec<Vec<f64>> = (0..samples).map(|_| space.sample_direction(&mut rng)).collect();
     let d = data.dim();
     let flat = data.flat();
     let set_rows: Vec<&[f64]> = set.iter().map(|&i| data.row(i as usize)).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(samples);
-            if lo >= hi {
-                break;
+    rrm_par::par_map(&dirs, rrm_core::Parallelism::Auto, |u| {
+        let mut best = f64::NEG_INFINITY;
+        for row in &set_rows {
+            let s = rrm_core::utility::dot(u, row);
+            if s > best {
+                best = s;
             }
-            let set_rows = &set_rows;
-            handles.push(scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(
-                    seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(t as u64 + 1)),
-                );
-                let mut out = Vec::with_capacity(hi - lo);
-                for _ in lo..hi {
-                    let u = space.sample_direction(&mut rng);
-                    let mut best = f64::NEG_INFINITY;
-                    for row in set_rows {
-                        let s = rrm_core::utility::dot(&u, row);
-                        if s > best {
-                            best = s;
-                        }
-                    }
-                    let above = flat
-                        .chunks_exact(d)
-                        .filter(|c| rrm_core::utility::dot(&u, c) > best)
-                        .count();
-                    out.push(above + 1);
-                }
-                out
-            }));
         }
-        handles.into_iter().flat_map(|h| h.join().expect("profile worker panicked")).collect()
+        flat.chunks_exact(d).filter(|c| rrm_core::utility::dot(u, c) > best).count() + 1
     })
 }
 

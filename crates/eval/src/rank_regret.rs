@@ -17,11 +17,21 @@ pub struct RegretEstimate {
 
 /// Estimate `∇U(S)` by sampling `samples` directions from `space` and
 /// taking the worst rank (lower bound on the true rank-regret; the paper
-/// uses 100 000 samples). Work is split over all available cores.
+/// uses 100 000 samples). The rank counting — the `O(samples · n · d)`
+/// cost — is chunked over `RRM_THREADS`/all cores via [`rrm_par`]
+/// ([`Parallelism::Auto`]; this evaluation utility is not on the
+/// `Session` serving path, so it takes no per-call [`ExecPolicy`] — set
+/// `RRM_THREADS` to bound its CPU use, or use
+/// [`estimate_rank_regret_seq`] for strictly single-threaded runs).
 ///
-/// Deterministic for a fixed `(seed, samples, thread count independent)`:
-/// each logical sample has a fixed RNG stream derived from `seed` and its
-/// chunk, so results do not depend on scheduling.
+/// [`Parallelism::Auto`]: rrm_core::Parallelism::Auto
+/// [`ExecPolicy`]: rrm_core::ExecPolicy
+///
+/// Deterministic for a fixed `(seed, samples)` at **any** thread count:
+/// the direction stream is drawn once, sequentially, and per-chunk maxima
+/// merge through an ordered fold, so the estimate (and its witness — the
+/// earliest direction attaining the worst rank) never depends on the
+/// machine or scheduling.
 pub fn estimate_rank_regret(
     data: &Dataset,
     set: &[u32],
@@ -31,39 +41,49 @@ pub fn estimate_rank_regret(
 ) -> RegretEstimate {
     assert!(!set.is_empty(), "rank-regret of an empty set is undefined");
     assert!(samples >= 1);
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let chunk = samples.div_ceil(threads);
-    let results = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(samples);
-            if lo >= hi {
-                break;
+    // The seed offset keeps the stream identical to this estimator's
+    // historical single-chunk behaviour (quality tests are tuned to it).
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64));
+    let dirs: Vec<Vec<f64>> = (0..samples).map(|_| space.sample_direction(&mut rng)).collect();
+    let d = data.dim();
+    let n = data.n();
+    let flat = data.flat();
+    let set_rows: Vec<&[f64]> = set.iter().map(|&i| data.row(i as usize)).collect();
+    let rank_of = |u: &Vec<f64>| -> usize {
+        let mut best = f64::NEG_INFINITY;
+        for row in &set_rows {
+            let s = rrm_core::utility::dot(u, row);
+            if s > best {
+                best = s;
             }
-            handles.push(scope.spawn(move || {
-                // Derive the chunk's RNG from the seed and chunk id so the
-                // overall sample set is independent of the thread count...
-                // as long as the chunk boundaries are (they are: fixed by
-                // `samples` and `threads` at entry).
-                let mut rng = StdRng::seed_from_u64(
-                    seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(t as u64 + 1)),
-                );
-                worst_rank_over(data, set, space, hi - lo, &mut rng)
-            }));
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("estimator thread panicked"))
-            .collect::<Vec<_>>()
-    });
-    let mut best = RegretEstimate { max_rank: 0, witness: Vec::new(), samples };
-    for r in results {
-        if r.max_rank > best.max_rank {
-            best = RegretEstimate { samples, ..r };
-        }
-    }
-    best
+        flat.chunks_exact(d).filter(|c| rrm_core::utility::dot(u, c) > best).count() + 1
+    };
+    let worst = rrm_par::par_map_reduce(
+        &dirs,
+        256,
+        rrm_core::Parallelism::Auto,
+        |offset, chunk| {
+            let mut worst = 0usize;
+            let mut at = offset;
+            for (i, u) in chunk.iter().enumerate() {
+                let rank = rank_of(u);
+                if rank > worst {
+                    worst = rank;
+                    at = offset + i;
+                    if worst == n {
+                        break; // cannot get worse
+                    }
+                }
+            }
+            (worst, at)
+        },
+        // Ordered merge: strict `>` keeps the earliest chunk attaining the
+        // global maximum, mirroring the sequential scan's witness choice.
+        |a, b| if b.0 > a.0 { b } else { a },
+    )
+    .expect("samples >= 1");
+    RegretEstimate { max_rank: worst.0, witness: dirs[worst.1].clone(), samples }
 }
 
 /// Single-threaded variant (fully deterministic across machines).

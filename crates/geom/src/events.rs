@@ -11,6 +11,8 @@
 //! between two non-skyline lines, which Algorithm 1 ignores anyway
 //! (its case 3).
 
+use rrm_par::Parallelism;
+
 use crate::dual::DualLine;
 
 /// A crossing where the rank of at least one tracked line changes.
@@ -178,6 +180,74 @@ pub fn crossings_with_tracked_capped(
     Some(out)
 }
 
+/// Parallel form of [`crossings_with_tracked_capped`]: the per-tracked-line
+/// crossing classification (`O(s·n)` intersection tests — the expensive
+/// pass on anti-correlated data, where the skyline is large) is chunked
+/// over `pol`'s worker threads.
+///
+/// Determinism: each tracked line's crossings are computed independently
+/// and the merged set is sorted by the same `(x, down, up)` total order as
+/// the sequential routine, so the returned stream is **bit-identical** to
+/// [`crossings_with_tracked_capped`] at any thread count, and the
+/// `None`-on-overflow decision is a pure function of the input.
+///
+/// Memory: the cap is enforced by a shared tally during the single
+/// enumeration pass; peak transient usage can overshoot the sequential
+/// version's `cap` by up to one in-flight line's crossings (≤ `n`) per
+/// worker before overflow is detected. Size `cap` accordingly when the
+/// bound matters.
+pub fn crossings_with_tracked_capped_par(
+    lines: &[DualLine],
+    tracked: &[u32],
+    x_lo: f64,
+    x_hi: f64,
+    cap: usize,
+    pol: Parallelism,
+) -> Option<Vec<Crossing>> {
+    if pol.is_sequential() {
+        return crossings_with_tracked_capped(lines, tracked, x_lo, x_hi, cap);
+    }
+    let mut mask = vec![false; lines.len()];
+    for &t in tracked {
+        mask[t as usize] = true;
+    }
+    // One enumeration pass (like the sequential routine): per tracked
+    // line into its own buffer, with a shared atomic tally enforcing the
+    // cap. The overflow *decision* is a pure function of the input — the
+    // true crossing count either exceeds `cap` (then some tally update
+    // must observe it, whatever the ordering) or it does not (then none
+    // can) — so Some/None never depends on the thread count. Buffers of
+    // lines enumerated after overflow is flagged are dropped mid-pass,
+    // bounding memory at roughly `cap` plus one in-flight line per worker.
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    let tally = AtomicUsize::new(0);
+    let overflow = AtomicBool::new(false);
+    let per_line = rrm_par::par_map(tracked, pol, |&t| {
+        let mut out = Vec::new();
+        for_each_raw_crossing_of(lines, t, &mask, x_lo, x_hi, |x, down, up| {
+            if !overflow.load(Ordering::Relaxed) {
+                out.push(Crossing { x, down, up });
+            }
+        });
+        if tally.fetch_add(out.len(), Ordering::Relaxed) + out.len() > cap {
+            overflow.store(true, Ordering::Relaxed);
+            out = Vec::new(); // release mid-pass, as the sequential cap does
+        }
+        out
+    });
+    if overflow.load(Ordering::Relaxed) {
+        return None;
+    }
+    let mut out: Vec<Crossing> = per_line.into_iter().flatten().collect();
+    out.sort_unstable_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .expect("finite crossings")
+            .then(a.down.cmp(&b.down))
+            .then(a.up.cmp(&b.up))
+    });
+    Some(out)
+}
+
 /// Shared enumeration core of [`crossings_with_tracked`] and
 /// [`stream_crossings`]: calls `f(x, down, up)` for every tracked crossing
 /// in `(x_lo, x_hi]`, in arbitrary order.
@@ -190,21 +260,34 @@ fn for_each_raw_crossing<F: FnMut(f64, u32, u32)>(
     mut f: F,
 ) {
     for &t in tracked {
-        let lt = &lines[t as usize];
-        for (o, lo_line) in lines.iter().enumerate() {
-            let o = o as u32;
-            if o == t || (tracked_mask[o as usize] && o < t) {
-                continue;
-            }
-            let Some(x) = lt.intersection_x(lo_line) else {
-                continue;
-            };
-            if x <= x_lo || x >= x_hi {
-                continue;
-            }
-            let (down, up) = if lt.slope < lo_line.slope { (t, o) } else { (o, t) };
-            f(x, down, up);
+        for_each_raw_crossing_of(lines, t, tracked_mask, x_lo, x_hi, &mut f);
+    }
+}
+
+/// One tracked line's slice of [`for_each_raw_crossing`] — the unit of
+/// work [`crossings_with_tracked_capped_par`] schedules across threads.
+fn for_each_raw_crossing_of<F: FnMut(f64, u32, u32)>(
+    lines: &[DualLine],
+    t: u32,
+    tracked_mask: &[bool],
+    x_lo: f64,
+    x_hi: f64,
+    mut f: F,
+) {
+    let lt = &lines[t as usize];
+    for (o, lo_line) in lines.iter().enumerate() {
+        let o = o as u32;
+        if o == t || (tracked_mask[o as usize] && o < t) {
+            continue;
         }
+        let Some(x) = lt.intersection_x(lo_line) else {
+            continue;
+        };
+        if x <= x_lo || x >= x_hi {
+            continue;
+        }
+        let (down, up) = if lt.slope < lo_line.slope { (t, o) } else { (o, t) };
+        f(x, down, up);
     }
 }
 
@@ -316,6 +399,29 @@ mod tests {
         let mut count = 0;
         super::stream_crossings(&lines, &[0, 1, 2], 0.5, 0.5, 10, |_| count += 1);
         assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn parallel_capped_enumeration_is_bit_identical() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(91);
+        let lines: Vec<DualLine> = (0..60)
+            .map(|_| DualLine::from_tuple(&[rng.random::<f64>(), rng.random::<f64>()]))
+            .collect();
+        let tracked: Vec<u32> = (0..60u32).step_by(3).collect();
+        let sequential = crossings_with_tracked_capped(&lines, &tracked, 0.0, 1.0, usize::MAX);
+        for pol in [Parallelism::Sequential, Parallelism::Fixed(2), Parallelism::Fixed(7)] {
+            let par =
+                crossings_with_tracked_capped_par(&lines, &tracked, 0.0, 1.0, usize::MAX, pol);
+            assert_eq!(par, sequential, "{pol:?}");
+        }
+        // The cap abandons before materializing, exactly like sequential.
+        assert_eq!(
+            crossings_with_tracked_capped_par(&lines, &tracked, 0.0, 1.0, 3, Parallelism::Fixed(4)),
+            None
+        );
+        assert_eq!(crossings_with_tracked_capped(&lines, &tracked, 0.0, 1.0, 3), None);
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   --no-normalize         skip min-max normalization to [0, 1]
 //!   --weak-ranking c       restrict to u[0] >= u[1] >= ... >= u[c]
 //!   --quick                smaller HDRRM sample budget (delta = 0.1)
+//!   --threads N            worker threads for solver kernels (0 = all
+//!                          cores, the default; RRM_THREADS also honored).
+//!                          Purely a speed knob: answers are bit-identical
 //! ```
 //!
 //! `--algo` resolves through the engine registry ([`crate::Engine`]);
@@ -29,7 +32,8 @@
 use std::time::Instant;
 
 use crate::{
-    AlgoChoice, Algorithm, Dataset, Engine, Request, RrmError, Solution, Tuning, WeakRankingSpace,
+    AlgoChoice, Algorithm, Dataset, Engine, ExecPolicy, Request, RrmError, Solution, Tuning,
+    WeakRankingSpace,
 };
 use rrm_2d::{pareto_frontier, Rrm2dOptions};
 use rrm_core::FullSpace;
@@ -49,6 +53,9 @@ pub struct Args {
     pub normalize: bool,
     pub weak_ranking: Option<usize>,
     pub quick: bool,
+    /// Worker threads for solver kernels; `None` = auto (`RRM_THREADS`,
+    /// else all cores), `Some(0)` = all cores explicitly.
+    pub threads: Option<usize>,
 }
 
 /// Report format.
@@ -82,6 +89,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut normalize = true;
     let mut weak_ranking = None;
     let mut quick = false;
+    let mut threads: Option<usize> = None;
     let mut size: Option<usize> = None;
     let mut threshold: Option<usize> = None;
     let mut max_size: Option<usize> = None;
@@ -110,6 +118,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                 weak_ranking = Some(parse_usize("--weak-ranking", &value("--weak-ranking")?)?)
             }
             "--quick" => quick = true,
+            "--threads" => threads = Some(parse_usize("--threads", &value("--threads")?)?),
             "--size" => size = Some(parse_usize("--size", &value("--size")?)?),
             "--threshold" => threshold = Some(parse_usize("--threshold", &value("--threshold")?)?),
             "--max-size" => max_size = Some(parse_usize("--max-size", &value("--max-size")?)?),
@@ -136,6 +145,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         normalize,
         weak_ranking,
         quick,
+        threads,
     })
 }
 
@@ -143,7 +153,7 @@ fn usage() -> String {
     "usage: rrm <minimize|represent|frontier> --input FILE \
      [--size R | --threshold K | --max-size R] [--algo NAME] [--format text|json] \
      [--no-header] [--columns LIST] [--negate LIST] [--no-normalize] \
-     [--weak-ranking C] [--quick]"
+     [--weak-ranking C] [--quick] [--threads N]"
         .to_string()
 }
 
@@ -177,12 +187,17 @@ pub fn run(args: &Args) -> Result<String, RrmError> {
     }
     let d = data.dim();
 
+    let exec = match args.threads {
+        Some(n) => ExecPolicy::threads(n),
+        None => ExecPolicy::default(),
+    };
     let tuning = Tuning {
         hdrrm: if args.quick {
             HdrrmOptions { delta: 0.1, ..Default::default() }
         } else {
             HdrrmOptions::default()
         },
+        exec,
         ..Default::default()
     };
     let choice = match args.algo {
@@ -224,6 +239,7 @@ pub fn run(args: &Args) -> Result<String, RrmError> {
                     &response.solution,
                     prepare_seconds,
                     response.seconds,
+                    exec.effective_threads(),
                 )),
             }
         }
@@ -244,8 +260,8 @@ pub fn run(args: &Args) -> Result<String, RrmError> {
                 }
             }
             let start = Instant::now();
-            let points =
-                pareto_frontier(&data, max_size, &FullSpace::new(2), Rrm2dOptions::default())?;
+            let options = Rrm2dOptions { exec, ..Default::default() };
+            let points = pareto_frontier(&data, max_size, &FullSpace::new(2), options)?;
             let seconds = start.elapsed().as_secs_f64();
             match args.format {
                 Format::Text => {
@@ -264,10 +280,12 @@ pub fn run(args: &Args) -> Result<String, RrmError> {
                     let _ = write!(
                         out,
                         "{{\"command\":\"frontier\",\"input\":{},\"n\":{},\"d\":{},\
-                         \"algorithm\":\"2DRRM\",\"max_size\":{max_size},\"frontier\":[",
+                         \"algorithm\":\"2DRRM\",\"threads\":{},\"max_size\":{max_size},\
+                         \"frontier\":[",
                         json_string(&args.input),
                         data.n(),
                         data.dim(),
+                        exec.effective_threads(),
                     );
                     for (i, p) in points.iter().enumerate() {
                         let sep = if i == 0 { "" } else { "," };
@@ -322,6 +340,7 @@ fn render_text(
 
 /// Hand-rolled JSON solution report (the offline-vendor constraint rules
 /// out serde; the grammar here is tiny and fully escaped).
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     args: &Args,
     data: &Dataset,
@@ -329,6 +348,7 @@ fn render_json(
     sol: &Solution,
     prepare_seconds: f64,
     query_seconds: f64,
+    threads: usize,
 ) -> String {
     let command = match args.command {
         Command::Minimize { .. } => "minimize",
@@ -339,7 +359,8 @@ fn render_json(
     let certified = sol.certified_regret.map_or("null".to_string(), |k| k.to_string());
     format!(
         "{{\"command\":\"{command}\",\"input\":{input},\"n\":{n},\"d\":{d},\
-         \"param\":{param},\"algorithm\":\"{algo}\",\"indices\":[{indices}],\
+         \"param\":{param},\"algorithm\":\"{algo}\",\"threads\":{threads},\
+         \"indices\":[{indices}],\
          \"size\":{size},\"certified_regret\":{certified},\
          \"prepare_seconds\":{prep},\"query_seconds\":{query}}}\n",
         input = json_string(&args.input),
@@ -460,6 +481,56 @@ mod tests {
             "{res:?}"
         );
         assert!(run(&parse_args(&argv(&format!("{frontier} --algo 2drrm"))).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        let a = parse_args(&argv("minimize --input x.csv --size 1")).unwrap();
+        assert_eq!(a.threads, None);
+        let a = parse_args(&argv("minimize --input x.csv --size 1 --threads 4")).unwrap();
+        assert_eq!(a.threads, Some(4));
+        let a = parse_args(&argv("minimize --input x.csv --size 1 --threads 0")).unwrap();
+        assert_eq!(a.threads, Some(0), "0 = all cores");
+        assert!(parse_args(&argv("minimize --input x.csv --size 1 --threads four")).is_err());
+    }
+
+    #[test]
+    fn threads_flag_is_a_pure_speed_knob() {
+        // Same CSV, 1 vs 7 threads: byte-identical text reports apart from
+        // the timing fields — compare the solution lines only.
+        let dir = std::env::temp_dir().join("rrm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("threads.csv");
+        std::fs::write(
+            &path,
+            "hp,mpg\n0.0,1.0\n0.4,0.95\n0.57,0.75\n0.79,0.6\n0.2,0.5\n0.35,0.3\n1.0,0.0\n",
+        )
+        .unwrap();
+        let run_with = |t: usize| {
+            let args = parse_args(&argv(&format!(
+                "minimize --input {} --size 2 --no-normalize --threads {t} --format json",
+                path.display()
+            )))
+            .unwrap();
+            run(&args).unwrap()
+        };
+        let one = run_with(1);
+        let seven = run_with(7);
+        assert!(one.contains("\"threads\":1"), "{one}");
+        assert!(seven.contains("\"threads\":7"), "{seven}");
+        let indices = |s: &str| {
+            let start = s.find("\"indices\"").unwrap();
+            s[start..s.find(",\"size\"").unwrap()].to_string()
+        };
+        assert_eq!(indices(&one), indices(&seven), "thread count changed the answer");
+        // Frontier JSON reports the thread count too.
+        let args = parse_args(&argv(&format!(
+            "frontier --input {} --max-size 3 --threads 2 --format json",
+            path.display()
+        )))
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("\"threads\":2"), "{report}");
     }
 
     #[test]

@@ -21,8 +21,8 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use rrm_core::{
-    Algorithm, BruteForceOptions, BruteForceSolver, Budget, Dataset, FullSpace, PreparedSolver,
-    RrmError, Solution, Solver, UtilitySpace,
+    Algorithm, BruteForceOptions, BruteForceSolver, Budget, Dataset, ExecPolicy, FullSpace,
+    PreparedSolver, RrmError, Solution, Solver, SolverCtx, UtilitySpace,
 };
 
 use rrm_2d::{Rrm2dOptions, TwoDRrmSolver, TwoDRrrSolver};
@@ -147,6 +147,11 @@ pub struct Tuning {
     pub mdrc: MdrcOptions,
     pub mdrms: MdrmsOptions,
     pub brute_force: BruteForceOptions,
+    /// Engine-wide execution policy: every dispatch (one-shot and
+    /// prepared) runs its chunked kernels under this thread budget.
+    /// Results are bit-identical at any setting; the default honours
+    /// `RRM_THREADS`, else uses all cores.
+    pub exec: ExecPolicy,
 }
 
 /// A registry of solvers, one per [`Algorithm`] variant.
@@ -155,6 +160,8 @@ pub struct Engine {
     /// discriminant order, so lookups are a direct array access instead of
     /// a roster scan.
     solvers: Vec<Box<dyn Solver>>,
+    /// Execution context handed to every solver entry point.
+    ctx: SolverCtx,
 }
 
 impl Engine {
@@ -179,7 +186,19 @@ impl Engine {
             solvers.iter().enumerate().all(|(i, s)| s.algorithm().index() == i),
             "registry must be built in Algorithm::ALL order"
         );
-        Self { solvers }
+        Self { solvers, ctx: SolverCtx::with_exec(t.exec) }
+    }
+
+    /// Replace the engine-wide execution policy (thread budget for every
+    /// solver kernel; `0` threads = all cores).
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.ctx = SolverCtx::with_exec(exec);
+        self
+    }
+
+    /// The execution policy this engine dispatches under.
+    pub fn exec(&self) -> ExecPolicy {
+        self.ctx.exec
     }
 
     /// Iterate every registered solver, in [`Algorithm::ALL`] order.
@@ -229,8 +248,12 @@ impl Engine {
         let solver = self.resolve(request.choice, data.dim())?;
         solver.ensure_supported(data, space)?;
         match request.task {
-            Task::Minimize { r } => solver.solve_rrm(data, r, space, &request.budget),
-            Task::Represent { k } => solver.solve_rrr(data, k, space, &request.budget),
+            Task::Minimize { r } => {
+                solver.solve_rrm_ctx(data, r, space, &request.budget, &self.ctx)
+            }
+            Task::Represent { k } => {
+                solver.solve_rrr_ctx(data, k, space, &request.budget, &self.ctx)
+            }
         }
     }
 
@@ -243,7 +266,7 @@ impl Engine {
         data: &Dataset,
         space: &dyn UtilitySpace,
     ) -> Result<Box<dyn PreparedSolver>, RrmError> {
-        self.resolve(choice, data.dim())?.prepare(data, space)
+        self.resolve(choice, data.dim())?.prepare_ctx(data, space, &self.ctx)
     }
 
     /// Consume the engine into a [`Session`] over `data` (full utility
@@ -319,6 +342,15 @@ impl Session {
     /// [`Session::space`] for an already-boxed space.
     pub fn boxed_space(mut self, space: Box<dyn UtilitySpace>) -> Self {
         self.space = space;
+        self.prepared = Self::empty_slots();
+        self
+    }
+
+    /// Replace the execution policy (thread budget) future prepares and
+    /// queries run under. Resets prepared state — handles capture the
+    /// policy at prepare time. Solutions are bit-identical at any setting.
+    pub fn exec(mut self, exec: ExecPolicy) -> Self {
+        self.engine.ctx = SolverCtx::with_exec(exec);
         self.prepared = Self::empty_slots();
         self
     }
@@ -445,6 +477,19 @@ impl<'a> Query<'a> {
     /// Cross-algorithm resource budget (sample counts, enumeration caps).
     pub fn budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Thread budget for the query's solver kernels (`0` = all cores).
+    /// Purely a speed knob: solutions are bit-identical at any setting.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.tuning.exec = ExecPolicy::threads(n);
+        self
+    }
+
+    /// Full execution policy (see [`ExecPolicy`]).
+    pub fn exec(mut self, exec: ExecPolicy) -> Self {
+        self.tuning.exec = exec;
         self
     }
 
@@ -606,6 +651,31 @@ mod tests {
         for _ in 0..2 {
             let err = session.run(&Request::minimize(1).algo(Algorithm::TwoDRrm)).unwrap_err();
             assert!(matches!(err, RrmError::Unsupported(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn engine_exec_policy_never_changes_answers() {
+        let data = Dataset::from_rows(&[
+            [0.0, 1.0],
+            [0.4, 0.95],
+            [0.57, 0.75],
+            [0.79, 0.6],
+            [0.2, 0.5],
+            [0.35, 0.3],
+            [1.0, 0.0],
+        ])
+        .unwrap();
+        let sequential = Engine::new().with_exec(ExecPolicy::sequential());
+        assert_eq!(sequential.exec(), ExecPolicy::sequential());
+        let request = Request::minimize(2);
+        let space = FullSpace::new(2);
+        let baseline = sequential.run(&data, &space, &request).unwrap();
+        for threads in [2usize, 7] {
+            let engine = Engine::new().with_exec(ExecPolicy::threads(threads));
+            assert_eq!(engine.run(&data, &space, &request).unwrap(), baseline, "t={threads}");
+            let session = Session::new(data.clone()).exec(ExecPolicy::threads(threads));
+            assert_eq!(session.run(&request).unwrap().solution, baseline, "t={threads}");
         }
     }
 

@@ -151,12 +151,14 @@ pub use rrm_eval;
 pub use rrm_geom;
 pub use rrm_hd;
 pub use rrm_lp;
+pub use rrm_par;
 pub use rrm_setcover;
 pub use rrm_skyline;
 
 pub use rrm_core::{
-    Algorithm, BiasedOrthantSpace, BoxSpace, Budget, ConeSpace, Dataset, DimRange, FullSpace,
-    PreparedSolver, RrmError, Solution, Solver, SphereCap, UtilitySpace, WeakRankingSpace,
+    Algorithm, BiasedOrthantSpace, BoxSpace, Budget, ConeSpace, Dataset, DimRange, ExecPolicy,
+    FullSpace, Parallelism, PreparedSolver, RrmError, Solution, Solver, SolverCtx, SphereCap,
+    UtilitySpace, WeakRankingSpace,
 };
 
 pub mod cli;
@@ -168,8 +170,8 @@ pub use engine::{AlgoChoice, Engine, Query, Request, Response, Session, TaskKind
 pub mod prelude {
     pub use crate::{
         minimize, represent, session, Algorithm, BiasedOrthantSpace, BoxSpace, Budget, ConeSpace,
-        Dataset, Engine, FullSpace, PreparedSolver, Request, Response, RrmError, Session, Solution,
-        Solver, SphereCap, UtilitySpace, WeakRankingSpace,
+        Dataset, Engine, ExecPolicy, FullSpace, Parallelism, PreparedSolver, Request, Response,
+        RrmError, Session, Solution, Solver, SphereCap, UtilitySpace, WeakRankingSpace,
     };
 }
 

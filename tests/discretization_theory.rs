@@ -19,7 +19,7 @@ fn theorem7_epsilon_utility_guarantee() {
     let k = 5usize;
     let basis = basis_indices(&data);
     let disc = build_vector_set(d, &FullSpace::new(d), 200, gamma, 1);
-    let s = asms(&data, k, &basis, &disc.dirs, None);
+    let s = asms(&data, k, &basis, &disc.dirs, None, rank_regret::Parallelism::Auto);
 
     // ε from the proof: w(u,t') ≥ w_k(u,D) − 2σ√d whenever w_k is large;
     // the basis covers the small-w_k case. Overall multiplicative slack:
@@ -50,7 +50,7 @@ fn theorem6_coverage_ratio() {
     let k = 8usize;
     let basis = basis_indices(&data);
     let disc = build_vector_set(4, &FullSpace::new(4), 3_000, 6, 2);
-    let s = asms(&data, k, &basis, &disc.dirs, None);
+    let s = asms(&data, k, &basis, &disc.dirs, None, rank_regret::Parallelism::Auto);
 
     // Fresh directions (not the ones ASMS saw): the fraction with rank ≤ k
     // must be close to 1.

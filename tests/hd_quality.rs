@@ -120,11 +120,20 @@ fn mdrrr_r_quality_between_hdrrm_and_heuristics() {
         HdrrmOptions { m_override: Some(2_000), ..Default::default() },
     )
     .unwrap();
-    let healthy =
-        mdrrr_r_rrm(&data, r, &FullSpace::new(3), MdrrrROptions { samples: 8_000, seed: 9 })
-            .unwrap();
-    let starved =
-        mdrrr_r_rrm(&data, r, &FullSpace::new(3), MdrrrROptions { samples: 10, seed: 9 }).unwrap();
+    let healthy = mdrrr_r_rrm(
+        &data,
+        r,
+        &FullSpace::new(3),
+        MdrrrROptions { samples: 8_000, seed: 9, ..Default::default() },
+    )
+    .unwrap();
+    let starved = mdrrr_r_rrm(
+        &data,
+        r,
+        &FullSpace::new(3),
+        MdrrrROptions { samples: 10, seed: 9, ..Default::default() },
+    )
+    .unwrap();
     let kh = measured_regret(&data, &h.indices, 6);
     let k_healthy = measured_regret(&data, &healthy.indices, 6);
     let k_starved = measured_regret(&data, &starved.indices, 6);
