@@ -1,8 +1,9 @@
 //! Shared machinery for the HD algorithms: chunked batch top-k scoring on
-//! the [`rrm_par`] runtime.
+//! the [`rrm_par`] runtime, with all dot products routed through the
+//! blocked SoA kernel ([`rrm_core::kernel`]).
 
+use rrm_core::kernel::{self, ScoreScratch};
 use rrm_core::rank::top_k_into;
-use rrm_core::utility::utilities_into;
 use rrm_core::{Dataset, Parallelism};
 
 /// Compute `Φk(u, D)` for every direction, chunked over `pol`'s worker
@@ -10,22 +11,23 @@ use rrm_core::{Dataset, Parallelism};
 ///
 /// Returns one index list per direction, best tuple first, in direction
 /// order. This is the dominant cost of HDRRM (`O(|D| · n · d)` per call)
-/// and of MDRRRr. Per-direction lists are independent, so the output is
-/// bit-identical at any thread count.
+/// and of MDRRRr. Scoring runs through the cache-blocked kernel; chunk
+/// sizes come from [`rrm_par::adaptive_chunk`]'s pure cost model and
+/// per-direction lists are independent, so the output is bit-identical at
+/// any thread count.
 pub fn batch_topk(data: &Dataset, dirs: &[Vec<f64>], k: usize, pol: Parallelism) -> Vec<Vec<u32>> {
     assert!(k >= 1);
-    let threads = pol.threads();
-    let chunk = dirs.len().div_ceil(threads.max(1)).max(1);
+    let soa = data.soa();
+    let chunk = rrm_par::adaptive_chunk(dirs.len(), data.n() * data.dim());
     let per_chunk = rrm_par::par_chunks(dirs, chunk, pol, |_, dirs_chunk| {
-        let mut scores = Vec::new();
-        let mut scratch = Vec::new();
+        let mut scratch = ScoreScratch::new();
+        let mut sel = Vec::new();
         let mut out = Vec::new();
-        let mut lists = Vec::with_capacity(dirs_chunk.len());
-        for u in dirs_chunk {
-            utilities_into(data, u, &mut scores);
-            top_k_into(&scores, k, &mut scratch, &mut out);
-            lists.push(out.clone());
-        }
+        let mut lists = vec![Vec::new(); dirs_chunk.len()];
+        kernel::for_each_scores(soa, dirs_chunk, &mut scratch, |di, scores| {
+            top_k_into(scores, k, &mut sel, &mut out);
+            lists[di] = out.clone();
+        });
         lists
     });
     per_chunk.into_iter().flatten().collect()
@@ -34,14 +36,18 @@ pub fn batch_topk(data: &Dataset, dirs: &[Vec<f64>], k: usize, pol: Parallelism)
 /// Compute the top-1 score of the dataset for every direction, chunked
 /// over `pol`'s worker threads (the denominator of the regret-ratio in
 /// MDRMS). Output order follows `dirs`.
+///
+/// Uses the kernel's fused maximum — no `n`-length score vector is
+/// materialized. The fold order (ascending tuple index, `f64::max`)
+/// matches the previous row-major implementation bit for bit.
 pub fn batch_top1_scores(data: &Dataset, dirs: &[Vec<f64>], pol: Parallelism) -> Vec<f64> {
-    let d = data.dim();
-    let flat = data.flat();
-    rrm_par::par_map(dirs, pol, |u| {
-        flat.chunks_exact(d)
-            .map(|row| rrm_core::utility::dot(u, row))
-            .fold(f64::NEG_INFINITY, f64::max)
-    })
+    let soa = data.soa();
+    let chunk = rrm_par::adaptive_chunk(dirs.len(), data.n() * data.dim());
+    let per_chunk = rrm_par::par_chunks(dirs, chunk, pol, |_, dirs_chunk| {
+        let mut scratch = ScoreScratch::new();
+        dirs_chunk.iter().map(|u| kernel::max_score(soa, u, &mut scratch)).collect::<Vec<f64>>()
+    });
+    per_chunk.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

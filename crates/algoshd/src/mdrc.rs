@@ -12,7 +12,7 @@
 //! Restricted spaces are rejected, matching Table III ("Suitable for
 //! RRRM: No").
 
-use rrm_core::{rank, utility, Algorithm, Dataset, ExecPolicy, RrmError, Solution, UtilitySpace};
+use rrm_core::{rank, Algorithm, Dataset, ExecPolicy, RrmError, Solution, UtilitySpace};
 use rrm_geom::polar::angles_to_direction;
 
 /// Options for [`mdrc`].
@@ -123,26 +123,28 @@ fn evaluate_cell(data: &Dataset, lo: &[f64], hi: &[f64], opts: MdrcOptions) -> C
     // its max updates into one n-length vector (the `O(n log n)` sorts
     // dominate), then chunk vectors merge elementwise — `max` commutes,
     // so the result is identical at any thread count, and transient
-    // memory is one vector per chunk rather than one per probe.
+    // memory is one vector per chunk rather than one per probe. Scoring
+    // runs through the blocked SoA kernel, one scratch per chunk.
+    let dirs: Vec<Vec<f64>> = probes.iter().map(|angles| angles_to_direction(angles)).collect();
     let n = data.n();
     let pol = opts.exec.parallelism;
-    let chunk = probes.len().div_ceil(pol.threads().max(1)).max(1);
+    let soa = data.soa();
+    let chunk = rrm_par::adaptive_chunk(dirs.len(), n * data.dim());
     let worst = rrm_par::par_map_reduce(
-        &probes,
+        &dirs,
         chunk,
         pol,
-        |_, probe_chunk| {
+        |_, dirs_chunk| {
             let mut worst = vec![0usize; n];
-            for angles in probe_chunk {
-                let u = angles_to_direction(angles);
-                let scores = utility::utilities(data, &u);
-                let order = rank::argsort_desc(&scores);
+            let mut scratch = rrm_core::ScoreScratch::new();
+            rrm_core::kernel::for_each_scores(soa, dirs_chunk, &mut scratch, |_, scores| {
+                let order = rank::argsort_desc(scores);
                 for (pos, &t) in order.iter().enumerate() {
                     if pos + 1 > worst[t as usize] {
                         worst[t as usize] = pos + 1;
                     }
                 }
-            }
+            });
             worst
         },
         |mut a, b| {

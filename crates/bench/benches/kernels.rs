@@ -1,0 +1,90 @@
+//! Scoring-kernel benchmarks: naive row-major scalar scoring vs. the
+//! cache-blocked SoA kernel, plus the fused reductions, at the (n, d)
+//! shapes the HD experiments actually run. Single-threaded by design —
+//! this is the one bench family whose numbers mean something on a 1-core
+//! machine (`repro kernels` writes the JSON counterpart).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rrm_core::kernel::{self, ScoreScratch};
+use rrm_core::utility::dot;
+use rrm_core::{Dataset, FullSpace, UtilitySpace};
+use rrm_data::synthetic::independent;
+
+fn directions(d: usize, count: usize) -> Vec<Vec<f64>> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(7);
+    let space = FullSpace::new(d);
+    (0..count).map(|_| space.sample_direction(&mut rng)).collect()
+}
+
+/// The pre-kernel hot loop: reused buffer, row-major scalar dots.
+fn naive_batch(data: &Dataset, dirs: &[Vec<f64>], buf: &mut Vec<f64>) -> f64 {
+    let mut sink = 0.0;
+    for u in dirs {
+        buf.clear();
+        buf.extend(data.rows().map(|row| dot(u, row)));
+        sink += buf[buf.len() - 1];
+    }
+    sink
+}
+
+fn bench_batch_scoring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_batch_scoring");
+    for &(n, d) in &[(10_000usize, 2usize), (10_000, 4), (10_000, 8), (100_000, 4)] {
+        let data = independent(n, d, 41);
+        let dirs = directions(d, 64);
+        let label = format!("n{n}_d{d}");
+        g.bench_with_input(BenchmarkId::new("naive", &label), &data, |b, data| {
+            let mut buf = Vec::with_capacity(n);
+            b.iter(|| black_box(naive_batch(data, &dirs, &mut buf)))
+        });
+        let soa = data.soa();
+        g.bench_with_input(BenchmarkId::new("blocked", &label), &data, |b, _| {
+            let mut scratch = ScoreScratch::new();
+            b.iter(|| {
+                let mut sink = 0.0;
+                kernel::for_each_scores(soa, &dirs, &mut scratch, |_, scores| {
+                    sink += scores[scores.len() - 1];
+                });
+                black_box(sink)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fused_reductions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_fused");
+    let (n, d) = (100_000usize, 4usize);
+    let data = independent(n, d, 41);
+    let dirs = directions(d, 16);
+    let soa = data.soa();
+    g.bench_function("max_score", |b| {
+        let mut scratch = ScoreScratch::new();
+        b.iter(|| {
+            let mut sink = 0.0;
+            for u in &dirs {
+                sink += kernel::max_score(soa, u, &mut scratch);
+            }
+            black_box(sink)
+        })
+    });
+    let set: Vec<u32> = (0..n as u32).step_by(997).collect();
+    g.bench_function("rank_regret_of_set", |b| {
+        let mut scratch = ScoreScratch::new();
+        b.iter(|| {
+            let mut sink = 0usize;
+            for u in &dirs {
+                sink += kernel::rank_regret_of_set(soa, u, &set, &mut scratch);
+            }
+            black_box(sink)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(kernels, bench_batch_scoring, bench_fused_reductions);
+criterion_main!(kernels);

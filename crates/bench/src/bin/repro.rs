@@ -7,11 +7,14 @@
 //!
 //! Ids: `table1 table2 table3 theorem2 fig09 fig10 fig11 fig12 fig13 fig14
 //! fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25 fig26
-//! fig27 fig28 ablation amortize scale`. (`amortize` and `scale` are not
-//! paper figures: `amortize` measures the session API's prepare-once /
-//! query-many speedup and writes `BENCH_session.json`; `scale` sweeps the
-//! parallel runtime over thread counts {1,2,4,8}, asserts bit-identical
-//! solutions, and writes per-algorithm speedups to `BENCH_parallel.json`.)
+//! fig27 fig28 ablation amortize scale kernels`. (`amortize`, `scale` and
+//! `kernels` are not paper figures: `amortize` measures the session API's
+//! prepare-once / query-many speedup and writes `BENCH_session.json`;
+//! `scale` sweeps the parallel runtime over thread counts {1,2,4,8},
+//! asserts bit-identical solutions, and writes per-algorithm speedups to
+//! `BENCH_parallel.json`; `kernels` microbenchmarks naive vs. blocked SoA
+//! scoring throughput on one thread and writes `BENCH_kernels.json` — the
+//! one bench whose headline number is meaningful on a 1-core machine.)
 //! A global `--threads N` flag pins the worker count for every other
 //! experiment (0 = all cores; equivalent to RRM_THREADS). Default scale is `--quick` (minutes for `all`);
 //! `--full` mirrors the paper's parameters. Absolute times differ from the
@@ -35,7 +38,7 @@ fn main() {
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
-        if a == "--full" {
+        if a == "--full" || a == "--quick" {
             continue;
         }
         if a == "--threads" {
@@ -53,7 +56,7 @@ fn main() {
     let all: Vec<&str> = vec![
         "table1", "table2", "table3", "theorem2", "fig09", "fig10", "fig11", "fig12", "fig13",
         "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
-        "fig24", "fig25", "fig26", "fig27", "fig28", "ablation", "amortize", "scale",
+        "fig24", "fig25", "fig26", "fig27", "fig28", "ablation", "amortize", "scale", "kernels",
     ];
     match id {
         "all" => {
@@ -102,6 +105,7 @@ fn run(id: &str, scale: Scale) {
         "ablation" => ablation(scale),
         "amortize" => amortize(scale),
         "scale" => thread_scaling(scale),
+        "kernels" => kernels(scale),
         _ => unreachable!(),
     }
 }
@@ -885,6 +889,16 @@ fn thread_scaling(scale: Scale) {
         seconds: Vec<f64>,
     }
 
+    // On a single core every "speedup" is pure scheduling noise; stamp the
+    // entries invalid so stale numbers can't be mistaken for scaling data.
+    let valid = cores > 1;
+    if !valid {
+        eprintln!("==========================================================================");
+        eprintln!("WARNING: this machine has 1 core — thread-scaling speedups below are");
+        eprintln!("scheduling noise, NOT scaling data. BENCH_parallel.json entries will be");
+        eprintln!("stamped \"valid\": false; rerun on multi-core hardware for real numbers.");
+        eprintln!("==========================================================================");
+    }
     println!("machine cores: {cores} (speedups above the core count are not expected)");
     println!(
         "{:<11} {:>6} {:>2} {:>10} {:>10} {:>10} {:>10} {:>8}",
@@ -953,7 +967,7 @@ fn thread_scaling(scale: Scale) {
             e.seconds.iter().map(|s| format!("{:.3}", e.seconds[0] / s.max(1e-9))).collect();
         json.push_str(&format!(
             "  {{\"algorithm\":\"{}\",\"n\":{},\"d\":{},\"queries\":{},\
-             \"seconds\":[{}],\"speedups\":[{}]}}{sep}\n",
+             \"seconds\":[{}],\"speedups\":[{}],\"valid\":{valid}}}{sep}\n",
             e.algorithm,
             e.n,
             e.d,
@@ -965,4 +979,131 @@ fn thread_scaling(scale: Scale) {
     json.push_str("]}\n");
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("wrote BENCH_parallel.json");
+    if !valid {
+        println!("NOTE: entries stamped \"valid\": false (machine_cores == 1).");
+    }
+}
+
+/// Naive vs. blocked scoring-kernel throughput on one thread: the
+/// sequential half of the ROADMAP's "make the parallel runtime pay" item,
+/// measurable even in a 1-core container. For each (n, d) the same
+/// direction batch is scored by the row-major scalar reference and by the
+/// cache-blocked SoA kernel; both must agree bit-for-bit before timing
+/// counts. Writes `BENCH_kernels.json`.
+fn kernels(scale: Scale) {
+    use rrm_core::kernel::{self, ScoreScratch};
+    use rrm_core::utility::dot;
+
+    let (reps, n_dirs) = match scale {
+        Scale::Quick => (3usize, 64usize),
+        Scale::Full => (10, 64),
+    };
+    let ns: [usize; 2] = [10_000, 100_000];
+    let ds: [usize; 3] = [2, 4, 8];
+
+    struct Entry {
+        n: usize,
+        d: usize,
+        dirs: usize,
+        naive_seconds: f64,
+        blocked_seconds: f64,
+    }
+
+    println!("single-thread scoring throughput, best of {reps} reps, {n_dirs} directions");
+    println!(
+        "{:>8} {:>2} {:>14} {:>14} {:>8}",
+        "n", "d", "naive (M/s)", "blocked (M/s)", "speedup"
+    );
+    let mut entries: Vec<Entry> = Vec::new();
+    for &n in &ns {
+        for &d in &ds {
+            let data = rrm_data::synthetic::independent(n, d, 41);
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(42);
+            let space = FullSpace::new(d);
+            let dirs: Vec<Vec<f64>> =
+                (0..n_dirs).map(|_| space.sample_direction(&mut rng)).collect();
+            let soa = data.soa(); // transpose once, outside the timed region
+            let mut scratch = ScoreScratch::new();
+
+            // Parity gate: the blocked kernel must reproduce the scalar
+            // reference bit-for-bit or the timing below is meaningless.
+            let mut naive_buf: Vec<f64> = Vec::with_capacity(n);
+            kernel::for_each_scores(soa, &dirs, &mut scratch, |di, scores| {
+                naive_buf.clear();
+                naive_buf.extend(data.rows().map(|row| dot(&dirs[di], row)));
+                assert_eq!(
+                    naive_buf.iter().map(|s| s.to_bits()).collect::<Vec<u64>>(),
+                    scores.iter().map(|s| s.to_bits()).collect::<Vec<u64>>(),
+                    "kernel parity violation at n={n} d={d} dir={di}"
+                );
+            });
+
+            // Naive baseline: row-major scalar dots into a reused buffer
+            // (exactly the pre-kernel utilities_into hot loop).
+            let naive_seconds = (0..reps)
+                .map(|_| {
+                    timed(|| {
+                        let mut sink = 0.0f64;
+                        for u in &dirs {
+                            naive_buf.clear();
+                            naive_buf.extend(data.rows().map(|row| dot(u, row)));
+                            sink += naive_buf[n - 1];
+                        }
+                        std::hint::black_box(sink)
+                    })
+                    .1
+                })
+                .fold(f64::INFINITY, f64::min);
+
+            // Blocked SoA kernel, same consume shape.
+            let blocked_seconds = (0..reps)
+                .map(|_| {
+                    timed(|| {
+                        let mut sink = 0.0f64;
+                        kernel::for_each_scores(soa, &dirs, &mut scratch, |_, scores| {
+                            sink += scores[n - 1];
+                        });
+                        std::hint::black_box(sink)
+                    })
+                    .1
+                })
+                .fold(f64::INFINITY, f64::min);
+
+            let ops = (n * n_dirs) as f64;
+            println!(
+                "{:>8} {:>2} {:>14.1} {:>14.1} {:>7.2}x",
+                n,
+                d,
+                ops / naive_seconds.max(1e-12) / 1e6,
+                ops / blocked_seconds.max(1e-12) / 1e6,
+                naive_seconds / blocked_seconds.max(1e-12),
+            );
+            entries.push(Entry { n, d, dirs: n_dirs, naive_seconds, blocked_seconds });
+        }
+    }
+
+    // Hand-rolled JSON (no serde in the offline container).
+    let mut json =
+        String::from("{\"experiment\":\"scoring_kernels\",\"threads\":1,\"entries\":[\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        let ops = (e.n * e.dirs) as f64;
+        json.push_str(&format!(
+            "  {{\"n\":{},\"d\":{},\"dirs\":{},\
+             \"naive_seconds\":{:.6},\"blocked_seconds\":{:.6},\
+             \"naive_throughput\":{:.0},\"blocked_throughput\":{:.0},\
+             \"speedup\":{:.3}}}{sep}\n",
+            e.n,
+            e.d,
+            e.dirs,
+            e.naive_seconds,
+            e.blocked_seconds,
+            ops / e.naive_seconds.max(1e-12),
+            ops / e.blocked_seconds.max(1e-12),
+            e.naive_seconds / e.blocked_seconds.max(1e-12),
+        ));
+    }
+    json.push_str("]}\n");
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json (throughput in tuple*direction scores per second)");
 }

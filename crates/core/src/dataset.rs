@@ -4,6 +4,8 @@
 //! hot path of every algorithm) walks memory linearly.
 
 use crate::error::RrmError;
+use crate::kernel::Soa;
+use std::sync::{Arc, OnceLock};
 
 /// An immutable collection of `n` tuples with `d` attributes each.
 ///
@@ -12,13 +14,35 @@ use crate::error::RrmError;
 /// (see [`Dataset::normalize`]), though nothing in this crate requires it —
 /// rank-regret is shift invariant (Theorem 1), so algorithms operate on raw
 /// values too.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     d: usize,
     values: Vec<f64>,
+    /// Lazily built column-major mirror ([`crate::kernel::Soa`]); shared by
+    /// clones via `Arc` so a prepared handle pays the transpose once.
+    soa: OnceLock<Arc<Soa>>,
+}
+
+/// Equality is over the logical contents only; whether the SoA mirror has
+/// been built yet is an implementation detail.
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.d == other.d && self.values == other.values
+    }
 }
 
 impl Dataset {
+    /// Internal constructor for already-validated buffers.
+    #[inline]
+    pub(crate) fn raw(d: usize, values: Vec<f64>) -> Self {
+        Self { d, values, soa: OnceLock::new() }
+    }
+
+    /// The lazy-init cell behind [`Dataset::soa`](crate::kernel).
+    #[inline]
+    pub(crate) fn soa_cell(&self) -> &OnceLock<Arc<Soa>> {
+        &self.soa
+    }
     /// Build a dataset from per-tuple rows.
     ///
     /// Fails when rows are empty, ragged, or contain non-finite values.
@@ -43,7 +67,7 @@ impl Dataset {
             }
             values.extend_from_slice(row);
         }
-        Ok(Self { d, values })
+        Ok(Self::raw(d, values))
     }
 
     /// Build a dataset from a row-major flat buffer of `n * d` values.
@@ -57,7 +81,7 @@ impl Dataset {
         if let Some((i, &bad)) = values.iter().enumerate().find(|(_, v)| !v.is_finite()) {
             return Err(RrmError::NonFiniteValue { row: i / d, value: bad });
         }
-        Ok(Self { d, values })
+        Ok(Self::raw(d, values))
     }
 
     /// Number of tuples `n`.
@@ -95,7 +119,7 @@ impl Dataset {
         for &i in indices {
             values.extend_from_slice(self.row(i as usize));
         }
-        Dataset { d: self.d, values }
+        Dataset::raw(self.d, values)
     }
 
     /// Min-max normalize every attribute to `[0, 1]`.
@@ -119,7 +143,7 @@ impl Dataset {
                 values.push(if span > 0.0 { (v - lo[j]) / span } else { 0.0 });
             }
         }
-        Dataset { d, values }
+        Dataset::raw(d, values)
     }
 
     /// Shift every tuple by a constant per-attribute offset `lambda`
@@ -135,7 +159,7 @@ impl Dataset {
                 values.push(v + lambda[j]);
             }
         }
-        Dataset { d: self.d, values }
+        Dataset::raw(self.d, values)
     }
 
     /// Negate the listed attributes (for smaller-is-better columns such as
@@ -147,7 +171,7 @@ impl Dataset {
                 row[j] = -row[j];
             }
         }
-        Dataset { d: self.d, values }
+        Dataset::raw(self.d, values)
     }
 
     /// Keep only the listed attributes (projection), preserving tuple order.
@@ -166,14 +190,14 @@ impl Dataset {
                 values.push(row[j]);
             }
         }
-        Ok(Dataset { d: attrs.len(), values })
+        Ok(Dataset::raw(attrs.len(), values))
     }
 
     /// First `m` tuples as a new dataset (used by the size sweeps in the
     /// experiment harness, mirroring the paper's "varied the dataset size").
     pub fn prefix(&self, m: usize) -> Dataset {
         let m = m.min(self.n());
-        Dataset { d: self.d, values: self.values[..m * self.d].to_vec() }
+        Dataset::raw(self.d, self.values[..m * self.d].to_vec())
     }
 }
 

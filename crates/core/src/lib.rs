@@ -36,6 +36,7 @@ pub mod basis;
 pub mod dataset;
 pub mod error;
 pub mod exec;
+pub mod kernel;
 pub mod problem;
 pub mod rank;
 pub mod sampling;
@@ -47,6 +48,7 @@ pub use basis::basis_indices;
 pub use dataset::Dataset;
 pub use error::RrmError;
 pub use exec::{ExecPolicy, Parallelism, SolverCtx};
+pub use kernel::{ScoreScratch, Soa};
 pub use problem::{Algorithm, RrmProblem, RrrProblem, Solution};
 pub use solver::{
     cache_bounded, rrr_via_rrm_search, rrr_via_rrm_search_with, BruteForceOptions,

@@ -8,6 +8,7 @@
 
 use crate::dataset::Dataset;
 use crate::exec::Parallelism;
+use crate::kernel::{self, ScoreScratch};
 use crate::utility;
 
 /// Does tuple (score `a`, index `ia`) outrank tuple (score `b`, index `ib`)?
@@ -37,10 +38,27 @@ pub fn rank_of_tuple(data: &Dataset, u: &[f64], index: u32) -> usize {
 
 /// Rank-regret of a tuple set for one utility vector
 /// (`∇u(S) = min_{t∈S} ∇u(t)`, Definition 1).
+///
+/// One-shot convenience over [`rank_regret_of_set_into`]; loops over many
+/// directions should hold a [`ScoreScratch`] and call the `_into` form so
+/// the hot path stays allocation-free.
 pub fn rank_regret_of_set(data: &Dataset, u: &[f64], indices: &[u32]) -> usize {
+    rank_regret_of_set_into(data, u, indices, &mut ScoreScratch::new())
+}
+
+/// Scratch-reusing rank-regret of a set: routes through the blocked
+/// scoring kernel's fused reduction, so no `n`-length score vector is
+/// ever allocated — only a small reusable tile inside `scratch`.
+/// Bit-identical to scoring with [`utility::utilities`] and calling
+/// [`rank_regret_from_scores`].
+pub fn rank_regret_of_set_into(
+    data: &Dataset,
+    u: &[f64],
+    indices: &[u32],
+    scratch: &mut ScoreScratch,
+) -> usize {
     assert!(!indices.is_empty(), "rank-regret of an empty set is undefined");
-    let scores = utility::utilities(data, u);
-    rank_regret_from_scores(&scores, indices)
+    kernel::rank_regret_of_set(data.soa(), u, indices, scratch)
 }
 
 /// Rank-regret of a set given precomputed scores for the whole dataset.
@@ -68,15 +86,44 @@ pub fn max_rank_regret(
     pol: Parallelism,
 ) -> Option<usize> {
     assert!(!indices.is_empty(), "rank-regret of an empty set is undefined");
+    let chunk_size = rrm_par::adaptive_chunk(dirs.len(), data.n() * data.dim());
     rrm_par::par_map_reduce(
         dirs,
-        64,
+        chunk_size,
         pol,
         |_, chunk| {
-            chunk.iter().map(|u| rank_regret_of_set(data, u, indices)).max().expect("chunk >= 1")
+            // One scratch per chunk: the whole chunk's scoring runs
+            // allocation-free through the fused kernel.
+            let mut scratch = ScoreScratch::new();
+            chunk
+                .iter()
+                .map(|u| rank_regret_of_set_into(data, u, indices, &mut scratch))
+                .max()
+                .expect("chunk >= 1")
         },
         usize::max,
     )
+}
+
+/// Rank-regret of a set under every direction in `dirs`, in direction
+/// order: the batch form the search-based solvers and estimators build on.
+/// Scoring runs through the fused kernel with per-chunk scratch reuse.
+pub fn batch_rank_regret(
+    data: &Dataset,
+    dirs: &[Vec<f64>],
+    indices: &[u32],
+    pol: Parallelism,
+) -> Vec<usize> {
+    assert!(!indices.is_empty(), "rank-regret of an empty set is undefined");
+    let chunk_size = rrm_par::adaptive_chunk(dirs.len(), data.n() * data.dim());
+    let per_chunk = rrm_par::par_chunks(dirs, chunk_size, pol, |_, chunk| {
+        let mut scratch = ScoreScratch::new();
+        chunk
+            .iter()
+            .map(|u| rank_regret_of_set_into(data, u, indices, &mut scratch))
+            .collect::<Vec<usize>>()
+    });
+    per_chunk.into_iter().flatten().collect()
 }
 
 /// The top-k of a score vector.
@@ -241,6 +288,34 @@ mod tests {
             assert_eq!(max_rank_regret(&d, &dirs, &set, pol), serial, "{pol:?}");
         }
         assert_eq!(max_rank_regret(&d, &[], &set, Parallelism::Sequential), None);
+    }
+
+    #[test]
+    fn batch_rank_regret_matches_per_direction_calls() {
+        let d = Dataset::from_rows(&[[0.0, 1.0], [0.4, 0.95], [0.57, 0.75], [1.0, 0.0]]).unwrap();
+        let dirs: Vec<Vec<f64>> =
+            (0..53).map(|i| vec![i as f64 / 52.0, 1.0 - i as f64 / 52.0]).collect();
+        let set = [1u32, 3];
+        let expected: Vec<usize> = dirs.iter().map(|u| rank_regret_of_set(&d, u, &set)).collect();
+        for pol in [Parallelism::Sequential, Parallelism::Fixed(2), Parallelism::Fixed(7)] {
+            assert_eq!(batch_rank_regret(&d, &dirs, &set, pol), expected, "{pol:?}");
+        }
+        assert!(batch_rank_regret(&d, &[], &set, Parallelism::Sequential).is_empty());
+    }
+
+    #[test]
+    fn into_form_reuses_scratch_and_matches_scores_path() {
+        let d = Dataset::from_rows(&[[0.0, 1.0], [0.4, 0.95], [0.57, 0.75], [1.0, 0.0]]).unwrap();
+        let mut scratch = crate::kernel::ScoreScratch::new();
+        for i in 0..20 {
+            let t = i as f64 / 19.0;
+            let u = vec![t, 1.0 - t];
+            let scores = utility::utilities(&d, &u);
+            assert_eq!(
+                rank_regret_of_set_into(&d, &u, &[0, 2], &mut scratch),
+                rank_regret_from_scores(&scores, &[0, 2])
+            );
+        }
     }
 
     #[test]

@@ -432,10 +432,20 @@ impl BruteForceSolver {
     fn rank_table(&self, data: &Dataset, space: &dyn UtilitySpace, m: usize) -> Vec<Vec<usize>> {
         let mut rng = StdRng::seed_from_u64(self.options.seed);
         let dirs: Vec<Vec<f64>> = (0..m).map(|_| space.sample_direction(&mut rng)).collect();
-        rrm_par::par_map(&dirs, self.options.exec.parallelism, |u| {
-            let scores = crate::utility::utilities(data, u);
-            (0..data.n() as u32).map(|i| rank::rank_of_index(&scores, i)).collect()
-        })
+        let n = data.n();
+        let soa = data.soa();
+        // O(n²) rank counting dominates each direction's cost.
+        let chunk = rrm_par::adaptive_chunk(dirs.len(), n * n);
+        let per_chunk =
+            rrm_par::par_chunks(&dirs, chunk, self.options.exec.parallelism, |_, dirs_chunk| {
+                let mut scratch = crate::kernel::ScoreScratch::new();
+                let mut rows = vec![Vec::new(); dirs_chunk.len()];
+                crate::kernel::for_each_scores(soa, dirs_chunk, &mut scratch, |di, scores| {
+                    rows[di] = (0..n as u32).map(|i| rank::rank_of_index(scores, i)).collect();
+                });
+                rows
+            });
+        per_chunk.into_iter().flatten().collect()
     }
 
     /// Best subset of size ≤ `r`: minimal worst-case (over directions)

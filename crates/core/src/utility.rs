@@ -42,11 +42,13 @@ pub fn normalize_l1(u: &[f64]) -> Option<Vec<f64>> {
 
 /// Score every tuple of `data` with `u`, appending into `out` (cleared
 /// first). Reusing `out` across calls avoids re-allocating in sweep loops.
+///
+/// Routes through the blocked SoA kernel ([`crate::kernel`]); results are
+/// bit-identical to the scalar reference `data.rows().map(|t| dot(u, t))`
+/// because the kernel sums every dot in the same `j`-ascending order.
 pub fn utilities_into(data: &Dataset, u: &[f64], out: &mut Vec<f64>) {
     assert_eq!(u.len(), data.dim(), "utility vector arity must equal d");
-    out.clear();
-    out.reserve(data.n());
-    out.extend(data.rows().map(|row| dot(u, row)));
+    crate::kernel::scores_into(data.soa(), u, out);
 }
 
 /// Score every tuple of `data` with `u` into a fresh vector.

@@ -45,29 +45,33 @@ pub fn estimate_rank_regret(
     // historical single-chunk behaviour (quality tests are tuned to it).
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64));
     let dirs: Vec<Vec<f64>> = (0..samples).map(|_| space.sample_direction(&mut rng)).collect();
-    let d = data.dim();
     let n = data.n();
-    let flat = data.flat();
-    let set_rows: Vec<&[f64]> = set.iter().map(|&i| data.row(i as usize)).collect();
-    let rank_of = |u: &Vec<f64>| -> usize {
+    let soa = data.soa();
+    // Rank counting runs through the fused SoA kernel: the set's best
+    // score (same strict-`>` scan as before, via bit-identical per-tuple
+    // dots), then a blocked count of tuples strictly above it — no
+    // n-length score vector per direction.
+    let rank_of = |u: &[f64], scratch: &mut rrm_core::ScoreScratch| -> usize {
         let mut best = f64::NEG_INFINITY;
-        for row in &set_rows {
-            let s = rrm_core::utility::dot(u, row);
+        for &i in set {
+            let s = soa.score_one(u, i as usize);
             if s > best {
                 best = s;
             }
         }
-        flat.chunks_exact(d).filter(|c| rrm_core::utility::dot(u, c) > best).count() + 1
+        rrm_core::kernel::count_above(soa, u, best, scratch) + 1
     };
+    let chunk_size = rrm_par::adaptive_chunk(dirs.len(), n * data.dim());
     let worst = rrm_par::par_map_reduce(
         &dirs,
-        256,
+        chunk_size,
         rrm_core::Parallelism::Auto,
         |offset, chunk| {
+            let mut scratch = rrm_core::ScoreScratch::new();
             let mut worst = 0usize;
             let mut at = offset;
             for (i, u) in chunk.iter().enumerate() {
-                let rank = rank_of(u);
+                let rank = rank_of(u, &mut scratch);
                 if rank > worst {
                     worst = rank;
                     at = offset + i;
@@ -109,30 +113,25 @@ fn worst_rank_over(
     count: usize,
     rng: &mut StdRng,
 ) -> RegretEstimate {
-    let d = data.dim();
     let n = data.n();
-    let flat = data.flat();
-    let set_rows: Vec<&[f64]> = set.iter().map(|&i| data.row(i as usize)).collect();
+    let soa = data.soa();
+    let mut scratch = rrm_core::ScoreScratch::new();
     let mut worst = 0usize;
     let mut witness = Vec::new();
     for _ in 0..count {
         let u = space.sample_direction(rng);
-        // Best score within the set.
+        // Best score within the set (per-tuple dots are bit-identical to
+        // the row-major scan this replaced).
         let mut best = f64::NEG_INFINITY;
-        for row in &set_rows {
-            let s = rrm_core::utility::dot(&u, row);
+        for &i in set {
+            let s = soa.score_one(&u, i as usize);
             if s > best {
                 best = s;
             }
         }
-        // Rank = 1 + number of tuples strictly above `best`.
-        let mut above = 0usize;
-        for chunk in flat.chunks_exact(d) {
-            if rrm_core::utility::dot(&u, chunk) > best {
-                above += 1;
-            }
-        }
-        let rank = above + 1;
+        // Rank = 1 + number of tuples strictly above `best`, counted
+        // through the blocked kernel.
+        let rank = rrm_core::kernel::count_above(soa, &u, best, &mut scratch) + 1;
         if rank > worst {
             worst = rank;
             witness = u;

@@ -34,26 +34,21 @@ pub fn estimate_regret_ratio(
     assert!(!set.is_empty(), "regret-ratio of an empty set is undefined");
     assert!(samples >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
-    let set_rows: Vec<&[f64]> = set.iter().map(|&i| data.row(i as usize)).collect();
-    let d = data.dim();
-    let flat = data.flat();
+    let soa = data.soa();
+    let mut scratch = rrm_core::ScoreScratch::new();
     let mut worst = 0.0f64;
     let mut witness = Vec::new();
     for _ in 0..samples {
         let u = space.sample_direction(&mut rng);
-        let mut top = f64::NEG_INFINITY;
-        for chunk in flat.chunks_exact(d) {
-            let s = rrm_core::utility::dot(&u, chunk);
-            if s > top {
-                top = s;
-            }
-        }
+        // Fused blocked maximum; equal maxima have identical bits, and a
+        // ±0.0 top is skipped either way, so the ratio is unchanged.
+        let top = rrm_core::kernel::max_score(soa, &u, &mut scratch);
         if top <= 0.0 {
             continue;
         }
         let mut best = f64::NEG_INFINITY;
-        for row in &set_rows {
-            let s = rrm_core::utility::dot(&u, row);
+        for &i in set {
+            let s = soa.score_one(&u, i as usize);
             if s > best {
                 best = s;
             }

@@ -100,6 +100,25 @@ fn threads_from_env_str(v: Option<&str>) -> usize {
     }
 }
 
+/// Target work per chunk for [`adaptive_chunk`], in abstract "ops"
+/// (typically tuple·attribute scoring steps): big enough to amortize
+/// dispatch, small enough that a handful of chunks load-balance well.
+const ADAPTIVE_TARGET_OPS: usize = 1 << 20;
+
+/// Pick a chunk size for `items` whose per-item processing costs
+/// `cost_per_item` abstract ops (e.g. `n * d` for a utility direction
+/// scored against the whole dataset).
+///
+/// The result is a **pure function of the workload** — never of the thread
+/// count, the machine, or runtime timing — so chunk boundaries (and with
+/// them every ordered merge) stay bit-identical at any [`Parallelism`].
+/// Cheap items get big chunks (less dispatch overhead), expensive items
+/// get chunks as small as 1 (better load balancing), clamped to
+/// `1..=4096`.
+pub fn adaptive_chunk(items: usize, cost_per_item: usize) -> usize {
+    (ADAPTIVE_TARGET_OPS / cost_per_item.max(1)).clamp(1, 4096).min(items.max(1))
+}
+
 /// Map `f` over fixed-size chunks of `items`, returning one result per
 /// chunk **in chunk order**. `f` receives the chunk's starting offset into
 /// `items` and the chunk slice.
@@ -232,6 +251,23 @@ mod tests {
         assert_eq!(threads_from_env_str(Some("")), cores);
         assert_eq!(threads_from_env_str(Some("3")), 3);
         assert_eq!(threads_from_env_str(Some(" 5 ")), 5);
+    }
+
+    #[test]
+    fn adaptive_chunk_is_pure_and_clamped() {
+        // Pure function of the workload: same inputs, same answer — and
+        // RRM_THREADS / machine cores never enter the computation.
+        assert_eq!(adaptive_chunk(1000, 4000), adaptive_chunk(1000, 4000));
+        // Cheap items → large chunks, capped at 4096.
+        assert_eq!(adaptive_chunk(1_000_000, 1), 4096);
+        assert_eq!(adaptive_chunk(1_000_000, 0), 4096);
+        // Expensive items → chunks shrink, floored at 1.
+        assert_eq!(adaptive_chunk(1000, usize::MAX / 2), 1);
+        // ~1M ops per chunk in between: n·d = 100k·4 → ~2 dirs per chunk.
+        assert_eq!(adaptive_chunk(640, 400_000), 2);
+        // Never larger than the item count itself.
+        assert_eq!(adaptive_chunk(3, 10), 3);
+        assert_eq!(adaptive_chunk(0, 10), 1);
     }
 
     #[test]
