@@ -7,14 +7,18 @@
 //!
 //! Ids: `table1 table2 table3 theorem2 fig09 fig10 fig11 fig12 fig13 fig14
 //! fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25 fig26
-//! fig27 fig28 ablation amortize scale kernels`. (`amortize`, `scale` and
-//! `kernels` are not paper figures: `amortize` measures the session API's
+//! fig27 fig28 ablation amortize scale kernels serve`. (`amortize`,
+//! `scale`, `kernels` and `serve` are not paper figures: `amortize` measures the session API's
 //! prepare-once / query-many speedup and writes `BENCH_session.json`;
 //! `scale` sweeps the parallel runtime over thread counts {1,2,4,8},
 //! asserts bit-identical solutions, and writes per-algorithm speedups to
 //! `BENCH_parallel.json`; `kernels` microbenchmarks naive vs. blocked SoA
 //! scoring throughput on one thread and writes `BENCH_kernels.json` — the
-//! one bench whose headline number is meaningful on a 1-core machine.)
+//! one bench whose headline number is meaningful on a 1-core machine;
+//! `serve` load-tests the `rrm_serve` query service over real TCP with a
+//! replayed multi-tenant trace — single-tenant hot, mixed, and overload
+//! scenarios — parity-checks every served response against an in-process
+//! `Session`, and writes `BENCH_serve.json`.)
 //! A global `--threads N` flag pins the worker count for every other
 //! experiment (0 = all cores; equivalent to RRM_THREADS). Default scale is `--quick` (minutes for `all`);
 //! `--full` mirrors the paper's parameters. Absolute times differ from the
@@ -57,6 +61,7 @@ fn main() {
         "table1", "table2", "table3", "theorem2", "fig09", "fig10", "fig11", "fig12", "fig13",
         "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
         "fig24", "fig25", "fig26", "fig27", "fig28", "ablation", "amortize", "scale", "kernels",
+        "serve",
     ];
     match id {
         "all" => {
@@ -106,6 +111,7 @@ fn run(id: &str, scale: Scale) {
         "amortize" => amortize(scale),
         "scale" => thread_scaling(scale),
         "kernels" => kernels(scale),
+        "serve" => bench::serve_bench::run(scale),
         _ => unreachable!(),
     }
 }
@@ -782,7 +788,7 @@ fn amortize(scale: Scale) {
     }
 
     // Hand-rolled JSON (no serde in the offline container).
-    let mut json = String::from("{\"experiment\":\"session_amortization\",\"entries\":[\n");
+    let mut json = format!("{{{},\"entries\":[\n", bench::bench_meta("session_amortization"));
     for (i, e) in entries.iter().enumerate() {
         let sep = if i + 1 == entries.len() { "" } else { "," };
         json.push_str(&format!(
@@ -958,7 +964,8 @@ fn thread_scaling(scale: Scale) {
     }
 
     // Hand-rolled JSON (no serde in the offline container).
-    let mut json = String::from("{\"experiment\":\"thread_scaling\",\"thread_counts\":[1,2,4,8],");
+    let mut json =
+        format!("{{{},\"thread_counts\":[1,2,4,8],", bench::bench_meta("thread_scaling"));
     json.push_str(&format!("\"machine_cores\":{cores},\"entries\":[\n"));
     for (i, e) in entries.iter().enumerate() {
         let sep = if i + 1 == entries.len() { "" } else { "," };
@@ -1084,7 +1091,7 @@ fn kernels(scale: Scale) {
 
     // Hand-rolled JSON (no serde in the offline container).
     let mut json =
-        String::from("{\"experiment\":\"scoring_kernels\",\"threads\":1,\"entries\":[\n");
+        format!("{{{},\"threads\":1,\"entries\":[\n", bench::bench_meta("scoring_kernels"));
     for (i, e) in entries.iter().enumerate() {
         let sep = if i + 1 == entries.len() { "" } else { "," };
         let ops = (e.n * e.dirs) as f64;

@@ -7,6 +7,8 @@
 //! harness never calls algorithm crates directly — and sweep
 //! configuration for quick vs full mode.
 
+pub mod serve_bench;
+
 use std::time::Instant;
 
 use rank_regret::{Engine, Tuning};
@@ -98,6 +100,30 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let v = f();
     (v, start.elapsed().as_secs_f64())
+}
+
+/// The uniform header every `BENCH_*.json` starts with: schema version,
+/// experiment id, and machine metadata (core count, target arch, and the
+/// `target-cpu` the binary was compiled for, best-effort from `RUSTFLAGS`).
+/// Returned as a brace-less fragment so writers embed it as the first
+/// fields of their top-level object.
+pub fn bench_meta(experiment: &str) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let target_cpu = std::env::var("RUSTFLAGS")
+        .ok()
+        .and_then(|flags| {
+            flags
+                .split("target-cpu=")
+                .nth(1)
+                .and_then(|rest| rest.split_whitespace().next().map(str::to_string))
+        })
+        .unwrap_or_else(|| "generic".to_string());
+    format!(
+        "\"schema_version\":1,\"experiment\":\"{experiment}\",\
+         \"machine\":{{\"cores\":{cores},\"target_arch\":\"{}\",\"target_cpu\":\"{}\"}}",
+        std::env::consts::ARCH,
+        target_cpu,
+    )
 }
 
 /// Run one RRM query through the [`Solver`] trait and measure its output
@@ -220,6 +246,18 @@ mod tests {
             let solver = engine.solver(algo).unwrap_or_else(|| panic!("{algo} missing"));
             assert_eq!(solver.algorithm(), algo);
         }
+    }
+
+    #[test]
+    fn bench_meta_is_a_valid_json_fragment() {
+        let meta = bench_meta("serve");
+        assert!(meta.starts_with("\"schema_version\":1,"), "{meta}");
+        assert!(meta.contains("\"experiment\":\"serve\""), "{meta}");
+        assert!(meta.contains("\"cores\":"), "{meta}");
+        assert!(meta.contains("\"target_cpu\":"), "{meta}");
+        // Embeds into an object without breaking JSON syntax.
+        let doc = format!("{{{meta},\"entries\":[]}}");
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }
 
     #[test]

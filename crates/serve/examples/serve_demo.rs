@@ -1,0 +1,29 @@
+//! Minimal standalone server for poking at the wire protocol with `nc`:
+//!
+//! ```sh
+//! cargo run --release -p rrm_serve --example serve_demo -- 127.0.0.1:7878
+//! nc 127.0.0.1 7878
+//! ```
+//!
+//! Serves two synthetic tenants; see the README "Serving" section for
+//! the request schema.
+
+use rank_regret::Algorithm;
+use rrm_serve::{ServerConfig, ServerHandle, SyntheticKind, TenantSpec};
+
+fn main() {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:7878".into());
+    let specs = [
+        TenantSpec::synthetic("movies", SyntheticKind::Independent, 5_000, 4, 1),
+        TenantSpec::synthetic("nba", SyntheticKind::Anticorrelated, 2_000, 3, 2),
+    ];
+    let config = ServerConfig { addr, warm: vec![Algorithm::Hdrrm], ..ServerConfig::default() };
+    let server = ServerHandle::start(config, &specs).expect("start server");
+    println!(
+        "rrm_serve listening on {} (tenants: movies, nba; warm: HDRRM); Ctrl-C stops it",
+        server.addr()
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,46 @@
+//! A minimal blocking client for the wire protocol, used by the replay
+//! harness and the integration tests (and handy from examples). One
+//! request line out, one response line in; with pipelining, callers
+//! correlate replies by the echoed `id`.
+
+use std::io::{self, BufRead as _, BufReader, Write as _};
+use std::net::{SocketAddr, TcpStream};
+
+use crate::json::Json;
+
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Send one request line (newline appended here).
+    pub fn send(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Block until the next response line arrives and parse it.
+    pub fn recv(&mut self) -> io::Result<Json> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection"));
+        }
+        crate::json::parse(line.trim())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+
+    /// Round-trip one request.
+    pub fn call(&mut self, line: &str) -> io::Result<Json> {
+        self.send(line)?;
+        self.recv()
+    }
+}

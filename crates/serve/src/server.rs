@@ -1,0 +1,523 @@
+//! The TCP front end: accept loop, per-connection reader threads that do
+//! admission control inline, a bounded global job queue, and N worker
+//! threads running queries against tenant [`Session`]s.
+//!
+//! Threading model:
+//!
+//! * one accept thread;
+//! * one reader thread per connection (parse + admission + `stats`
+//!   answered inline, so rejections never wait behind slow queries);
+//! * `workers` query threads popping a shared bounded queue.
+//!
+//! Responses to one connection may interleave out of request order when
+//! `workers > 1`; clients correlate by the echoed `id`. Solver kernels
+//! run under the configured [`ExecPolicy`] (default sequential): the
+//! server parallelizes *across* requests, not inside one.
+//!
+//! Deadlines: `deadline_ms` is wall clock from admission. It is enforced
+//! at dispatch (a request that aged out in the queue gets a structured
+//! `deadline_exceeded` with its queueing time as diagnostics, without
+//! running) and mapped onto the counter [`Budget`] for the run itself via
+//! a startup [`Calibration`] of the scoring kernel. The budget is derived
+//! from the full deadline — not the post-queue remainder — so a replayed
+//! request through an in-process [`Session`] builds the *identical*
+//! `Request` and the determinism contract extends over the wire.
+//!
+//! [`Session`]: rank_regret::Session
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind as IoErrorKind, Read as _, Write as _};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rank_regret::rrm_core::kernel::{for_each_scores, ScoreScratch};
+use rank_regret::{Algorithm, Budget, ExecPolicy, Request, RrmError};
+
+use crate::json::Json;
+use crate::protocol::{error_response, ok_response, parse_request, ErrorKind, Op, WireRequest};
+use crate::registry::{Registry, Tenant, TenantSpec};
+
+/// How fast this machine scores tuples, measured once at startup and
+/// used to translate wall-clock deadlines into counter [`Budget`]s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Single-direction tuple scores evaluated per millisecond.
+    pub scores_per_ms: f64,
+}
+
+/// Microbenchmark the blocked scoring kernel on a fixed synthetic
+/// dataset until at least ~10 ms have elapsed. The absolute number moves
+/// with the machine — that is the point: the same `deadline_ms` buys the
+/// same wall-clock on a fast or slow box, via different counter budgets.
+pub fn calibrate() -> Calibration {
+    const N: usize = 2000;
+    const D: usize = 4;
+    let data = rrm_data::synthetic::independent(N, D, 0x5eed);
+    let soa = data.soa();
+    // Deterministic direction bundle; contents are irrelevant to timing.
+    let dirs: Vec<Vec<f64>> =
+        (0..64).map(|i| (0..D).map(|j| 1.0 + ((i * 7 + j * 3) % 11) as f64).collect()).collect();
+    let mut scratch = ScoreScratch::new();
+    let mut sink = 0.0f64;
+    let mut evals = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < Duration::from_millis(10) {
+        for_each_scores(soa, &dirs, &mut scratch, |_, scores| {
+            sink += scores[0];
+        });
+        evals += (N * dirs.len()) as u64;
+    }
+    std::hint::black_box(sink);
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    Calibration { scores_per_ms: evals as f64 / ms }
+}
+
+/// Map a deadline onto a counter [`Budget`] for a dataset of `n_tuples`
+/// rows: the deadline buys `scores_per_ms * deadline_ms` score
+/// evaluations; one enumeration / LP call / sampled direction is charged
+/// as one pass over the dataset. Without a deadline, only the requested
+/// `samples` override applies.
+pub fn effective_budget(
+    calib: Calibration,
+    n_tuples: usize,
+    deadline_ms: Option<u64>,
+    samples: Option<usize>,
+) -> Budget {
+    match deadline_ms {
+        None => samples.map_or(Budget::UNLIMITED, Budget::with_samples),
+        Some(ms) => {
+            let affordable = (calib.scores_per_ms * ms as f64) as usize;
+            let cap = (affordable / n_tuples.max(1)).max(1);
+            let samples = samples.unwrap_or(cap).min(cap);
+            Budget { max_enumerations: Some(cap), max_lp_calls: Some(cap), samples: Some(samples) }
+        }
+    }
+}
+
+/// The in-process [`Request`] a wire request denotes on this server.
+/// Both the dispatch path and the replay harness build requests through
+/// here, so served answers are bit-identical to in-process answers by
+/// construction. `None` for non-query ops.
+pub fn effective_request(
+    wire: &WireRequest,
+    calib: Calibration,
+    n_tuples: usize,
+) -> Option<Request> {
+    wire.to_request(effective_budget(calib, n_tuples, wire.deadline_ms, wire.samples))
+}
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (read it back from
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Query worker threads. `0` is allowed and means *no* query ever
+    /// dispatches — admission and `stats` still answer, which makes
+    /// overload behaviour deterministic in tests.
+    pub workers: usize,
+    /// Global queue cap across all tenants; admission rejects beyond it.
+    pub queue_cap: usize,
+    /// Algorithms to eagerly prepare on every tenant at startup.
+    pub warm: Vec<Algorithm>,
+    /// Execution policy inside solver kernels (default sequential: the
+    /// server parallelizes across requests, not within one).
+    pub exec: ExecPolicy,
+    /// Test hook: skip the startup microbenchmark and use this rate.
+    pub scores_per_ms_override: Option<f64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            queue_cap: 64,
+            warm: Vec::new(),
+            exec: ExecPolicy::sequential(),
+            scores_per_ms_override: None,
+        }
+    }
+}
+
+/// Write half of a connection; workers and the reader share it, one
+/// response line at a time.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    fn send(&self, json: &Json) {
+        let mut line = json.render();
+        line.push('\n');
+        if let Ok(mut stream) = self.stream.lock() {
+            let _ = stream.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// An admitted query waiting for a worker.
+struct Job {
+    wire: WireRequest,
+    tenant: Arc<Tenant>,
+    accepted_at: Instant,
+    writer: Arc<ConnWriter>,
+}
+
+/// State shared by the accept loop, readers, and workers.
+struct Shared {
+    registry: Registry,
+    calibration: Calibration,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    queue_cap: usize,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn stats_json(&self, filter: Option<&str>) -> Json {
+        let depth = self.queue.lock().map(|q| q.len()).unwrap_or(0);
+        Json::Obj(vec![
+            (
+                "global".into(),
+                Json::Obj(vec![
+                    ("queue_depth".into(), depth.into()),
+                    ("queue_cap".into(), self.queue_cap.into()),
+                    ("scores_per_ms".into(), self.calibration.scores_per_ms.into()),
+                ]),
+            ),
+            ("tenants".into(), self.registry.stats_json(filter)),
+        ])
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop the server;
+/// call [`ServerHandle::shutdown`] for a clean stop and the final stats
+/// dump.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// Start a server: load + warm every tenant, calibrate the deadline
+    /// mapping, bind, and spawn the accept and worker threads.
+    pub fn start(config: ServerConfig, specs: &[TenantSpec]) -> Result<ServerHandle, RrmError> {
+        let registry = Registry::build(specs, &config.warm, config.exec)?;
+        let calibration = match config.scores_per_ms_override {
+            Some(scores_per_ms) => Calibration { scores_per_ms },
+            None => calibrate(),
+        };
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| RrmError::Unsupported(format!("cannot bind {}: {e}", config.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| RrmError::Unsupported(format!("cannot read bound address: {e}")))?;
+
+        let shared = Arc::new(Shared {
+            registry,
+            calibration,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            queue_cap: config.queue_cap,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rrm-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(|e| RrmError::Internal(format!("cannot spawn worker: {e}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("rrm-serve-accept".into())
+                .spawn(move || accept_loop(&shared, &listener, &conns))
+                .map_err(|e| RrmError::Internal(format!("cannot spawn accept loop: {e}")))?
+        };
+
+        Ok(ServerHandle { addr, shared, accept: Some(accept), workers, conns })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn calibration(&self) -> Calibration {
+        self.shared.calibration
+    }
+
+    pub fn registry(&self) -> &Registry {
+        &self.shared.registry
+    }
+
+    /// Live stats snapshot, same shape as the `stats` wire response.
+    pub fn stats_json(&self) -> Json {
+        self.shared.stats_json(None)
+    }
+
+    /// Stop accepting, drain the queue, join every thread, and return
+    /// the final stats dump.
+    pub fn shutdown(mut self) -> Json {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop; readers poll the flag on their 50 ms
+        // read timeout, workers on their condvar timeout.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let readers = std::mem::take(&mut *self.conns.lock().unwrap());
+        for h in readers {
+            let _ = h.join();
+        }
+        self.shared.available.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.stats_json(None)
+    }
+}
+
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("rrm-serve-conn".into())
+            .spawn(move || connection_loop(&shared, stream))
+        {
+            conns.lock().unwrap().push(handle);
+        }
+    }
+}
+
+/// Read newline-delimited requests off one connection. Hand-rolled line
+/// framing over a 50 ms read timeout so the thread notices shutdown
+/// without a poll/epoll dependency; partial lines survive timeouts.
+fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(ConnWriter { stream: Mutex::new(w) }),
+        Err(_) => return,
+    };
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line[..pos]).into_owned();
+            if !line.trim().is_empty() {
+                handle_line(shared, &writer, line.trim());
+            }
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(k) => buf.extend_from_slice(&chunk[..k]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    IoErrorKind::WouldBlock | IoErrorKind::TimedOut | IoErrorKind::Interrupted
+                ) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Parse + admit one request line. Runs on the reader thread, so
+/// rejections and `stats` answers never queue behind slow queries —
+/// that is what makes overload rejections immediate.
+fn handle_line(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, line: &str) {
+    let wire = match parse_request(line) {
+        Ok(wire) => wire,
+        Err(msg) => {
+            // Best effort: echo the id even when some field was invalid.
+            let id = crate::json::parse(line).ok().and_then(|j| j.get("id").cloned());
+            writer.send(&error_response(&id, ErrorKind::BadRequest, &msg, None));
+            return;
+        }
+    };
+
+    if wire.op == Op::Stats {
+        let stats = shared.stats_json(wire.tenant.as_deref());
+        writer.send(&Json::Obj(vec![
+            ("id".into(), wire.id.clone().unwrap_or(Json::Null)),
+            ("status".into(), "ok".into()),
+            ("stats".into(), stats),
+        ]));
+        return;
+    }
+
+    let name = wire.tenant.as_deref().expect("parse_request requires tenant for queries");
+    let Some(tenant) = shared.registry.get(name) else {
+        writer.send(&error_response(
+            &wire.id,
+            ErrorKind::UnknownTenant,
+            &format!("no tenant named {name:?}"),
+            None,
+        ));
+        return;
+    };
+
+    // Per-tenant admission: reserve an in-flight slot or reject now.
+    let prev = tenant.inflight.fetch_add(1, Ordering::AcqRel);
+    if prev >= tenant.max_inflight {
+        tenant.inflight.fetch_sub(1, Ordering::AcqRel);
+        tenant.counters.rejected_overload.fetch_add(1, Ordering::Relaxed);
+        writer.send(&error_response(
+            &wire.id,
+            ErrorKind::Overloaded,
+            &format!("tenant {name:?} at its in-flight limit"),
+            Some(Json::Obj(vec![("max_inflight".into(), tenant.max_inflight.into())])),
+        ));
+        return;
+    }
+
+    // Global queue cap: bounded queueing, never unbounded buildup.
+    let job = Job {
+        wire,
+        tenant: Arc::clone(tenant),
+        accepted_at: Instant::now(),
+        writer: Arc::clone(writer),
+    };
+    let mut queue = shared.queue.lock().unwrap();
+    if queue.len() >= shared.queue_cap {
+        drop(queue);
+        job.tenant.inflight.fetch_sub(1, Ordering::AcqRel);
+        job.tenant.counters.rejected_overload.fetch_add(1, Ordering::Relaxed);
+        job.writer.send(&error_response(
+            &job.wire.id,
+            ErrorKind::Overloaded,
+            "global queue full",
+            Some(Json::Obj(vec![("queue_cap".into(), shared.queue_cap.into())])),
+        ));
+        return;
+    }
+    queue.push_back(job);
+    drop(queue);
+    tenant.counters.accepted.fetch_add(1, Ordering::Relaxed);
+    shared.available.notify_one();
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                let (guard, _) =
+                    shared.available.wait_timeout(queue, Duration::from_millis(50)).unwrap();
+                queue = guard;
+            }
+        };
+        match job {
+            Some(job) => serve_job(shared, job),
+            None => return,
+        }
+    }
+}
+
+fn serve_job(shared: &Shared, job: Job) {
+    let queued_us = job.accepted_at.elapsed().as_micros() as u64;
+    let tenant = &job.tenant;
+
+    let outcome = match job.wire.deadline_ms {
+        Some(ms) if queued_us >= ms.saturating_mul(1000) => Err((
+            ErrorKind::DeadlineExceeded,
+            format!("deadline of {ms}ms elapsed after {queued_us}us in queue"),
+            Some(Json::Obj(vec![
+                ("queued_micros".into(), queued_us.into()),
+                ("deadline_ms".into(), ms.into()),
+            ])),
+        )),
+        _ => {
+            let request =
+                effective_request(&job.wire, shared.calibration, tenant.session.data().n())
+                    .expect("only query ops are enqueued");
+            tenant
+                .session
+                .run(&request)
+                .map_err(|e| (ErrorKind::of_rrm_error(&e), e.to_string(), None))
+        }
+    };
+
+    // Counters update *before* the response goes out: a client that saw
+    // an answer and immediately asks for `stats` must see it counted.
+    match outcome {
+        Ok(response) => {
+            tenant.counters.completed.fetch_add(1, Ordering::Relaxed);
+            tenant.latency.record(job.accepted_at.elapsed().as_micros() as u64);
+            let micros = (response.seconds * 1e6) as u64;
+            job.writer.send(&ok_response(&job.wire.id, &tenant.name, &response, queued_us, micros));
+        }
+        Err((kind, message, diagnostics)) => {
+            let counter = if kind == ErrorKind::DeadlineExceeded {
+                &tenant.counters.deadline_exceeded
+            } else {
+                &tenant.counters.errored
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            job.writer.send(&error_response(&job.wire.id, kind, &message, diagnostics));
+        }
+    }
+    tenant.inflight.fetch_sub(1, Ordering::AcqRel);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CALIB: Calibration = Calibration { scores_per_ms: 1000.0 };
+
+    #[test]
+    fn budget_scales_with_deadline_and_dataset_size() {
+        // 1000 scores/ms, 100 tuples: a 10ms deadline buys 100 passes.
+        let b = effective_budget(CALIB, 100, Some(10), None);
+        assert_eq!(b.max_enumerations, Some(100));
+        assert_eq!(b.max_lp_calls, Some(100));
+        assert_eq!(b.samples, Some(100));
+        // Requested samples are honoured but capped by the deadline.
+        assert_eq!(effective_budget(CALIB, 100, Some(10), Some(30)).samples, Some(30));
+        assert_eq!(effective_budget(CALIB, 100, Some(10), Some(5000)).samples, Some(100));
+        // A tiny deadline still buys at least one pass, never zero.
+        assert_eq!(effective_budget(CALIB, 100_000, Some(1), None).max_enumerations, Some(1));
+        // No deadline: unlimited, modulo the samples override.
+        assert_eq!(effective_budget(CALIB, 100, None, None), Budget::UNLIMITED);
+        assert_eq!(effective_budget(CALIB, 100, None, Some(64)), Budget::with_samples(64));
+    }
+
+    #[test]
+    fn calibration_measures_a_positive_rate() {
+        let c = calibrate();
+        assert!(c.scores_per_ms > 0.0 && c.scores_per_ms.is_finite(), "{c:?}");
+    }
+}

@@ -22,6 +22,9 @@
 //!   --threads N            worker threads for solver kernels (0 = all
 //!                          cores, the default; RRM_THREADS also honored).
 //!                          Purely a speed knob: answers are bit-identical
+//!   --warm                 eagerly prepare every registered algorithm
+//!                          before answering (what a server does at
+//!                          startup); reports how many built and the cost
 //! ```
 //!
 //! `--algo` resolves through the engine registry ([`crate::Engine`]);
@@ -56,6 +59,9 @@ pub struct Args {
     /// Worker threads for solver kernels; `None` = auto (`RRM_THREADS`,
     /// else all cores), `Some(0)` = all cores explicitly.
     pub threads: Option<usize>,
+    /// Eagerly prepare every registered algorithm before the query
+    /// ([`crate::Session::warm`]); failures are cached, not fatal.
+    pub warm: bool,
 }
 
 /// Report format.
@@ -90,6 +96,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut weak_ranking = None;
     let mut quick = false;
     let mut threads: Option<usize> = None;
+    let mut warm = false;
     let mut size: Option<usize> = None;
     let mut threshold: Option<usize> = None;
     let mut max_size: Option<usize> = None;
@@ -119,6 +126,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--quick" => quick = true,
             "--threads" => threads = Some(parse_usize("--threads", &value("--threads")?)?),
+            "--warm" => warm = true,
             "--size" => size = Some(parse_usize("--size", &value("--size")?)?),
             "--threshold" => threshold = Some(parse_usize("--threshold", &value("--threshold")?)?),
             "--max-size" => max_size = Some(parse_usize("--max-size", &value("--max-size")?)?),
@@ -146,6 +154,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         weak_ranking,
         quick,
         threads,
+        warm,
     })
 }
 
@@ -153,7 +162,7 @@ fn usage() -> String {
     "usage: rrm <minimize|represent|frontier> --input FILE \
      [--size R | --threshold K | --max-size R] [--algo NAME] [--format text|json] \
      [--no-header] [--columns LIST] [--negate LIST] [--no-normalize] \
-     [--weak-ranking C] [--quick] [--threads N]"
+     [--weak-ranking C] [--quick] [--threads N] [--warm]"
         .to_string()
 }
 
@@ -219,6 +228,15 @@ pub fn run(args: &Args) -> Result<String, RrmError> {
             if let Some(c) = args.weak_ranking {
                 session = session.space(WeakRankingSpace::new(d, c));
             }
+            // --warm: what a server does at startup — build every
+            // prepared handle eagerly so no query pays first-use latency.
+            let warm = if args.warm {
+                let warm_start = Instant::now();
+                let ok = session.warm(&Algorithm::ALL);
+                Some((ok, warm_start.elapsed().as_secs_f64()))
+            } else {
+                None
+            };
             let prepare_start = Instant::now();
             session.prepared(choice)?;
             let prepare_seconds = prepare_start.elapsed().as_secs_f64();
@@ -229,6 +247,7 @@ pub fn run(args: &Args) -> Result<String, RrmError> {
                     &headers,
                     session.data(),
                     &response.solution,
+                    warm,
                     prepare_seconds,
                     response.seconds,
                 )),
@@ -237,6 +256,7 @@ pub fn run(args: &Args) -> Result<String, RrmError> {
                     session.data(),
                     &request,
                     &response.solution,
+                    warm,
                     prepare_seconds,
                     response.seconds,
                     exec.effective_threads(),
@@ -310,17 +330,23 @@ fn loaded_line(args: &Args, data: &Dataset) -> String {
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_text(
     args: &Args,
     headers: &[String],
     data: &Dataset,
     sol: &Solution,
+    warm: Option<(usize, f64)>,
     prepare_seconds: f64,
     query_seconds: f64,
 ) -> String {
     let mut out = String::new();
     use std::fmt::Write as _;
     let _ = writeln!(out, "{}", loaded_line(args, data));
+    if let Some((ok, seconds)) = warm {
+        let _ =
+            writeln!(out, "warmed {ok}/{} prepared solvers in {seconds:.3}s", Algorithm::ALL.len());
+    }
     let _ = writeln!(
         out,
         "{}: {} tuples, certified rank-regret {} (prepared in {:.3}s, answered in {:.3}s)",
@@ -346,6 +372,7 @@ fn render_json(
     data: &Dataset,
     request: &Request,
     sol: &Solution,
+    warm: Option<(usize, f64)>,
     prepare_seconds: f64,
     query_seconds: f64,
     threads: usize,
@@ -357,11 +384,14 @@ fn render_json(
     };
     let indices: Vec<String> = sol.indices.iter().map(|i| i.to_string()).collect();
     let certified = sol.certified_regret.map_or("null".to_string(), |k| k.to_string());
+    let warmed = warm.map_or(String::new(), |(ok, seconds)| {
+        format!("\"warmed\":{ok},\"warm_seconds\":{},", json_f64(seconds))
+    });
     format!(
         "{{\"command\":\"{command}\",\"input\":{input},\"n\":{n},\"d\":{d},\
          \"param\":{param},\"algorithm\":\"{algo}\",\"threads\":{threads},\
          \"indices\":[{indices}],\
-         \"size\":{size},\"certified_regret\":{certified},\
+         \"size\":{size},\"certified_regret\":{certified},{warmed}\
          \"prepare_seconds\":{prep},\"query_seconds\":{query}}}\n",
         input = json_string(&args.input),
         n = data.n(),
@@ -531,6 +561,39 @@ mod tests {
         .unwrap();
         let report = run(&args).unwrap();
         assert!(report.contains("\"threads\":2"), "{report}");
+    }
+
+    #[test]
+    fn warm_flag_prepares_everything_up_front() {
+        let a = parse_args(&argv("minimize --input x.csv --size 1")).unwrap();
+        assert!(!a.warm);
+        let a = parse_args(&argv("minimize --input x.csv --size 1 --warm")).unwrap();
+        assert!(a.warm);
+
+        let dir = std::env::temp_dir().join("rrm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("warm.csv");
+        std::fs::write(
+            &path,
+            "hp,mpg\n0.0,1.0\n0.4,0.95\n0.57,0.75\n0.79,0.6\n0.2,0.5\n0.35,0.3\n1.0,0.0\n",
+        )
+        .unwrap();
+        let report = run(&parse_args(&argv(&format!(
+            "minimize --input {} --size 1 --no-normalize --warm --quick",
+            path.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(report.contains("warmed 8/8 prepared solvers"), "{report}");
+        let report = run(&parse_args(&argv(&format!(
+            "minimize --input {} --size 1 --no-normalize --warm --quick --format json",
+            path.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(report.contains("\"warmed\":8,\"warm_seconds\":"), "{report}");
+        // The answer itself is unchanged by warming.
+        assert!(report.contains("\"indices\":[2]"), "{report}");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! [`minimize`]: crate::minimize
 //! [`represent`]: crate::represent
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -314,6 +315,12 @@ pub struct Session {
     /// indexed by discriminant. Failed preparations are cached too — a
     /// capability mismatch fails every query the same way.
     prepared: Vec<OnceLock<Result<Arc<dyn PreparedSolver>, RrmError>>>,
+    /// Calls to [`Session::prepared`] that found an already-built handle.
+    prepare_hits: AtomicUsize,
+    /// Calls that actually ran [`Solver::prepare`] — at most one per
+    /// algorithm slot, however many threads race the first request
+    /// (`tests/session_parity.rs` hammers this).
+    prepare_misses: AtomicUsize,
 }
 
 impl Session {
@@ -326,7 +333,14 @@ impl Session {
     /// Bind an explicitly tuned engine to `data`.
     pub fn with_engine(engine: Engine, data: Dataset) -> Self {
         let space: Box<dyn UtilitySpace> = Box::new(FullSpace::new(data.dim()));
-        Self { engine, data, space, prepared: Self::empty_slots() }
+        Self {
+            engine,
+            data,
+            space,
+            prepared: Self::empty_slots(),
+            prepare_hits: AtomicUsize::new(0),
+            prepare_misses: AtomicUsize::new(0),
+        }
     }
 
     fn empty_slots() -> Vec<OnceLock<Result<Arc<dyn PreparedSolver>, RrmError>>> {
@@ -342,7 +356,7 @@ impl Session {
     /// [`Session::space`] for an already-boxed space.
     pub fn boxed_space(mut self, space: Box<dyn UtilitySpace>) -> Self {
         self.space = space;
-        self.prepared = Self::empty_slots();
+        self.reset_prepared();
         self
     }
 
@@ -351,8 +365,14 @@ impl Session {
     /// policy at prepare time. Solutions are bit-identical at any setting.
     pub fn exec(mut self, exec: ExecPolicy) -> Self {
         self.engine.ctx = SolverCtx::with_exec(exec);
-        self.prepared = Self::empty_slots();
+        self.reset_prepared();
         self
+    }
+
+    fn reset_prepared(&mut self) {
+        self.prepared = Self::empty_slots();
+        self.prepare_hits = AtomicUsize::new(0);
+        self.prepare_misses = AtomicUsize::new(0);
     }
 
     /// The dataset this session serves.
@@ -381,12 +401,50 @@ impl Session {
         let slot = self.prepared.get(algo.index()).ok_or_else(|| {
             RrmError::Unsupported(format!("algorithm {algo} is not registered in this engine"))
         })?;
-        slot.get_or_init(|| {
-            self.engine
-                .prepare(AlgoChoice::Fixed(algo), &self.data, self.space.as_ref())
-                .map(Arc::from)
-        })
-        .clone()
+        // `OnceLock::get_or_init` is the anti-thundering-herd mechanism:
+        // when several threads race a cold slot, exactly one runs the
+        // (possibly expensive) prepare and the rest block on *that slot
+        // only* — queries for other algorithms proceed unimpeded. The
+        // hit/miss counters make the contract observable (and let the
+        // serving layer report prepare amortization per tenant).
+        let mut ran_prepare = false;
+        let result = slot
+            .get_or_init(|| {
+                ran_prepare = true;
+                self.engine
+                    .prepare(AlgoChoice::Fixed(algo), &self.data, self.space.as_ref())
+                    .map(Arc::from)
+            })
+            .clone();
+        if ran_prepare {
+            self.prepare_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.prepare_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Number of [`Session::prepared`] lookups answered from an
+    /// already-built handle (including threads that blocked while another
+    /// thread ran the build).
+    pub fn prepare_hits(&self) -> usize {
+        self.prepare_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that actually executed [`Solver::prepare`] — at
+    /// most one per algorithm slot for the session's lifetime.
+    pub fn prepare_misses(&self) -> usize {
+        self.prepare_misses.load(Ordering::Relaxed)
+    }
+
+    /// Eagerly build the prepared handles for `algos`, so the first real
+    /// request pays no prepare latency spike (servers call this at
+    /// startup; the CLI exposes it as `--warm`). Failures — capability
+    /// mismatches, unsupported dimensionalities — are cached exactly as a
+    /// lazy first request would cache them, and do not abort the rest of
+    /// the warm-up. Returns the number of handles that built successfully.
+    pub fn warm(&self, algos: &[Algorithm]) -> usize {
+        algos.iter().filter(|&&algo| self.prepared(AlgoChoice::Fixed(algo)).is_ok()).count()
     }
 
     /// Answer one request through the prepared state.
@@ -677,6 +735,40 @@ mod tests {
             let session = Session::new(data.clone()).exec(ExecPolicy::threads(threads));
             assert_eq!(session.run(&request).unwrap().solution, baseline, "t={threads}");
         }
+    }
+
+    #[test]
+    fn warm_builds_handles_and_counts_hits_and_misses() {
+        let data = Dataset::from_rows(&[[0.0, 1.0], [0.57, 0.75], [1.0, 0.0]]).unwrap();
+        let session = Session::new(data);
+        // Warm everything: the 2D solvers, HD solvers (d >= 2) and brute
+        // force all accept d = 2, so all eight handles build.
+        let ok = session.warm(&Algorithm::ALL);
+        assert_eq!(ok, 8);
+        assert_eq!(session.prepare_misses(), 8);
+        assert_eq!(session.prepare_hits(), 0);
+        // Every later query is a hit; no new prepare runs.
+        session.run(&Request::minimize(1)).unwrap();
+        session.run(&Request::minimize(2).algo(Algorithm::Hdrrm)).unwrap();
+        assert_eq!(session.prepare_misses(), 8);
+        assert_eq!(session.prepare_hits(), 2);
+        // Warming again is all hits.
+        assert_eq!(session.warm(&Algorithm::ALL), 8);
+        assert_eq!(session.prepare_misses(), 8);
+    }
+
+    #[test]
+    fn warm_caches_failures_without_aborting() {
+        // 3D data: the 2D-only solvers fail to prepare; the rest build.
+        let data =
+            Dataset::from_rows(&[[0.1, 0.9, 0.5], [0.9, 0.1, 0.5], [0.5, 0.5, 0.5]]).unwrap();
+        let session = Session::new(data);
+        let ok = session.warm(&Algorithm::ALL);
+        assert_eq!(ok, 6, "all but the two planar solvers");
+        // The cached failure surfaces identically on a real request.
+        let err = session.run(&Request::minimize(1).algo(Algorithm::TwoDRrm)).unwrap_err();
+        assert!(matches!(err, RrmError::Unsupported(_)), "{err}");
+        assert_eq!(session.prepare_misses(), 8, "failures consumed their one miss");
     }
 
     #[test]

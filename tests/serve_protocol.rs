@@ -1,0 +1,227 @@
+//! End-to-end wire-protocol tests for `rrm_serve`: malformed input,
+//! unknown tenants, deterministic overload rejection, deadline
+//! enforcement, and concurrent clients checked bit-for-bit against an
+//! in-process [`Session`].
+//!
+//! Every server here uses `scores_per_ms_override` so no test depends on
+//! the startup microbenchmark, and overload tests use `workers: 0` —
+//! admission and `stats` still answer on the reader threads, but no
+//! query ever dispatches, so which request gets rejected is exact, not
+//! timing-dependent.
+
+use rank_regret::{Algorithm, ExecPolicy, Session};
+use rrm_serve::{
+    effective_request, parse_request, Client, Json, ServerConfig, ServerHandle, SyntheticKind,
+    TenantSpec,
+};
+
+fn test_config() -> ServerConfig {
+    ServerConfig { workers: 1, scores_per_ms_override: Some(50_000.0), ..ServerConfig::default() }
+}
+
+fn small_tenant(name: &str) -> TenantSpec {
+    TenantSpec::synthetic(name, SyntheticKind::Independent, 300, 3, 7)
+}
+
+fn str_field<'j>(json: &'j Json, key: &str) -> &'j str {
+    json.get(key).and_then(Json::as_str).unwrap_or_else(|| panic!("{key} missing in {json:?}"))
+}
+
+#[test]
+fn malformed_input_gets_bad_request_and_connection_survives() {
+    let server = ServerHandle::start(test_config(), &[small_tenant("t")]).expect("start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Not JSON at all.
+    let resp = client.call("{not json").expect("call");
+    assert_eq!(str_field(&resp, "status"), "error");
+    assert_eq!(str_field(&resp, "error"), "bad_request");
+
+    // Valid JSON, but not a request: unknown key, missing op, zero param.
+    for (line, expect_in_message) in [
+        (r#"{"op":"minimize","tenant":"t","param":3,"bogus":1}"#, "bogus"),
+        (r#"{"tenant":"t","param":3}"#, "op"),
+        (r#"{"op":"minimize","tenant":"t","param":0,"id":9}"#, "param"),
+    ] {
+        let resp = client.call(line).expect("call");
+        assert_eq!(str_field(&resp, "status"), "error", "{line}");
+        assert_eq!(str_field(&resp, "error"), "bad_request", "{line}");
+        let message = str_field(&resp, "message");
+        assert!(message.contains(expect_in_message), "{line} -> {message}");
+    }
+    // The id is echoed even on a rejected request when it can be parsed.
+    let resp = client.call(r#"{"op":"minimize","tenant":"t","param":0,"id":9}"#).expect("call");
+    assert_eq!(resp.get("id").and_then(Json::as_usize), Some(9));
+
+    // The same connection still serves real queries afterwards.
+    let resp = client
+        .call(r#"{"op":"minimize","tenant":"t","param":5,"algo":"hdrrm","samples":64,"id":1}"#)
+        .expect("call");
+    assert_eq!(str_field(&resp, "status"), "ok");
+    assert_eq!(resp.get("id").and_then(Json::as_usize), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn unknown_tenant_is_a_structured_error() {
+    let server = ServerHandle::start(test_config(), &[small_tenant("t")]).expect("start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let resp = client.call(r#"{"op":"minimize","tenant":"nope","param":3,"id":42}"#).expect("call");
+    assert_eq!(str_field(&resp, "status"), "error");
+    assert_eq!(str_field(&resp, "error"), "unknown_tenant");
+    assert_eq!(resp.get("id").and_then(Json::as_usize), Some(42));
+    assert!(str_field(&resp, "message").contains("nope"));
+    server.shutdown();
+}
+
+#[test]
+fn zero_deadline_is_rejected_at_dispatch_with_diagnostics() {
+    let server = ServerHandle::start(test_config(), &[small_tenant("t")]).expect("start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    // deadline_ms:0 has always already elapsed by dispatch time, so this
+    // deterministically exercises the aged-out-in-queue path.
+    let resp = client
+        .call(r#"{"op":"minimize","tenant":"t","param":3,"deadline_ms":0,"id":7}"#)
+        .expect("call");
+    assert_eq!(str_field(&resp, "status"), "error");
+    assert_eq!(str_field(&resp, "error"), "deadline_exceeded");
+    assert_eq!(resp.get("id").and_then(Json::as_usize), Some(7));
+    let diagnostics = resp.get("diagnostics").expect("diagnostics attached");
+    assert!(diagnostics.get("queued_micros").and_then(Json::as_usize).is_some());
+    assert_eq!(diagnostics.get("deadline_ms").and_then(Json::as_usize), Some(0));
+
+    let stats = server.stats_json();
+    let tenant = stats.get("tenants").and_then(|t| t.get("t")).expect("tenant stats");
+    assert_eq!(tenant.get("deadline_exceeded").and_then(Json::as_usize), Some(1));
+    assert_eq!(tenant.get("completed").and_then(Json::as_usize), Some(0));
+    server.shutdown();
+}
+
+#[test]
+fn per_tenant_inflight_cap_rejects_immediately() {
+    // workers:0 — accepted queries sit in the queue forever, so the
+    // third request on a cap of 2 is rejected with certainty.
+    let config = ServerConfig { workers: 0, ..test_config() };
+    let specs = [small_tenant("t").max_inflight(2)];
+    let server = ServerHandle::start(config, &specs).expect("start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    for id in 0..2 {
+        client
+            .send(&format!(r#"{{"op":"minimize","tenant":"t","param":3,"id":{id}}}"#))
+            .expect("send");
+    }
+    // The only response on this connection is the rejection of id 2.
+    let resp = client.call(r#"{"op":"minimize","tenant":"t","param":3,"id":2}"#).expect("call");
+    assert_eq!(str_field(&resp, "status"), "error");
+    assert_eq!(str_field(&resp, "error"), "overloaded");
+    assert_eq!(resp.get("id").and_then(Json::as_usize), Some(2));
+    let diagnostics = resp.get("diagnostics").expect("diagnostics attached");
+    assert_eq!(diagnostics.get("max_inflight").and_then(Json::as_usize), Some(2));
+
+    // stats is answered inline on the reader thread even while the
+    // queue is wedged — that is what makes rejections immediate too.
+    let resp = client.call(r#"{"op":"stats","id":3}"#).expect("call");
+    assert_eq!(str_field(&resp, "status"), "ok");
+    let tenant =
+        resp.get("stats").and_then(|s| s.get("tenants")).and_then(|t| t.get("t")).expect("stats");
+    assert_eq!(tenant.get("accepted").and_then(Json::as_usize), Some(2));
+    assert_eq!(tenant.get("rejected_overload").and_then(Json::as_usize), Some(1));
+    assert_eq!(tenant.get("inflight").and_then(Json::as_usize), Some(2));
+    server.shutdown();
+}
+
+#[test]
+fn global_queue_cap_rejects_across_tenants() {
+    let config = ServerConfig { workers: 0, queue_cap: 1, ..test_config() };
+    let specs = [small_tenant("a").max_inflight(8), small_tenant("b").max_inflight(8)];
+    let server = ServerHandle::start(config, &specs).expect("start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.send(r#"{"op":"minimize","tenant":"a","param":3,"id":0}"#).expect("send");
+    let resp = client.call(r#"{"op":"minimize","tenant":"b","param":3,"id":1}"#).expect("call");
+    assert_eq!(str_field(&resp, "error"), "overloaded");
+    assert!(str_field(&resp, "message").contains("queue"));
+    let diagnostics = resp.get("diagnostics").expect("diagnostics attached");
+    assert_eq!(diagnostics.get("queue_cap").and_then(Json::as_usize), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_match_the_in_process_session() {
+    let config = ServerConfig { workers: 2, warm: vec![Algorithm::Hdrrm], ..test_config() };
+    let spec = small_tenant("t");
+    let server = ServerHandle::start(config, std::slice::from_ref(&spec)).expect("start");
+    let lines: Vec<String> = (0..4)
+        .map(|c| {
+            format!(
+                r#"{{"op":"minimize","tenant":"t","param":{},"algo":"hdrrm","samples":64,"id":{c}}}"#,
+                3 + c
+            )
+        })
+        .collect();
+    let responses: Vec<Json> = std::thread::scope(|scope| {
+        let handles: Vec<_> = lines
+            .iter()
+            .map(|line| {
+                scope.spawn(|| {
+                    let mut client = Client::connect(server.addr()).expect("connect");
+                    client.call(line).expect("call")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).collect()
+    });
+
+    // Replay each request through a fresh in-process session built from
+    // the same spec and the server's calibration: bit-identical answers.
+    let session = Session::new(spec.source.load().expect("load")).exec(ExecPolicy::sequential());
+    let calibration = server.calibration();
+    for (line, resp) in lines.iter().zip(&responses) {
+        assert_eq!(str_field(resp, "status"), "ok", "{line} -> {resp:?}");
+        let wire = parse_request(line).expect("parses");
+        let request = effective_request(&wire, calibration, session.data().n()).expect("query");
+        let expected = session.run(&request).expect("replay");
+        let got: Vec<usize> = match resp.get("indices") {
+            Some(Json::Arr(items)) => items.iter().map(|v| v.as_usize().unwrap()).collect(),
+            other => panic!("no indices: {other:?}"),
+        };
+        let want: Vec<usize> = expected.solution.indices.iter().map(|&i| i as usize).collect();
+        assert_eq!(got, want, "{line}");
+        assert_eq!(
+            resp.get("certified_regret").and_then(Json::as_usize),
+            expected.solution.certified_regret,
+            "{line}"
+        );
+        assert_eq!(
+            resp.get("algorithm").and_then(Json::as_str),
+            Some(expected.solution.algorithm.name()),
+            "{line}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_returns_final_stats_with_latency_histogram() {
+    let server = ServerHandle::start(test_config(), &[small_tenant("t")]).expect("start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    for id in 0..3 {
+        let resp = client
+            .call(&format!(
+                r#"{{"op":"minimize","tenant":"t","param":4,"algo":"hdrrm","samples":64,"id":{id}}}"#
+            ))
+            .expect("call");
+        assert_eq!(str_field(&resp, "status"), "ok");
+    }
+    drop(client);
+    let stats = server.shutdown();
+    let tenant = stats.get("tenants").and_then(|t| t.get("t")).expect("tenant stats");
+    assert_eq!(tenant.get("completed").and_then(Json::as_usize), Some(3));
+    assert_eq!(tenant.get("accepted").and_then(Json::as_usize), Some(3));
+    let latency = tenant.get("latency").expect("latency block");
+    assert_eq!(latency.get("count").and_then(Json::as_usize), Some(3));
+    assert!(latency.get("p99_us").and_then(Json::as_usize).unwrap() > 0);
+    // The warm/prepare economics show up too: one miss (first query
+    // prepared HDRRM lazily), then hits.
+    assert_eq!(tenant.get("prepare_misses").and_then(Json::as_usize), Some(1));
+    assert!(tenant.get("prepare_hits").and_then(Json::as_usize).unwrap() >= 2);
+}

@@ -182,6 +182,64 @@ fn concurrent_queries_over_a_shared_session() {
 }
 
 #[test]
+fn cold_session_prepares_exactly_once_under_a_thundering_herd() {
+    // Eight threads hit a cold Session with the same fixed-algorithm
+    // request at once. The per-slot OnceLock must collapse the herd to a
+    // single prepare — every other thread blocks on it and records a hit.
+    let data = independent(150, 3, 23);
+    let request = Request::minimize(5).algo(Algorithm::Hdrrm).budget(budget());
+    // Ground truth from a separate session, so the one under test stays
+    // genuinely cold until the herd hits it.
+    let expected = Session::new(data.clone()).run(&request).map(|resp| resp.solution);
+    let session = Session::new(data);
+    assert_eq!(session.prepare_misses(), 0);
+    assert_eq!(session.prepare_hits(), 0);
+
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let session = &session;
+            let request = &request;
+            let expected = &expected;
+            scope.spawn(move || {
+                let got = session.run(request).map(|resp| resp.solution);
+                assert_eq!(&got, expected, "thread {t}");
+            });
+        }
+    });
+
+    assert_eq!(session.prepare_misses(), 1, "exactly one thread may run prepare");
+    assert_eq!(session.prepare_hits(), 7, "the other seven reuse the handle");
+}
+
+#[test]
+fn batch_isolates_unsupported_capability_errors() {
+    // A request the chosen algorithm cannot serve on this dataset (2-D
+    // solvers on 3-D data) must fail alone: per-item error, neighbouring
+    // results intact, and the session not poisoned for later use.
+    let data = independent(60, 3, 31);
+    let session = rank_regret::session(&data);
+    let requests: Vec<Request> = vec![
+        Request::minimize(5).algo(Algorithm::Hdrrm).budget(budget()),
+        Request::minimize(5).algo(Algorithm::TwoDRrm).budget(budget()), // d=3: unsupported
+        Request::represent(4).algo(Algorithm::TwoDRrr).budget(budget()), // d=3: unsupported
+        Request::minimize(5).algo(Algorithm::Mdrms).budget(budget()),
+    ];
+    let batched = session.run_batch(&requests);
+    assert_eq!(batched.len(), 4);
+    assert!(batched[0].is_ok(), "{:?}", batched[0]);
+    assert!(matches!(batched[1], Err(RrmError::Unsupported(_))), "{:?}", batched[1]);
+    assert!(matches!(batched[2], Err(RrmError::Unsupported(_))), "{:?}", batched[2]);
+    assert!(batched[3].is_ok(), "{:?}", batched[3]);
+
+    // Not poisoned: the same session still answers fresh runs, and they
+    // agree with the batch results.
+    let again = session.run(&requests[0]).expect("session survives the failed items");
+    assert_eq!(&again.solution, &batched[0].as_ref().unwrap().solution);
+    let again = session.run(&requests[1]);
+    assert!(matches!(again, Err(RrmError::Unsupported(_))));
+}
+
+#[test]
 fn facade_builders_ride_the_session_path() {
     // minimize()/represent() are documented as thin wrappers over a
     // one-shot session; their results must equal explicit session runs.
