@@ -8,7 +8,7 @@
 //! factor of Theorem 9.
 
 use rrm_core::{Dataset, Parallelism};
-use rrm_setcover::greedy_set_cover;
+use rrm_setcover::greedy_set_cover_capped;
 
 use crate::common::batch_topk;
 
@@ -42,6 +42,41 @@ pub fn asms_with_topk(
     topk: &[Vec<u32>],
     candidate_mask: Option<&[bool]>,
 ) -> Vec<u32> {
+    asms_with_topk_capped(n, k, basis, topk, candidate_mask, usize::MAX).q
+}
+
+/// One ASMS feasibility probe: the result set, whether the greedy cover
+/// ran to completion, and how many cover picks it expanded.
+pub struct AsmsProbe {
+    /// `B ∪ (greedy picks)`, sorted and deduplicated. When `complete`,
+    /// exactly the uncapped [`asms_with_topk`] output; when aborted, a
+    /// strict prefix of it that already exceeds the cap.
+    pub q: Vec<u32>,
+    /// Whether the cover ran to completion (`false` = aborted past the
+    /// pick cap, proving the full output is larger than `basis + cap`).
+    pub complete: bool,
+    /// Greedy cover picks expanded (search nodes).
+    pub picks: u64,
+}
+
+/// ASMS with the greedy cover capped at `max_picks` choices — the
+/// bound-and-prune feasibility probe used by the anytime HDRRM search.
+///
+/// Greedy picks are monotone and deterministic, so aborting once the
+/// cover cannot fit the caller's size budget is decision-equivalent to
+/// running it out: `complete == false` proves the uncapped output has
+/// more than `basis.len() + max_picks` tuples, and a complete run returns
+/// the identical set the uncapped call would. Chosen tuples never overlap
+/// the basis (their directions' top-`k` misses it by construction), so
+/// `q.len() == basis.len() + picks` whenever the run completes.
+pub fn asms_with_topk_capped(
+    n: usize,
+    k: usize,
+    basis: &[u32],
+    topk: &[Vec<u32>],
+    candidate_mask: Option<&[bool]>,
+    max_picks: usize,
+) -> AsmsProbe {
     debug_assert!(basis.windows(2).all(|w| w[0] < w[1]), "basis must be sorted");
     let mut in_basis = vec![false; n];
     for &b in basis {
@@ -94,12 +129,13 @@ pub fn asms_with_topk(
         universe += 1;
     }
 
-    let chosen = greedy_set_cover(universe as usize, &lists);
+    let (chosen, complete) = greedy_set_cover_capped(universe as usize, &lists, max_picks);
+    let picks = chosen.len() as u64;
     let mut out: Vec<u32> = basis.to_vec();
     out.extend(chosen.into_iter().map(|li| tuple_of_list[li]));
     out.sort_unstable();
     out.dedup();
-    out
+    AsmsProbe { q: out, complete, picks }
 }
 
 #[cfg(test)]
@@ -172,6 +208,28 @@ mod tests {
         // Chosen non-basis tuples are all skyline members.
         for &t in &q {
             assert!(mask[t as usize] || basis.contains(&t));
+        }
+    }
+
+    #[test]
+    fn capped_probe_is_decision_equivalent() {
+        let data = independent(400, 3, 17);
+        let basis = basis_indices(&data);
+        let disc = build_vector_set(3, &FullSpace::new(3), 300, 4, 6);
+        let topk = crate::common::batch_topk(&data, &disc.dirs, 10, Parallelism::Auto);
+        for k in [1usize, 3, 10] {
+            let full = asms_with_topk(data.n(), k, &basis, &topk, None);
+            let uncapped_picks = full.len() - basis.len();
+            for r in [basis.len(), basis.len() + 1, full.len().saturating_sub(1), full.len()] {
+                let cap = r - basis.len();
+                let probe = asms_with_topk_capped(data.n(), k, &basis, &topk, None, cap);
+                // The "fits in r" decision matches the uncapped run.
+                assert_eq!(probe.complete && probe.q.len() <= r, full.len() <= r, "k={k} r={r}");
+                if probe.complete {
+                    assert_eq!(probe.q, full, "k={k} r={r}");
+                }
+                assert!(probe.picks <= uncapped_picks as u64 + 1, "k={k} r={r}");
+            }
         }
     }
 

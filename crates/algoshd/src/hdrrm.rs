@@ -19,11 +19,12 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use rrm_core::{
-    basis_indices, cache_bounded, Algorithm, Budget, Dataset, ExecPolicy, RrmError, Solution,
-    UtilitySpace, PREPARED_CACHE_CAP,
+    basis_indices, cache_bounded, Algorithm, AnytimeSearch, Bounds, Budget, Cutoff, Dataset,
+    ExecPolicy, Parallelism, RrmError, Solution, TerminatedBy, UtilitySpace, PREPARED_CACHE_CAP,
 };
 
-use crate::asms::asms_with_topk;
+use crate::anytime::{regret_over_dirs, threshold_search, uniform_top_set, ThresholdOutcome};
+use crate::asms::{asms_with_topk, asms_with_topk_capped};
 use crate::common::batch_topk;
 use crate::discretize::{build_vector_set_exec, paper_sample_size, Discretization};
 
@@ -52,6 +53,12 @@ pub struct HdrrmOptions {
     /// phase, in entries (`|D| · k_hi`). Above it, lists are recomputed
     /// per probe.
     pub cache_budget_entries: usize,
+    /// Bound-and-prune the feasibility probes: abort a greedy cover as
+    /// soon as it provably exceeds the size budget `r`. Decision- and
+    /// answer-equivalent to running every cover out (greedy picks are
+    /// monotone and deterministic); disable only to measure the pruning
+    /// win (`repro anytime`).
+    pub prune: bool,
     /// Data-parallelism for the direction-batch kernels (top-k scoring,
     /// grid membership). Engine-level contexts override the default;
     /// outputs are identical at any thread count.
@@ -68,12 +75,144 @@ impl Default for HdrrmOptions {
             skyline_candidates: true,
             include_basis: true,
             cache_budget_entries: 64 << 20, // 64M u32 entries = 256 MB
+            prune: true,
             exec: ExecPolicy::default(),
         }
     }
 }
 
-/// Solve RRM (`space = L`) or RRRM (restricted `space`) with HDRRM.
+/// Fraction of the discretization used as the coarse frame (its *prefix*,
+/// so coarse infeasibility implies full-frame infeasibility).
+const COARSE_FRACTION: usize = 16;
+/// Below this many coarse directions the coarse pass is skipped — the
+/// full solve is already fast and the extra pass would not pay for
+/// itself.
+const COARSE_MIN_DIRS: usize = 16;
+
+/// The per-solve probe environment shared by the one-shot and prepared
+/// HDRRM searches: everything a feasibility probe needs besides the
+/// top-k lists (which the two paths source differently).
+struct AsmsSearch<'a> {
+    data: &'a Dataset,
+    r: usize,
+    basis: &'a [u32],
+    mask: Option<&'a [bool]>,
+    /// Greedy pick cap for bound-and-prune probes (`usize::MAX` when
+    /// pruning is disabled).
+    pick_cap: usize,
+    pol: Parallelism,
+}
+
+/// Greedy pick cap for a probe: chosen tuples never overlap the basis,
+/// so a cover that picks more than `r - |B|` tuples already proves
+/// infeasibility. `usize::MAX` disables pruning.
+fn pick_cap(r: usize, basis: &[u32], options: &HdrrmOptions) -> usize {
+    if options.prune {
+        r - basis.len()
+    } else {
+        usize::MAX
+    }
+}
+
+impl AsmsSearch<'_> {
+    /// One capped feasibility probe over precomputed lists. Counts the
+    /// cover picks as nodes, records prunes, and offers feasible results
+    /// to the incumbent (their threshold is a sound frame-relative upper
+    /// bound).
+    fn probe(
+        &self,
+        k: usize,
+        lists: &[Vec<u32>],
+        lower: usize,
+        search: &mut AnytimeSearch,
+    ) -> Option<Vec<u32>> {
+        let probe =
+            asms_with_topk_capped(self.data.n(), k, self.basis, lists, self.mask, self.pick_cap);
+        search.note_nodes(probe.picks);
+        if !probe.complete {
+            search.note_pruned_probe();
+            return None;
+        }
+        if probe.q.len() <= self.r {
+            search.offer(probe.q.clone(), k, lower);
+            Some(probe.q)
+        } else {
+            None
+        }
+    }
+
+    /// Offer the deterministic fallback incumbent (basis topped up with
+    /// uniform-direction best scorers), so any active cutoff always has
+    /// a sound answer to return.
+    fn offer_fallback(&self, dirs: &[Vec<f64>], search: &mut AnytimeSearch) {
+        let fallback = uniform_top_set(self.data, self.basis, self.r);
+        let upper = regret_over_dirs(self.data, &fallback, dirs, self.pol);
+        search.offer(fallback, upper, 1);
+    }
+
+    /// Coarse-to-fine first incumbent: run the whole threshold search on
+    /// the *prefix* `dirs[..m/16]` of the discretization (a subset, so
+    /// its probes are cheap and its answer fits `r`), then measure that
+    /// answer's regret over the full frame for a sound upper bound.
+    /// Coarse probes never consume the deterministic probe budget; their
+    /// expanded nodes and prunes are merged into the main report.
+    fn coarse_incumbent(&self, dirs: &[Vec<f64>], search: &mut AnytimeSearch) {
+        let mc = dirs.len() / COARSE_FRACTION;
+        if mc < COARSE_MIN_DIRS {
+            return;
+        }
+        let coarse = &dirs[..mc];
+        let mut sub = AnytimeSearch::unlimited();
+        let mut cache: Option<(usize, Vec<Vec<u32>>)> = None;
+        let outcome = threshold_search(self.data.n(), &mut sub, |k, lower, sub| {
+            if cache.as_ref().is_none_or(|(ck, _)| *ck < k) {
+                cache = Some((k, batch_topk(self.data, coarse, k, self.pol)));
+            }
+            let (_, lists) = cache.as_ref().expect("coarse top-k cache just filled");
+            Ok(self.probe(k, lists, lower, sub))
+        });
+        search.report.nodes += sub.report.nodes;
+        search.report.pruned_probes += sub.report.pruned_probes;
+        let Ok(outcome) = outcome else { return };
+        if let Some((_, q)) = outcome.best {
+            let upper = regret_over_dirs(self.data, &q, dirs, self.pol);
+            search.offer(q, upper, 1);
+        }
+    }
+
+    /// Assemble the final [`Solution`] from a finished or cut-off search.
+    fn finish(
+        &self,
+        outcome: ThresholdOutcome<Vec<u32>>,
+        search: AnytimeSearch,
+    ) -> Result<Solution, RrmError> {
+        match outcome.terminated {
+            TerminatedBy::Completed => {
+                // Unreachable `None`: at k = n the universe Dk is empty
+                // and ASMS returns exactly the basis, which fits r.
+                let (best_k, best_q) = outcome.best.expect("ASMS at k = n returns the basis");
+                Solution::new(best_q, Some(best_k), Algorithm::Hdrrm, self.data).map(|s| {
+                    s.with_bounds(Bounds { lower: best_k, upper: best_k })
+                        .with_report(search.report)
+                })
+            }
+            t => {
+                let (q, upper) = search
+                    .incumbent
+                    .best()
+                    .expect("an active cutoff offers a fallback incumbent before searching");
+                Solution::new(q, Some(upper), Algorithm::Hdrrm, self.data).map(|s| {
+                    s.with_bounds(Bounds { lower: outcome.lower, upper })
+                        .with_termination(t)
+                        .with_report(search.report)
+                })
+            }
+        }
+    }
+}
+
+/// Solve RRM (`space = L`) or RRRM (restricted `space`) with HDRRM,
+/// running to completion ([`Cutoff::None`]).
 ///
 /// Errors when `r` cannot hold the basis (`r < |B|`; the paper assumes
 /// `r ≥ d`), when `d < 2`, or on dimension mismatch.
@@ -82,6 +221,26 @@ pub fn hdrrm(
     r: usize,
     space: &dyn UtilitySpace,
     options: HdrrmOptions,
+) -> Result<Solution, RrmError> {
+    hdrrm_anytime(data, r, space, options, Cutoff::None, None)
+}
+
+/// [`hdrrm`] as an anytime bound-and-prune search.
+///
+/// The doubling-then-binary threshold search runs under `cutoff`
+/// (`probe_budget` threshold probes under [`Cutoff::CounterBudget`]); an
+/// early stop returns the best incumbent found so far — the coarse-frame
+/// answer, a feasible probe, or the uniform-direction fallback — with
+/// certified [`Bounds`] and the [`TerminatedBy`] reason, instead of
+/// failing. Under [`Cutoff::None`] the answer is bit-identical to the
+/// pre-anytime solver at any thread count.
+pub fn hdrrm_anytime(
+    data: &Dataset,
+    r: usize,
+    space: &dyn UtilitySpace,
+    options: HdrrmOptions,
+    cutoff: Cutoff,
+    probe_budget: Option<usize>,
 ) -> Result<Solution, RrmError> {
     let d = data.dim();
     let n = data.n();
@@ -109,56 +268,39 @@ pub fn hdrrm(
     } else {
         None
     };
-    let mask_ref = mask.as_deref();
 
-    // Doubling phase (Algorithm 3 lines 2–6).
-    let mut prev_k = 0usize;
-    let mut k = 1usize;
-    let (mut best_k, mut best_q);
-    loop {
-        let topk = batch_topk(data, &disc.dirs, k, options.exec.parallelism);
-        let q = asms_with_topk(n, k, &basis, &topk, mask_ref);
-        if q.len() <= r {
-            best_k = k;
-            best_q = q;
-            // Binary phase reuses these lists: every probe below k is a
-            // prefix (when the cache budget allows keeping them).
-            let cache = if disc.dirs.len().saturating_mul(k) <= options.cache_budget_entries {
-                Some(topk)
-            } else {
-                None
-            };
-            let mut lo = prev_k + 1;
-            let mut hi = k;
-            while lo < hi {
-                let mid = lo + (hi - lo) / 2;
-                let q_mid = match &cache {
-                    Some(lists) => asms_with_topk(n, mid, &basis, lists, mask_ref),
-                    None => {
-                        let lists = batch_topk(data, &disc.dirs, mid, options.exec.parallelism);
-                        asms_with_topk(n, mid, &basis, &lists, mask_ref)
-                    }
-                };
-                if q_mid.len() <= r {
-                    best_k = mid;
-                    best_q = q_mid;
-                    hi = mid;
-                } else {
-                    lo = mid + 1;
-                }
-            }
-            break;
-        }
-        if k >= n {
-            // Unreachable: at k = n the universe is empty and ASMS returns
-            // exactly the basis, which fits r.
-            unreachable!("ASMS at k = n returns the basis");
-        }
-        prev_k = k;
-        k = (k * 2).min(n);
+    let env = AsmsSearch {
+        data,
+        r,
+        basis: &basis,
+        mask: mask.as_deref(),
+        pick_cap: pick_cap(r, &basis, &options),
+        pol: options.exec.parallelism,
+    };
+    let mut search = AnytimeSearch::new(cutoff, probe_budget);
+    if search.cutoff() != Cutoff::None {
+        env.offer_fallback(&disc.dirs, &mut search);
     }
+    env.coarse_incumbent(&disc.dirs, &mut search);
 
-    Solution::new(best_q, Some(best_k), Algorithm::Hdrrm, data)
+    // Main search (Algorithm 3 lines 2–6). Top-k lists computed for the
+    // latest doubling threshold are kept (within the cache budget) and
+    // sliced for every smaller probe — the ASMS prefix property.
+    let mut cache: Option<(usize, Arc<Vec<Vec<u32>>>)> = None;
+    let outcome = threshold_search(n, &mut search, |k, lower, search| {
+        let lists = match &cache {
+            Some((ck, lists)) if *ck >= k => lists.clone(),
+            _ => {
+                let lists = Arc::new(batch_topk(data, &disc.dirs, k, options.exec.parallelism));
+                if disc.dirs.len().saturating_mul(k) <= options.cache_budget_entries {
+                    cache = Some((k, lists.clone()));
+                }
+                lists
+            }
+        };
+        Ok(env.probe(k, &lists, lower, search))
+    })?;
+    env.finish(outcome, search)
 }
 
 /// HDRRM bound to one dataset and utility space: the prepare-once /
@@ -297,7 +439,9 @@ impl PreparedHdrrm {
         })
     }
 
-    /// RRM for one size budget (identical to [`hdrrm`]).
+    /// RRM for one size budget (identical to [`hdrrm`], including the
+    /// anytime behavior: the budget's [`Budget::effective_cutoff`] and
+    /// `max_enumerations` probe allowance apply in-solve).
     pub fn solve_rrm(&self, r: usize, budget: &Budget) -> Result<Solution, RrmError> {
         let n = self.data.n();
         let basis: &[u32] = if self.options.include_basis { &self.basis } else { &[] };
@@ -305,44 +449,26 @@ impl PreparedHdrrm {
             return Err(RrmError::OutputSizeTooSmall { requested: r, minimum: basis.len().max(1) });
         }
         let m = self.rrm_samples(r, budget);
-        let mask_ref = self.mask.as_deref();
+        let disc = self.disc(m);
 
-        // Doubling phase (Algorithm 3 lines 2–6), probing through the
-        // shared top-k cache.
-        let mut prev_k = 0usize;
-        let mut k = 1usize;
-        let (mut best_k, mut best_q);
-        loop {
-            let lists = self.lists(m, k);
-            let q = asms_with_topk(n, k, basis, &lists, mask_ref);
-            if q.len() <= r {
-                best_k = k;
-                best_q = q;
-                let mut lo = prev_k + 1;
-                let mut hi = k;
-                while lo < hi {
-                    let mid = lo + (hi - lo) / 2;
-                    let q_mid = asms_with_topk(n, mid, basis, &self.lists(m, mid), mask_ref);
-                    if q_mid.len() <= r {
-                        best_k = mid;
-                        best_q = q_mid;
-                        hi = mid;
-                    } else {
-                        lo = mid + 1;
-                    }
-                }
-                break;
-            }
-            if k >= n {
-                // Unreachable: at k = n the universe is empty and ASMS
-                // returns exactly the basis, which fits r.
-                unreachable!("ASMS at k = n returns the basis");
-            }
-            prev_k = k;
-            k = (k * 2).min(n);
+        let env = AsmsSearch {
+            data: &self.data,
+            r,
+            basis,
+            mask: self.mask.as_deref(),
+            pick_cap: pick_cap(r, basis, &self.options),
+            pol: self.options.exec.parallelism,
+        };
+        let mut search = AnytimeSearch::new(budget.effective_cutoff(), budget.max_enumerations);
+        if search.cutoff() != Cutoff::None {
+            env.offer_fallback(&disc.dirs, &mut search);
         }
+        env.coarse_incumbent(&disc.dirs, &mut search);
 
-        Solution::new(best_q, Some(best_k), Algorithm::Hdrrm, &self.data)
+        let outcome = threshold_search(n, &mut search, |k, lower, search| {
+            Ok(env.probe(k, &self.lists(m, k), lower, search))
+        })?;
+        env.finish(outcome, search)
     }
 
     /// RRR for one threshold (identical to [`hdrrr`]).

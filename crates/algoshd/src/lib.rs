@@ -13,6 +13,7 @@
 //! rejects restricted spaces, `mdrc` rejects them too, and only `hdrrm`
 //! and `mdrrr` certify a rank-regret for their output.
 
+pub(crate) mod anytime;
 pub mod asms;
 pub mod common;
 pub mod cube;
@@ -28,10 +29,10 @@ pub mod solver;
 pub use asms::asms;
 pub use cube::{cube, cube_ratio_bound};
 pub use discretize::{build_vector_set, paper_sample_size, Discretization};
-pub use hdrrm::{hdrrm, hdrrr, HdrrmOptions, PreparedHdrrm};
+pub use hdrrm::{hdrrm, hdrrm_anytime, hdrrr, HdrrmOptions, PreparedHdrrm};
 pub use ksets::{enumerate_ksets, KsetEnumeration, KsetLimits};
-pub use mdrc::{mdrc, mdrc_rrm, MdrcOptions};
+pub use mdrc::{mdrc, mdrc_anytime, mdrc_rrm, MdrcOptions};
 pub use mdrms::{mdrms, MdrmsOptions};
-pub use mdrrr::{mdrrr, mdrrr_rrm};
-pub use mdrrr_r::{mdrrr_r, mdrrr_r_rrm, MdrrrROptions};
+pub use mdrrr::{mdrrr, mdrrr_rrm, mdrrr_rrm_anytime};
+pub use mdrrr_r::{mdrrr_r, mdrrr_r_rrm, mdrrr_r_rrm_anytime, MdrrrROptions};
 pub use solver::{HdrrmSolver, MdrcSolver, MdrmsSolver, MdrrrRSolver, MdrrrSolver};

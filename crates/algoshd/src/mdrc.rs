@@ -12,7 +12,10 @@
 //! Restricted spaces are rejected, matching Table III ("Suitable for
 //! RRRM: No").
 
-use rrm_core::{rank, Algorithm, Dataset, ExecPolicy, RrmError, Solution, UtilitySpace};
+use rrm_core::{
+    rank, Algorithm, AnytimeSearch, Bounds, Cutoff, Dataset, ExecPolicy, RrmError, Solution,
+    TerminatedBy, UtilitySpace,
+};
 use rrm_geom::polar::angles_to_direction;
 
 /// Options for [`mdrc`].
@@ -44,6 +47,24 @@ pub fn mdrc(
     space: &dyn UtilitySpace,
     opts: MdrcOptions,
 ) -> Result<Solution, RrmError> {
+    mdrc_anytime(data, r, space, opts, Cutoff::None, None)
+}
+
+/// [`mdrc`] as an anytime refinement: every refinement step improves the
+/// answer, so a cutoff simply returns the cells refined so far (fewer,
+/// coarser representatives — still a valid size ≤ `r` set). MDRC probes
+/// say nothing about cell interiors, so no rank bounds are attached; a
+/// cut-off run carries only its [`TerminatedBy`] reason. `eval_budget`
+/// caps the number of cell evaluations under
+/// [`Cutoff::CounterBudget`].
+pub fn mdrc_anytime(
+    data: &Dataset,
+    r: usize,
+    space: &dyn UtilitySpace,
+    opts: MdrcOptions,
+    cutoff: Cutoff,
+    eval_budget: Option<usize>,
+) -> Result<Solution, RrmError> {
     if !space.is_full() {
         return Err(RrmError::Unsupported(
             "MDRC does not support restricted spaces (Table III)".into(),
@@ -55,11 +76,28 @@ pub fn mdrc(
     if r == 0 {
         return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
     }
+    let mut search = AnytimeSearch::new(cutoff, eval_budget);
+    // The root cell is always evaluated (the answer must be non-empty);
+    // it still counts against the evaluation budget.
+    search.take_probe();
+    search.note_node();
+    let mut terminated = TerminatedBy::Completed;
     let ad = data.dim() - 1; // angle-space dimensionality
     let root = evaluate_cell(data, &vec![0.0; ad], &vec![std::f64::consts::FRAC_PI_2; ad], opts);
     let mut cells = vec![root];
     // Refine until r cells exist (or cells stop being splittable).
     while cells.len() < r {
+        // No incumbent bounds to tighten (MDRC certifies nothing), so the
+        // gap check is inert; wall-clock cutoffs still fire here.
+        if let Some(t) = search.should_stop(Bounds { lower: 1, upper: 1 }) {
+            terminated = t;
+            break;
+        }
+        // Each split evaluates two child cells.
+        if !search.take_probe() || !search.take_probe() {
+            terminated = TerminatedBy::Counter;
+            break;
+        }
         // Worst representative first.
         let (idx, _) =
             cells.iter().enumerate().max_by_key(|(_, c)| c.worst_rank).expect("non-empty cells");
@@ -84,9 +122,12 @@ pub fn mdrc(
         hi_lo[axis] = mid;
         cells.push(evaluate_cell(data, &cell.lo, &lo_hi, opts));
         cells.push(evaluate_cell(data, &hi_lo, &cell.hi, opts));
+        search.note_node();
+        search.note_node();
     }
     let ids: Vec<u32> = cells.iter().map(|c| c.representative).collect();
     Solution::new(ids, None, Algorithm::Mdrc, data)
+        .map(|s| s.with_termination(terminated).with_report(search.report))
 }
 
 /// Alias for symmetry with the other baselines' RRM adapters (MDRC is a

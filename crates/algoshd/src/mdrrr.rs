@@ -8,14 +8,37 @@
 //! beyond a few hundred tuples" (`|W|` explodes); the limits make it fail
 //! gracefully instead of hanging.
 
-use rrm_core::{Algorithm, Dataset, RrmError, Solution};
-use rrm_setcover::greedy_set_cover;
+use rrm_core::{
+    Algorithm, AnytimeSearch, Bounds, Cutoff, Dataset, RrmError, Solution, TerminatedBy,
+};
+use rrm_setcover::greedy_set_cover_capped;
 
+use crate::anytime::{threshold_search, uniform_top_set};
 use crate::ksets::{enumerate_ksets, KsetEnumeration, KsetLimits};
 
 /// Hitting set over an enumerated k-set family (shared by MDRRR and
 /// MDRRRr): universe = k-sets, tuple `t` covers the k-sets containing it.
 pub(crate) fn hit_ksets(n: usize, ksets: &[Vec<u32>]) -> Vec<u32> {
+    hit_ksets_capped(n, ksets, usize::MAX).ids
+}
+
+/// One capped hitting-set probe: result, completion flag, picks made.
+pub(crate) struct HitProbe {
+    /// Chosen tuples, sorted. When `complete`, exactly the uncapped
+    /// [`hit_ksets`] output; when aborted, a prefix already past the cap.
+    pub ids: Vec<u32>,
+    /// `false` iff the greedy cover aborted past `max_picks` — proving
+    /// the uncapped hitting set has more than `max_picks` tuples.
+    pub complete: bool,
+    /// Greedy picks expanded (search nodes).
+    pub picks: u64,
+}
+
+/// [`hit_ksets`] with the greedy cover capped at `max_picks` choices —
+/// the bound-and-prune feasibility probe of the anytime RRM searches.
+/// Greedy picks are monotone and deterministic, so the "fits in `r`
+/// tuples" decision is identical to the uncapped run's.
+pub(crate) fn hit_ksets_capped(n: usize, ksets: &[Vec<u32>], max_picks: usize) -> HitProbe {
     assert!(!ksets.is_empty());
     let mut lists: Vec<Vec<u32>> = Vec::new();
     let mut list_of_tuple: Vec<u32> = vec![u32::MAX; n];
@@ -32,10 +55,11 @@ pub(crate) fn hit_ksets(n: usize, ksets: &[Vec<u32>]) -> Vec<u32> {
             }
         }
     }
-    let chosen = greedy_set_cover(ksets.len(), &lists);
+    let (chosen, complete) = greedy_set_cover_capped(ksets.len(), &lists, max_picks);
+    let picks = chosen.len() as u64;
     let mut out: Vec<u32> = chosen.into_iter().map(|li| tuple_of_list[li]).collect();
     out.sort_unstable();
-    out
+    HitProbe { ids: out, complete, picks }
 }
 
 /// MDRRR for the RRR problem: a set with rank-regret ≤ `k` (certified when
@@ -56,54 +80,95 @@ pub fn mdrrr(data: &Dataset, k: usize, limits: KsetLimits) -> Result<Solution, R
 /// MDRRR adapted to RRM with the improved (doubling + binary) search on
 /// `k`, as the paper's experiments run it.
 pub fn mdrrr_rrm(data: &Dataset, r: usize, limits: KsetLimits) -> Result<Solution, RrmError> {
-    rrm_search_with(data.n(), r, |k| mdrrr(data, k, limits))
+    rrm_search_with(data, r, Cutoff::None, |k| mdrrr(data, k, limits))
 }
 
-/// The doubling + binary search on `k` shared by [`mdrrr_rrm`] and the
-/// prepared path: `probe(k)` answers one threshold. Kept closure-driven so
-/// prepared solvers can memoize enumerations without duplicating the
-/// search (which would risk parity drift).
-pub(crate) fn rrm_search_with(
-    n: usize,
+/// [`mdrrr_rrm`] under an explicit in-solve cutoff.
+pub fn mdrrr_rrm_anytime(
+    data: &Dataset,
     r: usize,
+    limits: KsetLimits,
+    cutoff: Cutoff,
+) -> Result<Solution, RrmError> {
+    rrm_search_with(data, r, cutoff, |k| mdrrr(data, k, limits))
+}
+
+/// The anytime doubling + binary search on `k` shared by [`mdrrr_rrm`]
+/// and the prepared path: `probe(k)` answers one threshold. Kept
+/// closure-driven so prepared solvers can memoize enumerations without
+/// duplicating the search (which would risk parity drift).
+///
+/// Infeasible probes are sound *lower-bound* proofs even when the k-set
+/// enumeration was truncated: a hitting set over a subset of the k-sets
+/// can only be smaller than over all of them. Feasible-but-uncertified
+/// answers (truncated enumeration) are annotated with the trivially
+/// sound upper bound `n` and [`TerminatedBy::Counter`] — the counter
+/// exhaustion surfaced as a gap instead of silently claiming the
+/// threshold.
+pub(crate) fn rrm_search_with(
+    data: &Dataset,
+    r: usize,
+    cutoff: Cutoff,
     mut probe: impl FnMut(usize) -> Result<Solution, RrmError>,
 ) -> Result<Solution, RrmError> {
     if r == 0 {
         return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
     }
-    let mut prev_k = 0usize;
-    let mut k = 1usize;
-    let mut best: Option<Solution> = None;
-    loop {
+    let n = data.n();
+    // The k-set/LP counters act *inside* each probe (they truncate the
+    // enumeration), so the probe count itself is not budget-bound here.
+    let mut search = AnytimeSearch::new(cutoff, None);
+    if search.cutoff() != Cutoff::None {
+        // Rank is at most n everywhere — a sound fallback incumbent
+        // without extra work, for wall-clock / gap cutoffs.
+        search.offer(uniform_top_set(data, &[], r), n, 1);
+    }
+    let outcome = threshold_search(n, &mut search, |k, lower, search| {
         let sol = probe(k)?;
-        if sol.size() <= r {
-            best = Some(sol);
-            break;
+        search.note_nodes(sol.size() as u64);
+        if sol.size() > r {
+            return Ok(None);
         }
-        if k >= n {
-            break;
+        if sol.certified_regret.is_some() {
+            search.offer(sol.indices.clone(), k, lower);
         }
-        prev_k = k;
-        k = (k * 2).min(n);
+        Ok(Some(sol))
+    })?;
+    match outcome.terminated {
+        TerminatedBy::Completed => match outcome.best {
+            Some((k, sol)) => {
+                if sol.certified_regret.is_some() {
+                    Ok(sol.with_bounds(Bounds { lower: k, upper: k }).with_report(search.report))
+                } else {
+                    Ok(sol
+                        .with_bounds(Bounds { lower: outcome.lower, upper: n })
+                        .with_termination(TerminatedBy::Counter)
+                        .with_report(search.report))
+                }
+            }
+            None => Err(RrmError::Unsupported(
+                "k-set enumeration hit its limits before finding a feasible threshold".into(),
+            )),
+        },
+        t => match outcome.best {
+            Some((k, sol)) => {
+                let upper = if sol.certified_regret.is_some() { k } else { n };
+                Ok(sol
+                    .with_bounds(Bounds { lower: outcome.lower, upper })
+                    .with_termination(t)
+                    .with_report(search.report))
+            }
+            None => {
+                let (ids, upper) =
+                    search.incumbent.best().expect("active cutoffs seed a fallback incumbent");
+                Solution::new(ids, None, Algorithm::Mdrrr, data).map(|s| {
+                    s.with_bounds(Bounds { lower: outcome.lower, upper })
+                        .with_termination(t)
+                        .with_report(search.report)
+                })
+            }
+        },
     }
-    let Some(mut best) = best else {
-        return Err(RrmError::Unsupported(
-            "k-set enumeration hit its limits before finding a feasible threshold".into(),
-        ));
-    };
-    let mut lo = prev_k + 1;
-    let mut hi = k;
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        let sol = probe(mid)?;
-        if sol.size() <= r {
-            best = sol;
-            hi = mid;
-        } else {
-            lo = mid + 1;
-        }
-    }
-    Ok(best)
 }
 
 #[cfg(test)]

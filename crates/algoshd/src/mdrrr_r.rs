@@ -11,10 +11,14 @@ use std::collections::HashSet;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rrm_core::{Algorithm, Dataset, ExecPolicy, Parallelism, RrmError, Solution, UtilitySpace};
+use rrm_core::{
+    Algorithm, AnytimeSearch, Bounds, Cutoff, Dataset, ExecPolicy, Parallelism, RrmError, Solution,
+    TerminatedBy, UtilitySpace,
+};
 
+use crate::anytime::{regret_over_dirs, threshold_search, uniform_top_set, ThresholdOutcome};
 use crate::common::batch_topk;
-use crate::mdrrr::hit_ksets;
+use crate::mdrrr::{hit_ksets, hit_ksets_capped};
 
 /// Options for [`mdrrr_r`].
 #[derive(Debug, Clone, Copy)]
@@ -23,6 +27,10 @@ pub struct MdrrrROptions {
     pub samples: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Bound-and-prune the RRM feasibility probes: abort a hitting-set
+    /// cover once it provably exceeds the size budget `r`
+    /// (answer-equivalent; disable only to measure the pruning win).
+    pub prune: bool,
     /// Data-parallelism for the k-set discovery scoring pass. Engine-level
     /// contexts override the default; the discovered k-set family is
     /// identical at any thread count.
@@ -31,7 +39,121 @@ pub struct MdrrrROptions {
 
 impl Default for MdrrrROptions {
     fn default() -> Self {
-        Self { samples: 20_000, seed: 0x5EED, exec: ExecPolicy::default() }
+        Self { samples: 20_000, seed: 0x5EED, prune: true, exec: ExecPolicy::default() }
+    }
+}
+
+/// Prefix fraction of the sampled pool used as the coarse frame.
+const COARSE_FRACTION: usize = 16;
+/// Minimum coarse pool size for the coarse pass to be worth running.
+const COARSE_MIN_DIRS: usize = 16;
+
+/// The per-solve probe environment shared by the one-shot and prepared
+/// MDRRRr RRM searches (the k-set family source differs between them).
+pub(crate) struct SampledSearch<'a> {
+    pub data: &'a Dataset,
+    pub r: usize,
+    /// Hitting-set pick cap (`usize::MAX` = pruning disabled).
+    pub pick_cap: usize,
+    pub pol: Parallelism,
+}
+
+impl SampledSearch<'_> {
+    pub(crate) fn pick_cap(r: usize, prune: bool) -> usize {
+        if prune {
+            r
+        } else {
+            usize::MAX
+        }
+    }
+
+    /// One capped hitting probe over a k-set family. Counts picks as
+    /// nodes, records prunes, offers feasible results (their threshold
+    /// is the sound upper bound over the sampled pool).
+    pub(crate) fn probe(
+        &self,
+        k: usize,
+        ksets: &[Vec<u32>],
+        lower: usize,
+        search: &mut AnytimeSearch,
+    ) -> Option<Vec<u32>> {
+        let probe = hit_ksets_capped(self.data.n(), ksets, self.pick_cap);
+        search.note_nodes(probe.picks);
+        if !probe.complete {
+            search.note_pruned_probe();
+            return None;
+        }
+        if probe.ids.len() <= self.r {
+            search.offer(probe.ids.clone(), k, lower);
+            Some(probe.ids)
+        } else {
+            None
+        }
+    }
+
+    /// Offer the uniform-direction top-`r` fallback incumbent, with its
+    /// measured regret over the full sampled pool as the upper bound.
+    pub(crate) fn offer_fallback(&self, dirs: &[Vec<f64>], search: &mut AnytimeSearch) {
+        let fallback = uniform_top_set(self.data, &[], self.r);
+        let upper = regret_over_dirs(self.data, &fallback, dirs, self.pol);
+        search.offer(fallback, upper, 1);
+    }
+
+    /// Coarse-to-fine first incumbent: solve over the prefix
+    /// `dirs[..samples/16]` of the pool (cheap — fewer directions to
+    /// score and fewer k-sets to hit), then measure that answer over the
+    /// full pool for a sound frame-relative upper bound. Coarse probes
+    /// never consume the deterministic probe budget.
+    pub(crate) fn coarse_incumbent(&self, dirs: &[Vec<f64>], search: &mut AnytimeSearch) {
+        let mc = dirs.len() / COARSE_FRACTION;
+        if mc < COARSE_MIN_DIRS {
+            return;
+        }
+        let coarse = &dirs[..mc];
+        let mut sub = AnytimeSearch::unlimited();
+        let outcome = threshold_search(self.data.n(), &mut sub, |k, lower, sub| {
+            let ksets = ksets_from_dirs(self.data, k, coarse, self.pol);
+            Ok(self.probe(k, &ksets, lower, sub))
+        });
+        search.report.nodes += sub.report.nodes;
+        search.report.pruned_probes += sub.report.pruned_probes;
+        let Ok(outcome) = outcome else { return };
+        if let Some((_, ids)) = outcome.best {
+            let upper = regret_over_dirs(self.data, &ids, dirs, self.pol);
+            search.offer(ids, upper, 1);
+        }
+    }
+
+    /// Assemble the final [`Solution`]. MDRRRr certifies nothing
+    /// (`certified_regret` stays `None`); its bounds are relative to the
+    /// sampled pool only.
+    pub(crate) fn finish(
+        &self,
+        outcome: ThresholdOutcome<Vec<u32>>,
+        search: AnytimeSearch,
+    ) -> Result<Solution, RrmError> {
+        match outcome.terminated {
+            TerminatedBy::Completed => {
+                // Unreachable `None`: at k = n the only k-set is the whole
+                // dataset and any single tuple hits it.
+                let (best_k, ids) = outcome.best.expect("hitting at k = n is a single tuple");
+                Solution::new(ids, None, Algorithm::MdrrrR, self.data).map(|s| {
+                    s.with_bounds(Bounds { lower: best_k, upper: best_k })
+                        .with_report(search.report)
+                })
+            }
+            t => {
+                let (ids, upper) = search
+                    .incumbent
+                    .best()
+                    .expect("an active cutoff offers a fallback incumbent before searching");
+                Solution::new(ids, None, Algorithm::MdrrrR, self.data).map(|s| {
+                    s.with_bounds(Bounds { lower: outcome.lower, upper })
+                        .with_termination(t)
+                        .with_report(search.report)
+                })
+            }
+        }
     }
 }
 
@@ -96,58 +218,58 @@ pub fn mdrrr_r(
     Solution::new(ids, None, Algorithm::MdrrrR, data)
 }
 
-/// MDRRRr adapted to RRM (doubling + binary search on `k`).
+/// MDRRRr adapted to RRM (doubling + binary search on `k`), running to
+/// completion ([`Cutoff::None`]).
 pub fn mdrrr_r_rrm(
     data: &Dataset,
     r: usize,
     space: &dyn UtilitySpace,
     opts: MdrrrROptions,
 ) -> Result<Solution, RrmError> {
+    mdrrr_r_rrm_anytime(data, r, space, opts, Cutoff::None, None)
+}
+
+/// [`mdrrr_r_rrm`] as an anytime bound-and-prune search.
+///
+/// The sampled direction pool is drawn once and reused for every
+/// threshold probe; hitting-set covers abort as soon as they provably
+/// exceed `r` (when `opts.prune`); an early stop under `cutoff` returns
+/// the best incumbent found so far — the coarse-prefix answer, a feasible
+/// probe, or the uniform-direction fallback — with pool-relative
+/// [`Bounds`] and the [`TerminatedBy`] reason. Under [`Cutoff::None`] the
+/// answer is bit-identical to the pre-anytime solver at any thread count.
+pub fn mdrrr_r_rrm_anytime(
+    data: &Dataset,
+    r: usize,
+    space: &dyn UtilitySpace,
+    opts: MdrrrROptions,
+    cutoff: Cutoff,
+    probe_budget: Option<usize>,
+) -> Result<Solution, RrmError> {
     if space.dim() != data.dim() {
         return Err(RrmError::DimensionMismatch { expected: data.dim(), got: space.dim() });
     }
-    rrm_search_sampled(data.n(), r, |k| mdrrr_r(data, k, space, opts))
-}
-
-/// The doubling + binary search of [`mdrrr_r_rrm`], closure-driven so the
-/// prepared path can memoize the per-threshold hitting sets. Unlike the
-/// exact enumeration's search, a feasible threshold always exists (the
-/// top-n hitting set is any single tuple).
-pub(crate) fn rrm_search_sampled(
-    n: usize,
-    r: usize,
-    mut probe: impl FnMut(usize) -> Result<Solution, RrmError>,
-) -> Result<Solution, RrmError> {
     if r == 0 {
         return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
     }
-    let mut prev_k = 0usize;
-    let mut k = 1usize;
-    let sol = loop {
-        let sol = probe(k)?;
-        if sol.size() <= r {
-            break sol;
-        }
-        if k >= n {
-            break sol; // top-n hitting set is any single tuple: always fits
-        }
-        prev_k = k;
-        k = (k * 2).min(n);
+    let n = data.n();
+    let dirs = sampled_dirs(space, opts);
+    let env = SampledSearch {
+        data,
+        r,
+        pick_cap: SampledSearch::pick_cap(r, opts.prune),
+        pol: opts.exec.parallelism,
     };
-    let mut best = sol;
-    let mut lo = prev_k + 1;
-    let mut hi = k;
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        let sol = probe(mid)?;
-        if sol.size() <= r {
-            best = sol;
-            hi = mid;
-        } else {
-            lo = mid + 1;
-        }
+    let mut search = AnytimeSearch::new(cutoff, probe_budget);
+    if search.cutoff() != Cutoff::None {
+        env.offer_fallback(&dirs, &mut search);
     }
-    Ok(best)
+    env.coarse_incumbent(&dirs, &mut search);
+    let outcome = threshold_search(n, &mut search, |k, lower, search| {
+        let ksets = ksets_from_dirs(data, k, &dirs, env.pol);
+        Ok(env.probe(k, &ksets, lower, search))
+    })?;
+    env.finish(outcome, search)
 }
 
 #[cfg(test)]

@@ -11,17 +11,19 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use rrm_core::{
-    cache_bounded, rrr_via_rrm_search, rrr_via_rrm_search_with, Algorithm, Budget, Dataset,
-    PreparedSolver, RrmError, Solution, Solver, SolverCtx, UtilitySpace, PREPARED_CACHE_CAP,
+    cache_bounded, rrr_via_rrm_search, rrr_via_rrm_search_with, Algorithm, AnytimeSearch, Budget,
+    Cutoff, Dataset, PreparedSolver, RrmError, Solution, Solver, SolverCtx, UtilitySpace,
+    PREPARED_CACHE_CAP,
 };
 
-use crate::hdrrm::{hdrrm, hdrrr, HdrrmOptions, PreparedHdrrm};
+use crate::anytime::threshold_search;
+use crate::hdrrm::{hdrrm_anytime, hdrrr, HdrrmOptions, PreparedHdrrm};
 use crate::ksets::KsetLimits;
-use crate::mdrc::{mdrc, MdrcOptions};
+use crate::mdrc::{mdrc_anytime, MdrcOptions};
 use crate::mdrms::{mdrms, GreedyRms, MdrmsOptions};
-use crate::mdrrr::{hit_ksets, mdrrr, mdrrr_rrm, rrm_search_with};
+use crate::mdrrr::{hit_ksets, mdrrr, mdrrr_rrm_anytime, rrm_search_with};
 use crate::mdrrr_r::{
-    ksets_from_dirs, mdrrr_r, mdrrr_r_rrm, rrm_search_sampled, sampled_dirs, MdrrrROptions,
+    ksets_from_dirs, mdrrr_r, mdrrr_r_rrm_anytime, sampled_dirs, MdrrrROptions, SampledSearch,
 };
 
 /// **HDRRM** (paper Section V): discretize-and-cover with a certificate
@@ -59,7 +61,14 @@ impl Solver for HdrrmSolver {
         budget: &Budget,
         ctx: &SolverCtx,
     ) -> Result<Solution, RrmError> {
-        hdrrm(data, r, space, self.budgeted(budget, ctx))
+        hdrrm_anytime(
+            data,
+            r,
+            space,
+            self.budgeted(budget, ctx),
+            budget.effective_cutoff(),
+            budget.max_enumerations,
+        )
     }
 
     fn solve_rrr_ctx(
@@ -151,7 +160,7 @@ impl Solver for MdrrrSolver {
         // The underlying enumeration has no restricted-space mode; guard
         // here so a direct trait call cannot silently ignore the space.
         self.ensure_supported(data, space)?;
-        mdrrr_rrm(data, r, self.budgeted(budget, ctx))
+        mdrrr_rrm_anytime(data, r, self.budgeted(budget, ctx), budget.effective_cutoff())
     }
 
     fn solve_rrr_ctx(
@@ -227,7 +236,7 @@ impl PreparedSolver for PreparedMdrrr {
 
     fn solve_rrm(&self, r: usize, budget: &Budget) -> Result<Solution, RrmError> {
         let limits = self.budgeted(budget);
-        rrm_search_with(self.data.n(), r, |k| self.probe(k, limits))
+        rrm_search_with(&self.data, r, budget.effective_cutoff(), |k| self.probe(k, limits))
     }
 
     fn solve_rrr(&self, k: usize, budget: &Budget) -> Result<Solution, RrmError> {
@@ -270,7 +279,14 @@ impl Solver for MdrrrRSolver {
         budget: &Budget,
         ctx: &SolverCtx,
     ) -> Result<Solution, RrmError> {
-        mdrrr_r_rrm(data, r, space, self.budgeted(budget, ctx))
+        mdrrr_r_rrm_anytime(
+            data,
+            r,
+            space,
+            self.budgeted(budget, ctx),
+            budget.effective_cutoff(),
+            budget.max_enumerations,
+        )
     }
 
     fn solve_rrr_ctx(
@@ -340,14 +356,12 @@ impl PreparedMdrrrR {
         )
     }
 
-    fn probe(&self, k: usize, opts: MdrrrROptions) -> Result<Solution, RrmError> {
-        if k == 0 {
-            return Err(RrmError::Unsupported("rank-regret thresholds start at 1".into()));
-        }
-        let k = k.min(self.data.n());
+    /// The memoized k-set family for one threshold (`k` must already be
+    /// clamped to `n`).
+    fn kset_family(&self, k: usize, opts: MdrrrROptions) -> Arc<Vec<Vec<u32>>> {
         let key = (k, opts.samples);
         let cached = self.ksets.lock().expect("k-set cache poisoned").get(&key).cloned();
-        let ksets = match cached {
+        match cached {
             Some(ksets) => ksets,
             None => {
                 // Scoring outside the lock: deterministic, so racers can
@@ -367,7 +381,15 @@ impl PreparedMdrrrR {
                     8 * PREPARED_CACHE_CAP,
                 )
             }
-        };
+        }
+    }
+
+    fn probe(&self, k: usize, opts: MdrrrROptions) -> Result<Solution, RrmError> {
+        if k == 0 {
+            return Err(RrmError::Unsupported("rank-regret thresholds start at 1".into()));
+        }
+        let k = k.min(self.data.n());
+        let ksets = self.kset_family(k, opts);
         let ids = hit_ksets(self.data.n(), &ksets);
         Solution::new(ids, None, Algorithm::MdrrrR, &self.data)
     }
@@ -383,8 +405,27 @@ impl PreparedSolver for PreparedMdrrrR {
     }
 
     fn solve_rrm(&self, r: usize, budget: &Budget) -> Result<Solution, RrmError> {
+        if r == 0 {
+            return Err(RrmError::OutputSizeTooSmall { requested: 0, minimum: 1 });
+        }
         let opts = self.budgeted(budget);
-        rrm_search_sampled(self.data.n(), r, |k| self.probe(k, opts))
+        let dirs = self.dirs(opts);
+        let env = SampledSearch {
+            data: &self.data,
+            r,
+            pick_cap: SampledSearch::pick_cap(r, opts.prune),
+            pol: opts.exec.parallelism,
+        };
+        let mut search = AnytimeSearch::new(budget.effective_cutoff(), budget.max_enumerations);
+        if search.cutoff() != Cutoff::None {
+            env.offer_fallback(&dirs, &mut search);
+        }
+        env.coarse_incumbent(&dirs, &mut search);
+        let outcome = threshold_search(self.data.n(), &mut search, |k, lower, search| {
+            let ksets = self.kset_family(k, opts);
+            Ok(env.probe(k, &ksets, lower, search))
+        })?;
+        env.finish(outcome, search)
     }
 
     fn solve_rrr(&self, k: usize, budget: &Budget) -> Result<Solution, RrmError> {
@@ -424,10 +465,17 @@ impl Solver for MdrcSolver {
         data: &Dataset,
         r: usize,
         space: &dyn UtilitySpace,
-        _budget: &Budget,
+        budget: &Budget,
         ctx: &SolverCtx,
     ) -> Result<Solution, RrmError> {
-        mdrc(data, r, space, self.with_ctx(ctx))
+        mdrc_anytime(
+            data,
+            r,
+            space,
+            self.with_ctx(ctx),
+            budget.effective_cutoff(),
+            budget.max_enumerations,
+        )
     }
 
     fn solve_rrr_ctx(
@@ -466,16 +514,44 @@ struct PreparedMdrc {
     data: Dataset,
     space: Box<dyn UtilitySpace>,
     options: MdrcOptions,
-    memo: Mutex<HashMap<usize, Solution>>,
+    /// Keyed by `(r, effective cell-evaluation cap)`: a counter-cut
+    /// partial answer must not be served to an unlimited query (or vice
+    /// versa).
+    memo: Mutex<HashMap<(usize, usize), Solution>>,
 }
 
 impl PreparedMdrc {
-    fn rrm_memo(&self, r: usize) -> Result<Solution, RrmError> {
-        if let Some(sol) = self.memo.lock().expect("MDRC memo poisoned").get(&r) {
+    fn rrm_memo(&self, r: usize, budget: &Budget) -> Result<Solution, RrmError> {
+        let cutoff = budget.effective_cutoff();
+        if matches!(cutoff, Cutoff::TimeBudget(_)) {
+            // Wall-clock cutoffs are nondeterministic — never cache (or
+            // serve a cached answer for) a time-cut solve.
+            return mdrc_anytime(
+                &self.data,
+                r,
+                self.space.as_ref(),
+                self.options,
+                cutoff,
+                budget.max_enumerations,
+            );
+        }
+        let cap = match cutoff {
+            Cutoff::CounterBudget => budget.max_enumerations.unwrap_or(usize::MAX),
+            _ => usize::MAX,
+        };
+        let key = (r, cap);
+        if let Some(sol) = self.memo.lock().expect("MDRC memo poisoned").get(&key) {
             return Ok(sol.clone());
         }
-        let sol = mdrc(&self.data, r, self.space.as_ref(), self.options)?;
-        self.memo.lock().expect("MDRC memo poisoned").insert(r, sol.clone());
+        let sol = mdrc_anytime(
+            &self.data,
+            r,
+            self.space.as_ref(),
+            self.options,
+            cutoff,
+            budget.max_enumerations,
+        )?;
+        self.memo.lock().expect("MDRC memo poisoned").insert(key, sol.clone());
         Ok(sol)
     }
 }
@@ -489,8 +565,8 @@ impl PreparedSolver for PreparedMdrc {
         &self.data
     }
 
-    fn solve_rrm(&self, r: usize, _budget: &Budget) -> Result<Solution, RrmError> {
-        self.rrm_memo(r)
+    fn solve_rrm(&self, r: usize, budget: &Budget) -> Result<Solution, RrmError> {
+        self.rrm_memo(r, budget)
     }
 
     fn solve_rrr(&self, k: usize, budget: &Budget) -> Result<Solution, RrmError> {
@@ -501,7 +577,7 @@ impl PreparedSolver for PreparedMdrc {
             self.space.as_ref(),
             budget,
             self.options.exec,
-            |r| self.rrm_memo(r),
+            |r| self.rrm_memo(r, budget),
         )
     }
 }
@@ -725,8 +801,12 @@ mod tests {
         // Tight LP cap: debug-profile simplex calls are ~50ms each, and
         // MDRRR's one-shot side re-enumerates per probe. Parity holds
         // under any cap — both paths see the same one.
-        let budget =
-            Budget { samples: Some(400), max_enumerations: Some(500), max_lp_calls: Some(150) };
+        let budget = Budget {
+            samples: Some(400),
+            max_enumerations: Some(500),
+            max_lp_calls: Some(150),
+            ..Budget::UNLIMITED
+        };
         // MDRRR on a deliberately tiny instance (LP cost per feasibility
         // check grows with k·(n−k) rows); the rest at a larger n.
         let cases: Vec<(Box<dyn Solver>, Dataset)> = vec![

@@ -7,8 +7,8 @@
 //!
 //! Ids: `table1 table2 table3 theorem2 fig09 fig10 fig11 fig12 fig13 fig14
 //! fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25 fig26
-//! fig27 fig28 ablation amortize scale kernels serve`. (`amortize`,
-//! `scale`, `kernels` and `serve` are not paper figures: `amortize` measures the session API's
+//! fig27 fig28 ablation amortize scale kernels serve anytime`. (`amortize`,
+//! `scale`, `kernels`, `serve` and `anytime` are not paper figures: `amortize` measures the session API's
 //! prepare-once / query-many speedup and writes `BENCH_session.json`;
 //! `scale` sweeps the parallel runtime over thread counts {1,2,4,8},
 //! asserts bit-identical solutions, and writes per-algorithm speedups to
@@ -18,7 +18,11 @@
 //! `serve` load-tests the `rrm_serve` query service over real TCP with a
 //! replayed multi-tenant trace — single-tenant hot, mixed, and overload
 //! scenarios — parity-checks every served response against an in-process
-//! `Session`, and writes `BENCH_serve.json`.)
+//! `Session`, and writes `BENCH_serve.json`; `anytime` measures the
+//! bound-and-prune machinery of the hard HD solvers — time to first
+//! incumbent, pruned-node counts vs. a no-pruning baseline with answers
+//! asserted bit-identical, and deterministic gap-vs-budget sweeps — and
+//! writes `BENCH_anytime.json`.)
 //! A global `--threads N` flag pins the worker count for every other
 //! experiment (0 = all cores; equivalent to RRM_THREADS). Default scale is `--quick` (minutes for `all`);
 //! `--full` mirrors the paper's parameters. Absolute times differ from the
@@ -61,7 +65,7 @@ fn main() {
         "table1", "table2", "table3", "theorem2", "fig09", "fig10", "fig11", "fig12", "fig13",
         "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
         "fig24", "fig25", "fig26", "fig27", "fig28", "ablation", "amortize", "scale", "kernels",
-        "serve",
+        "serve", "anytime",
     ];
     match id {
         "all" => {
@@ -112,6 +116,7 @@ fn run(id: &str, scale: Scale) {
         "scale" => thread_scaling(scale),
         "kernels" => kernels(scale),
         "serve" => bench::serve_bench::run(scale),
+        "anytime" => bench::anytime_bench::run(scale),
         _ => unreachable!(),
     }
 }
@@ -708,7 +713,11 @@ fn amortize(scale: Scale) {
             // Cap the k-set enumeration: unlimited LP budgets put this
             // baseline in the minutes-per-query regime (the paper's "does
             // not scale" point); the cap binds both paths identically.
-            Budget { samples: None, max_enumerations: Some(10_000), max_lp_calls: Some(100_000) },
+            Budget {
+                max_enumerations: Some(10_000),
+                max_lp_calls: Some(100_000),
+                ..Budget::UNLIMITED
+            },
         ),
         (
             Algorithm::MdrrrR,
@@ -877,7 +886,11 @@ fn thread_scaling(scale: Scale) {
             Algorithm::Mdrrr,
             rrm_data::synthetic::independent(22, 3, 88),
             vec![3, 5],
-            Budget { samples: None, max_enumerations: Some(5_000), max_lp_calls: Some(50_000) },
+            Budget {
+                max_enumerations: Some(5_000),
+                max_lp_calls: Some(50_000),
+                ..Budget::UNLIMITED
+            },
         ),
         (
             Algorithm::BruteForce,

@@ -7,6 +7,7 @@
 //! harness never calls algorithm crates directly — and sweep
 //! configuration for quick vs full mode.
 
+pub mod anytime_bench;
 pub mod serve_bench;
 
 use std::time::Instant;

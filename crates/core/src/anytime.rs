@@ -1,0 +1,330 @@
+//! Anytime bound-and-prune machinery shared by the hard HD solvers.
+//!
+//! The hard solvers (HDRRM, MDRRR, MDRRRr, MDRC) are restructured as
+//! *anytime* searches: they maintain a best-so-far [`Incumbent`] with an
+//! upper bound on its rank-regret, tighten a lower bound as thresholds
+//! are proven infeasible, and can be cut off mid-search — by wall clock,
+//! by a target optimality gap, or by the deterministic counter budget —
+//! returning the incumbent annotated with certified [`Bounds`] instead
+//! of failing.
+//!
+//! Determinism contract: under [`Cutoff::None`], [`Cutoff::GapAtMost`]
+//! and [`Cutoff::CounterBudget`] the stopping decision depends only on
+//! deterministic state (bounds and probe counts), so results are
+//! bit-identical at any thread count. Only [`Cutoff::TimeBudget`] may
+//! vary run-to-run — and then the reported gap certifies whatever was
+//! returned.
+//!
+//! The shape follows ddo-style branch-and-bound (shared incumbent,
+//! relaxed/restricted bounds, pluggable cutoffs) mapped onto the
+//! doubling-then-binary threshold search the solvers share.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Certified bounds on the optimal achievable rank-regret at the moment
+/// the search stopped: the optimum lies in `[lower, upper]`, and the
+/// returned solution achieves rank-regret at most `upper` (within the
+/// solver's own frame — exact for MDRRR, discretized for HDRRM, sampled
+/// for MDRRRr).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bounds {
+    /// Largest threshold proven infeasible, plus one (1 when nothing is
+    /// proven yet).
+    pub lower: usize,
+    /// Rank-regret certified for the returned set.
+    pub upper: usize,
+}
+
+impl Bounds {
+    /// Relative optimality gap `(upper - lower) / upper` in `[0, 1]`:
+    /// `0.0` means the answer is proven optimal within the solver's
+    /// frame.
+    pub fn gap(&self) -> f64 {
+        if self.upper == 0 || self.upper <= self.lower {
+            0.0
+        } else {
+            (self.upper - self.lower) as f64 / self.upper as f64
+        }
+    }
+}
+
+/// Why a solve returned when it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TerminatedBy {
+    /// The search ran to its natural end (gap 0 within its frame).
+    #[default]
+    Completed,
+    /// A wall-clock [`Cutoff::TimeBudget`] expired mid-search.
+    Time,
+    /// The bounds reached the requested [`Cutoff::GapAtMost`] target.
+    Gap,
+    /// A deterministic counter budget ([`Cutoff::CounterBudget`], folded
+    /// in from the `Budget` counters) was exhausted.
+    Counter,
+}
+
+impl TerminatedBy {
+    pub fn name(self) -> &'static str {
+        match self {
+            TerminatedBy::Completed => "completed",
+            TerminatedBy::Time => "time",
+            TerminatedBy::Gap => "gap",
+            TerminatedBy::Counter => "counter",
+        }
+    }
+}
+
+/// When an anytime solver should stop early.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Cutoff {
+    /// Run to completion.
+    #[default]
+    None,
+    /// Stop once this much wall clock has elapsed (nondeterministic:
+    /// results may vary run to run, the reported gap stays sound).
+    TimeBudget(Duration),
+    /// Stop once the relative optimality gap is at most this value
+    /// (deterministic: the gap is a function of the bounds alone).
+    GapAtMost(f64),
+    /// Stop when the `Budget` probe counter (`max_enumerations`) is
+    /// exhausted (deterministic).
+    CounterBudget,
+}
+
+/// Thread-safe best-so-far solution: an index set plus the rank-regret
+/// bound certified for it. Updates are monotone — an offer only wins if
+/// its bound is strictly better — so concurrent probes can share one
+/// incumbent without ordering concerns.
+#[derive(Debug, Default)]
+pub struct Incumbent {
+    best: Mutex<Option<(Vec<u32>, usize)>>,
+}
+
+impl Incumbent {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offer a candidate with a certified upper bound; keeps it only if
+    /// it beats the current incumbent. Returns whether it was installed.
+    pub fn offer(&self, indices: Vec<u32>, upper: usize) -> bool {
+        let mut best = self.best.lock().expect("incumbent lock");
+        match best.as_ref() {
+            Some((_, have)) if *have <= upper => false,
+            _ => {
+                *best = Some((indices, upper));
+                true
+            }
+        }
+    }
+
+    /// The current best set and its certified bound, if any.
+    pub fn best(&self) -> Option<(Vec<u32>, usize)> {
+        self.best.lock().expect("incumbent lock").clone()
+    }
+
+    /// The current certified upper bound, if any.
+    pub fn upper(&self) -> Option<usize> {
+        self.best.lock().expect("incumbent lock").as_ref().map(|(_, u)| *u)
+    }
+}
+
+/// Search statistics attached to an anytime [`Solution`]: node and
+/// prune accounting plus the gap-vs-time curve. Wall-clock fields are
+/// nondeterministic, which is why the report is excluded from
+/// `Solution` equality.
+///
+/// [`Solution`]: crate::problem::Solution
+#[derive(Debug, Clone, Default)]
+pub struct SearchReport {
+    /// Search nodes expanded: greedy cover selections plus threshold /
+    /// cell probes.
+    pub nodes: u64,
+    /// Probes aborted early because their cover provably could not beat
+    /// the feasibility cap (the bound-and-prune win; the skipped nodes
+    /// are measured against a no-pruning baseline by `repro anytime`).
+    pub pruned_probes: u64,
+    /// Seconds from solve start to the first incumbent.
+    pub first_incumbent_seconds: Option<f64>,
+    /// `(seconds, bounds)` at each bounds improvement, in time order.
+    pub curve: Vec<(f64, Bounds)>,
+}
+
+/// Per-solve driver state for an anytime search: the cutoff, the shared
+/// incumbent, the deterministic probe budget, and the (wall-clock)
+/// report being accumulated.
+#[derive(Debug)]
+pub struct AnytimeSearch {
+    cutoff: Cutoff,
+    started: Instant,
+    /// Remaining probe budget under [`Cutoff::CounterBudget`]; `None`
+    /// means unlimited.
+    probes_left: Option<usize>,
+    pub incumbent: Incumbent,
+    pub report: SearchReport,
+}
+
+impl AnytimeSearch {
+    /// A search under `cutoff`; `probe_budget` is the deterministic
+    /// probe allowance consumed by [`AnytimeSearch::take_probe`] (only
+    /// enforced under [`Cutoff::CounterBudget`]).
+    pub fn new(cutoff: Cutoff, probe_budget: Option<usize>) -> Self {
+        let probes_left = match cutoff {
+            Cutoff::CounterBudget => probe_budget,
+            _ => None,
+        };
+        Self {
+            cutoff,
+            started: Instant::now(),
+            probes_left,
+            incumbent: Incumbent::new(),
+            report: SearchReport::default(),
+        }
+    }
+
+    /// A search that never stops early (still counts nodes).
+    pub fn unlimited() -> Self {
+        Self::new(Cutoff::None, None)
+    }
+
+    pub fn cutoff(&self) -> Cutoff {
+        self.cutoff
+    }
+
+    /// Seconds since the solve started.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Count one expanded search node (a greedy pick or a probe).
+    pub fn note_node(&mut self) {
+        self.report.nodes += 1;
+    }
+
+    /// Count `n` expanded search nodes at once.
+    pub fn note_nodes(&mut self, n: u64) {
+        self.report.nodes += n;
+    }
+
+    /// Count one probe aborted early by the feasibility cap.
+    pub fn note_pruned_probe(&mut self) {
+        self.report.pruned_probes += 1;
+    }
+
+    /// Consume one unit of the deterministic probe budget. Returns
+    /// `false` when the budget is exhausted (the caller should stop and
+    /// return its incumbent).
+    pub fn take_probe(&mut self) -> bool {
+        match self.probes_left.as_mut() {
+            None => true,
+            Some(0) => false,
+            Some(left) => {
+                *left -= 1;
+                true
+            }
+        }
+    }
+
+    /// Install a new incumbent; stamps the first-incumbent time and the
+    /// gap-vs-time curve when it wins.
+    pub fn offer(&mut self, indices: Vec<u32>, upper: usize, lower: usize) {
+        if self.incumbent.offer(indices, upper) {
+            let t = self.elapsed_seconds();
+            self.report.first_incumbent_seconds.get_or_insert(t);
+            self.report.curve.push((t, Bounds { lower, upper: upper.max(lower) }));
+        }
+    }
+
+    /// Should the search stop *before* the next unit of work, given the
+    /// current bounds? Deterministic cutoffs (gap, counter) are checked
+    /// from deterministic state only; the time budget reads the clock.
+    pub fn should_stop(&self, bounds: Bounds) -> Option<TerminatedBy> {
+        match self.cutoff {
+            Cutoff::None => None,
+            Cutoff::TimeBudget(limit) => {
+                (self.started.elapsed() >= limit).then_some(TerminatedBy::Time)
+            }
+            Cutoff::GapAtMost(target) => (self.incumbent.upper().is_some()
+                && bounds.gap() <= target)
+                .then_some(TerminatedBy::Gap),
+            Cutoff::CounterBudget => (self.probes_left == Some(0)).then_some(TerminatedBy::Counter),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_is_relative_and_clamped() {
+        assert_eq!(Bounds { lower: 3, upper: 3 }.gap(), 0.0);
+        assert_eq!(Bounds { lower: 5, upper: 3 }.gap(), 0.0, "crossed bounds clamp to 0");
+        let g = Bounds { lower: 1, upper: 4 }.gap();
+        assert!((g - 0.75).abs() < 1e-12, "{g}");
+        assert_eq!(Bounds { lower: 0, upper: 0 }.gap(), 0.0);
+    }
+
+    #[test]
+    fn incumbent_updates_are_monotone() {
+        let inc = Incumbent::new();
+        assert!(inc.best().is_none());
+        assert!(inc.offer(vec![1, 2], 10));
+        assert!(!inc.offer(vec![3], 10), "ties do not replace");
+        assert!(!inc.offer(vec![3], 12), "worse bounds do not replace");
+        assert!(inc.offer(vec![3], 7));
+        assert_eq!(inc.best(), Some((vec![3], 7)));
+        assert_eq!(inc.upper(), Some(7));
+    }
+
+    #[test]
+    fn counter_budget_is_deterministic_and_exhaustible() {
+        let mut s = AnytimeSearch::new(Cutoff::CounterBudget, Some(2));
+        let b = Bounds { lower: 1, upper: 100 };
+        assert!(s.should_stop(b).is_none());
+        assert!(s.take_probe());
+        assert!(s.take_probe());
+        assert!(!s.take_probe(), "third probe exceeds the budget");
+        assert_eq!(s.should_stop(b), Some(TerminatedBy::Counter));
+    }
+
+    #[test]
+    fn probe_budget_only_binds_under_counter_cutoff() {
+        let mut s = AnytimeSearch::new(Cutoff::None, Some(1));
+        for _ in 0..10 {
+            assert!(s.take_probe());
+        }
+        assert!(s.should_stop(Bounds { lower: 1, upper: 9 }).is_none());
+    }
+
+    #[test]
+    fn gap_cutoff_needs_an_incumbent() {
+        let mut s = AnytimeSearch::new(Cutoff::GapAtMost(0.5), None);
+        let tight = Bounds { lower: 3, upper: 4 };
+        assert!(s.should_stop(tight).is_none(), "no incumbent yet");
+        s.offer(vec![0], 4, 3);
+        assert_eq!(s.should_stop(tight), Some(TerminatedBy::Gap));
+        assert!(s.should_stop(Bounds { lower: 1, upper: 4 }).is_none(), "gap too wide");
+    }
+
+    #[test]
+    fn offer_stamps_first_incumbent_and_curve() {
+        let mut s = AnytimeSearch::unlimited();
+        s.offer(vec![0], 50, 1);
+        s.offer(vec![0], 60, 1); // loses: no new curve point
+        s.offer(vec![1], 20, 4);
+        assert_eq!(s.report.curve.len(), 2);
+        assert_eq!(s.report.curve[0].1, Bounds { lower: 1, upper: 50 });
+        assert_eq!(s.report.curve[1].1, Bounds { lower: 4, upper: 20 });
+        assert!(s.report.first_incumbent_seconds.is_some());
+        let t0 = s.report.first_incumbent_seconds.unwrap();
+        assert!(t0 <= s.report.curve[1].0);
+    }
+
+    #[test]
+    fn time_budget_zero_stops_immediately() {
+        let s = AnytimeSearch::new(Cutoff::TimeBudget(Duration::ZERO), None);
+        assert_eq!(s.should_stop(Bounds { lower: 1, upper: 2 }), Some(TerminatedBy::Time));
+    }
+}

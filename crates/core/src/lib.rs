@@ -32,6 +32,7 @@
 //! assert_eq!(rank_regret_of_set(&d, &u, &[1]), 1); // {t2} has rank 1
 //! ```
 
+pub mod anytime;
 pub mod basis;
 pub mod dataset;
 pub mod error;
@@ -44,6 +45,7 @@ pub mod solver;
 pub mod space;
 pub mod utility;
 
+pub use anytime::{AnytimeSearch, Bounds, Cutoff, Incumbent, SearchReport, TerminatedBy};
 pub use basis::basis_indices;
 pub use dataset::Dataset;
 pub use error::RrmError;

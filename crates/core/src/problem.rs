@@ -4,6 +4,9 @@
 //! contract: what a problem instance asks for and what a [`Solution`]
 //! reports back.
 
+use std::sync::Arc;
+
+use crate::anytime::{Bounds, SearchReport, TerminatedBy};
 use crate::dataset::Dataset;
 use crate::error::RrmError;
 use crate::solver::DimRange;
@@ -118,6 +121,18 @@ impl Algorithm {
         )
     }
 
+    /// Is the algorithm an anytime bound-and-prune search that honours
+    /// in-solve [`Cutoff`]s (time budget, gap target, counter budget)?
+    /// These are the hard HD solvers: when cut mid-search they return
+    /// their best incumbent with certified [`Bounds`] instead of
+    /// failing, so a serving deadline yields a partial answer with a
+    /// gap rather than `deadline_exceeded`.
+    ///
+    /// [`Cutoff`]: crate::anytime::Cutoff
+    pub fn is_cuttable(self) -> bool {
+        matches!(self, Algorithm::Hdrrm | Algorithm::Mdrrr | Algorithm::MdrrrR | Algorithm::Mdrc)
+    }
+
     /// Dataset dimensionalities the algorithm accepts: the 2D algorithms
     /// are exact-but-planar, everything else needs `d ≥ 2`, and brute
     /// force works from `d = 1` up (on tiny inputs).
@@ -137,7 +152,7 @@ impl std::fmt::Display for Algorithm {
 }
 
 /// A representative set chosen by a solver.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Solution {
     /// Selected tuple indices, sorted ascending, deduplicated.
     pub indices: Vec<u32>,
@@ -150,6 +165,30 @@ pub struct Solution {
     pub certified_regret: Option<usize>,
     /// Which algorithm produced this solution.
     pub algorithm: Algorithm,
+    /// Anytime bounds on the optimal rank-regret within the solver's
+    /// frame, when the solver tracks them (the cuttable HD solvers);
+    /// `None` for the exact / heuristic solvers that don't.
+    pub bounds: Option<Bounds>,
+    /// Why the solve returned ([`TerminatedBy::Completed`] unless an
+    /// in-solve cutoff fired).
+    pub terminated_by: TerminatedBy,
+    /// Anytime search statistics (nodes, prunes, gap-vs-time curve).
+    /// Wall-clock data — deliberately excluded from `PartialEq` so
+    /// parity tests compare answers, not timings.
+    pub report: Option<Arc<SearchReport>>,
+}
+
+/// Equality compares the answer (indices, certificate, algorithm) and
+/// its deterministic anytime annotations (bounds, termination reason),
+/// but *not* the wall-clock [`SearchReport`].
+impl PartialEq for Solution {
+    fn eq(&self, other: &Self) -> bool {
+        self.indices == other.indices
+            && self.certified_regret == other.certified_regret
+            && self.algorithm == other.algorithm
+            && self.bounds == other.bounds
+            && self.terminated_by == other.terminated_by
+    }
 }
 
 impl Solution {
@@ -177,7 +216,39 @@ impl Solution {
                 "{algorithm} returned tuple index {bad}, out of range for n = {n}"
             )));
         }
-        Ok(Self { indices, certified_regret, algorithm })
+        Ok(Self {
+            indices,
+            certified_regret,
+            algorithm,
+            bounds: None,
+            terminated_by: TerminatedBy::Completed,
+            report: None,
+        })
+    }
+
+    /// Attach anytime bounds (builder style).
+    pub fn with_bounds(mut self, bounds: Bounds) -> Self {
+        self.bounds = Some(bounds);
+        self
+    }
+
+    /// Record why the solve returned (builder style).
+    pub fn with_termination(mut self, terminated_by: TerminatedBy) -> Self {
+        self.terminated_by = terminated_by;
+        self
+    }
+
+    /// Attach the search report (builder style).
+    pub fn with_report(mut self, report: SearchReport) -> Self {
+        self.report = Some(Arc::new(report));
+        self
+    }
+
+    /// The relative optimality gap certified by [`Solution::bounds`]
+    /// (`Some(0.0)` = proven optimal within the solver's frame; `None`
+    /// when the solver tracks no bounds).
+    pub fn gap(&self) -> Option<f64> {
+        self.bounds.map(|b| b.gap())
     }
 
     /// Number of tuples in the representative set.
@@ -276,6 +347,34 @@ mod tests {
         assert!(Algorithm::MdrrrR.supports_restricted_space());
         assert!(!Algorithm::Mdrc.supports_restricted_space());
         assert!(Algorithm::Hdrrm.supports_restricted_space());
+    }
+
+    #[test]
+    fn cuttable_set_is_the_hard_hd_solvers() {
+        let cuttable: Vec<Algorithm> =
+            Algorithm::ALL.into_iter().filter(|a| a.is_cuttable()).collect();
+        assert_eq!(
+            cuttable,
+            vec![Algorithm::Hdrrm, Algorithm::Mdrrr, Algorithm::MdrrrR, Algorithm::Mdrc]
+        );
+    }
+
+    #[test]
+    fn solution_equality_ignores_the_search_report() {
+        let base = Solution::new(vec![1], Some(3), Algorithm::Hdrrm, &data()).unwrap();
+        let with_report = base.clone().with_report(SearchReport {
+            nodes: 42,
+            pruned_probes: 7,
+            first_incumbent_seconds: Some(0.001),
+            curve: vec![(0.001, Bounds { lower: 1, upper: 3 })],
+        });
+        assert_eq!(base, with_report, "wall-clock report must not affect equality");
+        let with_bounds = base.clone().with_bounds(Bounds { lower: 1, upper: 3 });
+        assert_ne!(base, with_bounds, "bounds are part of the answer");
+        let cut = base.clone().with_termination(TerminatedBy::Counter);
+        assert_ne!(base, cut, "termination reason is part of the answer");
+        assert_eq!(with_bounds.gap(), Some(Bounds { lower: 1, upper: 3 }.gap()));
+        assert_eq!(base.gap(), None);
     }
 
     #[test]

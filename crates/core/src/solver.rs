@@ -20,6 +20,7 @@ use std::sync::{Arc, Mutex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::anytime::Cutoff;
 use crate::dataset::Dataset;
 use crate::error::RrmError;
 use crate::exec::{ExecPolicy, SolverCtx};
@@ -62,25 +63,52 @@ impl std::fmt::Display for DimRange {
 
 /// Cross-algorithm resource budget. `Default` means unlimited: each
 /// solver falls back to its own options.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Budget {
-    /// Cap on enumerated candidate structures (k-sets, partition cells).
+    /// Cap on enumerated candidate structures (k-sets, partition cells,
+    /// threshold probes in the anytime searches).
     pub max_enumerations: Option<usize>,
     /// Cap on LP feasibility checks.
     pub max_lp_calls: Option<usize>,
     /// Override for sampled-direction counts in randomized solvers
     /// (HDRRM's `|Da|`, MDRRRr/MDRMS direction samples).
     pub samples: Option<usize>,
+    /// In-solve cutoff for the anytime (cuttable) solvers. With
+    /// [`Cutoff::None`] the counters above still fold into an implicit
+    /// [`Cutoff::CounterBudget`] via [`Budget::effective_cutoff`], so
+    /// exhausting a counter yields a gap-annotated partial `Solution`
+    /// instead of ad-hoc truncation.
+    pub cutoff: Cutoff,
 }
 
 impl Budget {
     pub const UNLIMITED: Budget =
-        Budget { max_enumerations: None, max_lp_calls: None, samples: None };
+        Budget { max_enumerations: None, max_lp_calls: None, samples: None, cutoff: Cutoff::None };
 
     /// Budget with a sampled-direction override, the knob benchmarks use
     /// most.
     pub fn with_samples(samples: usize) -> Self {
         Budget { samples: Some(samples), ..Budget::UNLIMITED }
+    }
+
+    /// Budget with an explicit in-solve cutoff.
+    pub fn with_cutoff(cutoff: Cutoff) -> Self {
+        Budget { cutoff, ..Budget::UNLIMITED }
+    }
+
+    /// The cutoff the anytime solvers actually run under: an explicit
+    /// cutoff wins; otherwise a set *work* counter (`max_enumerations` /
+    /// `max_lp_calls`) folds into the deterministic
+    /// [`Cutoff::CounterBudget`]; otherwise none. A `samples` override
+    /// merely parameterizes the problem frame — it cannot exhaust
+    /// mid-search, so it does not imply a cutoff.
+    pub fn effective_cutoff(&self) -> Cutoff {
+        match self.cutoff {
+            Cutoff::None if self.max_enumerations.is_some() || self.max_lp_calls.is_some() => {
+                Cutoff::CounterBudget
+            }
+            c => c,
+        }
     }
 }
 
@@ -716,6 +744,31 @@ mod tests {
     fn budget_default_is_unlimited() {
         assert_eq!(Budget::default(), Budget::UNLIMITED);
         assert_eq!(Budget::with_samples(100).samples, Some(100));
+    }
+
+    #[test]
+    fn effective_cutoff_folds_counters() {
+        use std::time::Duration;
+        // Unlimited: no cutoff at all.
+        assert_eq!(Budget::UNLIMITED.effective_cutoff(), Cutoff::None);
+        // A samples override is a frame parameter, not a work counter.
+        assert_eq!(Budget::with_samples(10).effective_cutoff(), Cutoff::None);
+        // Any set work counter folds into the deterministic counter cutoff.
+        let b = Budget { max_enumerations: Some(5), ..Budget::UNLIMITED };
+        assert_eq!(b.effective_cutoff(), Cutoff::CounterBudget);
+        let b = Budget { max_lp_calls: Some(5), ..Budget::UNLIMITED };
+        assert_eq!(b.effective_cutoff(), Cutoff::CounterBudget);
+        // An explicit cutoff wins over the counter fold.
+        let b = Budget {
+            max_enumerations: Some(5),
+            cutoff: Cutoff::TimeBudget(Duration::from_millis(50)),
+            ..Budget::UNLIMITED
+        };
+        assert_eq!(b.effective_cutoff(), Cutoff::TimeBudget(Duration::from_millis(50)));
+        assert_eq!(
+            Budget::with_cutoff(Cutoff::GapAtMost(0.25)).effective_cutoff(),
+            Cutoff::GapAtMost(0.25)
+        );
     }
 
     #[test]

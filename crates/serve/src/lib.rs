@@ -8,7 +8,10 @@
 //! admission control (per-tenant in-flight limits + a global queue cap,
 //! rejections immediate and structured), wall-clock deadlines mapped
 //! onto counter [`Budget`]s by a startup calibration of the scoring
-//! kernel, and per-tenant observability (counters + log-bucketed latency
+//! kernel — and, for the anytime (cuttable) HD solvers, onto in-solve
+//! cutoffs, so a blown deadline yields a best-so-far incumbent with a
+//! certified gap (`"partial": true`) instead of an error — and
+//! per-tenant observability (counters + log-bucketed latency
 //! histograms) served by a `stats` request and dumped at shutdown.
 //!
 //! ```no_run
@@ -45,6 +48,7 @@ pub use json::Json;
 pub use protocol::{error_response, ok_response, parse_request, ErrorKind, Op, WireRequest};
 pub use registry::{DataSource, Registry, SyntheticKind, Tenant, TenantSpec};
 pub use server::{
-    calibrate, effective_budget, effective_request, Calibration, ServerConfig, ServerHandle,
+    calibrate, effective_budget, effective_request, resolved_algorithm, Calibration, ServerConfig,
+    ServerHandle,
 };
 pub use stats::{LogHistogram, TenantCounters};

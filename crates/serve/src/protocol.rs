@@ -18,7 +18,7 @@
 //! `{"id":...,"status":"error","error":"<code>","message":...}`, where
 //! `<code>` is one of the [`ErrorKind`] codes.
 
-use rank_regret::{AlgoChoice, Algorithm, Budget, Request, Response, RrmError};
+use rank_regret::{AlgoChoice, Algorithm, Budget, Request, Response, RrmError, TerminatedBy};
 
 use crate::json::Json;
 
@@ -191,6 +191,14 @@ fn id_json(id: &Option<Json>) -> Json {
 }
 
 /// Render a successful query response.
+///
+/// When an in-solve cutoff fired (`terminated_by != Completed`) the
+/// answer is the solver's best incumbent, not a certified optimum: the
+/// response carries `"partial": true` plus a `"diagnostics"` object with
+/// the termination reason, the relative optimality gap, and the
+/// certified bounds (when the algorithm tracks them). Completed answers
+/// render exactly as before, so old clients and the parity replay see
+/// an unchanged schema on the deterministic path.
 pub fn ok_response(
     id: &Option<Json>,
     tenant: &str,
@@ -200,7 +208,7 @@ pub fn ok_response(
 ) -> Json {
     let indices =
         Json::Arr(response.solution.indices.iter().map(|&i| Json::from(i as u64)).collect());
-    Json::Obj(vec![
+    let mut fields = vec![
         ("id".into(), id_json(id)),
         ("status".into(), "ok".into()),
         ("tenant".into(), tenant.into()),
@@ -213,7 +221,22 @@ pub fn ok_response(
         ),
         ("micros".into(), micros.into()),
         ("queued_micros".into(), queued_micros.into()),
-    ])
+    ];
+    if response.solution.terminated_by != TerminatedBy::Completed {
+        fields.push(("partial".into(), Json::Bool(true)));
+        let mut diag = vec![
+            ("terminated_by".into(), response.solution.terminated_by.name().into()),
+            ("gap".into(), response.solution.gap().map_or(Json::Null, Json::from)),
+        ];
+        if let Some(b) = response.solution.bounds {
+            diag.push((
+                "bounds".into(),
+                Json::Obj(vec![("lower".into(), b.lower.into()), ("upper".into(), b.upper.into())]),
+            ));
+        }
+        fields.push(("diagnostics".into(), Json::Obj(diag)));
+    }
+    Json::Obj(fields)
 }
 
 /// Render a structured error response; `diagnostics` (if any) is embedded

@@ -14,14 +14,24 @@
 //! run under the configured [`ExecPolicy`] (default sequential): the
 //! server parallelizes *across* requests, not inside one.
 //!
-//! Deadlines: `deadline_ms` is wall clock from admission. It is enforced
-//! at dispatch (a request that aged out in the queue gets a structured
-//! `deadline_exceeded` with its queueing time as diagnostics, without
-//! running) and mapped onto the counter [`Budget`] for the run itself via
-//! a startup [`Calibration`] of the scoring kernel. The budget is derived
-//! from the full deadline — not the post-queue remainder — so a replayed
-//! request through an in-process [`Session`] builds the *identical*
-//! `Request` and the determinism contract extends over the wire.
+//! Deadlines: `deadline_ms` is wall clock from admission, enforced two
+//! ways depending on the algorithm. For the anytime (cuttable) HD
+//! solvers the deadline becomes an in-solve [`Cutoff::TimeBudget`]: the
+//! solver runs bound-and-prune under the clock and an overloaded tenant
+//! gets its best incumbent with a certified gap (`"partial": true`)
+//! instead of an error — even when the whole deadline was burned in the
+//! queue, in which case the solve runs under an already-expired cutoff
+//! and returns its first incumbent immediately. Non-cuttable algorithms
+//! keep the old dispatch-time aging: a request that aged out in the
+//! queue gets a structured `deadline_exceeded` with its queueing time as
+//! diagnostics, without running. In both cases the deadline is also
+//! mapped onto the counter [`Budget`] via a startup [`Calibration`] of
+//! the scoring kernel, derived from the full deadline — not the
+//! post-queue remainder — so a replayed request through an in-process
+//! [`Session`] builds the *identical* `Request` and the determinism
+//! contract extends over the wire (time-cut partial answers are the one
+//! documented exception: they depend on wall clock, and the parity
+//! replay skips them).
 //!
 //! [`Session`]: rank_regret::Session
 
@@ -34,7 +44,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use rank_regret::rrm_core::kernel::{for_each_scores, ScoreScratch};
-use rank_regret::{Algorithm, Budget, ExecPolicy, Request, RrmError};
+use rank_regret::{Algorithm, Budget, Cutoff, Engine, ExecPolicy, Request, RrmError, TerminatedBy};
 
 use crate::json::Json;
 use crate::protocol::{error_response, ok_response, parse_request, ErrorKind, Op, WireRequest};
@@ -92,21 +102,44 @@ pub fn effective_budget(
             let affordable = (calib.scores_per_ms * ms as f64) as usize;
             let cap = (affordable / n_tuples.max(1)).max(1);
             let samples = samples.unwrap_or(cap).min(cap);
-            Budget { max_enumerations: Some(cap), max_lp_calls: Some(cap), samples: Some(samples) }
+            Budget {
+                max_enumerations: Some(cap),
+                max_lp_calls: Some(cap),
+                samples: Some(samples),
+                ..Budget::UNLIMITED
+            }
         }
     }
+}
+
+/// The algorithm a wire request resolves to on a `dims`-dimensional
+/// tenant: the explicit `algo` field, or the engine's auto policy. Used
+/// to decide whether a deadline can become an in-solve cutoff.
+pub fn resolved_algorithm(wire: &WireRequest, dims: usize) -> Algorithm {
+    wire.algo.unwrap_or_else(|| Engine::auto_policy(dims))
 }
 
 /// The in-process [`Request`] a wire request denotes on this server.
 /// Both the dispatch path and the replay harness build requests through
 /// here, so served answers are bit-identical to in-process answers by
 /// construction. `None` for non-query ops.
+///
+/// A deadline on a cuttable algorithm additionally becomes an in-solve
+/// [`Cutoff::TimeBudget`] over the *full* deadline — a deterministic
+/// field of the request, even though when it fires is wall-clock.
 pub fn effective_request(
     wire: &WireRequest,
     calib: Calibration,
     n_tuples: usize,
+    dims: usize,
 ) -> Option<Request> {
-    wire.to_request(effective_budget(calib, n_tuples, wire.deadline_ms, wire.samples))
+    let mut budget = effective_budget(calib, n_tuples, wire.deadline_ms, wire.samples);
+    if let Some(ms) = wire.deadline_ms {
+        if resolved_algorithm(wire, dims).is_cuttable() {
+            budget.cutoff = Cutoff::TimeBudget(Duration::from_millis(ms));
+        }
+    }
+    wire.to_request(budget)
 }
 
 /// Server construction knobs.
@@ -449,25 +482,35 @@ fn worker_loop(shared: &Arc<Shared>) {
 fn serve_job(shared: &Shared, job: Job) {
     let queued_us = job.accepted_at.elapsed().as_micros() as u64;
     let tenant = &job.tenant;
+    let (n_tuples, dims) = {
+        let data = tenant.session.data();
+        (data.n(), data.dim())
+    };
+    let aged_out = job.wire.deadline_ms.is_some_and(|ms| queued_us >= ms.saturating_mul(1000));
+    let cuttable = resolved_algorithm(&job.wire, dims).is_cuttable();
 
-    let outcome = match job.wire.deadline_ms {
-        Some(ms) if queued_us >= ms.saturating_mul(1000) => Err((
+    let outcome = if aged_out && !cuttable {
+        let ms = job.wire.deadline_ms.expect("aged_out implies a deadline");
+        Err((
             ErrorKind::DeadlineExceeded,
             format!("deadline of {ms}ms elapsed after {queued_us}us in queue"),
             Some(Json::Obj(vec![
                 ("queued_micros".into(), queued_us.into()),
                 ("deadline_ms".into(), ms.into()),
             ])),
-        )),
-        _ => {
-            let request =
-                effective_request(&job.wire, shared.calibration, tenant.session.data().n())
-                    .expect("only query ops are enqueued");
-            tenant
-                .session
-                .run(&request)
-                .map_err(|e| (ErrorKind::of_rrm_error(&e), e.to_string(), None))
+        ))
+    } else {
+        let mut request = effective_request(&job.wire, shared.calibration, n_tuples, dims)
+            .expect("only query ops are enqueued");
+        if aged_out {
+            // The whole deadline was burned queueing. The anytime solver
+            // still runs, under an already-expired cutoff: it offers its
+            // deterministic fallback incumbent, stops at the first
+            // cutoff check, and the tenant gets best-so-far + gap
+            // instead of a deadline_exceeded error.
+            request.budget.cutoff = Cutoff::TimeBudget(Duration::ZERO);
         }
+        tenant.session.run(&request).map_err(|e| (ErrorKind::of_rrm_error(&e), e.to_string(), None))
     };
 
     // Counters update *before* the response goes out: a client that saw
@@ -475,6 +518,9 @@ fn serve_job(shared: &Shared, job: Job) {
     match outcome {
         Ok(response) => {
             tenant.counters.completed.fetch_add(1, Ordering::Relaxed);
+            if response.solution.terminated_by != TerminatedBy::Completed {
+                tenant.counters.partial_answers.fetch_add(1, Ordering::Relaxed);
+            }
             tenant.latency.record(job.accepted_at.elapsed().as_micros() as u64);
             let micros = (response.seconds * 1e6) as u64;
             job.writer.send(&ok_response(&job.wire.id, &tenant.name, &response, queued_us, micros));
@@ -513,6 +559,35 @@ mod tests {
         // No deadline: unlimited, modulo the samples override.
         assert_eq!(effective_budget(CALIB, 100, None, None), Budget::UNLIMITED);
         assert_eq!(effective_budget(CALIB, 100, None, Some(64)), Budget::with_samples(64));
+    }
+
+    #[test]
+    fn deadlines_become_in_solve_cutoffs_only_for_cuttable_algorithms() {
+        let wire = |algo: Option<Algorithm>, deadline_ms: Option<u64>| WireRequest {
+            id: None,
+            op: Op::Minimize { param: 3 },
+            tenant: Some("t".into()),
+            algo,
+            deadline_ms,
+            samples: None,
+        };
+        // An explicit cuttable algorithm plus a deadline gets an in-solve
+        // wall-clock cutoff over the *full* deadline.
+        let r = effective_request(&wire(Some(Algorithm::Hdrrm), Some(25)), CALIB, 100, 4).unwrap();
+        assert_eq!(r.budget.cutoff, Cutoff::TimeBudget(Duration::from_millis(25)));
+        // Auto on 3 dims resolves to HDRRM (cuttable)...
+        assert_eq!(resolved_algorithm(&wire(None, None), 3), Algorithm::Hdrrm);
+        let r = effective_request(&wire(None, Some(25)), CALIB, 100, 3).unwrap();
+        assert_eq!(r.budget.cutoff, Cutoff::TimeBudget(Duration::from_millis(25)));
+        // ...but on 2 dims to the exact planar solver, which is not.
+        assert_eq!(resolved_algorithm(&wire(None, None), 2), Algorithm::TwoDRrm);
+        let r = effective_request(&wire(None, Some(25)), CALIB, 100, 2).unwrap();
+        assert_eq!(r.budget.cutoff, Cutoff::None);
+        // No deadline: no cutoff, even for cuttable algorithms — and the
+        // counter budget stays untouched either way.
+        let r = effective_request(&wire(Some(Algorithm::Hdrrm), None), CALIB, 100, 4).unwrap();
+        assert_eq!(r.budget.cutoff, Cutoff::None);
+        assert_eq!(r.budget, Budget::UNLIMITED);
     }
 
     #[test]

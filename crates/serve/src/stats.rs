@@ -90,6 +90,10 @@ pub struct TenantCounters {
     pub accepted: AtomicU64,
     pub rejected_overload: AtomicU64,
     pub completed: AtomicU64,
+    /// Completions whose in-solve cutoff fired: the tenant got a
+    /// best-so-far incumbent with a gap (`"partial": true` on the wire)
+    /// instead of a certified optimum. A subset of `completed`.
+    pub partial_answers: AtomicU64,
     pub errored: AtomicU64,
     pub deadline_exceeded: AtomicU64,
 }
@@ -100,6 +104,7 @@ impl TenantCounters {
             ("accepted".into(), self.accepted.load(Ordering::Relaxed).into()),
             ("rejected_overload".into(), self.rejected_overload.load(Ordering::Relaxed).into()),
             ("completed".into(), self.completed.load(Ordering::Relaxed).into()),
+            ("partial_answers".into(), self.partial_answers.load(Ordering::Relaxed).into()),
             ("errored".into(), self.errored.load(Ordering::Relaxed).into()),
             ("deadline_exceeded".into(), self.deadline_exceeded.load(Ordering::Relaxed).into()),
             ("prepare_hits".into(), prepare_hits.into()),
@@ -160,8 +165,10 @@ mod tests {
         c.accepted.fetch_add(3, Ordering::Relaxed);
         c.completed.fetch_add(2, Ordering::Relaxed);
         c.rejected_overload.fetch_add(1, Ordering::Relaxed);
+        c.partial_answers.fetch_add(1, Ordering::Relaxed);
         let text = c.to_json(5, 1).render();
         assert!(text.contains("\"accepted\":3"), "{text}");
+        assert!(text.contains("\"partial_answers\":1"), "{text}");
         assert!(text.contains("\"rejected_overload\":1"), "{text}");
         assert!(text.contains("\"prepare_hits\":5"), "{text}");
         assert!(text.contains("\"prepare_misses\":1"), "{text}");

@@ -25,8 +25,32 @@ use std::collections::BinaryHeap;
 /// built by ASMS always cover: every vector is covered by its own top-1
 /// tuple).
 pub fn greedy_set_cover(universe_size: usize, sets: &[Vec<u32>]) -> Vec<usize> {
+    greedy_set_cover_capped(universe_size, sets, usize::MAX).0
+}
+
+/// Greedy set cover that aborts once more than `cap` sets have been chosen.
+///
+/// Greedy picks are monotone and deterministic, so the first `cap + 1` picks
+/// of the capped run are exactly the first `cap + 1` picks of the uncapped
+/// run. Callers that only need to decide "does the greedy cover fit in `cap`
+/// sets?" can therefore abort early without changing the decision — the
+/// prune used by the anytime feasibility probes.
+///
+/// Returns `(chosen, complete)`: `complete` is `false` iff the run aborted
+/// because `chosen.len()` exceeded `cap` (the returned prefix then has
+/// `cap + 1` picks, proving the full cover is larger than `cap`).
+///
+/// # Panics
+/// Panics when some uncovered universe element is covered by no set before
+/// the cap is hit (the instances built by ASMS always cover: every vector is
+/// covered by its own top-1 tuple).
+pub fn greedy_set_cover_capped(
+    universe_size: usize,
+    sets: &[Vec<u32>],
+    cap: usize,
+) -> (Vec<usize>, bool) {
     if universe_size == 0 {
-        return Vec::new();
+        return (Vec::new(), true);
     }
     let mut covered = vec![false; universe_size];
     let mut remaining = universe_size;
@@ -42,6 +66,9 @@ pub fn greedy_set_cover(universe_size: usize, sets: &[Vec<u32>]) -> Vec<usize> {
     let mut chosen = Vec::new();
 
     while remaining > 0 {
+        if chosen.len() > cap {
+            return (chosen, false);
+        }
         let Some((stale, Reverse(i))) = heap.pop() else {
             panic!("set-cover instance is infeasible: {remaining} elements uncoverable");
         };
@@ -64,7 +91,7 @@ pub fn greedy_set_cover(universe_size: usize, sets: &[Vec<u32>]) -> Vec<usize> {
             }
         }
     }
-    chosen
+    (chosen, true)
 }
 
 /// Textbook greedy without lazy evaluation — `O(rounds · Σ|set|)`. Kept as
@@ -173,6 +200,38 @@ mod tests {
             // Identical tie-breaking (smallest index among maxima) makes
             // the two executions pick the exact same sequence.
             assert_eq!(lazy, naive, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn capped_run_is_a_prefix_of_the_uncapped_run() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..30 {
+            let universe = rng.random_range(1..80);
+            let nsets = rng.random_range(1..40);
+            let mut sets: Vec<Vec<u32>> = (0..nsets)
+                .map(|_| {
+                    let len = rng.random_range(1..=universe);
+                    (0..len).map(|_| rng.random_range(0..universe as u32)).collect()
+                })
+                .collect();
+            sets.push((0..universe as u32).collect());
+            let (full, complete) = greedy_set_cover_capped(universe, &sets, usize::MAX);
+            assert!(complete, "trial {trial}");
+            for cap in 0..=full.len() {
+                let (capped, ok) = greedy_set_cover_capped(universe, &sets, cap);
+                if ok {
+                    // A complete run always reproduces the uncapped cover,
+                    // even when its last pick lands past the cap.
+                    assert_eq!(capped, full, "trial {trial} cap {cap}");
+                } else {
+                    assert_eq!(capped.len(), cap + 1, "trial {trial} cap {cap}");
+                    assert_eq!(capped, full[..cap + 1], "trial {trial} cap {cap}");
+                }
+                // The feasibility decision "cover fits in cap sets" is
+                // unchanged by the abort.
+                assert_eq!(capped.len() <= cap, full.len() <= cap, "trial {trial} cap {cap}");
+            }
         }
     }
 

@@ -11,5 +11,5 @@
 pub mod greedy;
 pub mod interval;
 
-pub use greedy::{greedy_set_cover, naive_greedy_set_cover};
+pub use greedy::{greedy_set_cover, greedy_set_cover_capped, naive_greedy_set_cover};
 pub use interval::{cover_segment, Interval};

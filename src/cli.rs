@@ -25,6 +25,12 @@
 //!   --warm                 eagerly prepare every registered algorithm
 //!                          before answering (what a server does at
 //!                          startup); reports how many built and the cost
+//!   --time-limit-ms MS     in-solve wall-clock cutoff for the anytime
+//!                          solvers: return the best incumbent with
+//!                          certified bounds instead of running out
+//!   --gap G                stop once the relative optimality gap is <= G
+//!                          (deterministic); ignored if --time-limit-ms is
+//!                          also given
 //! ```
 //!
 //! `--algo` resolves through the engine registry ([`crate::Engine`]);
@@ -62,6 +68,12 @@ pub struct Args {
     /// Eagerly prepare every registered algorithm before the query
     /// ([`crate::Session::warm`]); failures are cached, not fatal.
     pub warm: bool,
+    /// In-solve wall-clock cutoff in milliseconds for the anytime
+    /// solvers (best incumbent + certified bounds on expiry).
+    pub time_limit_ms: Option<u64>,
+    /// Stop once the relative optimality gap is at most this value
+    /// (deterministic). `--time-limit-ms` takes precedence.
+    pub gap: Option<f64>,
 }
 
 /// Report format.
@@ -97,6 +109,8 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut quick = false;
     let mut threads: Option<usize> = None;
     let mut warm = false;
+    let mut time_limit_ms: Option<u64> = None;
+    let mut gap: Option<f64> = None;
     let mut size: Option<usize> = None;
     let mut threshold: Option<usize> = None;
     let mut max_size: Option<usize> = None;
@@ -127,6 +141,18 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--quick" => quick = true,
             "--threads" => threads = Some(parse_usize("--threads", &value("--threads")?)?),
             "--warm" => warm = true,
+            "--time-limit-ms" => {
+                time_limit_ms =
+                    Some(parse_usize("--time-limit-ms", &value("--time-limit-ms")?)? as u64)
+            }
+            "--gap" => {
+                let v = value("--gap")?;
+                let g: f64 = v.parse().map_err(|_| format!("--gap: bad number {v:?}"))?;
+                if !(0.0..=1.0).contains(&g) {
+                    return Err(format!("--gap: expected a value in [0, 1], got {v}"));
+                }
+                gap = Some(g);
+            }
             "--size" => size = Some(parse_usize("--size", &value("--size")?)?),
             "--threshold" => threshold = Some(parse_usize("--threshold", &value("--threshold")?)?),
             "--max-size" => max_size = Some(parse_usize("--max-size", &value("--max-size")?)?),
@@ -155,6 +181,8 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         quick,
         threads,
         warm,
+        time_limit_ms,
+        gap,
     })
 }
 
@@ -162,7 +190,8 @@ fn usage() -> String {
     "usage: rrm <minimize|represent|frontier> --input FILE \
      [--size R | --threshold K | --max-size R] [--algo NAME] [--format text|json] \
      [--no-header] [--columns LIST] [--negate LIST] [--no-normalize] \
-     [--weak-ranking C] [--quick] [--threads N] [--warm]"
+     [--weak-ranking C] [--quick] [--threads N] [--warm] \
+     [--time-limit-ms MS] [--gap G]"
         .to_string()
 }
 
@@ -214,6 +243,16 @@ pub fn run(args: &Args) -> Result<String, RrmError> {
         None => AlgoChoice::Auto,
     };
 
+    // In-solve cutoff for the anytime solvers: an explicit wall-clock
+    // limit wins over a gap target.
+    let cutoff = if let Some(ms) = args.time_limit_ms {
+        crate::Cutoff::TimeBudget(std::time::Duration::from_millis(ms))
+    } else if let Some(g) = args.gap {
+        crate::Cutoff::GapAtMost(g)
+    } else {
+        crate::Cutoff::None
+    };
+
     match args.command {
         Command::Minimize { .. } | Command::Represent { .. } => {
             let request = match args.command {
@@ -221,7 +260,8 @@ pub fn run(args: &Args) -> Result<String, RrmError> {
                 Command::Represent { threshold } => Request::represent(threshold),
                 Command::Frontier { .. } => unreachable!(),
             }
-            .choice(choice);
+            .choice(choice)
+            .budget(crate::Budget::with_cutoff(cutoff));
             // Prepare-once / query-once through the session, with the two
             // phases timed separately.
             let mut session = Engine::with_tuning(&tuning).session(data);
@@ -356,6 +396,19 @@ fn render_text(
         prepare_seconds,
         query_seconds,
     );
+    if sol.terminated_by != crate::TerminatedBy::Completed {
+        let _ = match sol.bounds {
+            Some(b) => writeln!(
+                out,
+                "anytime: stopped early ({}); optimum within [{}, {}], gap {:.3}",
+                sol.terminated_by.name(),
+                b.lower,
+                b.upper,
+                b.gap(),
+            ),
+            None => writeln!(out, "anytime: stopped early ({})", sol.terminated_by.name()),
+        };
+    }
     let _ = writeln!(out, "{:>8}  {}", "row", headers.join("  "));
     for &i in &sol.indices {
         let vals: Vec<String> = data.row(i as usize).iter().map(|v| format!("{v:.4}")).collect();
@@ -387,11 +440,16 @@ fn render_json(
     let warmed = warm.map_or(String::new(), |(ok, seconds)| {
         format!("\"warmed\":{ok},\"warm_seconds\":{},", json_f64(seconds))
     });
+    let bounds = sol
+        .bounds
+        .map_or("null".to_string(), |b| format!("{{\"lower\":{},\"upper\":{}}}", b.lower, b.upper));
+    let gap = sol.gap().map_or("null".to_string(), json_f64);
     format!(
         "{{\"command\":\"{command}\",\"input\":{input},\"n\":{n},\"d\":{d},\
          \"param\":{param},\"algorithm\":\"{algo}\",\"threads\":{threads},\
          \"indices\":[{indices}],\
-         \"size\":{size},\"certified_regret\":{certified},{warmed}\
+         \"size\":{size},\"certified_regret\":{certified},\
+         \"bounds\":{bounds},\"gap\":{gap},\"terminated_by\":\"{terminated}\",{warmed}\
          \"prepare_seconds\":{prep},\"query_seconds\":{query}}}\n",
         input = json_string(&args.input),
         n = data.n(),
@@ -400,6 +458,7 @@ fn render_json(
         algo = sol.algorithm,
         indices = indices.join(","),
         size = sol.size(),
+        terminated = sol.terminated_by.name(),
         prep = json_f64(prepare_seconds),
         query = json_f64(query_seconds),
     )
@@ -649,6 +708,69 @@ mod tests {
         let report = run(&args).unwrap();
         assert!(report.contains("\"command\":\"frontier\""), "{report}");
         assert!(report.contains("\"frontier\":[{\"r\":1,\"regret\":"), "{report}");
+    }
+
+    #[test]
+    fn parses_anytime_flags() {
+        let a = parse_args(&argv("minimize --input x.csv --size 5")).unwrap();
+        assert_eq!(a.time_limit_ms, None);
+        assert_eq!(a.gap, None);
+        let a = parse_args(&argv("minimize --input x.csv --size 5 --time-limit-ms 250")).unwrap();
+        assert_eq!(a.time_limit_ms, Some(250));
+        let a = parse_args(&argv("minimize --input x.csv --size 5 --gap 0.25")).unwrap();
+        assert_eq!(a.gap, Some(0.25));
+        assert!(parse_args(&argv("minimize --input x.csv --size 5 --gap 1.5")).is_err());
+        assert!(parse_args(&argv("minimize --input x.csv --size 5 --gap nope")).is_err());
+        assert!(parse_args(&argv("minimize --input x.csv --size 5 --time-limit-ms x")).is_err());
+    }
+
+    #[test]
+    fn json_report_carries_anytime_fields() {
+        let dir = std::env::temp_dir().join("rrm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("anytime.csv");
+        std::fs::write(
+            &path,
+            "hp,mpg\n0.0,1.0\n0.4,0.95\n0.57,0.75\n0.79,0.6\n0.2,0.5\n0.35,0.3\n1.0,0.0\n",
+        )
+        .unwrap();
+        // The exact 2D solver tracks no anytime bounds.
+        let args = parse_args(&argv(&format!(
+            "minimize --input {} --size 1 --no-normalize --format json",
+            path.display()
+        )))
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("\"bounds\":null,\"gap\":null"), "{report}");
+        assert!(report.contains("\"terminated_by\":\"completed\""), "{report}");
+        // A completed HDRRM run certifies a closed bound (gap 0).
+        let args = parse_args(&argv(&format!(
+            "minimize --input {} --size 2 --no-normalize --format json --algo hdrrm --quick",
+            path.display()
+        )))
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("\"terminated_by\":\"completed\""), "{report}");
+        assert!(report.contains("\"gap\":0"), "{report}");
+        assert!(report.contains("\"bounds\":{\"lower\":"), "{report}");
+        // A trivially satisfied gap target stops the search immediately
+        // and deterministically, returning the incumbent with its bounds.
+        let args = parse_args(&argv(&format!(
+            "minimize --input {} --size 2 --no-normalize --format json --algo hdrrm --quick \
+             --gap 1.0",
+            path.display()
+        )))
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("\"terminated_by\":\"gap\""), "{report}");
+        // Same cut in text mode announces the early stop with the bounds.
+        let args = parse_args(&argv(&format!(
+            "minimize --input {} --size 2 --no-normalize --algo hdrrm --quick --gap 1.0",
+            path.display()
+        )))
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("anytime: stopped early (gap)"), "{report}");
     }
 
     #[test]

@@ -156,9 +156,9 @@ pub use rrm_setcover;
 pub use rrm_skyline;
 
 pub use rrm_core::{
-    Algorithm, BiasedOrthantSpace, BoxSpace, Budget, ConeSpace, Dataset, DimRange, ExecPolicy,
-    FullSpace, Parallelism, PreparedSolver, RrmError, Solution, Solver, SolverCtx, SphereCap,
-    UtilitySpace, WeakRankingSpace,
+    Algorithm, BiasedOrthantSpace, Bounds, BoxSpace, Budget, ConeSpace, Cutoff, Dataset, DimRange,
+    ExecPolicy, FullSpace, Parallelism, PreparedSolver, RrmError, Solution, Solver, SolverCtx,
+    SphereCap, TerminatedBy, UtilitySpace, WeakRankingSpace,
 };
 
 pub mod cli;

@@ -16,7 +16,12 @@ use rank_regret::rrm_data::synthetic::independent;
 /// keep the randomized solvers fast and MDRRR's LP enumeration bounded;
 /// every compared path sees identical caps).
 fn budget() -> Budget {
-    Budget { samples: Some(500), max_enumerations: Some(500), max_lp_calls: Some(150) }
+    Budget {
+        samples: Some(500),
+        max_enumerations: Some(500),
+        max_lp_calls: Some(150),
+        ..Budget::UNLIMITED
+    }
 }
 
 /// One session per thread policy over the same data; queries must agree.

@@ -75,13 +75,45 @@ fn unknown_tenant_is_a_structured_error() {
 }
 
 #[test]
-fn zero_deadline_is_rejected_at_dispatch_with_diagnostics() {
+fn zero_deadline_on_a_cuttable_algorithm_returns_a_partial_answer() {
     let server = ServerHandle::start(test_config(), &[small_tenant("t")]).expect("start");
     let mut client = Client::connect(server.addr()).expect("connect");
-    // deadline_ms:0 has always already elapsed by dispatch time, so this
-    // deterministically exercises the aged-out-in-queue path.
+    // deadline_ms:0 has always already elapsed by dispatch time. The
+    // auto policy on a 3-D tenant resolves to HDRRM, which is cuttable:
+    // instead of a deadline_exceeded error, the solver runs under an
+    // already-expired cutoff and answers with its first incumbent.
     let resp = client
         .call(r#"{"op":"minimize","tenant":"t","param":3,"deadline_ms":0,"id":7}"#)
+        .expect("call");
+    assert_eq!(str_field(&resp, "status"), "ok", "{resp:?}");
+    assert_eq!(resp.get("id").and_then(Json::as_usize), Some(7));
+    assert_eq!(resp.get("partial"), Some(&Json::Bool(true)), "{resp:?}");
+    assert_eq!(resp.get("size").and_then(Json::as_usize), Some(3), "best-so-far set is returned");
+    let diagnostics = resp.get("diagnostics").expect("diagnostics attached");
+    assert_eq!(diagnostics.get("terminated_by").and_then(Json::as_str), Some("time"));
+    let gap = diagnostics.get("gap").and_then(Json::as_f64).expect("gap reported");
+    assert!((0.0..=1.0).contains(&gap), "gap {gap} out of range");
+    let bounds = diagnostics.get("bounds").expect("HDRRM certifies bounds");
+    let lower = bounds.get("lower").and_then(Json::as_usize).expect("lower");
+    let upper = bounds.get("upper").and_then(Json::as_usize).expect("upper");
+    assert!(lower <= upper, "bounds [{lower}, {upper}] inverted");
+
+    let stats = server.stats_json();
+    let tenant = stats.get("tenants").and_then(|t| t.get("t")).expect("tenant stats");
+    assert_eq!(tenant.get("deadline_exceeded").and_then(Json::as_usize), Some(0));
+    assert_eq!(tenant.get("completed").and_then(Json::as_usize), Some(1));
+    assert_eq!(tenant.get("partial_answers").and_then(Json::as_usize), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn zero_deadline_on_a_non_cuttable_algorithm_is_rejected_at_dispatch() {
+    let server = ServerHandle::start(test_config(), &[small_tenant("t")]).expect("start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    // MDRMS has no anytime search to cut into, so the aged-out-in-queue
+    // path still answers with the structured error and diagnostics.
+    let resp = client
+        .call(r#"{"op":"minimize","tenant":"t","param":3,"algo":"mdrms","deadline_ms":0,"id":7}"#)
         .expect("call");
     assert_eq!(str_field(&resp, "status"), "error");
     assert_eq!(str_field(&resp, "error"), "deadline_exceeded");
@@ -94,6 +126,7 @@ fn zero_deadline_is_rejected_at_dispatch_with_diagnostics() {
     let tenant = stats.get("tenants").and_then(|t| t.get("t")).expect("tenant stats");
     assert_eq!(tenant.get("deadline_exceeded").and_then(Json::as_usize), Some(1));
     assert_eq!(tenant.get("completed").and_then(Json::as_usize), Some(0));
+    assert_eq!(tenant.get("partial_answers").and_then(Json::as_usize), Some(0));
     server.shutdown();
 }
 
@@ -178,7 +211,9 @@ fn concurrent_clients_match_the_in_process_session() {
     for (line, resp) in lines.iter().zip(&responses) {
         assert_eq!(str_field(resp, "status"), "ok", "{line} -> {resp:?}");
         let wire = parse_request(line).expect("parses");
-        let request = effective_request(&wire, calibration, session.data().n()).expect("query");
+        let request =
+            effective_request(&wire, calibration, session.data().n(), session.data().dim())
+                .expect("query");
         let expected = session.run(&request).expect("replay");
         let got: Vec<usize> = match resp.get("indices") {
             Some(Json::Arr(items)) => items.iter().map(|v| v.as_usize().unwrap()).collect(),

@@ -23,6 +23,7 @@ fn budget() -> Budget {
         // keeps MDRRR's enumeration bounded. Completeness is not under
         // test here — parity is, and both paths see the identical cap.
         max_lp_calls: Some(150),
+        ..Budget::UNLIMITED
     }
 }
 
