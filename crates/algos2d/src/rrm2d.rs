@@ -29,12 +29,15 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use rrm_core::{Algorithm, Dataset, ExecPolicy, RrmError, Solution, UtilitySpace};
-use rrm_geom::dual::{normalized_interval_2d, DualLine};
-use rrm_geom::events::{crossings_with_tracked_capped_par, initial_ranks, stream_crossings};
+use rrm_core::{Algorithm, AppliedUpdate, Dataset, ExecPolicy, RrmError, Solution, UtilitySpace};
+use rrm_geom::dual::{cmp_at, normalized_interval_2d, DualLine};
+use rrm_geom::events::{
+    crossing_of_pair, crossings_with_tracked_capped_par, initial_ranks, stream_crossings,
+};
 use rrm_geom::sweep::arrangement_sweep;
 use rrm_geom::Crossing;
-use rrm_skyline::restricted::u_skyline_2d;
+use rrm_skyline::restricted::{u_skyline_2d, u_transform_2d};
+use rrm_skyline::IncrementalSkyline;
 
 use crate::matrix::DpMatrix;
 
@@ -149,6 +152,44 @@ fn dedup_candidates(lines: &[DualLine], candidates: &[u32]) -> Vec<u32> {
             .then(a.cmp(&b))
     });
     sky
+}
+
+/// 1-based ranks from a sorted id order (the inverse permutation
+/// [`initial_ranks`] builds after sorting).
+fn ranks_of_order(order: &[u32]) -> Vec<usize> {
+    let mut rank = vec![0usize; order.len()];
+    for (pos, &id) in order.iter().enumerate() {
+        rank[id as usize] = pos + 1;
+    }
+    rank
+}
+
+/// The `(x, down, up)` total order every crossing stream is sorted by.
+fn cmp_crossing(a: &Crossing, b: &Crossing) -> std::cmp::Ordering {
+    a.x.partial_cmp(&b.x).expect("finite crossings").then(a.down.cmp(&b.down)).then(a.up.cmp(&b.up))
+}
+
+/// Merge two `(x, down, up)`-sorted crossing streams. Keys are distinct
+/// (one crossing per line pair), so the merge is the unique sorted
+/// sequence — exactly what a full re-sort would produce.
+fn merge_crossings(a: Vec<Crossing>, b: Vec<Crossing>) -> Vec<Crossing> {
+    if b.is_empty() {
+        return a;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if cmp_crossing(&a[i], &b[j]).is_lt() {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 /// The shared DP core: one matrix run over an event source. `for_each`
@@ -286,6 +327,13 @@ pub struct Prepared2d {
     /// Materialized crossings, `None` when they exceed the chunk budget
     /// (the DP then streams per query: slower, but memory stays bounded).
     events: Option<Vec<Crossing>>,
+    /// Incrementally maintained restricted skyline over the
+    /// extreme-direction transform of the data (its skyline *is* the
+    /// pre-dedup candidate set).
+    usky: IncrementalSkyline,
+    /// All line ids sorted by the `x = c0` order — the source of
+    /// `init_ranks`, persisted so updates can merge instead of re-sorting.
+    order0: Vec<u32>,
     memo: Mutex<HashMap<usize, Solution>>,
 }
 
@@ -299,11 +347,13 @@ impl Prepared2d {
             return Err(RrmError::DimensionMismatch { expected: 2, got: data.dim() });
         }
         let (c0, c1) = weight_interval(space)?;
-        let candidates = u_skyline_2d(data, c0, c1);
-        let sky_total = candidates.len();
+        let usky = IncrementalSkyline::build(&u_transform_2d(data, c0, c1));
+        let sky_total = usky.skyline().len();
         let lines = DualLine::from_dataset(data);
-        let sky = dedup_candidates(&lines, &candidates);
-        let init_ranks = initial_ranks(&lines, c0);
+        let sky = dedup_candidates(&lines, usky.skyline());
+        let mut order0: Vec<u32> = (0..lines.len() as u32).collect();
+        rrm_geom::dual::order_at(&lines, &mut order0, c0);
+        let init_ranks = ranks_of_order(&order0);
         // Parallel classification: chunked per tracked line, merged by a
         // deterministic total order — bit-identical to the sequential
         // enumeration (see rrm_geom::events).
@@ -325,8 +375,152 @@ impl Prepared2d {
             lines,
             init_ranks,
             events,
+            usky,
+            order0,
             memo: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Rebind the prepared state to the post-update dataset by patching it
+    /// in place of a full re-prepare:
+    ///
+    /// * the restricted-skyline candidate set advances through the
+    ///   maintained [`IncrementalSkyline`] (O(churn · s) instead of a full
+    ///   sort-filter pass);
+    /// * the `x = c0` line order keeps its surviving sequence (the remap is
+    ///   monotone and survivors' lines are unchanged) and merges the sorted
+    ///   churn in O(n), replacing the O(n log n) re-sort;
+    /// * the crossing stream is repaired locally: surviving events that
+    ///   still involve a tracked line are remapped (their `x` is a pure
+    ///   function of the two unchanged lines), and only pairs with an
+    ///   inserted or newly tracked endpoint are re-intersected.
+    ///
+    /// Every piece is bit-identical to what [`Prepared2d::new`] on
+    /// `upd.new` computes — the parity tests below compare the full
+    /// internal state, not just answers. Memoized solutions are dropped
+    /// (they describe the old rows).
+    pub fn apply_update(&self, upd: &AppliedUpdate) -> Self {
+        let data = upd.new.clone();
+        assert_eq!(data.dim(), 2, "updates cannot change the arity");
+        let n_new = data.n();
+        let first_ins = n_new - upd.inserted.len();
+        let lines = DualLine::from_dataset(&data);
+
+        // Candidates: advance the incremental restricted skyline.
+        let mut usky = self.usky.clone();
+        usky.apply(&u_transform_2d(&data, self.c0, self.c1), &upd.remap, &upd.inserted);
+        let sky_total = usky.skyline().len();
+        let sky = dedup_candidates(&lines, usky.skyline());
+
+        // Initial ranks at c0: merge the surviving order with the sorted
+        // inserts under the same total order `order_at` sorts by.
+        let survivors: Vec<u32> =
+            self.order0.iter().filter_map(|&id| upd.remap[id as usize]).collect();
+        let mut churn: Vec<u32> = upd.inserted.clone();
+        churn.sort_unstable_by(|&a, &b| cmp_at(&lines, self.c0, a, b));
+        let mut order0 = Vec::with_capacity(n_new);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < survivors.len() && j < churn.len() {
+            if cmp_at(&lines, self.c0, survivors[i], churn[j]).is_lt() {
+                order0.push(survivors[i]);
+                i += 1;
+            } else {
+                order0.push(churn[j]);
+                j += 1;
+            }
+        }
+        order0.extend_from_slice(&survivors[i..]);
+        order0.extend_from_slice(&churn[j..]);
+        let init_ranks = ranks_of_order(&order0);
+
+        // Crossing-event repair, local to the touched lines.
+        let events = self.events.as_ref().map(|old_events| {
+            let mut ns_mask = vec![false; n_new];
+            for &s in &sky {
+                ns_mask[s as usize] = true;
+            }
+            // Old tracked set on surviving new ids.
+            let mut os_surv = vec![false; n_new];
+            for &t in &self.sky {
+                if let Some(nt) = upd.remap[t as usize] {
+                    os_surv[nt as usize] = true;
+                }
+            }
+            // R: surviving crossings that still involve a tracked line.
+            // The filter preserves sortedness (monotone remap, same x).
+            let mut kept: Vec<Crossing> = Vec::with_capacity(old_events.len());
+            for c in old_events {
+                if let (Some(nd), Some(nu)) = (upd.remap[c.down as usize], upd.remap[c.up as usize])
+                {
+                    if ns_mask[nd as usize] || ns_mask[nu as usize] {
+                        kept.push(Crossing { x: c.x, down: nd, up: nu });
+                    }
+                }
+            }
+            // A: pairs the old stream cannot contain, deduplicated by the
+            // same skip rule the enumeration passes use.
+            let mut fresh: Vec<Crossing> = Vec::new();
+            // Inserted tracked lines against everything.
+            for &j in &upd.inserted {
+                if !ns_mask[j as usize] {
+                    continue;
+                }
+                for o in 0..n_new as u32 {
+                    if o == j || (ns_mask[o as usize] && o < j) {
+                        continue;
+                    }
+                    fresh.extend(crossing_of_pair(&lines, j, o, self.c0, self.c1));
+                }
+            }
+            // Surviving tracked lines against the inserted lines, and
+            // promoted (newly tracked) survivors against the previously
+            // untracked survivors (tracked–old-tracked pairs are in R).
+            let mut promoted: Vec<u32> = Vec::new();
+            let mut promoted_mask = vec![false; first_ins];
+            for &t in &sky {
+                if (t as usize) >= first_ins {
+                    continue;
+                }
+                for &o in &upd.inserted {
+                    fresh.extend(crossing_of_pair(&lines, t, o, self.c0, self.c1));
+                }
+                if !os_surv[t as usize] {
+                    promoted.push(t);
+                    promoted_mask[t as usize] = true;
+                }
+            }
+            for &p in &promoted {
+                for o in 0..first_ins as u32 {
+                    if o == p || os_surv[o as usize] || (promoted_mask[o as usize] && o < p) {
+                        continue;
+                    }
+                    fresh.extend(crossing_of_pair(&lines, p, o, self.c0, self.c1));
+                }
+            }
+            fresh.sort_unstable_by(cmp_crossing);
+            merge_crossings(kept, fresh)
+        });
+        // Same materialization rule as the capped enumeration: the stream
+        // is kept only when it fits the chunk budget.
+        let events = match events {
+            Some(all) if all.len() <= self.options.chunk_target => Some(all),
+            _ => None,
+        };
+
+        Self {
+            data,
+            options: self.options,
+            c0: self.c0,
+            c1: self.c1,
+            sky,
+            sky_total,
+            lines,
+            init_ranks,
+            events,
+            usky,
+            order0,
+            memo: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The dataset this state was prepared on.
@@ -686,6 +880,95 @@ mod tests {
         }
         assert!(prepared.solve_rrr(0).is_err());
         assert!(prepared.solve_rrm(0).is_err());
+    }
+
+    #[test]
+    fn incremental_update_matches_fresh_prepare() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use rrm_core::{apply_updates, UpdateOp};
+        let mut rng = StdRng::seed_from_u64(19);
+        for trial in 0..8 {
+            let n = rng.random_range(6..60);
+            // Quantized coordinates provoke duplicate lines, rank ties and
+            // concurrent crossings — the degenerate cases dedup and the
+            // event order must get right.
+            let rows: Vec<[f64; 2]> = (0..n)
+                .map(|_| {
+                    [rng.random_range(0..32) as f64 / 32.0, rng.random_range(0..32) as f64 / 32.0]
+                })
+                .collect();
+            let data = Dataset::from_rows(&rows).unwrap();
+            for space in [
+                Box::new(FullSpace::new(2)) as Box<dyn rrm_core::UtilitySpace>,
+                Box::new(WeakRankingSpace::new(2, 1)),
+            ] {
+                let mut prepared =
+                    Prepared2d::new(&data, space.as_ref(), Rrm2dOptions::default()).unwrap();
+                let mut cur = data.clone();
+                for batch in 0..4 {
+                    let mut ops: Vec<UpdateOp> = Vec::new();
+                    for _ in 0..rng.random_range(0..cur.n().min(4)) {
+                        let i = rng.random_range(0..cur.n());
+                        if !ops.contains(&UpdateOp::Delete(i)) {
+                            ops.push(UpdateOp::Delete(i));
+                        }
+                    }
+                    for _ in 0..rng.random_range(1..4) {
+                        ops.push(UpdateOp::Insert(vec![
+                            rng.random_range(0..32) as f64 / 32.0,
+                            rng.random_range(0..32) as f64 / 32.0,
+                        ]));
+                    }
+                    let upd = apply_updates(&cur, &ops).unwrap();
+                    prepared = prepared.apply_update(&upd);
+                    let fresh =
+                        Prepared2d::new(&upd.new, space.as_ref(), Rrm2dOptions::default()).unwrap();
+                    // Full internal-state parity, not just answers.
+                    let ctx = format!("trial {trial} batch {batch}");
+                    assert_eq!(prepared.sky, fresh.sky, "{ctx}");
+                    assert_eq!(prepared.sky_total, fresh.sky_total, "{ctx}");
+                    assert_eq!(prepared.order0, fresh.order0, "{ctx}");
+                    assert_eq!(prepared.init_ranks, fresh.init_ranks, "{ctx}");
+                    assert_eq!(prepared.events, fresh.events, "{ctx}");
+                    for r in 1..4 {
+                        assert_eq!(
+                            prepared.solve_rrm(r).unwrap(),
+                            fresh.solve_rrm(r).unwrap(),
+                            "{ctx} r={r}"
+                        );
+                    }
+                    assert_eq!(
+                        prepared.solve_rrr(2).unwrap(),
+                        fresh.solve_rrr(2).unwrap(),
+                        "{ctx}"
+                    );
+                    cur = upd.new.clone();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_update_streaming_fallback_still_answers_right() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use rrm_core::{apply_updates, UpdateOp};
+        let mut rng = StdRng::seed_from_u64(29);
+        let rows: Vec<[f64; 2]> =
+            (0..40).map(|_| [rng.random::<f64>(), rng.random::<f64>()]).collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        // chunk_target 1: events never materialize, updates keep None.
+        let tiny = Rrm2dOptions { chunk_target: 1, ..Default::default() };
+        let mut prepared = Prepared2d::new(&data, &FullSpace::new(2), tiny).unwrap();
+        let upd =
+            apply_updates(&data, &[UpdateOp::Delete(3), UpdateOp::Insert(vec![0.9, 0.9])]).unwrap();
+        prepared = prepared.apply_update(&upd);
+        assert!(prepared.events.is_none());
+        let fresh = Prepared2d::new(&upd.new, &FullSpace::new(2), tiny).unwrap();
+        for r in 1..4 {
+            assert_eq!(prepared.solve_rrm(r).unwrap(), fresh.solve_rrm(r).unwrap(), "r={r}");
+        }
     }
 
     #[test]

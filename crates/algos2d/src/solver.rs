@@ -7,7 +7,8 @@
 //! `RrmError::Unsupported` before dispatch.
 
 use rrm_core::{
-    Algorithm, Budget, Dataset, PreparedSolver, RrmError, Solution, Solver, SolverCtx, UtilitySpace,
+    Algorithm, AppliedUpdate, Budget, Dataset, PreparedSolver, RrmError, Solution, Solver,
+    SolverCtx, UtilitySpace,
 };
 
 use crate::pareto::rrr_exact_2d;
@@ -95,6 +96,10 @@ impl PreparedSolver for PreparedTwoDRrm {
 
     fn solve_rrr(&self, k: usize, _budget: &Budget) -> Result<Solution, RrmError> {
         self.inner.solve_rrr(k)
+    }
+
+    fn apply_update(&self, upd: &AppliedUpdate) -> Option<Box<dyn PreparedSolver>> {
+        Some(Box::new(PreparedTwoDRrm { inner: self.inner.apply_update(upd) }))
     }
 }
 

@@ -19,9 +19,11 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use rrm_core::{
-    basis_indices, cache_bounded, Algorithm, AnytimeSearch, Bounds, Budget, Cutoff, Dataset,
-    ExecPolicy, Parallelism, RrmError, Solution, TerminatedBy, UtilitySpace, PREPARED_CACHE_CAP,
+    basis_indices, cache_bounded, Algorithm, AnytimeSearch, AppliedUpdate, Bounds, Budget, Cutoff,
+    Dataset, ExecPolicy, Parallelism, RrmError, Solution, TerminatedBy, UtilitySpace,
+    PREPARED_CACHE_CAP,
 };
+use rrm_skyline::IncrementalSkyline;
 
 use crate::anytime::{regret_over_dirs, threshold_search, uniform_top_set, ThresholdOutcome};
 use crate::asms::{asms_with_topk, asms_with_topk_capped};
@@ -323,6 +325,10 @@ pub struct PreparedHdrrm {
     /// The boundary-tuple basis `B` (always computed: RRR needs it even
     /// when `include_basis` is off for RRM).
     basis: Vec<u32>,
+    /// Incrementally maintained skyline behind `mask` (present exactly
+    /// when `skyline_candidates` is on), so updates patch the candidate
+    /// mask instead of re-filtering the dataset.
+    sky: Option<IncrementalSkyline>,
     mask: Option<Vec<bool>>,
     discs: Mutex<HashMap<usize, Arc<Discretization>>>,
     /// Per sample count `m`: the largest `k` computed so far and its
@@ -347,19 +353,14 @@ impl PreparedHdrrm {
             return Err(RrmError::DimensionMismatch { expected: d, got: space.dim() });
         }
         let basis = basis_indices(data);
-        let mask = options.skyline_candidates.then(|| {
-            let sky = rrm_skyline::skyline(data);
-            let mut mask = vec![false; data.n()];
-            for &s in &sky {
-                mask[s as usize] = true;
-            }
-            mask
-        });
+        let sky = options.skyline_candidates.then(|| IncrementalSkyline::build(data));
+        let mask = sky.as_ref().map(|s| s.mask().to_vec());
         Ok(Self {
             data: data.clone(),
             space: space.clone_box(),
             options,
             basis,
+            sky,
             mask,
             discs: Mutex::new(HashMap::new()),
             topk: Mutex::new(HashMap::new()),
@@ -369,6 +370,54 @@ impl PreparedHdrrm {
     /// The dataset this state was prepared on.
     pub fn dataset(&self) -> &Dataset {
         &self.data
+    }
+
+    /// Rebind the prepared state to the post-update dataset, patching the
+    /// caches instead of re-preparing:
+    ///
+    /// * the skyline candidate mask advances through the maintained
+    ///   [`IncrementalSkyline`];
+    /// * discretizations transfer wholesale — they are pure functions of
+    ///   `(d, space, m, γ, seed)`, never of the rows;
+    /// * cached top-k lists are patched per direction: survivors keep
+    ///   their (remapped) entries, and only directions actually disturbed
+    ///   by the batch — a deleted tuple in the list, or an inserted tuple
+    ///   outscoring the k-th entry — are re-scored. Untouched prefixes
+    ///   survive verbatim, so the repaired cache is entry-for-entry what
+    ///   `batch_topk` on the new rows would produce (the scoring kernel's
+    ///   determinism contract makes the dot-product trigger exact).
+    ///
+    /// The basis is recomputed (`O(n·d)`, far below one direction's
+    /// re-score). Queries on the patched handle answer bit-identically to
+    /// a freshly built [`PreparedHdrrm`] over the same rows.
+    pub fn apply_update(&self, upd: &AppliedUpdate) -> Self {
+        let data = upd.new.clone();
+        let basis = basis_indices(&data);
+        let sky = self.sky.clone().map(|mut s| {
+            s.apply_update(upd);
+            s
+        });
+        let mask = sky.as_ref().map(|s| s.mask().to_vec());
+        let discs: HashMap<usize, Arc<Discretization>> =
+            self.discs.lock().expect("discretization cache poisoned").clone();
+        let pol = self.options.exec.parallelism;
+        let mut topk = HashMap::new();
+        for (&m, (k, lists)) in self.topk.lock().expect("top-k cache poisoned").iter() {
+            // A cached list without its discretization (evicted) is
+            // dropped; a later query rebuilds both identically.
+            let Some(disc) = discs.get(&m) else { continue };
+            topk.insert(m, (*k, patch_topk(&data, upd, &disc.dirs, *k, lists, pol)));
+        }
+        Self {
+            data,
+            space: self.space.clone_box(),
+            options: self.options,
+            basis,
+            sky,
+            mask,
+            discs: Mutex::new(discs),
+            topk: Mutex::new(topk),
+        }
     }
 
     fn disc(&self, m: usize) -> Arc<Discretization> {
@@ -484,6 +533,68 @@ impl PreparedHdrrm {
         let q = asms_with_topk(n, k, &self.basis, &self.lists(m, k), self.mask.as_deref());
         Solution::new(q, Some(k), Algorithm::Hdrrm, &self.data)
     }
+}
+
+/// Patch one cached top-k table onto the post-update dataset: remap each
+/// direction's survivor entries in place and fully re-score only the
+/// directions the batch disturbed.
+///
+/// A direction needs re-scoring exactly when its cached list is no longer
+/// the true top-k of the new rows: a deleted tuple sat in the list (its
+/// replacement is unknown), the list was shorter than `k` and rows were
+/// inserted, or an inserted row *strictly* outscores the k-th entry.
+/// Score ties never displace — inserted rows take the largest indices and
+/// the top-k order breaks ties by ascending index — so the strict test is
+/// exact, and the kernel's fixed-order-sum contract makes the scalar
+/// [`rrm_core::utility::dot`] comparison bit-compatible with
+/// [`batch_topk`]'s internal scores. Disturbed directions are re-scored
+/// through [`batch_topk`] itself, so every returned list is exactly what
+/// a fresh computation over the new rows produces.
+fn patch_topk(
+    new_data: &Dataset,
+    upd: &AppliedUpdate,
+    dirs: &[Vec<f64>],
+    k: usize,
+    lists: &TopkLists,
+    pol: Parallelism,
+) -> TopkLists {
+    let ins_rows: Vec<&[f64]> = upd.inserted.iter().map(|&j| new_data.row(j as usize)).collect();
+    let mut out: Vec<Vec<u32>> = Vec::with_capacity(lists.len());
+    let mut stale: Vec<usize> = Vec::new();
+    for (di, (u, list)) in dirs.iter().zip(lists.iter()).enumerate() {
+        let mut remapped = Vec::with_capacity(list.len());
+        let mut deleted_in_list = false;
+        for &t in list {
+            match upd.remap[t as usize] {
+                Some(nt) => remapped.push(nt),
+                None => {
+                    deleted_in_list = true;
+                    break;
+                }
+            }
+        }
+        let disturbed = deleted_in_list
+            || (!ins_rows.is_empty() && {
+                remapped.len() < k || {
+                    let kth = *remapped.last().expect("top-k lists are non-empty");
+                    let floor = rrm_core::utility::dot(u, new_data.row(kth as usize));
+                    ins_rows.iter().any(|row| rrm_core::utility::dot(u, row) > floor)
+                }
+            });
+        if disturbed {
+            stale.push(di);
+            remapped.clear();
+        }
+        out.push(remapped);
+    }
+    if !stale.is_empty() {
+        let stale_dirs: Vec<Vec<f64>> = stale.iter().map(|&di| dirs[di].clone()).collect();
+        let fresh = batch_topk(new_data, &stale_dirs, k, pol);
+        for (&slot, computed) in stale.iter().zip(fresh) {
+            out[slot] = computed;
+        }
+    }
+    Arc::new(out)
 }
 
 /// The RRR (threshold) variant in HD: one ASMS call at threshold `k`
@@ -665,6 +776,63 @@ mod tests {
         let small = hdrrr(&data, 2, &FullSpace::new(3), opts).unwrap().size();
         let large = hdrrr(&data, 50, &FullSpace::new(3), opts).unwrap().size();
         assert!(large <= small);
+    }
+
+    #[test]
+    fn incremental_update_matches_fresh_prepare() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use rrm_core::{apply_updates, UpdateOp};
+        let mut rng = StdRng::seed_from_u64(33);
+        let opts = quick_opts(64);
+        let space = FullSpace::new(4);
+        let mut data = independent(200, 4, 31);
+        let mut prepared = PreparedHdrrm::new(&data, &space, opts).unwrap();
+        let budget = Budget::with_samples(64);
+        for batch in 0..3 {
+            // Warm the caches before each batch so the patch path has
+            // real entries to repair.
+            prepared.solve_rrm(8, &budget).unwrap();
+            prepared.solve_rrr(5, &budget).unwrap();
+            let mut ops: Vec<UpdateOp> = Vec::new();
+            for _ in 0..6 {
+                let i = rng.random_range(0..data.n());
+                if !ops.contains(&UpdateOp::Delete(i)) {
+                    ops.push(UpdateOp::Delete(i));
+                }
+            }
+            for _ in 0..6 {
+                ops.push(UpdateOp::Insert((0..4).map(|_| rng.random::<f64>()).collect()));
+            }
+            let upd = apply_updates(&data, &ops).unwrap();
+            prepared = prepared.apply_update(&upd);
+            let fresh = PreparedHdrrm::new(&upd.new, &space, opts).unwrap();
+            let ctx = format!("batch {batch}");
+            assert_eq!(prepared.basis, fresh.basis, "{ctx}");
+            assert_eq!(prepared.mask, fresh.mask, "{ctx}");
+            // The patched top-k cache is entry-for-entry a fresh
+            // computation over the new rows.
+            for (m, (k, lists)) in prepared.topk.lock().unwrap().iter() {
+                let disc = build_vector_set(4, &space, *m, opts.gamma, opts.seed);
+                let want = batch_topk(&upd.new, &disc.dirs, *k, Parallelism::Sequential);
+                assert_eq!(lists.as_ref(), &want, "{ctx} m={m} k={k}");
+            }
+            for r in [6usize, 8, 10] {
+                assert_eq!(
+                    prepared.solve_rrm(r, &budget).unwrap(),
+                    fresh.solve_rrm(r, &budget).unwrap(),
+                    "{ctx} r={r}"
+                );
+            }
+            for k in [2usize, 5] {
+                assert_eq!(
+                    prepared.solve_rrr(k, &budget).unwrap(),
+                    fresh.solve_rrr(k, &budget).unwrap(),
+                    "{ctx} k={k}"
+                );
+            }
+            data = upd.new.clone();
+        }
     }
 
     #[test]

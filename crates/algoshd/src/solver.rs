@@ -11,9 +11,9 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use rrm_core::{
-    cache_bounded, rrr_via_rrm_search, rrr_via_rrm_search_with, Algorithm, AnytimeSearch, Budget,
-    Cutoff, Dataset, PreparedSolver, RrmError, Solution, Solver, SolverCtx, UtilitySpace,
-    PREPARED_CACHE_CAP,
+    cache_bounded, rrr_via_rrm_search, rrr_via_rrm_search_with, Algorithm, AnytimeSearch,
+    AppliedUpdate, Budget, Cutoff, Dataset, PreparedSolver, RrmError, Solution, Solver, SolverCtx,
+    UtilitySpace, PREPARED_CACHE_CAP,
 };
 
 use crate::anytime::threshold_search;
@@ -115,6 +115,10 @@ impl PreparedSolver for PreparedHdrrmSolver {
 
     fn solve_rrr(&self, k: usize, budget: &Budget) -> Result<Solution, RrmError> {
         self.inner.solve_rrr(k, budget)
+    }
+
+    fn apply_update(&self, upd: &AppliedUpdate) -> Option<Box<dyn PreparedSolver>> {
+        Some(Box::new(PreparedHdrrmSolver { inner: self.inner.apply_update(upd) }))
     }
 }
 

@@ -7,7 +7,8 @@
 //!
 //! Ids: `table1 table2 table3 theorem2 fig09 fig10 fig11 fig12 fig13 fig14
 //! fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25 fig26
-//! fig27 fig28 ablation amortize scale kernels serve anytime`. (`amortize`,
+//! fig27 fig28 ablation amortize scale kernels serve anytime incremental`.
+//! (`amortize`,
 //! `scale`, `kernels`, `serve` and `anytime` are not paper figures: `amortize` measures the session API's
 //! prepare-once / query-many speedup and writes `BENCH_session.json`;
 //! `scale` sweeps the parallel runtime over thread counts {1,2,4,8},
@@ -22,7 +23,11 @@
 //! bound-and-prune machinery of the hard HD solvers — time to first
 //! incumbent, pruned-node counts vs. a no-pruning baseline with answers
 //! asserted bit-identical, and deterministic gap-vs-budget sweeps — and
-//! writes `BENCH_anytime.json`.)
+//! writes `BENCH_anytime.json`; `incremental` drives 1% churn batches
+//! through `Session::update` against naive per-batch re-prepare with a
+//! concurrent query stream, asserts per-batch answer parity plus the
+//! 10x-or-better sustained-updates gate at n = 100K, and writes
+//! `BENCH_incremental.json`.)
 //! A global `--threads N` flag pins the worker count for every other
 //! experiment (0 = all cores; equivalent to RRM_THREADS). Default scale is `--quick` (minutes for `all`);
 //! `--full` mirrors the paper's parameters. Absolute times differ from the
@@ -62,10 +67,37 @@ fn main() {
     let scale = Scale::from_args();
     let id = args.first().map(String::as_str).unwrap_or("help");
     let all: Vec<&str> = vec![
-        "table1", "table2", "table3", "theorem2", "fig09", "fig10", "fig11", "fig12", "fig13",
-        "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
-        "fig24", "fig25", "fig26", "fig27", "fig28", "ablation", "amortize", "scale", "kernels",
-        "serve", "anytime",
+        "table1",
+        "table2",
+        "table3",
+        "theorem2",
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "fig20",
+        "fig21",
+        "fig22",
+        "fig23",
+        "fig24",
+        "fig25",
+        "fig26",
+        "fig27",
+        "fig28",
+        "ablation",
+        "amortize",
+        "scale",
+        "kernels",
+        "serve",
+        "anytime",
+        "incremental",
     ];
     match id {
         "all" => {
@@ -117,6 +149,7 @@ fn run(id: &str, scale: Scale) {
         "kernels" => kernels(scale),
         "serve" => bench::serve_bench::run(scale),
         "anytime" => bench::anytime_bench::run(scale),
+        "incremental" => bench::incremental_bench::run(scale),
         _ => unreachable!(),
     }
 }

@@ -1,0 +1,260 @@
+//! `repro incremental`: measures [`Session::update`] against naive
+//! re-prepare under sustained churn and writes `BENCH_incremental.json`.
+//!
+//! The workload the epoch machinery exists for: one long-lived session, a
+//! concurrent query stream, and a steady drip of 1% churn batches (n/200
+//! deletes + n/200 inserts, n constant). Per batch, two paths answer the
+//! same post-update queries:
+//!
+//! * **incremental** — `session.update(&ops)` advances the warm prepared
+//!   handles in place (skyline merge, local event repair, top-k patching)
+//!   and publishes a new epoch; timed together with one post-update query
+//!   so lazily-deferred work cannot hide.
+//! * **naive** — a fresh `Session` over the post-update rows, timed
+//!   through its first query (prepare from scratch).
+//!
+//! After every batch, outside both timed regions, the two sessions'
+//! answers are asserted bit-identical — the incremental path is only
+//! allowed to be faster, never different. A concurrent reader thread
+//! queries the incremental session the whole time (updates never block
+//! readers; its completed-query count is reported).
+//!
+//! The acceptance gate asserted in-run: at n = 100K with 1% churn, at
+//! least one algorithm sustains >= 10x the naive path's updates/sec.
+//!
+//! [`Session::update`]: rank_regret::Session::update
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rank_regret::{apply_updates, Engine, Request, Session, Tuning, UpdateOp};
+use rrm_core::{Algorithm, Budget, Dataset, ExecPolicy};
+use rrm_hd::HdrrmOptions;
+
+use crate::{bench_meta, timed, Scale};
+
+struct ChurnResult {
+    algorithm: &'static str,
+    n: usize,
+    d: usize,
+    batches: usize,
+    ops_per_batch: usize,
+    incremental_seconds: f64,
+    naive_seconds: f64,
+    incremental_updates_per_sec: f64,
+    naive_updates_per_sec: f64,
+    speedup: f64,
+    concurrent_queries: usize,
+}
+
+/// One churn batch against pre-batch size `n`: `half` distinct random
+/// deletes plus `half` random inserts, deterministic in `seed`.
+fn churn_ops(n: usize, d: usize, half: usize, seed: u64) -> Vec<UpdateOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut picked: HashSet<usize> = HashSet::with_capacity(half);
+    while picked.len() < half {
+        picked.insert(rng.random_range(0..n));
+    }
+    let mut deletes: Vec<usize> = picked.into_iter().collect();
+    deletes.sort_unstable();
+    let mut ops: Vec<UpdateOp> = deletes.into_iter().map(UpdateOp::Delete).collect();
+    for _ in 0..half {
+        ops.push(UpdateOp::Insert((0..d).map(|_| rng.random::<f64>()).collect()));
+    }
+    ops
+}
+
+/// Run `batches` churn batches through one warm session (incremental
+/// path) and through per-batch fresh sessions (naive path), with a
+/// concurrent query stream on the incremental side, asserting answer
+/// parity after every batch.
+fn churn(
+    algorithm: Algorithm,
+    tuning: &Tuning,
+    data: Dataset,
+    r: usize,
+    budget: &Budget,
+    batches: usize,
+    seed: u64,
+) -> ChurnResult {
+    let n = data.n();
+    let d = data.dim();
+    let half = n / 200;
+    let request = Request::minimize(r).algo(algorithm).budget(budget.clone());
+
+    let session = Session::with_engine(Engine::with_tuning(tuning), data.clone());
+    session.run(&request).expect("warm query"); // prepare once, untimed
+
+    let stop = AtomicBool::new(false);
+    let served = AtomicUsize::new(0);
+    let mut incremental_seconds = 0.0;
+    let mut naive_seconds = 0.0;
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            // The concurrent reader: pins whatever epoch is current per
+            // query, never blocks an update, never torn.
+            while !stop.load(Ordering::Relaxed) {
+                session.run(&request).expect("concurrent query");
+                served.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        let mut rows = data;
+        for b in 0..batches {
+            let ops = churn_ops(rows.n(), d, half, seed.wrapping_add(b as u64));
+
+            // Incremental: advance the warm session and answer one query.
+            let (inc_response, s) = timed(|| {
+                session.update(&ops).expect("incremental update");
+                session.run(&request).expect("post-update query")
+            });
+            incremental_seconds += s;
+
+            // Naive: prepare a fresh session over the same post-update
+            // rows from scratch, through its first answer.
+            rows = apply_updates(&rows, &ops).expect("churn batch applies").new;
+            let (fresh_response, s) = timed(|| {
+                let fresh = Session::with_engine(Engine::with_tuning(tuning), rows.clone());
+                fresh.run(&request).expect("fresh query")
+            });
+            naive_seconds += s;
+
+            // Parity gate, outside both timed regions: same rows, same
+            // answer, bit for bit.
+            assert_eq!(*session.data(), rows, "{algorithm}: incremental rows diverged");
+            assert_eq!(
+                inc_response.solution, fresh_response.solution,
+                "{algorithm}: batch {b} incremental answer diverged from fresh re-prepare"
+            );
+        }
+        assert_eq!(session.epoch(), batches as u64, "one epoch per batch");
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let ops_per_batch = 2 * half;
+    let total_ops = (batches * ops_per_batch) as f64;
+    let incremental_updates_per_sec = total_ops / incremental_seconds.max(1e-9);
+    let naive_updates_per_sec = total_ops / naive_seconds.max(1e-9);
+    ChurnResult {
+        algorithm: algorithm.name(),
+        n,
+        d,
+        batches,
+        ops_per_batch,
+        incremental_seconds,
+        naive_seconds,
+        incremental_updates_per_sec,
+        naive_updates_per_sec,
+        speedup: incremental_updates_per_sec / naive_updates_per_sec.max(1e-9),
+        concurrent_queries: served.load(Ordering::Relaxed),
+    }
+}
+
+/// Entry point for `repro incremental`.
+pub fn run(scale: Scale) {
+    // Pin the HDRRM direction count so the naive re-prepare cost is the
+    // same known quantity at both scales (the paper's δ-derived m at
+    // n = 100K is ~38K directions — hours of naive re-prepare per batch).
+    let (m, batches_small, batches_large) = match scale {
+        Scale::Quick => (512usize, 4usize, 2usize),
+        Scale::Full => (2_048, 5, 5),
+    };
+    let tuning = Tuning {
+        hdrrm: HdrrmOptions { m_override: Some(m), ..scale.hdrrm() },
+        exec: ExecPolicy::sequential(),
+        ..Default::default()
+    };
+    let r = 8;
+
+    let mut results: Vec<ChurnResult> = Vec::new();
+    for &n in &[10_000usize, 100_000] {
+        let batches = if n >= 100_000 { batches_large } else { batches_small };
+        results.push(churn(
+            Algorithm::TwoDRrm,
+            &tuning,
+            rrm_data::synthetic::independent(n, 2, 93),
+            r,
+            &Budget::UNLIMITED,
+            batches,
+            1_000 + n as u64,
+        ));
+        results.push(churn(
+            Algorithm::Hdrrm,
+            &tuning,
+            rrm_data::synthetic::independent(n, 4, 94),
+            r,
+            &Budget::with_samples(256),
+            batches,
+            2_000 + n as u64,
+        ));
+    }
+
+    println!("1% churn batches (n/200 deletes + n/200 inserts), parity-checked per batch");
+    println!(
+        "{:<9} {:>7} {:>2} {:>3} {:>6} {:>11} {:>11} {:>11} {:>11} {:>8} {:>7}",
+        "algo",
+        "n",
+        "d",
+        "B",
+        "ops/B",
+        "inc (s)",
+        "naive (s)",
+        "inc up/s",
+        "naive up/s",
+        "speedup",
+        "queries"
+    );
+    for res in &results {
+        println!(
+            "{:<9} {:>7} {:>2} {:>3} {:>6} {:>11.4} {:>11.4} {:>11.0} {:>11.0} {:>7.1}x {:>7}",
+            res.algorithm,
+            res.n,
+            res.d,
+            res.batches,
+            res.ops_per_batch,
+            res.incremental_seconds,
+            res.naive_seconds,
+            res.incremental_updates_per_sec,
+            res.naive_updates_per_sec,
+            res.speedup,
+            res.concurrent_queries,
+        );
+    }
+    let best_at_100k =
+        results.iter().filter(|r| r.n == 100_000).map(|r| r.speedup).fold(0.0f64, f64::max);
+    assert!(
+        best_at_100k >= 10.0,
+        "acceptance gate: no algorithm sustained >= 10x naive re-prepare at n = 100K \
+         (best {best_at_100k:.1}x)"
+    );
+
+    // Hand-rolled JSON (no serde in the offline container).
+    let mut json =
+        format!("{{{},\"churn_fraction\":0.01,\"entries\":[\n", bench_meta("incremental"));
+    for (i, e) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!(
+            "  {{\"algorithm\":\"{}\",\"n\":{},\"d\":{},\"batches\":{},\"ops_per_batch\":{},\
+             \"incremental_seconds\":{:.6},\"naive_seconds\":{:.6},\
+             \"incremental_updates_per_sec\":{:.1},\"naive_updates_per_sec\":{:.1},\
+             \"speedup\":{:.2},\"concurrent_queries\":{}}}{sep}\n",
+            e.algorithm,
+            e.n,
+            e.d,
+            e.batches,
+            e.ops_per_batch,
+            e.incremental_seconds,
+            e.naive_seconds,
+            e.incremental_updates_per_sec,
+            e.naive_updates_per_sec,
+            e.speedup,
+            e.concurrent_queries,
+        ));
+    }
+    json.push_str("]}\n");
+    std::fs::write("BENCH_incremental.json", &json).expect("write BENCH_incremental.json");
+    println!(
+        "wrote BENCH_incremental.json (incremental-vs-fresh answers asserted bit-identical in-run)"
+    );
+}

@@ -43,6 +43,7 @@ pub mod rank;
 pub mod sampling;
 pub mod solver;
 pub mod space;
+pub mod update;
 pub mod utility;
 
 pub use anytime::{AnytimeSearch, Bounds, Cutoff, Incumbent, SearchReport, TerminatedBy};
@@ -60,3 +61,4 @@ pub use solver::{
 pub use space::{
     BiasedOrthantSpace, BoxSpace, ConeSpace, FullSpace, SphereCap, UtilitySpace, WeakRankingSpace,
 };
+pub use update::{apply_updates, AppliedUpdate, UpdateOp};

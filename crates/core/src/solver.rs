@@ -287,6 +287,21 @@ pub trait PreparedSolver: Send + Sync {
     fn name(&self) -> &'static str {
         self.algorithm().name()
     }
+
+    /// Incrementally rebind this handle to the post-update dataset,
+    /// patching cached state instead of re-deriving it from scratch.
+    ///
+    /// Returns `None` when the solver's state is not incrementally
+    /// maintainable (the default): callers fall back to a fresh
+    /// [`Solver::prepare`] against `upd.new`. When `Some`, the returned
+    /// handle must answer every query **bit-identically** to a freshly
+    /// prepared handle over `upd.new` — incremental maintenance is a
+    /// performance contract, never an approximation (the same contract as
+    /// [`Solver::prepare`] itself; `tests/incremental.rs` enforces it).
+    fn apply_update(&self, upd: &crate::update::AppliedUpdate) -> Option<Box<dyn PreparedSolver>> {
+        let _ = upd;
+        None
+    }
 }
 
 /// Cap for prepared-solver side caches keyed by *request-supplied* values

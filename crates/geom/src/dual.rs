@@ -59,17 +59,23 @@ impl DualLine {
     }
 }
 
+/// The total order behind [`order_at`]: compares line ids at `x+` (top
+/// line first) by height descending, ties by slope descending, final ties
+/// by id ascending. Public so incremental maintainers can merge into an
+/// existing order with bit-identical semantics to a full re-sort.
+pub fn cmp_at(lines: &[DualLine], x: f64, i: u32, j: u32) -> std::cmp::Ordering {
+    let (a, b) = (&lines[i as usize], &lines[j as usize]);
+    b.eval(x)
+        .partial_cmp(&a.eval(x))
+        .expect("finite heights")
+        .then(b.slope.partial_cmp(&a.slope).expect("finite slopes"))
+        .then(i.cmp(&j))
+}
+
 /// Sort order of line ids at `x+` (top line first): height descending,
 /// ties by slope descending, final ties by id ascending.
 pub fn order_at(lines: &[DualLine], ids: &mut [u32], x: f64) {
-    ids.sort_unstable_by(|&i, &j| {
-        let (a, b) = (&lines[i as usize], &lines[j as usize]);
-        b.eval(x)
-            .partial_cmp(&a.eval(x))
-            .expect("finite heights")
-            .then(b.slope.partial_cmp(&a.slope).expect("finite slopes"))
-            .then(i.cmp(&j))
-    });
+    ids.sort_unstable_by(|&i, &j| cmp_at(lines, x, i, j));
 }
 
 /// Map a 2D polyhedral cone (`rows · u ≥ 0`, `u ≥ 0`) to its interval of

@@ -291,6 +291,28 @@ fn for_each_raw_crossing_of<F: FnMut(f64, u32, u32)>(
     }
 }
 
+/// The crossing of one specific pair of lines, under exactly the rules the
+/// enumeration passes use: `None` for parallel lines or crossings outside
+/// the *open* interval `(x_lo, x_hi)`; `down` is always the line with the
+/// smaller slope. Incremental event repair rebuilds the affected slice of
+/// [`crossings_with_tracked`]'s output pair by pair with this, so repaired
+/// streams stay bit-identical to full re-enumeration.
+pub fn crossing_of_pair(
+    lines: &[DualLine],
+    a: u32,
+    b: u32,
+    x_lo: f64,
+    x_hi: f64,
+) -> Option<Crossing> {
+    let (la, lb) = (&lines[a as usize], &lines[b as usize]);
+    let x = la.intersection_x(lb)?;
+    if x <= x_lo || x >= x_hi {
+        return None;
+    }
+    let (down, up) = if la.slope < lb.slope { (a, b) } else { (b, a) };
+    Some(Crossing { x, down, up })
+}
+
 /// Initial 1-based ranks of every line at `x_lo+` (height descending, ties
 /// by slope descending then id), returned as a vector indexed by line id.
 pub fn initial_ranks(lines: &[DualLine], x_lo: f64) -> Vec<usize> {
@@ -422,6 +444,22 @@ mod tests {
             None
         );
         assert_eq!(crossings_with_tracked_capped(&lines, &tracked, 0.0, 1.0, 3), None);
+    }
+
+    #[test]
+    fn pair_helper_matches_enumeration() {
+        let lines = lines3();
+        let all = crossings_with_tracked(&lines, &[0, 1, 2], 0.0, 1.0);
+        for c in &all {
+            // Both argument orders produce the same crossing.
+            assert_eq!(crossing_of_pair(&lines, c.down, c.up, 0.0, 1.0), Some(*c));
+            assert_eq!(crossing_of_pair(&lines, c.up, c.down, 0.0, 1.0), Some(*c));
+        }
+        // Open-interval boundaries and parallel lines give nothing.
+        assert_eq!(crossing_of_pair(&lines, 0, 1, all[0].x, 1.0), None);
+        let par =
+            vec![DualLine { slope: 1.0, intercept: 0.0 }, DualLine { slope: 1.0, intercept: 0.5 }];
+        assert_eq!(crossing_of_pair(&par, 0, 1, 0.0, 1.0), None);
     }
 
     #[test]

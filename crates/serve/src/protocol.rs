@@ -6,6 +6,8 @@
 //! ```json
 //! {"op":"minimize","tenant":"t0","param":5,"algo":"hdrrm","deadline_ms":50,"samples":200,"id":1}
 //! {"op":"represent","tenant":"t1","param":10,"id":"q-2"}
+//! {"op":"minimize","tenant":"t0","param":5,"algo":"hdrrm","gap":0.25,"id":4}
+//! {"op":"update","tenant":"t0","insert":[[0.5,0.5]],"delete":[3],"id":5}
 //! {"op":"stats"}
 //! ```
 //!
@@ -29,6 +31,12 @@ pub enum Op {
     Minimize { param: usize },
     /// RRR: smallest set with rank-regret at most `param`.
     Represent { param: usize },
+    /// Mutate the tenant's dataset: delete the given pre-batch row
+    /// indices and append the given rows, publishing a new epoch via the
+    /// session's snapshot swap. Applied inline on the reader thread —
+    /// never queued behind queries, and in-flight queries keep the epoch
+    /// they started on.
+    Update { insert: Vec<Vec<f64>>, delete: Vec<usize> },
     /// Dump counters and latency histograms (all tenants, or one if
     /// `tenant` is set).
     Stats,
@@ -49,6 +57,11 @@ pub struct WireRequest {
     pub deadline_ms: Option<u64>,
     /// Sampled-direction override for randomized solvers.
     pub samples: Option<usize>,
+    /// Relative optimality-gap target: on cuttable algorithms the solve
+    /// stops as soon as its certified gap reaches this value
+    /// (`Cutoff::GapAtMost`) — a deterministic cutoff, unlike deadlines.
+    /// Ignored for non-cuttable algorithms.
+    pub gap: Option<f64>,
 }
 
 impl WireRequest {
@@ -60,7 +73,7 @@ impl WireRequest {
         let base = match self.op {
             Op::Minimize { param } => Request::minimize(param),
             Op::Represent { param } => Request::represent(param),
-            Op::Stats => return None,
+            Op::Update { .. } | Op::Stats => return None,
         };
         let choice = match self.algo {
             Some(algo) => AlgoChoice::Fixed(algo),
@@ -109,7 +122,8 @@ impl ErrorKind {
     }
 }
 
-const KNOWN_KEYS: [&str; 6] = ["op", "id", "tenant", "param", "algo", "deadline_ms"];
+const KNOWN_KEYS: [&str; 9] =
+    ["op", "id", "tenant", "param", "algo", "deadline_ms", "gap", "insert", "delete"];
 
 /// Parse one request line. `Err` carries a `bad_request` message.
 pub fn parse_request(line: &str) -> Result<WireRequest, String> {
@@ -162,6 +176,16 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
             v.as_usize().ok_or_else(|| "`samples` must be a non-negative integer".to_string())?,
         ),
     };
+    let gap = match json.get("gap") {
+        None => None,
+        Some(v) => {
+            let g = v.as_f64().ok_or_else(|| "`gap` must be a number".to_string())?;
+            if !g.is_finite() || g < 0.0 {
+                return Err("`gap` must be a finite non-negative number".into());
+            }
+            Some(g)
+        }
+    };
 
     let op = match op_name {
         "minimize" | "represent" => {
@@ -179,11 +203,58 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
                 Op::Represent { param }
             }
         }
+        "update" => {
+            if tenant.is_none() {
+                return Err("`update` requires string field `tenant`".into());
+            }
+            let insert = match json.get("insert") {
+                None => Vec::new(),
+                Some(v) => parse_insert_rows(v)?,
+            };
+            let delete = match json.get("delete") {
+                None => Vec::new(),
+                Some(Json::Arr(items)) => items
+                    .iter()
+                    .map(|v| {
+                        v.as_usize()
+                            .ok_or_else(|| "`delete` entries must be row indices".to_string())
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?,
+                Some(_) => return Err("`delete` must be an array of row indices".into()),
+            };
+            if insert.is_empty() && delete.is_empty() {
+                return Err("`update` needs a non-empty `insert` and/or `delete`".into());
+            }
+            Op::Update { insert, delete }
+        }
         "stats" => Op::Stats,
-        other => return Err(format!("unknown op `{other}` (expected minimize|represent|stats)")),
+        other => {
+            return Err(format!("unknown op `{other}` (expected minimize|represent|update|stats)"))
+        }
     };
 
-    Ok(WireRequest { id, op, tenant, algo, deadline_ms, samples })
+    Ok(WireRequest { id, op, tenant, algo, deadline_ms, samples, gap })
+}
+
+/// `insert`: an array of rows, each an array of finite numbers.
+fn parse_insert_rows(v: &Json) -> Result<Vec<Vec<f64>>, String> {
+    let Json::Arr(rows) = v else {
+        return Err("`insert` must be an array of rows".into());
+    };
+    rows.iter()
+        .map(|row| {
+            let Json::Arr(vals) = row else {
+                return Err("`insert` rows must be arrays of numbers".into());
+            };
+            vals.iter()
+                .map(|x| {
+                    x.as_f64()
+                        .filter(|f| f.is_finite())
+                        .ok_or_else(|| "`insert` values must be finite numbers".to_string())
+                })
+                .collect()
+        })
+        .collect()
 }
 
 fn id_json(id: &Option<Json>) -> Json {
@@ -289,6 +360,35 @@ mod tests {
     }
 
     #[test]
+    fn parses_gap_cutoff_requests() {
+        let req = parse_request(
+            r#"{"op":"minimize","tenant":"t0","param":5,"algo":"hdrrm","gap":0.25,"id":3}"#,
+        )
+        .unwrap();
+        assert_eq!(req.gap, Some(0.25));
+        assert_eq!(req.op, Op::Minimize { param: 5 });
+        // Absent → None; queries without a gap are unchanged.
+        let req = parse_request(r#"{"op":"represent","tenant":"t0","param":2}"#).unwrap();
+        assert_eq!(req.gap, None);
+    }
+
+    #[test]
+    fn parses_update_requests() {
+        let req = parse_request(
+            r#"{"op":"update","tenant":"t0","insert":[[0.5,0.5],[0.1,0.9]],"delete":[3,0],"id":9}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req.op,
+            Op::Update { insert: vec![vec![0.5, 0.5], vec![0.1, 0.9]], delete: vec![3, 0] }
+        );
+        assert!(req.to_request(Budget::UNLIMITED).is_none(), "update is not a query");
+        // Delete-only and insert-only batches are both fine.
+        let req = parse_request(r#"{"op":"update","tenant":"t0","delete":[1]}"#).unwrap();
+        assert_eq!(req.op, Op::Update { insert: vec![], delete: vec![1] });
+    }
+
+    #[test]
     fn rejects_malformed_and_invalid_requests() {
         for (line, needle) in [
             ("{not json", "expected"),
@@ -301,6 +401,12 @@ mod tests {
             (r#"{"op":"sample","tenant":"t0","param":3}"#, "unknown op"),
             (r#"{"op":"stats","deadine_ms":5}"#, "unknown field `deadine_ms`"),
             (r#"{"op":"minimize","tenant":"t0","param":3,"algo":"xdrrm"}"#, "unknown algorithm"),
+            (r#"{"op":"minimize","tenant":"t0","param":3,"gap":"big"}"#, "must be a number"),
+            (r#"{"op":"minimize","tenant":"t0","param":3,"gap":-0.5}"#, "non-negative"),
+            (r#"{"op":"update","insert":[[0.1]]}"#, "requires string field `tenant`"),
+            (r#"{"op":"update","tenant":"t0"}"#, "non-empty"),
+            (r#"{"op":"update","tenant":"t0","insert":[0.1]}"#, "rows must be arrays"),
+            (r#"{"op":"update","tenant":"t0","delete":[-1]}"#, "row indices"),
         ] {
             let err = parse_request(line).unwrap_err();
             assert!(

@@ -3,10 +3,11 @@
 //! tenant's queries, plus the per-tenant admission and observability
 //! state the server mutates on the hot path.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use rank_regret::{Algorithm, Dataset, ExecPolicy, RrmError, Session};
+use rank_regret::{Algorithm, Dataset, ExecPolicy, RrmError, Session, Solution};
 
 use crate::json::Json;
 use crate::stats::{LogHistogram, TenantCounters};
@@ -80,6 +81,63 @@ impl TenantSpec {
     }
 }
 
+/// Cache key for one deterministic query: task direction (`true` =
+/// minimize), parameter, explicit algorithm, samples override, and the
+/// gap target's bit pattern. Everything that shapes the answer on the
+/// deadline-free path — deadline-bearing requests are never cached (their
+/// budgets and cutoffs depend on wall clock).
+pub type ResultKey = (bool, usize, Option<Algorithm>, Option<usize>, Option<u64>);
+
+/// Bound on cached solutions per tenant; at capacity the cache resets
+/// rather than evicting piecemeal (epoch swaps reset it anyway).
+const RESULT_CACHE_CAP: usize = 256;
+
+/// Budget-keyed solutions for repeated deterministic queries, tagged with
+/// the epoch they were computed on: an entry from an older epoch is dead
+/// the moment [`Session::update`] publishes a new one — lookups check the
+/// tag, and the update path clears the map outright.
+#[derive(Default)]
+pub struct ResultCache {
+    entries: Mutex<HashMap<ResultKey, (u64, Solution)>>,
+    hits: AtomicUsize,
+}
+
+impl ResultCache {
+    /// The cached solution for `key` at exactly `epoch`, if any.
+    pub fn get(&self, key: &ResultKey, epoch: u64) -> Option<Solution> {
+        let entries = self.entries.lock().expect("result cache poisoned");
+        match entries.get(key) {
+            Some((e, solution)) if *e == epoch => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(solution.clone())
+            }
+            _ => None,
+        }
+    }
+
+    /// Store a solution computed on `epoch`.
+    pub fn put(&self, key: ResultKey, epoch: u64, solution: Solution) {
+        let mut entries = self.entries.lock().expect("result cache poisoned");
+        if entries.len() >= RESULT_CACHE_CAP {
+            entries.clear();
+        }
+        entries.insert(key, (epoch, solution));
+    }
+
+    /// Drop every entry (the epoch just advanced).
+    pub fn invalidate(&self) {
+        self.entries.lock().expect("result cache poisoned").clear();
+    }
+
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn entries(&self) -> usize {
+        self.entries.lock().expect("result cache poisoned").len()
+    }
+}
+
 /// One registered tenant: its session plus hot-path admission and
 /// observability state. All fields are touched concurrently by reader
 /// and worker threads, hence atomics throughout.
@@ -92,6 +150,10 @@ pub struct Tenant {
     pub counters: TenantCounters,
     /// Accept-to-response latency of completed requests, microseconds.
     pub latency: LogHistogram,
+    /// Deterministic (deadline-free) answers for the current epoch.
+    pub cache: ResultCache,
+    /// Update batches applied through the wire `update` op.
+    pub updates_applied: AtomicUsize,
 }
 
 impl Tenant {
@@ -103,6 +165,16 @@ impl Tenant {
                 Json::Obj(fields) => fields,
                 _ => unreachable!("TenantCounters::to_json returns an object"),
             };
+        fields.push(("epoch".into(), self.session.epoch().into()));
+        fields
+            .push(("updates_applied".into(), self.updates_applied.load(Ordering::Relaxed).into()));
+        fields.push((
+            "result_cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), self.cache.hits().into()),
+                ("entries".into(), self.cache.entries().into()),
+            ]),
+        ));
         fields.push(("inflight".into(), self.inflight.load(Ordering::Relaxed).into()));
         let latency = Json::Obj(vec![
             ("count".into(), self.latency.count().into()),
@@ -149,6 +221,8 @@ impl Registry {
                 inflight: AtomicUsize::new(0),
                 counters: TenantCounters::default(),
                 latency: LogHistogram::new(),
+                cache: ResultCache::default(),
+                updates_applied: AtomicUsize::new(0),
             }));
         }
         Ok(Registry { tenants })

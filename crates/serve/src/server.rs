@@ -44,7 +44,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use rank_regret::rrm_core::kernel::{for_each_scores, ScoreScratch};
-use rank_regret::{Algorithm, Budget, Cutoff, Engine, ExecPolicy, Request, RrmError, TerminatedBy};
+use rank_regret::{
+    Algorithm, Budget, Cutoff, Engine, ExecPolicy, Request, RrmError, TerminatedBy, UpdateOp,
+};
 
 use crate::json::Json;
 use crate::protocol::{error_response, ok_response, parse_request, ErrorKind, Op, WireRequest};
@@ -126,7 +128,10 @@ pub fn resolved_algorithm(wire: &WireRequest, dims: usize) -> Algorithm {
 ///
 /// A deadline on a cuttable algorithm additionally becomes an in-solve
 /// [`Cutoff::TimeBudget`] over the *full* deadline — a deterministic
-/// field of the request, even though when it fires is wall-clock.
+/// field of the request, even though when it fires is wall-clock. A `gap`
+/// target becomes [`Cutoff::GapAtMost`] on cuttable algorithms, but a
+/// deadline wins when both are present — the wall-clock bound protects
+/// the server; the gap merely trades answer quality for speed.
 pub fn effective_request(
     wire: &WireRequest,
     calib: Calibration,
@@ -134,8 +139,11 @@ pub fn effective_request(
     dims: usize,
 ) -> Option<Request> {
     let mut budget = effective_budget(calib, n_tuples, wire.deadline_ms, wire.samples);
-    if let Some(ms) = wire.deadline_ms {
-        if resolved_algorithm(wire, dims).is_cuttable() {
+    if resolved_algorithm(wire, dims).is_cuttable() {
+        if let Some(gap) = wire.gap {
+            budget.cutoff = Cutoff::GapAtMost(gap);
+        }
+        if let Some(ms) = wire.deadline_ms {
             budget.cutoff = Cutoff::TimeBudget(Duration::from_millis(ms));
         }
     }
@@ -416,6 +424,40 @@ fn handle_line(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, line: &str) {
         return;
     };
 
+    // Updates apply inline on the reader thread — they never queue behind
+    // queries, and workers already mid-query keep the snapshot they
+    // pinned at dispatch (the epoch swap is a pointer store).
+    if let Op::Update { insert, delete } = &wire.op {
+        let ops: Vec<UpdateOp> = delete
+            .iter()
+            .map(|&i| UpdateOp::Delete(i))
+            .chain(insert.iter().map(|row| UpdateOp::Insert(row.clone())))
+            .collect();
+        match tenant.session.update(&ops) {
+            Ok(epoch) => {
+                // Cached answers describe the previous epoch's rows.
+                tenant.cache.invalidate();
+                tenant.updates_applied.fetch_add(1, Ordering::Relaxed);
+                writer.send(&Json::Obj(vec![
+                    ("id".into(), wire.id.clone().unwrap_or(Json::Null)),
+                    ("status".into(), "ok".into()),
+                    ("tenant".into(), tenant.name.as_str().into()),
+                    ("epoch".into(), epoch.into()),
+                    ("n".into(), tenant.session.data().n().into()),
+                ]));
+            }
+            Err(e) => {
+                writer.send(&error_response(
+                    &wire.id,
+                    ErrorKind::of_rrm_error(&e),
+                    &e.to_string(),
+                    None,
+                ));
+            }
+        }
+        return;
+    }
+
     // Per-tenant admission: reserve an in-flight slot or reject now.
     let prev = tenant.inflight.fetch_add(1, Ordering::AcqRel);
     if prev >= tenant.max_inflight {
@@ -510,7 +552,37 @@ fn serve_job(shared: &Shared, job: Job) {
             // instead of a deadline_exceeded error.
             request.budget.cutoff = Cutoff::TimeBudget(Duration::ZERO);
         }
-        tenant.session.run(&request).map_err(|e| (ErrorKind::of_rrm_error(&e), e.to_string(), None))
+        // Deadline-free requests are deterministic: same wire fields on
+        // the same epoch → the same answer, so they are served from the
+        // tenant's budget-keyed cache when possible. Deadline-bearing
+        // requests never touch the cache (their budgets are wall-clock).
+        let cache_key = job.wire.deadline_ms.is_none().then(|| {
+            let minimize = matches!(job.wire.op, Op::Minimize { .. });
+            let param = match job.wire.op {
+                Op::Minimize { param } | Op::Represent { param } => param,
+                _ => unreachable!("only query ops are enqueued"),
+            };
+            (minimize, param, job.wire.algo, job.wire.samples, job.wire.gap.map(f64::to_bits))
+        });
+        let epoch = tenant.session.epoch();
+        let cached = cache_key.as_ref().and_then(|key| tenant.cache.get(key, epoch));
+        match cached {
+            Some(solution) => Ok(rank_regret::Response { request, solution, seconds: 0.0 }),
+            None => {
+                let outcome = tenant
+                    .session
+                    .run(&request)
+                    .map_err(|e| (ErrorKind::of_rrm_error(&e), e.to_string(), None));
+                if let (Some(key), Ok(response)) = (cache_key, &outcome) {
+                    // Only cache when no swap raced the solve: the entry's
+                    // epoch tag must describe the rows that answered.
+                    if tenant.session.epoch() == epoch {
+                        tenant.cache.put(key, epoch, response.solution.clone());
+                    }
+                }
+                outcome
+            }
+        }
     };
 
     // Counters update *before* the response goes out: a client that saw
@@ -570,6 +642,7 @@ mod tests {
             algo,
             deadline_ms,
             samples: None,
+            gap: None,
         };
         // An explicit cuttable algorithm plus a deadline gets an in-solve
         // wall-clock cutoff over the *full* deadline.
@@ -588,6 +661,36 @@ mod tests {
         let r = effective_request(&wire(Some(Algorithm::Hdrrm), None), CALIB, 100, 4).unwrap();
         assert_eq!(r.budget.cutoff, Cutoff::None);
         assert_eq!(r.budget, Budget::UNLIMITED);
+    }
+
+    #[test]
+    fn gap_targets_become_in_solve_cutoffs_only_for_cuttable_algorithms() {
+        let wire =
+            |algo: Option<Algorithm>, gap: Option<f64>, deadline_ms: Option<u64>| WireRequest {
+                id: None,
+                op: Op::Minimize { param: 3 },
+                tenant: Some("t".into()),
+                algo,
+                deadline_ms,
+                samples: None,
+                gap,
+            };
+        // Cuttable + gap: the solve stops at the certified gap target.
+        let r = effective_request(&wire(Some(Algorithm::Hdrrm), Some(0.25), None), CALIB, 100, 4)
+            .unwrap();
+        assert_eq!(r.budget.cutoff, Cutoff::GapAtMost(0.25));
+        // Auto on 3 dims resolves to HDRRM — still cuttable.
+        let r = effective_request(&wire(None, Some(0.1), None), CALIB, 100, 3).unwrap();
+        assert_eq!(r.budget.cutoff, Cutoff::GapAtMost(0.1));
+        // Non-cuttable (exact 2D) ignores the gap.
+        let r = effective_request(&wire(None, Some(0.1), None), CALIB, 100, 2).unwrap();
+        assert_eq!(r.budget.cutoff, Cutoff::None);
+        // A deadline outranks the gap: the wall-clock bound protects the
+        // server.
+        let r =
+            effective_request(&wire(Some(Algorithm::Hdrrm), Some(0.1), Some(25)), CALIB, 100, 4)
+                .unwrap();
+        assert_eq!(r.budget.cutoff, Cutoff::TimeBudget(Duration::from_millis(25)));
     }
 
     #[test]

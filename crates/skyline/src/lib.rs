@@ -10,14 +10,18 @@
 //! * [`skyhd`] — sort-filter skyline (SFS) for arbitrary `d`;
 //! * [`restricted`] — `Sky_U(D)` for polyhedral spaces (exact, via LP, with
 //!   an `O(n log n)` specialization for 2D cones) and a sampled
-//!   approximation for non-polyhedral spaces.
+//!   approximation for non-polyhedral spaces;
+//! * [`incremental`] — a skyline kept current under insert/delete batches
+//!   via a dominated-by-one buffer, for `Session::update`.
 
 pub mod dominance;
+pub mod incremental;
 pub mod restricted;
 pub mod sky2d;
 pub mod skyhd;
 
 pub use dominance::{dominates, u_dominates};
+pub use incremental::IncrementalSkyline;
 pub use restricted::{u_skyline, u_skyline_sampled};
 pub use sky2d::skyline_2d;
 pub use skyhd::skyline;

@@ -56,6 +56,16 @@ pub fn u_skyline(data: &Dataset, space: &dyn UtilitySpace) -> Result<Vec<u32>, R
 /// Exact `Sky_U(D)` for a 2D cone whose normalized weights span `[c0, c1]`:
 /// plain 2D skyline over the scores at the two extreme directions.
 pub fn u_skyline_2d(data: &Dataset, c0: f64, c1: f64) -> Vec<u32> {
+    skyline(&u_transform_2d(data, c0, c1))
+}
+
+/// The extreme-direction score transform behind [`u_skyline_2d`]: row `t`
+/// becomes its scores under the cone's two extreme weights `(c0, 1-c0)`
+/// and `(c1, 1-c1)`, so U-dominance over the cone is plain dominance in
+/// the transformed space. Exposed so incremental maintainers can keep a
+/// skyline over the transformed rows current without re-deriving the
+/// transform.
+pub fn u_transform_2d(data: &Dataset, c0: f64, c1: f64) -> Dataset {
     assert_eq!(data.dim(), 2);
     assert!(c0 <= c1);
     let transformed: Vec<[f64; 2]> = data
@@ -67,8 +77,7 @@ pub fn u_skyline_2d(data: &Dataset, c0: f64, c1: f64) -> Vec<u32> {
             ]
         })
         .collect();
-    let td = Dataset::from_rows(&transformed).expect("finite transform");
-    skyline(&td)
+    Dataset::from_rows(&transformed).expect("finite transform")
 }
 
 /// Sampled over-approximation of U-dominance for non-polyhedral spaces:

@@ -285,7 +285,7 @@ pub fn run(args: &Args) -> Result<String, RrmError> {
                 Format::Text => Ok(render_text(
                     args,
                     &headers,
-                    session.data(),
+                    &session.data(),
                     &response.solution,
                     warm,
                     prepare_seconds,
@@ -293,7 +293,7 @@ pub fn run(args: &Args) -> Result<String, RrmError> {
                 )),
                 Format::Json => Ok(render_json(
                     args,
-                    session.data(),
+                    &session.data(),
                     &request,
                     &response.solution,
                     warm,

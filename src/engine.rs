@@ -18,12 +18,12 @@
 //! [`represent`]: crate::represent
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
 use rrm_core::{
-    Algorithm, BruteForceOptions, BruteForceSolver, Budget, Dataset, ExecPolicy, FullSpace,
-    PreparedSolver, RrmError, Solution, Solver, SolverCtx, UtilitySpace,
+    apply_updates, Algorithm, BruteForceOptions, BruteForceSolver, Budget, Dataset, ExecPolicy,
+    FullSpace, PreparedSolver, RrmError, Solution, Solver, SolverCtx, UpdateOp, UtilitySpace,
 };
 
 use rrm_2d::{Rrm2dOptions, TwoDRrmSolver, TwoDRrrSolver};
@@ -283,6 +283,34 @@ impl Default for Engine {
     }
 }
 
+/// One immutable generation of a [`Session`]: the dataset plus the
+/// lazily-built prepared handles over it. Snapshots are published behind
+/// an `Arc` and swapped atomically by [`Session::update`], so readers that
+/// grabbed one keep a fully consistent (data, prepared) view for as long
+/// as they hold it — an epoch swap never tears an in-flight query.
+struct Snapshot {
+    /// Generation counter: 0 at bind, +1 per applied update batch.
+    epoch: u64,
+    data: Arc<Dataset>,
+    /// One lazily-initialized prepared handle per [`Algorithm`] variant,
+    /// indexed by discriminant. Failed preparations are cached too — a
+    /// capability mismatch fails every query the same way. After an
+    /// update, slots whose solver maintains its state incrementally are
+    /// pre-filled by [`PreparedSolver::apply_update`]; the rest start
+    /// empty and lazily re-prepare against the new data on first use.
+    prepared: Vec<OnceLock<Result<Arc<dyn PreparedSolver>, RrmError>>>,
+}
+
+impl Snapshot {
+    fn fresh(epoch: u64, data: Arc<Dataset>) -> Self {
+        Self { epoch, data, prepared: empty_slots() }
+    }
+}
+
+fn empty_slots() -> Vec<OnceLock<Result<Arc<dyn PreparedSolver>, RrmError>>> {
+    (0..Algorithm::ALL.len()).map(|_| OnceLock::new()).collect()
+}
+
 /// An [`Engine`] bound to one dataset and utility space: the
 /// *prepare-once / query-many* entry point.
 ///
@@ -296,8 +324,14 @@ impl Default for Engine {
 /// handles behind their `Arc`s) and run read-only queries from many
 /// threads concurrently.
 ///
+/// The dataset is not frozen: [`Session::update`] applies a batch of
+/// [`UpdateOp`]s (inserts/deletes) and publishes the result as a new
+/// *epoch* via an atomic snapshot swap. Queries in flight keep the epoch
+/// they started on; solvers that support it carry their prepared state
+/// across the swap incrementally instead of re-preparing from scratch.
+///
 /// ```
-/// use rank_regret::{Dataset, Request, Session};
+/// use rank_regret::{Dataset, Request, Session, UpdateOp};
 ///
 /// let data = Dataset::from_rows(&[[0.0, 1.0], [0.57, 0.75], [1.0, 0.0]]).unwrap();
 /// let session = Session::new(data);
@@ -306,20 +340,27 @@ impl Default for Engine {
 ///     let resp = session.run(&Request::minimize(r)).unwrap();
 ///     assert!(resp.solution.size() <= r);
 /// }
+/// // Mutate the dataset in place; prepared state follows incrementally.
+/// let epoch = session.update(&[UpdateOp::Insert(vec![0.9, 0.4])]).unwrap();
+/// assert_eq!(epoch, 1);
+/// assert_eq!(session.data().n(), 4);
 /// ```
 pub struct Session {
     engine: Engine,
-    data: Dataset,
     space: Box<dyn UtilitySpace>,
-    /// One lazily-initialized prepared handle per [`Algorithm`] variant,
-    /// indexed by discriminant. Failed preparations are cached too — a
-    /// capability mismatch fails every query the same way.
-    prepared: Vec<OnceLock<Result<Arc<dyn PreparedSolver>, RrmError>>>,
+    /// The current generation. Readers take the read lock just long enough
+    /// to clone the `Arc`; the writer swaps the pointer after building the
+    /// next generation entirely off to the side.
+    snapshot: RwLock<Arc<Snapshot>>,
+    /// Serializes [`Session::update`] callers: the next generation is
+    /// built from the latest one, so concurrent writers must queue (while
+    /// readers proceed against the published snapshot untouched).
+    writer: Mutex<()>,
     /// Calls to [`Session::prepared`] that found an already-built handle.
     prepare_hits: AtomicUsize,
     /// Calls that actually ran [`Solver::prepare`] — at most one per
-    /// algorithm slot, however many threads race the first request
-    /// (`tests/session_parity.rs` hammers this).
+    /// algorithm slot *per epoch*, however many threads race the first
+    /// request (`tests/session_parity.rs` hammers this).
     prepare_misses: AtomicUsize,
 }
 
@@ -335,16 +376,17 @@ impl Session {
         let space: Box<dyn UtilitySpace> = Box::new(FullSpace::new(data.dim()));
         Self {
             engine,
-            data,
             space,
-            prepared: Self::empty_slots(),
+            snapshot: RwLock::new(Arc::new(Snapshot::fresh(0, Arc::new(data)))),
+            writer: Mutex::new(()),
             prepare_hits: AtomicUsize::new(0),
             prepare_misses: AtomicUsize::new(0),
         }
     }
 
-    fn empty_slots() -> Vec<OnceLock<Result<Arc<dyn PreparedSolver>, RrmError>>> {
-        (0..Algorithm::ALL.len()).map(|_| OnceLock::new()).collect()
+    /// The currently published snapshot.
+    fn current(&self) -> Arc<Snapshot> {
+        self.snapshot.read().expect("snapshot lock poisoned").clone()
     }
 
     /// Restrict the utility space (RRM becomes RRRM). Resets any prepared
@@ -370,14 +412,60 @@ impl Session {
     }
 
     fn reset_prepared(&mut self) {
-        self.prepared = Self::empty_slots();
+        let snapshot = self.snapshot.get_mut().expect("snapshot lock poisoned");
+        *snapshot = Arc::new(Snapshot::fresh(snapshot.epoch, snapshot.data.clone()));
         self.prepare_hits = AtomicUsize::new(0);
         self.prepare_misses = AtomicUsize::new(0);
     }
 
-    /// The dataset this session serves.
-    pub fn data(&self) -> &Dataset {
-        &self.data
+    /// The dataset this session currently serves (the published epoch's
+    /// rows; queries already in flight may still be reading an older
+    /// generation they pinned at dispatch).
+    pub fn data(&self) -> Arc<Dataset> {
+        self.current().data.clone()
+    }
+
+    /// The current epoch: 0 at bind, incremented by every applied
+    /// [`Session::update`] batch.
+    pub fn epoch(&self) -> u64 {
+        self.current().epoch
+    }
+
+    /// Apply a batch of inserts/deletes and publish the result as the next
+    /// epoch. Returns the new epoch number.
+    ///
+    /// The batch is validated and applied atomically ([`apply_updates`]):
+    /// on any invalid op nothing changes and the current epoch keeps
+    /// serving. On success the writer builds the next snapshot off to the
+    /// side — carrying over every already-built prepared handle whose
+    /// solver can advance its state incrementally
+    /// ([`PreparedSolver::apply_update`]), leaving the rest to lazy
+    /// re-preparation — and swaps it in with a pointer store. Readers
+    /// never block on the build; queries dispatched before the swap finish
+    /// against the old generation, queries after it see the new one.
+    /// Answers are identical either way to a session freshly bound to the
+    /// post-update rows.
+    pub fn update(&self, ops: &[UpdateOp]) -> Result<u64, RrmError> {
+        // One writer at a time: the next generation is derived from the
+        // latest one. Readers are not blocked by this lock.
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let base = self.current();
+        let upd = apply_updates(&base.data, ops)?;
+        let next = Snapshot::fresh(base.epoch + 1, Arc::new(upd.new.clone()));
+        for (slot, old) in next.prepared.iter().zip(&base.prepared) {
+            // Only successfully-built handles can carry state forward;
+            // empty and failed slots re-prepare lazily (and a capability
+            // failure recurs identically — updates change neither the
+            // dimensionality nor the space).
+            if let Some(Ok(handle)) = old.get() {
+                if let Some(advanced) = handle.apply_update(&upd) {
+                    let _ = slot.set(Ok(Arc::from(advanced)));
+                }
+            }
+        }
+        let epoch = next.epoch;
+        *self.snapshot.write().expect("snapshot lock poisoned") = Arc::new(next);
+        Ok(epoch)
     }
 
     /// The utility space queries run over.
@@ -394,11 +482,22 @@ impl Session {
     /// first use. The returned `Arc` is `Send + Sync`: clone it out and
     /// query from as many threads as you like.
     pub fn prepared(&self, choice: AlgoChoice) -> Result<Arc<dyn PreparedSolver>, RrmError> {
+        self.prepared_in(&self.current(), choice)
+    }
+
+    /// [`Session::prepared`] against one pinned snapshot (so a query
+    /// resolves and runs against a single consistent generation even if an
+    /// update swaps epochs mid-flight).
+    fn prepared_in(
+        &self,
+        snap: &Snapshot,
+        choice: AlgoChoice,
+    ) -> Result<Arc<dyn PreparedSolver>, RrmError> {
         let algo = match choice {
-            AlgoChoice::Auto => Engine::auto_policy(self.data.dim()),
+            AlgoChoice::Auto => Engine::auto_policy(snap.data.dim()),
             AlgoChoice::Fixed(a) => a,
         };
-        let slot = self.prepared.get(algo.index()).ok_or_else(|| {
+        let slot = snap.prepared.get(algo.index()).ok_or_else(|| {
             RrmError::Unsupported(format!("algorithm {algo} is not registered in this engine"))
         })?;
         // `OnceLock::get_or_init` is the anti-thundering-herd mechanism:
@@ -412,7 +511,7 @@ impl Session {
             .get_or_init(|| {
                 ran_prepare = true;
                 self.engine
-                    .prepare(AlgoChoice::Fixed(algo), &self.data, self.space.as_ref())
+                    .prepare(AlgoChoice::Fixed(algo), &snap.data, self.space.as_ref())
                     .map(Arc::from)
             })
             .clone();
@@ -447,9 +546,11 @@ impl Session {
         algos.iter().filter(|&&algo| self.prepared(AlgoChoice::Fixed(algo)).is_ok()).count()
     }
 
-    /// Answer one request through the prepared state.
+    /// Answer one request through the prepared state. The query pins the
+    /// snapshot current at dispatch — a concurrent [`Session::update`]
+    /// neither blocks it nor changes the rows it answers over.
     pub fn run(&self, request: &Request) -> Result<Response, RrmError> {
-        let prepared = self.prepared(request.choice)?;
+        let prepared = self.prepared_in(&self.current(), request.choice)?;
         let start = Instant::now();
         let solution = match request.task {
             Task::Minimize { r } => prepared.solve_rrm(r, &request.budget),
@@ -769,6 +870,83 @@ mod tests {
         let err = session.run(&Request::minimize(1).algo(Algorithm::TwoDRrm)).unwrap_err();
         assert!(matches!(err, RrmError::Unsupported(_)), "{err}");
         assert_eq!(session.prepare_misses(), 8, "failures consumed their one miss");
+    }
+
+    #[test]
+    fn update_publishes_new_epoch_and_matches_fresh_session() {
+        let data = Dataset::from_rows(&[
+            [0.0, 1.0],
+            [0.4, 0.95],
+            [0.57, 0.75],
+            [0.79, 0.6],
+            [0.2, 0.5],
+            [0.35, 0.3],
+            [1.0, 0.0],
+        ])
+        .unwrap();
+        let session = Session::new(data);
+        session.warm(&Algorithm::ALL);
+        assert_eq!(session.epoch(), 0);
+        let ops = [UpdateOp::Delete(3), UpdateOp::Insert(vec![0.6, 0.62]), UpdateOp::Delete(0)];
+        assert_eq!(session.update(&ops).unwrap(), 1);
+        assert_eq!(session.epoch(), 1);
+        assert_eq!(session.data().n(), 6);
+        // Every algorithm answers exactly like a session freshly bound to
+        // the post-update rows — whether its state was carried forward
+        // incrementally or lazily re-prepared.
+        let fresh = Session::new(session.data().as_ref().clone());
+        let budget = Budget::with_samples(64);
+        for algo in Algorithm::ALL {
+            for r in [2usize, 3] {
+                let request = Request::minimize(r).algo(algo).budget(budget.clone());
+                assert_eq!(
+                    session.run(&request).unwrap().solution,
+                    fresh.run(&request).unwrap().solution,
+                    "{algo} r={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn update_carries_incremental_handles_without_reprepare() {
+        let data = Dataset::from_rows(&[[0.0, 1.0], [0.57, 0.75], [1.0, 0.0]]).unwrap();
+        let session = Session::new(data);
+        session.warm(&Algorithm::ALL);
+        assert_eq!(session.prepare_misses(), 8);
+        session.update(&[UpdateOp::Insert(vec![0.8, 0.5])]).unwrap();
+        // 2DRRM and HDRRM maintain their prepared state across the swap:
+        // querying them on the new epoch must not re-run prepare.
+        session.run(&Request::minimize(2).algo(Algorithm::TwoDRrm)).unwrap();
+        session.run(&Request::minimize(2).algo(Algorithm::Hdrrm)).unwrap();
+        assert_eq!(session.prepare_misses(), 8, "incremental slots were pre-filled");
+        // A solver without incremental maintenance lazily re-prepares.
+        session.run(&Request::minimize(2).algo(Algorithm::Mdrc)).unwrap();
+        assert_eq!(session.prepare_misses(), 9);
+    }
+
+    #[test]
+    fn update_rejects_invalid_batches_atomically() {
+        let data = Dataset::from_rows(&[[0.0, 1.0], [0.57, 0.75], [1.0, 0.0]]).unwrap();
+        let session = Session::new(data.clone());
+        let err = session.update(&[UpdateOp::Delete(9)]).unwrap_err();
+        assert!(matches!(err, RrmError::Unsupported(_)), "{err}");
+        assert_eq!(session.epoch(), 0, "failed batches must not advance the epoch");
+        assert_eq!(*session.data(), data);
+    }
+
+    #[test]
+    fn in_flight_handles_survive_an_epoch_swap() {
+        let data = Dataset::from_rows(&[[0.0, 1.0], [0.57, 0.75], [1.0, 0.0]]).unwrap();
+        let session = Session::new(data);
+        let handle = session.prepared(AlgoChoice::Auto).unwrap();
+        let before = handle.solve_rrm(2, &Budget::UNLIMITED).unwrap();
+        session.update(&[UpdateOp::Delete(1)]).unwrap();
+        // The pinned handle still answers over the generation it was built
+        // on — the swap invalidates nothing a reader already holds.
+        assert_eq!(handle.solve_rrm(2, &Budget::UNLIMITED).unwrap(), before);
+        assert_eq!(handle.dataset().n(), 3);
+        assert_eq!(session.data().n(), 2);
     }
 
     #[test]

@@ -156,9 +156,10 @@ pub use rrm_setcover;
 pub use rrm_skyline;
 
 pub use rrm_core::{
-    Algorithm, BiasedOrthantSpace, Bounds, BoxSpace, Budget, ConeSpace, Cutoff, Dataset, DimRange,
-    ExecPolicy, FullSpace, Parallelism, PreparedSolver, RrmError, Solution, Solver, SolverCtx,
-    SphereCap, TerminatedBy, UtilitySpace, WeakRankingSpace,
+    apply_updates, Algorithm, AppliedUpdate, BiasedOrthantSpace, Bounds, BoxSpace, Budget,
+    ConeSpace, Cutoff, Dataset, DimRange, ExecPolicy, FullSpace, Parallelism, PreparedSolver,
+    RrmError, Solution, Solver, SolverCtx, SphereCap, TerminatedBy, UpdateOp, UtilitySpace,
+    WeakRankingSpace,
 };
 
 pub mod cli;
@@ -171,7 +172,7 @@ pub mod prelude {
     pub use crate::{
         minimize, represent, session, Algorithm, BiasedOrthantSpace, BoxSpace, Budget, ConeSpace,
         Dataset, Engine, ExecPolicy, FullSpace, Parallelism, PreparedSolver, Request, Response,
-        RrmError, Session, Solution, Solver, SphereCap, UtilitySpace, WeakRankingSpace,
+        RrmError, Session, Solution, Solver, SphereCap, UpdateOp, UtilitySpace, WeakRankingSpace,
     };
 }
 

@@ -1,0 +1,176 @@
+//! Incremental-update parity: a [`Session`] advanced through
+//! [`Session::update`] must answer **bit-identically** to a session built
+//! fresh over the same post-update rows — for every registered algorithm,
+//! whether a warm handle was advanced in place (2DRRM, HDRRM) or the
+//! algorithm fell back to lazy re-prepare on the new epoch. Correctness
+//! must never depend on which path ran.
+//!
+//! Also here: multi-batch epoch chaining, and a reader/writer race — the
+//! epoch swap is a pointer swap, so queries in flight during an update
+//! must always see one coherent snapshot, never a torn mix.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use proptest::prelude::*;
+use rank_regret::prelude::*;
+use rank_regret::rrm_data::synthetic::independent;
+use rank_regret::{apply_updates, Dataset};
+
+/// Budget shared by updated and fresh paths: sample counts keep the
+/// randomized solvers fast and the enumeration/LP caps keep MDRRR's exact
+/// k-set enumeration bounded in debug builds. Parity is unaffected — both
+/// sides see identical caps.
+fn budget() -> Budget {
+    Budget {
+        samples: Some(400),
+        max_enumerations: Some(300),
+        max_lp_calls: Some(60),
+        ..Budget::UNLIMITED
+    }
+}
+
+/// Strategy: a small 2D dataset on a fine grid plus one churn batch —
+/// up to 3 distinct deletes and up to 3 inserted rows. Sizes stay under
+/// brute force's n <= 20 cap so *all eight* algorithms stay in play.
+fn dataset_and_ops() -> impl Strategy<Value = (Dataset, Vec<UpdateOp>)> {
+    proptest::collection::vec((0u32..1000, 0u32..1000), 4..14).prop_flat_map(|pairs| {
+        let n = pairs.len();
+        (
+            Just(pairs),
+            proptest::collection::vec(0..n, 0..3),
+            proptest::collection::vec((0u32..1000, 0u32..1000), 0..4),
+        )
+            .prop_map(|(pairs, mut deletes, inserts)| {
+                let rows: Vec<[f64; 2]> = pairs
+                    .into_iter()
+                    .map(|(a, b)| [a as f64 / 1000.0, b as f64 / 1000.0])
+                    .collect();
+                let data = Dataset::from_rows(&rows).unwrap();
+                deletes.sort_unstable();
+                deletes.dedup();
+                let mut ops: Vec<UpdateOp> = deletes.into_iter().map(UpdateOp::Delete).collect();
+                ops.extend(
+                    inserts
+                        .into_iter()
+                        .map(|(a, b)| UpdateOp::Insert(vec![a as f64 / 1000.0, b as f64 / 1000.0])),
+                );
+                (data, ops)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole contract: update-then-query equals rebuild-then-query,
+    /// all eight algorithms, at 1, 2, and 7 worker threads.
+    #[test]
+    fn updated_session_matches_fresh_session((data, ops) in dataset_and_ops()) {
+        let upd = apply_updates(&data, &ops).unwrap();
+        for threads in [1usize, 2, 7] {
+            let session = Session::new(data.clone()).exec(ExecPolicy::threads(threads));
+            // Warm every algorithm first so the incremental carry-over
+            // path (not just lazy re-prepare) is exercised where it exists.
+            session.warm(&Algorithm::ALL);
+            prop_assert_eq!(session.update(&ops).unwrap(), 1);
+            let fresh = Session::new(upd.new.clone()).exec(ExecPolicy::threads(threads));
+            for algo in Algorithm::ALL {
+                for request in [
+                    Request::minimize(2).algo(algo).budget(budget()),
+                    Request::represent(2).algo(algo).budget(budget()),
+                ] {
+                    let got = session.run(&request).map(|r| r.solution);
+                    let want = fresh.run(&request).map(|r| r.solution);
+                    prop_assert_eq!(got, want, "{} at {} threads, {:?}", algo, threads, request);
+                }
+            }
+        }
+    }
+}
+
+/// Chained batches: each epoch's answers must match a fresh session over
+/// that epoch's rows, and the epoch counter must track the chain.
+#[test]
+fn chained_update_batches_stay_in_parity() {
+    let data = independent(18, 2, 5);
+    let session = Session::new(data.clone()).exec(ExecPolicy::sequential());
+    session.warm(&Algorithm::ALL);
+    let batches: [Vec<UpdateOp>; 3] = [
+        vec![UpdateOp::Delete(2), UpdateOp::Insert(vec![0.91, 0.13])],
+        vec![UpdateOp::Insert(vec![0.4, 0.77]), UpdateOp::Insert(vec![0.05, 0.95])],
+        vec![UpdateOp::Delete(0), UpdateOp::Delete(7), UpdateOp::Delete(12)],
+    ];
+    let mut rows = data;
+    for (b, ops) in batches.iter().enumerate() {
+        rows = apply_updates(&rows, ops).unwrap().new;
+        assert_eq!(session.update(ops).unwrap(), b as u64 + 1);
+        assert_eq!(*session.data(), rows);
+        let fresh = Session::new(rows.clone()).exec(ExecPolicy::sequential());
+        for algo in Algorithm::ALL {
+            let request = Request::minimize(3).algo(algo).budget(budget());
+            let got = session.run(&request).map(|r| r.solution);
+            let want = fresh.run(&request).map(|r| r.solution);
+            assert_eq!(got, want, "batch {b}, {algo}");
+        }
+    }
+    assert_eq!(session.epoch(), 3);
+}
+
+/// Readers race a writer applying epoch swaps. Every answer a reader gets
+/// must be *the* correct answer for one of the published epochs — a torn
+/// read (part old snapshot, part new) would produce something outside
+/// that set. The expected answers are precomputed from fresh sessions.
+#[test]
+fn concurrent_readers_race_epoch_swaps_without_torn_reads() {
+    let data = independent(300, 2, 11);
+    let batches: Vec<Vec<UpdateOp>> = (0..4u64)
+        .map(|b| {
+            vec![
+                UpdateOp::Delete(b as usize * 3),
+                UpdateOp::Insert(vec![0.2 + 0.15 * b as f64, 0.9 - 0.11 * b as f64]),
+            ]
+        })
+        .collect();
+    let request = Request::minimize(3).algo(Algorithm::TwoDRrm);
+
+    // The full set of correct answers, one per epoch.
+    let mut expected = Vec::new();
+    let mut rows = data.clone();
+    expected.push(
+        Session::new(rows.clone()).exec(ExecPolicy::sequential()).run(&request).unwrap().solution,
+    );
+    for ops in &batches {
+        rows = apply_updates(&rows, ops).unwrap().new;
+        expected.push(
+            Session::new(rows.clone())
+                .exec(ExecPolicy::sequential())
+                .run(&request)
+                .unwrap()
+                .solution,
+        );
+    }
+
+    let session = Session::new(data).exec(ExecPolicy::threads(2));
+    session.warm(&[Algorithm::TwoDRrm]);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    let solution = session.run(&request).expect("racing query").solution;
+                    assert!(
+                        expected.contains(&solution),
+                        "torn read: answer matches no published epoch: {solution:?}"
+                    );
+                }
+            });
+        }
+        for (b, ops) in batches.iter().enumerate() {
+            assert_eq!(session.update(ops).expect("swap"), b as u64 + 1);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert_eq!(session.epoch(), batches.len() as u64);
+    assert_eq!(*session.data(), rows);
+}

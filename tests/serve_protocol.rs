@@ -9,7 +9,7 @@
 //! query ever dispatches, so which request gets rejected is exact, not
 //! timing-dependent.
 
-use rank_regret::{Algorithm, ExecPolicy, Session};
+use rank_regret::{Algorithm, ExecPolicy, Session, UpdateOp};
 use rrm_serve::{
     effective_request, parse_request, Client, Json, ServerConfig, ServerHandle, SyntheticKind,
     TenantSpec,
@@ -236,6 +236,92 @@ fn concurrent_clients_match_the_in_process_session() {
 }
 
 #[test]
+fn update_op_publishes_a_new_epoch_and_queries_follow() {
+    let spec = small_tenant("t");
+    let server = ServerHandle::start(test_config(), std::slice::from_ref(&spec)).expect("start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Epoch 0 is reported per tenant in stats.
+    let resp = client.call(r#"{"op":"stats","id":0}"#).expect("call");
+    let tenant =
+        resp.get("stats").and_then(|s| s.get("tenants")).and_then(|t| t.get("t")).expect("stats");
+    assert_eq!(tenant.get("epoch").and_then(Json::as_usize), Some(0));
+
+    // The same deterministic query twice: the second answer comes from
+    // the tenant's budget-keyed result cache, bit-identical.
+    let q = r#"{"op":"minimize","tenant":"t","param":4,"algo":"hdrrm","samples":64,"id":1}"#;
+    let first = client.call(q).expect("call");
+    assert_eq!(str_field(&first, "status"), "ok");
+    let second = client.call(q).expect("call");
+    assert_eq!(second.get("indices"), first.get("indices"));
+    let resp = client.call(r#"{"op":"stats","id":2}"#).expect("call");
+    let tenant =
+        resp.get("stats").and_then(|s| s.get("tenants")).and_then(|t| t.get("t")).expect("stats");
+    let cache = tenant.get("result_cache").expect("result_cache block");
+    assert_eq!(cache.get("hits").and_then(Json::as_usize), Some(1));
+    assert_eq!(cache.get("entries").and_then(Json::as_usize), Some(1));
+
+    // Apply an update batch: 3 deletes + 3 inserts, n stays 300.
+    let upd = r#"{"op":"update","tenant":"t","delete":[0,1,2],"insert":[[0.9,0.8,0.7],[0.2,0.3,0.4],[0.99,0.01,0.5]],"id":3}"#;
+    let resp = client.call(upd).expect("call");
+    assert_eq!(str_field(&resp, "status"), "ok", "{resp:?}");
+    assert_eq!(resp.get("epoch").and_then(Json::as_usize), Some(1));
+    assert_eq!(resp.get("n").and_then(Json::as_usize), Some(300));
+
+    // The cache was invalidated by the swap and the same query now
+    // answers over the new rows — bit-identical to an in-process session
+    // that applied the same batch.
+    let session = Session::new(spec.source.load().expect("load")).exec(ExecPolicy::sequential());
+    session
+        .update(&[
+            UpdateOp::Delete(0),
+            UpdateOp::Delete(1),
+            UpdateOp::Delete(2),
+            UpdateOp::Insert(vec![0.9, 0.8, 0.7]),
+            UpdateOp::Insert(vec![0.2, 0.3, 0.4]),
+            UpdateOp::Insert(vec![0.99, 0.01, 0.5]),
+        ])
+        .expect("in-process update");
+    let resp = client.call(q).expect("call");
+    assert_eq!(str_field(&resp, "status"), "ok");
+    let wire = parse_request(q).expect("parses");
+    let request =
+        effective_request(&wire, server.calibration(), session.data().n(), session.data().dim())
+            .expect("query");
+    let expected = session.run(&request).expect("replay");
+    let got: Vec<usize> = match resp.get("indices") {
+        Some(Json::Arr(items)) => items.iter().map(|v| v.as_usize().unwrap()).collect(),
+        other => panic!("no indices: {other:?}"),
+    };
+    let want: Vec<usize> = expected.solution.indices.iter().map(|&i| i as usize).collect();
+    assert_eq!(got, want, "post-update wire answer must match the in-process session");
+
+    // An invalid batch is rejected atomically: error out, epoch unmoved.
+    let resp = client.call(r#"{"op":"update","tenant":"t","delete":[999999],"id":4}"#).expect("c");
+    assert_eq!(str_field(&resp, "status"), "error");
+    let resp = client.call(r#"{"op":"stats","id":5}"#).expect("call");
+    let tenant =
+        resp.get("stats").and_then(|s| s.get("tenants")).and_then(|t| t.get("t")).expect("stats");
+    assert_eq!(tenant.get("epoch").and_then(Json::as_usize), Some(1));
+    assert_eq!(tenant.get("updates_applied").and_then(Json::as_usize), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn gap_cutoff_queries_answer_over_the_wire() {
+    let server = ServerHandle::start(test_config(), &[small_tenant("t")]).expect("start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    // A generous gap target on a cuttable algorithm: the solve stops at
+    // the certified gap, deterministically, and still answers ok.
+    let resp = client
+        .call(r#"{"op":"minimize","tenant":"t","param":4,"algo":"hdrrm","samples":64,"gap":0.9,"id":1}"#)
+        .expect("call");
+    assert_eq!(str_field(&resp, "status"), "ok", "{resp:?}");
+    assert_eq!(resp.get("size").and_then(Json::as_usize), Some(4));
+    server.shutdown();
+}
+
+#[test]
 fn shutdown_returns_final_stats_with_latency_histogram() {
     let server = ServerHandle::start(test_config(), &[small_tenant("t")]).expect("start");
     let mut client = Client::connect(server.addr()).expect("connect");
@@ -256,7 +342,9 @@ fn shutdown_returns_final_stats_with_latency_histogram() {
     assert_eq!(latency.get("count").and_then(Json::as_usize), Some(3));
     assert!(latency.get("p99_us").and_then(Json::as_usize).unwrap() > 0);
     // The warm/prepare economics show up too: one miss (first query
-    // prepared HDRRM lazily), then hits.
+    // prepared HDRRM lazily); the identical repeats never reach the
+    // solver at all — they're answered from the result cache.
     assert_eq!(tenant.get("prepare_misses").and_then(Json::as_usize), Some(1));
-    assert!(tenant.get("prepare_hits").and_then(Json::as_usize).unwrap() >= 2);
+    let cache = tenant.get("result_cache").expect("result_cache block");
+    assert_eq!(cache.get("hits").and_then(Json::as_usize), Some(2));
 }
