@@ -196,8 +196,10 @@ mod tests {
     #[test]
     fn trait_and_function_agree() {
         let solver = TwoDRrmSolver::default();
-        let via_trait =
-            solver.solve_rrm(&table1(), 2, &FullSpace::new(2), &Budget::default()).unwrap();
+        let ctx = rrm_core::SolverCtx::default();
+        let via_trait = solver
+            .solve_rrm_ctx(&table1(), 2, &FullSpace::new(2), &Budget::default(), &ctx)
+            .unwrap();
         let direct = rrm_2d(&table1(), 2, &FullSpace::new(2), Rrm2dOptions::default()).unwrap();
         assert_eq!(via_trait, direct);
         assert_eq!(solver.algorithm(), Algorithm::TwoDRrm);
@@ -207,15 +209,24 @@ mod tests {
     #[test]
     fn two_d_solvers_reject_hd_data() {
         let data = Dataset::from_rows(&[[0.1, 0.2, 0.3], [0.3, 0.2, 0.1]]).unwrap();
-        let err =
-            TwoDRrrSolver.solve_rrm(&data, 1, &FullSpace::new(3), &Budget::default()).unwrap_err();
+        let err = TwoDRrrSolver
+            .solve_rrm_ctx(&data, 1, &FullSpace::new(3), &Budget::default(), &Default::default())
+            .unwrap_err();
         assert!(matches!(err, RrmError::Unsupported(_)), "{err}");
     }
 
     #[test]
     fn two_d_rrr_solver_covers_threshold() {
         let solver = TwoDRrrSolver;
-        let sol = solver.solve_rrr(&table1(), 2, &FullSpace::new(2), &Budget::default()).unwrap();
+        let sol = solver
+            .solve_rrr_ctx(
+                &table1(),
+                2,
+                &FullSpace::new(2),
+                &Budget::default(),
+                &Default::default(),
+            )
+            .unwrap();
         assert!(sol.certified_regret.unwrap() <= 3); // 2k-1
         assert_eq!(sol.algorithm, Algorithm::TwoDRrr);
         assert!(!solver.supports_restricted_space());

@@ -735,17 +735,22 @@ impl PreparedSolver for PreparedMdrms {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rrm_core::{FullSpace, WeakRankingSpace};
+    use rrm_core::{FullSpace, SolverCtx, WeakRankingSpace};
 
     fn small() -> Dataset {
         rrm_data::synthetic::independent(120, 3, 7)
     }
 
+    fn ctx() -> SolverCtx {
+        SolverCtx::default()
+    }
+
     #[test]
     fn hdrrm_solver_budget_maps_to_sample_override() {
         let solver = HdrrmSolver::default();
-        let sol =
-            solver.solve_rrm(&small(), 8, &FullSpace::new(3), &Budget::with_samples(150)).unwrap();
+        let sol = solver
+            .solve_rrm_ctx(&small(), 8, &FullSpace::new(3), &Budget::with_samples(150), &ctx())
+            .unwrap();
         assert_eq!(sol.algorithm, Algorithm::Hdrrm);
         assert!(sol.size() <= 8);
     }
@@ -754,7 +759,7 @@ mod tests {
     fn mdrrr_solver_rejects_restricted_space() {
         let solver = MdrrrSolver::default();
         let err = solver
-            .solve_rrm(&small(), 5, &WeakRankingSpace::new(3, 1), &Budget::default())
+            .solve_rrm_ctx(&small(), 5, &WeakRankingSpace::new(3, 1), &Budget::default(), &ctx())
             .unwrap_err();
         assert!(matches!(err, RrmError::Unsupported(_)), "{err}");
     }
@@ -763,8 +768,9 @@ mod tests {
     fn mdrc_solver_gains_rrr_through_search() {
         let data = rrm_data::synthetic::independent(150, 3, 9);
         let solver = MdrcSolver::default();
-        let sol =
-            solver.solve_rrr(&data, 20, &FullSpace::new(3), &Budget::with_samples(128)).unwrap();
+        let sol = solver
+            .solve_rrr_ctx(&data, 20, &FullSpace::new(3), &Budget::with_samples(128), &ctx())
+            .unwrap();
         assert_eq!(sol.algorithm, Algorithm::Mdrc);
         assert!(sol.certified_regret.is_none(), "MDRC must not claim a certificate");
         assert!(sol.size() >= 1);
@@ -774,11 +780,13 @@ mod tests {
     fn mdrms_solver_runs_both_directions() {
         let data = rrm_data::synthetic::correlated(150, 3, 11);
         let solver = MdrmsSolver::default();
-        let rrm =
-            solver.solve_rrm(&data, 6, &FullSpace::new(3), &Budget::with_samples(300)).unwrap();
+        let rrm = solver
+            .solve_rrm_ctx(&data, 6, &FullSpace::new(3), &Budget::with_samples(300), &ctx())
+            .unwrap();
         assert!(rrm.size() <= 6);
-        let rrr =
-            solver.solve_rrr(&data, 30, &FullSpace::new(3), &Budget::with_samples(128)).unwrap();
+        let rrr = solver
+            .solve_rrr_ctx(&data, 30, &FullSpace::new(3), &Budget::with_samples(128), &ctx())
+            .unwrap();
         assert_eq!(rrr.algorithm, Algorithm::Mdrms);
     }
 
@@ -790,11 +798,11 @@ mod tests {
         let budget = Budget::with_samples(150);
         let prepared = solver.prepare(&data, &space).unwrap();
         for r in [6usize, 8, 12] {
-            let one_shot = solver.solve_rrm(&data, r, &space, &budget).unwrap();
+            let one_shot = solver.solve_rrm_ctx(&data, r, &space, &budget, &ctx()).unwrap();
             assert_eq!(prepared.solve_rrm(r, &budget).unwrap(), one_shot, "r={r}");
         }
         for k in [2usize, 10] {
-            let one_shot = solver.solve_rrr(&data, k, &space, &budget).unwrap();
+            let one_shot = solver.solve_rrr_ctx(&data, k, &space, &budget, &ctx()).unwrap();
             assert_eq!(prepared.solve_rrr(k, &budget).unwrap(), one_shot, "k={k}");
         }
     }
@@ -822,7 +830,7 @@ mod tests {
         for (solver, data) in &cases {
             let prepared = solver.prepare(data, &space).unwrap();
             for r in [3usize, 6] {
-                let one_shot = solver.solve_rrm(data, r, &space, &budget).unwrap();
+                let one_shot = solver.solve_rrm_ctx(data, r, &space, &budget, &ctx()).unwrap();
                 assert_eq!(
                     prepared.solve_rrm(r, &budget).unwrap(),
                     one_shot,
@@ -831,7 +839,7 @@ mod tests {
                 );
             }
             for k in [3usize, 5] {
-                let one_shot = solver.solve_rrr(data, k, &space, &budget).unwrap();
+                let one_shot = solver.solve_rrr_ctx(data, k, &space, &budget, &ctx()).unwrap();
                 assert_eq!(
                     prepared.solve_rrr(k, &budget).unwrap(),
                     one_shot,
@@ -852,7 +860,7 @@ mod tests {
         let solver = MdrmsSolver::default();
         let prepared = solver.prepare(&data, &space).unwrap();
         for r in [8usize, 2, 5] {
-            let one_shot = solver.solve_rrm(&data, r, &space, &budget).unwrap();
+            let one_shot = solver.solve_rrm_ctx(&data, r, &space, &budget, &ctx()).unwrap();
             assert_eq!(prepared.solve_rrm(r, &budget).unwrap(), one_shot, "r={r}");
         }
     }

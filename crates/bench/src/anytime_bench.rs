@@ -21,7 +21,7 @@
 //!
 //! [`Cutoff::CounterBudget`]: rrm_core::Cutoff::CounterBudget
 
-use rrm_core::{Budget, Dataset, FullSpace, Solution, Solver, TerminatedBy};
+use rrm_core::{Budget, Dataset, FullSpace, Solution, Solver, SolverCtx, TerminatedBy};
 use rrm_hd::{HdrrmOptions, HdrrmSolver, MdrrrROptions, MdrrrRSolver};
 
 use crate::{bench_meta, timed, Scale};
@@ -83,10 +83,10 @@ fn solve(
     let space = FullSpace::new(data.dim());
     match algo {
         Algo::Hdrrm => HdrrmSolver::new(HdrrmOptions { prune, ..scale.hdrrm() })
-            .solve_rrm(data, r, &space, budget)
+            .solve_rrm_ctx(data, r, &space, budget, &SolverCtx::default())
             .expect("HDRRM solves the synthetic instances"),
         Algo::MdrrrR => MdrrrRSolver::new(MdrrrROptions { prune, ..scale.mdrrr_r() })
-            .solve_rrm(data, r, &space, budget)
+            .solve_rrm_ctx(data, r, &space, budget, &SolverCtx::default())
             .expect("MDRRRr solves the synthetic instances"),
     }
 }

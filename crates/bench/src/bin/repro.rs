@@ -7,7 +7,8 @@
 //!
 //! Ids: `table1 table2 table3 theorem2 fig09 fig10 fig11 fig12 fig13 fig14
 //! fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25 fig26
-//! fig27 fig28 ablation amortize scale kernels serve anytime incremental`.
+//! fig27 fig28 ablation amortize scale kernels serve anytime incremental
+//! approx`.
 //! (`amortize`,
 //! `scale`, `kernels`, `serve` and `anytime` are not paper figures: `amortize` measures the session API's
 //! prepare-once / query-many speedup and writes `BENCH_session.json`;
@@ -27,7 +28,10 @@
 //! through `Session::update` against naive per-batch re-prepare with a
 //! concurrent query stream, asserts per-batch answer parity plus the
 //! 10x-or-better sustained-updates gate at n = 100K, and writes
-//! `BENCH_incremental.json`.)
+//! `BENCH_incremental.json`; `approx` validates the sampled-ε tier on the
+//! scenario matrix — golden small-slice cross-checks against exact 2DRRM,
+//! per-shape `(ε, δ)` coverage trials, thread-count bit-identity, and the
+//! exact-vs-sampled speedup gate — and writes `BENCH_approx.json`.)
 //! A global `--threads N` flag pins the worker count for every other
 //! experiment (0 = all cores; equivalent to RRM_THREADS). Default scale is `--quick` (minutes for `all`);
 //! `--full` mirrors the paper's parameters. Absolute times differ from the
@@ -36,7 +40,9 @@
 
 use bench::{measure_solver, timed, Outcome, Scale, SYNTHETICS};
 use rrm_2d::{Rrm2dOptions, TwoDRrmSolver};
-use rrm_core::{Algorithm, Budget, Dataset, ExecPolicy, FullSpace, UtilitySpace, WeakRankingSpace};
+use rrm_core::{
+    Algorithm, Budget, Dataset, ExecPolicy, FullSpace, SolverCtx, UtilitySpace, WeakRankingSpace,
+};
 use rrm_data::real_sim::{island_sim, nba_sim, weather_sim};
 use rrm_data::synthetic::lower_bound_arc;
 use rrm_eval::report::{render_table, size_tick, Series};
@@ -98,6 +104,7 @@ fn main() {
         "serve",
         "anytime",
         "incremental",
+        "approx",
     ];
     match id {
         "all" => {
@@ -150,6 +157,7 @@ fn run(id: &str, scale: Scale) {
         "serve" => bench::serve_bench::run(scale),
         "anytime" => bench::anytime_bench::run(scale),
         "incremental" => bench::incremental_bench::run(scale),
+        "approx" => bench::approx_bench::run(scale),
         _ => unreachable!(),
     }
 }
@@ -183,12 +191,13 @@ fn table1() {
     let rms_solver = engine.solver(Algorithm::Mdrms).expect("registered");
     let space = FullSpace::new(2);
     let budget = Budget::UNLIMITED;
-    let rrm = exact.solve_rrm(&data, 1, &space, &budget).unwrap();
-    let rms = rms_solver.solve_rrm(&data, 1, &space, &budget).unwrap();
+    let rrm = exact.solve_rrm_ctx(&data, 1, &space, &budget, &SolverCtx::default()).unwrap();
+    let rms = rms_solver.solve_rrm_ctx(&data, 1, &space, &budget, &SolverCtx::default()).unwrap();
     println!("\nr = 1 choices: RRM -> t{}, RMS -> t{}", rrm.indices[0] + 1, rms.indices[0] + 1);
     let shifted = data.shift(&[0.0, 4.0]);
-    let rrm_s = exact.solve_rrm(&shifted, 1, &space, &budget).unwrap();
-    let rms_s = rms_solver.solve_rrm(&shifted, 1, &space, &budget).unwrap();
+    let rrm_s = exact.solve_rrm_ctx(&shifted, 1, &space, &budget, &SolverCtx::default()).unwrap();
+    let rms_s =
+        rms_solver.solve_rrm_ctx(&shifted, 1, &space, &budget, &SolverCtx::default()).unwrap();
     println!(
         "after A2 += 4:  RRM -> t{} (invariant), RMS -> t{} (changed)",
         rrm_s.indices[0] + 1,
@@ -263,7 +272,9 @@ fn theorem2() {
     let exact = engine.solver(Algorithm::TwoDRrm).expect("registered");
     for &(n, r) in &[(200usize, 3usize), (400, 4), (800, 5), (1600, 5)] {
         let data = lower_bound_arc(n, 2);
-        let sol = exact.solve_rrm(&data, r, &FullSpace::new(2), &Budget::UNLIMITED).unwrap();
+        let sol = exact
+            .solve_rrm_ctx(&data, r, &FullSpace::new(2), &Budget::UNLIMITED, &SolverCtx::default())
+            .unwrap();
         println!(
             "{:>8} {:>4} {:>14} {:>14}",
             n,
@@ -282,8 +293,10 @@ fn two_d_rows(data: &Dataset, r: usize) -> (f64, f64, usize, usize) {
     let engine = Scale::Full.engine();
     let exact = engine.solver(Algorithm::TwoDRrm).expect("registered");
     let baseline = engine.solver(Algorithm::TwoDRrr).expect("registered");
-    let (a, ta) = timed(|| exact.solve_rrm(data, r, &space, &budget).unwrap());
-    let (b, tb) = timed(|| baseline.solve_rrm(data, r, &space, &budget).unwrap());
+    let (a, ta) =
+        timed(|| exact.solve_rrm_ctx(data, r, &space, &budget, &SolverCtx::default()).unwrap());
+    let (b, tb) =
+        timed(|| baseline.solve_rrm_ctx(data, r, &space, &budget, &SolverCtx::default()).unwrap());
     let exact_b = exact_rank_regret_2d(data, &b.indices, 0.0, 1.0).0;
     (ta, tb, a.certified_regret.unwrap(), exact_b)
 }
@@ -791,7 +804,11 @@ fn amortize(scale: Scale) {
         let (results, one_shot_seconds) = timed(|| {
             sizes
                 .iter()
-                .map(|&r| solver.solve_rrm(data, r, &space, budget).expect("one-shot solve"))
+                .map(|&r| {
+                    solver
+                        .solve_rrm_ctx(data, r, &space, budget, &SolverCtx::default())
+                        .expect("one-shot solve")
+                })
                 .collect::<Vec<_>>()
         });
 

@@ -8,6 +8,7 @@
 //! configuration for quick vs full mode.
 
 pub mod anytime_bench;
+pub mod approx_bench;
 pub mod incremental_bench;
 pub mod serve_bench;
 

@@ -50,7 +50,11 @@ impl Bounds {
 }
 
 /// Why a solve returned when it did.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// `Eq` is deliberately absent: the [`TerminatedBy::Sampled`] variant
+/// carries the `(eps, delta)` floats of its confidence statement, so the
+/// enum (like [`Cutoff`]) only offers `PartialEq`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum TerminatedBy {
     /// The search ran to its natural end (gap 0 within its frame).
     #[default]
@@ -62,6 +66,14 @@ pub enum TerminatedBy {
     /// A deterministic counter budget ([`Cutoff::CounterBudget`], folded
     /// in from the `Budget` counters) was exhausted.
     Counter,
+    /// The answer is a sampled-ε approximation: `directions` utility
+    /// directions were drawn from the query space, enough that by
+    /// Hoeffding's inequality, with probability at least `1 - delta`
+    /// over the draw, the fraction of the direction space on which the
+    /// set's rank exceeds the reported regret is at most `eps`. The
+    /// solve itself ran to its natural end — this is a fidelity
+    /// statement, not an early stop.
+    Sampled { eps: f64, delta: f64, directions: usize },
 }
 
 impl TerminatedBy {
@@ -71,7 +83,16 @@ impl TerminatedBy {
             TerminatedBy::Time => "time",
             TerminatedBy::Gap => "gap",
             TerminatedBy::Counter => "counter",
+            TerminatedBy::Sampled { .. } => "sampled",
         }
+    }
+
+    /// `true` for the variants that mean "an in-solve cutoff fired and
+    /// the answer may be sub-optimal within the solver's frame" — i.e.
+    /// everything except a natural completion or a sampled-fidelity
+    /// answer (which completed its search over the sampled directions).
+    pub fn is_early_stop(self) -> bool {
+        matches!(self, TerminatedBy::Time | TerminatedBy::Gap | TerminatedBy::Counter)
     }
 }
 

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod anytime;
+pub mod approx;
 pub mod basis;
 pub mod dataset;
 pub mod error;
@@ -47,6 +48,9 @@ pub mod update;
 pub mod utility;
 
 pub use anytime::{AnytimeSearch, Bounds, Cutoff, Incumbent, SearchReport, TerminatedBy};
+pub use approx::{
+    hoeffding_directions, reduce, ApproxSpec, Fidelity, Reduced, SampledOptions, SampledSolver,
+};
 pub use basis::basis_indices;
 pub use dataset::Dataset;
 pub use error::RrmError;

@@ -46,12 +46,16 @@ pub enum Algorithm {
     Mdrms,
     /// Exhaustive search over candidate subsets (tests/benches only).
     BruteForce,
+    /// Sampled-ε approximate tier: exact cover over a Hoeffding-sized
+    /// direction sample, regret certified over the sample
+    /// (`rrm_core::approx`).
+    Sampled,
 }
 
 impl Algorithm {
     /// Every variant, in the paper's presentation order. The engine
     /// registry and the CLI `--algo` flag iterate this list.
-    pub const ALL: [Algorithm; 8] = [
+    pub const ALL: [Algorithm; 9] = [
         Algorithm::TwoDRrm,
         Algorithm::TwoDRrr,
         Algorithm::Hdrrm,
@@ -60,6 +64,7 @@ impl Algorithm {
         Algorithm::Mdrc,
         Algorithm::Mdrms,
         Algorithm::BruteForce,
+        Algorithm::Sampled,
     ];
 
     /// Position of this variant in [`Algorithm::ALL`] — a dense index for
@@ -96,11 +101,14 @@ impl Algorithm {
             Algorithm::Mdrc => "MDRC",
             Algorithm::Mdrms => "MDRMS",
             Algorithm::BruteForce => "BruteForce",
+            Algorithm::Sampled => "Sampled",
         }
     }
 
     /// Does the algorithm certify a rank-regret bound on its output
-    /// (the "Guarantee on rank-regret" row of Table III)?
+    /// (the "Guarantee on rank-regret" row of Table III)? The sampled-ε
+    /// tier reports a *probabilistic* `(ε, δ)` statement, not a
+    /// worst-case bound, so it answers `false` here.
     pub fn has_regret_guarantee(self) -> bool {
         matches!(
             self,
@@ -118,6 +126,7 @@ impl Algorithm {
                 | Algorithm::MdrrrR
                 | Algorithm::Mdrms
                 | Algorithm::BruteForce
+                | Algorithm::Sampled
         )
     }
 
@@ -324,6 +333,8 @@ mod tests {
         assert!(Algorithm::Hdrrm.supported_dims().contains(6));
         assert!(!Algorithm::Hdrrm.supported_dims().contains(1));
         assert!(Algorithm::BruteForce.supported_dims().contains(1));
+        assert!(Algorithm::Sampled.supported_dims().contains(8));
+        assert!(!Algorithm::Sampled.supported_dims().contains(1));
     }
 
     #[test]
@@ -347,6 +358,12 @@ mod tests {
         assert!(Algorithm::MdrrrR.supports_restricted_space());
         assert!(!Algorithm::Mdrc.supports_restricted_space());
         assert!(Algorithm::Hdrrm.supports_restricted_space());
+        // The sampled tier: restricted spaces yes (it samples whatever
+        // space the request names), worst-case guarantee no (its
+        // certificate is the probabilistic (ε, δ) statement).
+        assert!(Algorithm::Sampled.supports_restricted_space());
+        assert!(!Algorithm::Sampled.has_regret_guarantee());
+        assert!(!Algorithm::Sampled.is_cuttable());
     }
 
     #[test]

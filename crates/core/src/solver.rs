@@ -21,6 +21,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::anytime::Cutoff;
+use crate::approx::ApproxSpec;
 use crate::dataset::Dataset;
 use crate::error::RrmError;
 use crate::exec::{ExecPolicy, SolverCtx};
@@ -79,11 +80,22 @@ pub struct Budget {
     /// exhausting a counter yields a gap-annotated partial `Solution`
     /// instead of ad-hoc truncation.
     pub cutoff: Cutoff,
+    /// Requested approximation fidelity, set when the request asked for
+    /// the sampled-ε tier (`Request::approx`). The sampled solver reads
+    /// its `(eps, delta)` from here; exact solvers ignore it (the engine
+    /// routes approximate requests away from them or through
+    /// `approx::reduce` first).
+    pub approx: Option<ApproxSpec>,
 }
 
 impl Budget {
-    pub const UNLIMITED: Budget =
-        Budget { max_enumerations: None, max_lp_calls: None, samples: None, cutoff: Cutoff::None };
+    pub const UNLIMITED: Budget = Budget {
+        max_enumerations: None,
+        max_lp_calls: None,
+        samples: None,
+        cutoff: Cutoff::None,
+        approx: None,
+    };
 
     /// Budget with a sampled-direction override, the knob benchmarks use
     /// most.
@@ -94,6 +106,11 @@ impl Budget {
     /// Budget with an explicit in-solve cutoff.
     pub fn with_cutoff(cutoff: Cutoff) -> Self {
         Budget { cutoff, ..Budget::UNLIMITED }
+    }
+
+    /// Budget carrying a sampled-ε fidelity request.
+    pub fn with_approx(spec: ApproxSpec) -> Self {
+        Budget { approx: Some(spec), ..Budget::UNLIMITED }
     }
 
     /// The cutoff the anytime solvers actually run under: an explicit
@@ -118,21 +135,10 @@ pub trait Solver: Send + Sync {
     /// Which [`Algorithm`] this solver implements.
     fn algorithm(&self) -> Algorithm;
 
-    /// Rank-regret *minimization* (RRM / RRRM): best set of ≤ `r` tuples.
-    ///
-    /// Convenience form of [`Solver::solve_rrm_ctx`] under the default
-    /// [`SolverCtx`] (auto parallelism: `RRM_THREADS`, else all cores).
-    fn solve_rrm(
-        &self,
-        data: &Dataset,
-        r: usize,
-        space: &dyn UtilitySpace,
-        budget: &Budget,
-    ) -> Result<Solution, RrmError> {
-        self.solve_rrm_ctx(data, r, space, budget, &SolverCtx::default())
-    }
-
-    /// Rank-regret *minimization* under an explicit execution context.
+    /// Rank-regret *minimization* (RRM / RRRM): best set of ≤ `r` tuples
+    /// under an explicit execution context — the trait's one canonical
+    /// entry point (the pre-session positional 4-arg wrapper is gone;
+    /// pass `&SolverCtx::default()` for auto parallelism).
     ///
     /// The context's [`ExecPolicy`] only controls how many threads the
     /// solver's chunked kernels use — solutions are bit-identical at any
@@ -146,22 +152,9 @@ pub trait Solver: Send + Sync {
         ctx: &SolverCtx,
     ) -> Result<Solution, RrmError>;
 
-    /// Rank-regret *representative* (RRR): smallest set with regret ≤ `k`.
-    ///
-    /// Convenience form of [`Solver::solve_rrr_ctx`] under the default
-    /// [`SolverCtx`].
-    fn solve_rrr(
-        &self,
-        data: &Dataset,
-        k: usize,
-        space: &dyn UtilitySpace,
-        budget: &Budget,
-    ) -> Result<Solution, RrmError> {
-        self.solve_rrr_ctx(data, k, space, budget, &SolverCtx::default())
-    }
-
-    /// Rank-regret *representative* under an explicit execution context
-    /// (see [`Solver::solve_rrm_ctx`] for the determinism contract).
+    /// Rank-regret *representative* (RRR): smallest set with regret ≤ `k`,
+    /// under an explicit execution context (see [`Solver::solve_rrm_ctx`]
+    /// for the determinism contract and the canonical-entry-point note).
     fn solve_rrr_ctx(
         &self,
         data: &Dataset,
@@ -199,8 +192,8 @@ pub trait Solver: Send + Sync {
     ///
     /// The prepared handle is `Send + Sync`; read-only queries against it
     /// may run concurrently. Results are *identical* to the one-shot
-    /// [`Solver::solve_rrm`]/[`Solver::solve_rrr`] paths — preparation is
-    /// purely a caching contract, never an approximation.
+    /// [`Solver::solve_rrm_ctx`]/[`Solver::solve_rrr_ctx`] paths —
+    /// preparation is purely a caching contract, never an approximation.
     ///
     /// Capability checks ([`Solver::ensure_supported`]) run here, so a
     /// prepared handle never fails a query for capability reasons.
@@ -692,6 +685,11 @@ mod tests {
     use super::*;
     use crate::space::{FullSpace, WeakRankingSpace};
 
+    /// The default execution context, for one-shot solves in tests.
+    fn ctx() -> SolverCtx {
+        SolverCtx::default()
+    }
+
     fn table1() -> Dataset {
         Dataset::from_rows(&[
             [0.0, 1.0],
@@ -740,7 +738,13 @@ mod tests {
         // The RRR-via-RRM fallback must surface a misbehaving inner
         // solver's Internal error, not translate it into "infeasible".
         let err = BrokenSolver
-            .solve_rrr(&table1(), 3, &FullSpace::new(2), &Budget::with_samples(16))
+            .solve_rrr_ctx(
+                &table1(),
+                3,
+                &FullSpace::new(2),
+                &Budget::with_samples(16),
+                &SolverCtx::default(),
+            )
             .unwrap_err();
         assert!(matches!(&err, RrmError::Internal(msg) if msg.contains("empty")), "{err}");
     }
@@ -791,7 +795,9 @@ mod tests {
         // Table I: the best single representative is t3 (index 2) with
         // rank-regret 3.
         let solver = BruteForceSolver::default();
-        let sol = solver.solve_rrm(&table1(), 1, &FullSpace::new(2), &Budget::default()).unwrap();
+        let sol = solver
+            .solve_rrm_ctx(&table1(), 1, &FullSpace::new(2), &Budget::default(), &ctx())
+            .unwrap();
         assert_eq!(sol.indices, vec![2]);
         assert_eq!(sol.certified_regret, Some(3));
         assert_eq!(sol.algorithm, Algorithm::BruteForce);
@@ -801,10 +807,14 @@ mod tests {
     fn brute_force_rrr_matches_duality() {
         let solver = BruteForceSolver::default();
         // Threshold 3 is achievable with one tuple (t3), so RRR returns 1.
-        let sol = solver.solve_rrr(&table1(), 3, &FullSpace::new(2), &Budget::default()).unwrap();
+        let sol = solver
+            .solve_rrr_ctx(&table1(), 3, &FullSpace::new(2), &Budget::default(), &ctx())
+            .unwrap();
         assert_eq!(sol.size(), 1);
         // Threshold 1 needs every envelope tuple.
-        let sol = solver.solve_rrr(&table1(), 1, &FullSpace::new(2), &Budget::default()).unwrap();
+        let sol = solver
+            .solve_rrr_ctx(&table1(), 1, &FullSpace::new(2), &Budget::default(), &ctx())
+            .unwrap();
         assert_eq!(sol.certified_regret, Some(1));
         assert!(sol.size() >= 2);
     }
@@ -813,7 +823,7 @@ mod tests {
     fn brute_force_respects_restricted_space() {
         let solver = BruteForceSolver::default();
         let sol = solver
-            .solve_rrm(&table1(), 1, &WeakRankingSpace::new(2, 1), &Budget::default())
+            .solve_rrm_ctx(&table1(), 1, &WeakRankingSpace::new(2, 1), &Budget::default(), &ctx())
             .unwrap();
         assert!(sol.certified_regret.unwrap() <= 3);
     }
@@ -823,7 +833,9 @@ mod tests {
         let rows: Vec<[f64; 2]> = (0..50).map(|i| [i as f64, 50.0 - i as f64]).collect();
         let data = Dataset::from_rows(&rows).unwrap();
         let solver = BruteForceSolver::default();
-        let err = solver.solve_rrm(&data, 2, &FullSpace::new(2), &Budget::default()).unwrap_err();
+        let err = solver
+            .solve_rrm_ctx(&data, 2, &FullSpace::new(2), &Budget::default(), &ctx())
+            .unwrap_err();
         assert!(matches!(err, RrmError::Unsupported(_)));
     }
 
@@ -859,11 +871,11 @@ mod tests {
         assert_eq!(prepared.dataset().n(), 7);
         // One handle answers many r and k values, identically to one-shot.
         for r in 1..=4 {
-            let one_shot = solver.solve_rrm(&table1(), r, &space, &budget).unwrap();
+            let one_shot = solver.solve_rrm_ctx(&table1(), r, &space, &budget, &ctx()).unwrap();
             assert_eq!(prepared.solve_rrm(r, &budget).unwrap(), one_shot, "r={r}");
         }
         for k in 1..=3 {
-            let one_shot = solver.solve_rrr(&table1(), k, &space, &budget).unwrap();
+            let one_shot = solver.solve_rrr_ctx(&table1(), k, &space, &budget, &ctx()).unwrap();
             assert_eq!(prepared.solve_rrr(k, &budget).unwrap(), one_shot, "k={k}");
         }
         // Zero parameters stay typed errors on the prepared path too.
@@ -926,8 +938,9 @@ mod tests {
     fn budget_sample_override_is_honoured() {
         let solver = BruteForceSolver::default();
         // One sampled direction: the certificate is that direction's rank.
-        let sol =
-            solver.solve_rrm(&table1(), 1, &FullSpace::new(2), &Budget::with_samples(1)).unwrap();
+        let sol = solver
+            .solve_rrm_ctx(&table1(), 1, &FullSpace::new(2), &Budget::with_samples(1), &ctx())
+            .unwrap();
         assert!(sol.certified_regret.unwrap() <= 3);
     }
 }

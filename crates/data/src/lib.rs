@@ -8,6 +8,9 @@
 //!   each simulator reproduces the size, dimensionality and correlation
 //!   structure that the corresponding experiment depends on (see
 //!   DESIGN.md's substitution table).
+//! * [`scenario`] — the scenario matrix for approximate-tier validation:
+//!   clustered and heavy-duplicate generators, `d` up to 8, full and
+//!   constrained weight regions, each cell named and seeded.
 //! * [`jitter`] — deterministic tie-breaking noise for data with heavy
 //!   value duplication (general-position repair).
 //!
@@ -15,10 +18,12 @@
 
 pub mod csv;
 pub mod real_sim;
+pub mod scenario;
 pub mod stats;
 pub mod synthetic;
 
 pub use real_sim::{island_sim, nba_sim, weather_sim};
+pub use scenario::{clustered, heavy_duplicate, matrix, Region, Scenario, Shape};
 pub use synthetic::{anticorrelated, correlated, independent, lower_bound_arc};
 
 use rand::rngs::StdRng;

@@ -1,0 +1,241 @@
+//! The scenario matrix: named workload shapes crossed with dimensionality
+//! and utility-space regions, for the approximate-tier validation runs
+//! (`repro approx`) and the `tests/approx.rs` coverage trials.
+//!
+//! Two generators beyond the Börzsönyi trio in [`crate::synthetic`]:
+//!
+//! * [`clustered`] — tuples drawn around a few well-separated centers,
+//!   the "segmented market" shape where a small set covers most
+//!   directions but cluster gaps punish under-sampling.
+//! * [`heavy_duplicate`] — only a handful of distinct rows, each repeated
+//!   many times with deterministic tie-breaking jitter. Stresses the
+//!   general-position repair and the top-k tie handling that sampled
+//!   estimators lean on.
+//!
+//! [`matrix`] enumerates the cross product actually run: every shape, at
+//! `d` from 2 up to 8, under the full utility space and a constrained
+//! weak-ranking region. Everything is seeded; a scenario's name is stable
+//! and appears verbatim in `BENCH_approx.json` golden files.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrm_core::sampling::gauss;
+use rrm_core::{Dataset, FullSpace, UtilitySpace, WeakRankingSpace};
+
+use crate::synthetic::{anticorrelated, correlated, independent};
+
+/// Clustered data: `clusters` Gaussian blobs with well-separated centers
+/// in `[0.1, 0.9]^d`, spread 0.04 per attribute, rejection-sampled into
+/// `[0, 1]^d` (clamping would pile mass onto the boundary and produce
+/// score ties).
+pub fn clustered(n: usize, d: usize, seed: u64, clusters: usize) -> Dataset {
+    assert!(n >= 1 && d >= 1 && clusters >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> =
+        (0..clusters).map(|_| (0..d).map(|_| 0.1 + 0.8 * rng.random::<f64>()).collect()).collect();
+    let mut values = Vec::with_capacity(n * d);
+    for i in 0..n {
+        let center = &centers[i % clusters];
+        for &c in center {
+            let v = loop {
+                let v = c + 0.04 * gauss(&mut rng);
+                if (0.0..=1.0).contains(&v) {
+                    break v;
+                }
+            };
+            values.push(v);
+        }
+    }
+    Dataset::from_flat(d, values).expect("generator output is valid")
+}
+
+/// Heavy-duplicate data: `distinct` unique uniform rows, repeated round-
+/// robin to `n` tuples, then jittered by `1e-9` so exact solvers see the
+/// paper's general-position assumption hold while the duplicate structure
+/// (and its tiny top-k margins) survives.
+pub fn heavy_duplicate(n: usize, d: usize, seed: u64, distinct: usize) -> Dataset {
+    assert!(n >= 1 && d >= 1 && distinct >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base: Vec<Vec<f64>> =
+        (0..distinct.min(n)).map(|_| (0..d).map(|_| rng.random::<f64>()).collect()).collect();
+    let rows: Vec<Vec<f64>> = (0..n).map(|i| base[i % base.len()].clone()).collect();
+    let dup = Dataset::from_rows(&rows).expect("generator output is valid");
+    crate::jitter(&dup, 1e-9, seed ^ 0x9E37_79B9)
+}
+
+/// The workload shapes the matrix covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    Anticorrelated,
+    Correlated,
+    Independent,
+    Clustered,
+    HeavyDuplicate,
+}
+
+impl Shape {
+    pub const ALL: [Shape; 5] = [
+        Shape::Anticorrelated,
+        Shape::Correlated,
+        Shape::Independent,
+        Shape::Clustered,
+        Shape::HeavyDuplicate,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Shape::Anticorrelated => "anti",
+            Shape::Correlated => "corr",
+            Shape::Independent => "indep",
+            Shape::Clustered => "clustered",
+            Shape::HeavyDuplicate => "heavy-dup",
+        }
+    }
+}
+
+/// The utility-space region a scenario is solved under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// The whole non-negative direction space.
+    Full,
+    /// Weak ranking: `u[0] >= u[1] >= ... >= u[c]` (paper Section VII's
+    /// constrained-region experiments).
+    WeakRanking(usize),
+}
+
+impl Region {
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::Full => "full",
+            Region::WeakRanking(_) => "weak-ranking",
+        }
+    }
+
+    /// The concrete space on `d` attributes.
+    pub fn space(self, d: usize) -> Box<dyn UtilitySpace> {
+        match self {
+            Region::Full => Box::new(FullSpace::new(d)),
+            Region::WeakRanking(c) => Box::new(WeakRankingSpace::new(d, c.min(d - 1))),
+        }
+    }
+}
+
+/// One cell of the scenario matrix: a shape at a dimensionality under a
+/// region, with a fixed seed. `n` stays a call-site parameter so the same
+/// cell runs at validation scale (small, vs. exact) and benchmark scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    pub shape: Shape,
+    pub d: usize,
+    pub region: Region,
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Stable name, e.g. `anti-d4-weak-ranking`; appears in golden files.
+    pub fn name(&self) -> String {
+        format!("{}-d{}-{}", self.shape.name(), self.d, self.region.name())
+    }
+
+    /// Generate this cell's dataset at size `n`.
+    pub fn dataset(&self, n: usize) -> Dataset {
+        match self.shape {
+            Shape::Anticorrelated => anticorrelated(n, self.d, self.seed),
+            Shape::Correlated => correlated(n, self.d, self.seed),
+            Shape::Independent => independent(n, self.d, self.seed),
+            Shape::Clustered => clustered(n, self.d, self.seed, 8),
+            Shape::HeavyDuplicate => heavy_duplicate(n, self.d, self.seed, (n / 20).max(4)),
+        }
+    }
+
+    /// This cell's utility space.
+    pub fn space(&self) -> Box<dyn UtilitySpace> {
+        self.region.space(self.d)
+    }
+}
+
+/// The matrix the approx validation actually runs: every shape at
+/// `d ∈ {2, 4, 8}` under the full space, plus the constrained region at
+/// `d ∈ {4, 8}` for the shapes where restriction changes the answer most
+/// (anti-correlated trades off hardest across attributes; heavy-duplicate
+/// stresses ties under a narrow cone). Seeds are distinct per cell so no
+/// two cells share a draw.
+pub fn matrix() -> Vec<Scenario> {
+    let mut cells = Vec::new();
+    let mut seed = 0xC0FF_EE00u64;
+    for shape in Shape::ALL {
+        for d in [2, 4, 8] {
+            seed += 1;
+            cells.push(Scenario { shape, d, region: Region::Full, seed });
+        }
+    }
+    for shape in [Shape::Anticorrelated, Shape::HeavyDuplicate] {
+        for d in [4, 8] {
+            seed += 1;
+            cells.push(Scenario { shape, d, region: Region::WeakRanking(2), seed });
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generators_are_deterministic_and_in_range() {
+        assert_eq!(clustered(200, 3, 7, 5), clustered(200, 3, 7, 5));
+        assert_ne!(clustered(200, 3, 7, 5), clustered(200, 3, 8, 5));
+        assert_eq!(heavy_duplicate(200, 3, 7, 10), heavy_duplicate(200, 3, 7, 10));
+        let c = clustered(500, 4, 1, 6);
+        assert_eq!((c.n(), c.dim()), (500, 4));
+        assert!(c.flat().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn heavy_duplicate_has_few_value_groups_but_no_exact_ties() {
+        let d = heavy_duplicate(300, 2, 3, 10);
+        // No two values are exactly equal after the jitter...
+        let mut vals: Vec<f64> = d.flat().to_vec();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let distinct_exact = {
+            let mut v = vals.clone();
+            v.dedup();
+            v.len()
+        };
+        assert_eq!(distinct_exact, vals.len(), "jitter must break every tie");
+        // ...but rounding to 6 decimals recovers the 10 duplicate groups.
+        let coarse: HashSet<i64> = vals.iter().map(|v| (v * 1e6).round() as i64).collect();
+        assert!(
+            coarse.len() <= 2 * 10,
+            "expected ~10 value groups per column, got {}",
+            coarse.len()
+        );
+    }
+
+    #[test]
+    fn matrix_covers_shapes_dims_and_regions() {
+        let cells = matrix();
+        let shapes: HashSet<&str> = cells.iter().map(|c| c.shape.name()).collect();
+        assert_eq!(shapes.len(), Shape::ALL.len());
+        let dims: HashSet<usize> = cells.iter().map(|c| c.d).collect();
+        assert!(dims.contains(&2) && dims.contains(&8));
+        assert!(cells.iter().any(|c| matches!(c.region, Region::WeakRanking(_))));
+        // Names are unique (they key golden-file entries) and seeds are
+        // distinct (no two cells share a draw).
+        let names: HashSet<String> = cells.iter().map(Scenario::name).collect();
+        assert_eq!(names.len(), cells.len());
+        let seeds: HashSet<u64> = cells.iter().map(|c| c.seed).collect();
+        assert_eq!(seeds.len(), cells.len());
+    }
+
+    #[test]
+    fn scenario_cells_generate_consistent_data_and_spaces() {
+        for cell in matrix() {
+            let data = cell.dataset(64);
+            assert_eq!((data.n(), data.dim()), (64, cell.d), "{}", cell.name());
+            assert_eq!(cell.space().dim(), cell.d, "{}", cell.name());
+        }
+    }
+}

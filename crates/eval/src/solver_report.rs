@@ -58,7 +58,7 @@ pub fn evaluate_rrm(
     seed: u64,
 ) -> Result<SolverReport, RrmError> {
     let start = Instant::now();
-    let sol = solver.solve_rrm(data, r, space, budget)?;
+    let sol = solver.solve_rrm_ctx(data, r, space, budget, &rrm_core::SolverCtx::default())?;
     let seconds = start.elapsed().as_secs_f64();
     Ok(report(&sol, data, space, eval_samples, seed, seconds))
 }
@@ -74,7 +74,7 @@ pub fn evaluate_rrr(
     seed: u64,
 ) -> Result<SolverReport, RrmError> {
     let start = Instant::now();
-    let sol = solver.solve_rrr(data, k, space, budget)?;
+    let sol = solver.solve_rrr_ctx(data, k, space, budget, &rrm_core::SolverCtx::default())?;
     let seconds = start.elapsed().as_secs_f64();
     Ok(report(&sol, data, space, eval_samples, seed, seconds))
 }

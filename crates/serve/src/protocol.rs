@@ -8,6 +8,7 @@
 //! {"op":"represent","tenant":"t1","param":10,"id":"q-2"}
 //! {"op":"minimize","tenant":"t0","param":5,"algo":"hdrrm","gap":0.25,"id":4}
 //! {"op":"update","tenant":"t0","insert":[[0.5,0.5]],"delete":[3],"id":5}
+//! {"op":"minimize","tenant":"t0","param":5,"approx":{"eps":0.05,"delta":0.05},"id":6}
 //! {"op":"stats"}
 //! ```
 //!
@@ -20,7 +21,9 @@
 //! `{"id":...,"status":"error","error":"<code>","message":...}`, where
 //! `<code>` is one of the [`ErrorKind`] codes.
 
-use rank_regret::{AlgoChoice, Algorithm, Budget, Request, Response, RrmError, TerminatedBy};
+use rank_regret::{
+    AlgoChoice, Algorithm, ApproxSpec, Budget, Request, Response, RrmError, TerminatedBy,
+};
 
 use crate::json::Json;
 
@@ -62,6 +65,11 @@ pub struct WireRequest {
     /// (`Cutoff::GapAtMost`) — a deterministic cutoff, unlike deadlines.
     /// Ignored for non-cuttable algorithms.
     pub gap: Option<f64>,
+    /// Approximate-tier request: `{"approx":{"eps":0.05,"delta":0.05}}`
+    /// asks for a sampled-ε answer with Hoeffding confidence instead of
+    /// an exact one. `delta` defaults to 0.05 when omitted. Responses
+    /// carry `"fidelity":"approx"` plus a `"confidence"` object.
+    pub approx: Option<ApproxSpec>,
 }
 
 impl WireRequest {
@@ -79,7 +87,11 @@ impl WireRequest {
             Some(algo) => AlgoChoice::Fixed(algo),
             None => AlgoChoice::Auto,
         };
-        Some(base.choice(choice).budget(budget))
+        let mut request = base.choice(choice).budget(budget);
+        if let Some(spec) = self.approx {
+            request = request.approx(spec.eps, spec.delta);
+        }
+        Some(request)
     }
 }
 
@@ -122,8 +134,8 @@ impl ErrorKind {
     }
 }
 
-const KNOWN_KEYS: [&str; 9] =
-    ["op", "id", "tenant", "param", "algo", "deadline_ms", "gap", "insert", "delete"];
+const KNOWN_KEYS: [&str; 10] =
+    ["op", "id", "tenant", "param", "algo", "deadline_ms", "gap", "approx", "insert", "delete"];
 
 /// Parse one request line. `Err` carries a `bad_request` message.
 pub fn parse_request(line: &str) -> Result<WireRequest, String> {
@@ -186,6 +198,29 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
             Some(g)
         }
     };
+    let approx = match json.get("approx") {
+        None => None,
+        Some(v @ Json::Obj(pairs)) => {
+            for (key, _) in pairs {
+                if key != "eps" && key != "delta" {
+                    return Err(format!("unknown `approx` field `{key}` (expected eps, delta)"));
+                }
+            }
+            let eps = v
+                .get("eps")
+                .ok_or_else(|| "`approx` requires number field `eps`".to_string())?
+                .as_f64()
+                .ok_or_else(|| "`approx.eps` must be a number".to_string())?;
+            let delta = match v.get("delta") {
+                None => ApproxSpec::default().delta,
+                Some(d) => {
+                    d.as_f64().ok_or_else(|| "`approx.delta` must be a number".to_string())?
+                }
+            };
+            Some(ApproxSpec::new(eps, delta).map_err(|e| e.to_string())?)
+        }
+        Some(_) => return Err(r#"`approx` must be an object like {"eps":0.05}"#.into()),
+    };
 
     let op = match op_name {
         "minimize" | "represent" => {
@@ -233,7 +268,7 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
         }
     };
 
-    Ok(WireRequest { id, op, tenant, algo, deadline_ms, samples, gap })
+    Ok(WireRequest { id, op, tenant, algo, deadline_ms, samples, gap, approx })
 }
 
 /// `insert`: an array of rows, each an array of finite numbers.
@@ -263,13 +298,17 @@ fn id_json(id: &Option<Json>) -> Json {
 
 /// Render a successful query response.
 ///
-/// When an in-solve cutoff fired (`terminated_by != Completed`) the
+/// Every response states its `"fidelity"` (`"exact"` or `"approx"`).
+/// Approximate answers additionally carry a `"confidence"` object with
+/// the `(eps, delta)` statement and the direction-sample size — they are
+/// *not* partial: the sampled tier ran to completion at its requested
+/// fidelity.
+///
+/// When an in-solve cutoff fired (`terminated_by.is_early_stop()`) the
 /// answer is the solver's best incumbent, not a certified optimum: the
 /// response carries `"partial": true` plus a `"diagnostics"` object with
 /// the termination reason, the relative optimality gap, and the
-/// certified bounds (when the algorithm tracks them). Completed answers
-/// render exactly as before, so old clients and the parity replay see
-/// an unchanged schema on the deterministic path.
+/// certified bounds (when the algorithm tracks them).
 pub fn ok_response(
     id: &Option<Json>,
     tenant: &str,
@@ -279,11 +318,17 @@ pub fn ok_response(
 ) -> Json {
     let indices =
         Json::Arr(response.solution.indices.iter().map(|&i| Json::from(i as u64)).collect());
+    let fidelity = if matches!(response.solution.terminated_by, TerminatedBy::Sampled { .. }) {
+        "approx"
+    } else {
+        "exact"
+    };
     let mut fields = vec![
         ("id".into(), id_json(id)),
         ("status".into(), "ok".into()),
         ("tenant".into(), tenant.into()),
         ("algorithm".into(), response.solution.algorithm.name().into()),
+        ("fidelity".into(), fidelity.into()),
         ("size".into(), response.solution.indices.len().into()),
         ("indices".into(), indices),
         (
@@ -293,7 +338,17 @@ pub fn ok_response(
         ("micros".into(), micros.into()),
         ("queued_micros".into(), queued_micros.into()),
     ];
-    if response.solution.terminated_by != TerminatedBy::Completed {
+    if let TerminatedBy::Sampled { eps, delta, directions } = response.solution.terminated_by {
+        fields.push((
+            "confidence".into(),
+            Json::Obj(vec![
+                ("eps".into(), eps.into()),
+                ("delta".into(), delta.into()),
+                ("directions".into(), directions.into()),
+            ]),
+        ));
+    }
+    if response.solution.terminated_by.is_early_stop() {
         fields.push(("partial".into(), Json::Bool(true)));
         let mut diag = vec![
             ("terminated_by".into(), response.solution.terminated_by.name().into()),
@@ -373,6 +428,29 @@ mod tests {
     }
 
     #[test]
+    fn parses_approx_requests() {
+        let req = parse_request(
+            r#"{"op":"minimize","tenant":"t0","param":5,"approx":{"eps":0.1,"delta":0.02},"id":1}"#,
+        )
+        .unwrap();
+        assert_eq!(req.approx, Some(ApproxSpec { eps: 0.1, delta: 0.02 }));
+        let r = req.to_request(Budget::UNLIMITED).unwrap();
+        assert_eq!(r.fidelity, rank_regret::Fidelity::Approx { eps: 0.1, delta: 0.02 });
+
+        // `delta` defaults when omitted; absent `approx` means exact.
+        let req =
+            parse_request(r#"{"op":"minimize","tenant":"t0","param":5,"approx":{"eps":0.1}}"#)
+                .unwrap();
+        assert_eq!(req.approx, Some(ApproxSpec { eps: 0.1, delta: ApproxSpec::default().delta }));
+        let req = parse_request(r#"{"op":"minimize","tenant":"t0","param":5}"#).unwrap();
+        assert_eq!(req.approx, None);
+        assert_eq!(
+            req.to_request(Budget::UNLIMITED).unwrap().fidelity,
+            rank_regret::Fidelity::Exact
+        );
+    }
+
+    #[test]
     fn parses_update_requests() {
         let req = parse_request(
             r#"{"op":"update","tenant":"t0","insert":[[0.5,0.5],[0.1,0.9]],"delete":[3,0],"id":9}"#,
@@ -403,6 +481,19 @@ mod tests {
             (r#"{"op":"minimize","tenant":"t0","param":3,"algo":"xdrrm"}"#, "unknown algorithm"),
             (r#"{"op":"minimize","tenant":"t0","param":3,"gap":"big"}"#, "must be a number"),
             (r#"{"op":"minimize","tenant":"t0","param":3,"gap":-0.5}"#, "non-negative"),
+            (r#"{"op":"minimize","tenant":"t0","param":3,"approx":0.1}"#, "must be an object"),
+            (
+                r#"{"op":"minimize","tenant":"t0","param":3,"approx":{}}"#,
+                "requires number field `eps`",
+            ),
+            (
+                r#"{"op":"minimize","tenant":"t0","param":3,"approx":{"eps":1.5}}"#,
+                "between 0 and 1",
+            ),
+            (
+                r#"{"op":"minimize","tenant":"t0","param":3,"approx":{"eps":0.1,"epps":0.2}}"#,
+                "unknown `approx` field",
+            ),
             (r#"{"op":"update","insert":[[0.1]]}"#, "requires string field `tenant`"),
             (r#"{"op":"update","tenant":"t0"}"#, "non-empty"),
             (r#"{"op":"update","tenant":"t0","insert":[0.1]}"#, "rows must be arrays"),

@@ -82,11 +82,14 @@ impl TenantSpec {
 }
 
 /// Cache key for one deterministic query: task direction (`true` =
-/// minimize), parameter, explicit algorithm, samples override, and the
-/// gap target's bit pattern. Everything that shapes the answer on the
-/// deadline-free path — deadline-bearing requests are never cached (their
-/// budgets and cutoffs depend on wall clock).
-pub type ResultKey = (bool, usize, Option<Algorithm>, Option<usize>, Option<u64>);
+/// minimize), parameter, explicit algorithm, samples override, the gap
+/// target's bit pattern, and the approx `(eps, delta)` bit patterns.
+/// Everything that shapes the answer on the deadline-free path —
+/// deadline-bearing requests are never cached (their budgets and cutoffs
+/// depend on wall clock). Sampled-tier answers are seeded and
+/// deterministic, so they cache like exact ones.
+pub type ResultKey =
+    (bool, usize, Option<Algorithm>, Option<usize>, Option<u64>, Option<(u64, u64)>);
 
 /// Bound on cached solutions per tenant; at capacity the cache resets
 /// rather than evicting piecemeal (epoch swaps reset it anyway).

@@ -115,10 +115,17 @@ pub fn effective_budget(
 }
 
 /// The algorithm a wire request resolves to on a `dims`-dimensional
-/// tenant: the explicit `algo` field, or the engine's auto policy. Used
-/// to decide whether a deadline can become an in-solve cutoff.
+/// tenant: the explicit `algo` field, else the sampled tier when the
+/// request asks for approximate fidelity, else the engine's auto policy.
+/// Used to decide whether a deadline can become an in-solve cutoff.
 pub fn resolved_algorithm(wire: &WireRequest, dims: usize) -> Algorithm {
-    wire.algo.unwrap_or_else(|| Engine::auto_policy(dims))
+    wire.algo.unwrap_or_else(|| {
+        if wire.approx.is_some() {
+            Algorithm::Sampled
+        } else {
+            Engine::auto_policy(dims)
+        }
+    })
 }
 
 /// The in-process [`Request`] a wire request denotes on this server.
@@ -562,7 +569,14 @@ fn serve_job(shared: &Shared, job: Job) {
                 Op::Minimize { param } | Op::Represent { param } => param,
                 _ => unreachable!("only query ops are enqueued"),
             };
-            (minimize, param, job.wire.algo, job.wire.samples, job.wire.gap.map(f64::to_bits))
+            (
+                minimize,
+                param,
+                job.wire.algo,
+                job.wire.samples,
+                job.wire.gap.map(f64::to_bits),
+                job.wire.approx.map(|s| (s.eps.to_bits(), s.delta.to_bits())),
+            )
         });
         let epoch = tenant.session.epoch();
         let cached = cache_key.as_ref().and_then(|key| tenant.cache.get(key, epoch));
@@ -590,8 +604,11 @@ fn serve_job(shared: &Shared, job: Job) {
     match outcome {
         Ok(response) => {
             tenant.counters.completed.fetch_add(1, Ordering::Relaxed);
-            if response.solution.terminated_by != TerminatedBy::Completed {
+            if response.solution.terminated_by.is_early_stop() {
                 tenant.counters.partial_answers.fetch_add(1, Ordering::Relaxed);
+            }
+            if matches!(response.solution.terminated_by, TerminatedBy::Sampled { .. }) {
+                tenant.counters.approx_answers.fetch_add(1, Ordering::Relaxed);
             }
             tenant.latency.record(job.accepted_at.elapsed().as_micros() as u64);
             let micros = (response.seconds * 1e6) as u64;
@@ -643,6 +660,7 @@ mod tests {
             deadline_ms,
             samples: None,
             gap: None,
+            approx: None,
         };
         // An explicit cuttable algorithm plus a deadline gets an in-solve
         // wall-clock cutoff over the *full* deadline.
@@ -674,6 +692,7 @@ mod tests {
                 deadline_ms,
                 samples: None,
                 gap,
+                approx: None,
             };
         // Cuttable + gap: the solve stops at the certified gap target.
         let r = effective_request(&wire(Some(Algorithm::Hdrrm), Some(0.25), None), CALIB, 100, 4)

@@ -94,6 +94,12 @@ pub struct TenantCounters {
     /// best-so-far incumbent with a gap (`"partial": true` on the wire)
     /// instead of a certified optimum. A subset of `completed`.
     pub partial_answers: AtomicU64,
+    /// Completions answered at approximate fidelity — a sampled-ε
+    /// solve with a Hoeffding `(eps, delta)` certificate
+    /// (`"fidelity":"approx"` on the wire). A subset of `completed`,
+    /// disjoint from `partial_answers`: approx answers run to
+    /// completion at their requested fidelity.
+    pub approx_answers: AtomicU64,
     pub errored: AtomicU64,
     pub deadline_exceeded: AtomicU64,
 }
@@ -105,6 +111,7 @@ impl TenantCounters {
             ("rejected_overload".into(), self.rejected_overload.load(Ordering::Relaxed).into()),
             ("completed".into(), self.completed.load(Ordering::Relaxed).into()),
             ("partial_answers".into(), self.partial_answers.load(Ordering::Relaxed).into()),
+            ("approx_answers".into(), self.approx_answers.load(Ordering::Relaxed).into()),
             ("errored".into(), self.errored.load(Ordering::Relaxed).into()),
             ("deadline_exceeded".into(), self.deadline_exceeded.load(Ordering::Relaxed).into()),
             ("prepare_hits".into(), prepare_hits.into()),
@@ -166,9 +173,11 @@ mod tests {
         c.completed.fetch_add(2, Ordering::Relaxed);
         c.rejected_overload.fetch_add(1, Ordering::Relaxed);
         c.partial_answers.fetch_add(1, Ordering::Relaxed);
+        c.approx_answers.fetch_add(1, Ordering::Relaxed);
         let text = c.to_json(5, 1).render();
         assert!(text.contains("\"accepted\":3"), "{text}");
         assert!(text.contains("\"partial_answers\":1"), "{text}");
+        assert!(text.contains("\"approx_answers\":1"), "{text}");
         assert!(text.contains("\"rejected_overload\":1"), "{text}");
         assert!(text.contains("\"prepare_hits\":5"), "{text}");
         assert!(text.contains("\"prepare_misses\":1"), "{text}");

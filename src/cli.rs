@@ -10,7 +10,8 @@
 //!
 //! common flags:
 //!   --algo NAME            pick an algorithm (2drrm, 2drrr, hdrrm, mdrrr,
-//!                          mdrrr-r, mdrc, mdrms, bruteforce); default: auto
+//!                          mdrrr-r, mdrc, mdrms, bruteforce, sampled);
+//!                          default: auto
 //!   --format text|json     report format (default: text); json emits a
 //!                          machine-readable solution report with timings
 //!   --no-header            first CSV line is data, not column names
@@ -31,6 +32,10 @@
 //!   --gap G                stop once the relative optimality gap is <= G
 //!                          (deterministic); ignored if --time-limit-ms is
 //!                          also given
+//!   --approx EPS[,DELTA]   answer at approximate fidelity: a sampled-ε
+//!                          solve whose certificate holds with probability
+//!                          >= 1-DELTA (default DELTA 0.05). Seeded and
+//!                          bit-deterministic at any --threads value
 //! ```
 //!
 //! `--algo` resolves through the engine registry ([`crate::Engine`]);
@@ -41,8 +46,8 @@
 use std::time::Instant;
 
 use crate::{
-    AlgoChoice, Algorithm, Dataset, Engine, ExecPolicy, Request, RrmError, Solution, Tuning,
-    WeakRankingSpace,
+    AlgoChoice, Algorithm, ApproxSpec, Dataset, Engine, ExecPolicy, Request, RrmError, Solution,
+    Tuning, WeakRankingSpace,
 };
 use rrm_2d::{pareto_frontier, Rrm2dOptions};
 use rrm_core::FullSpace;
@@ -74,6 +79,9 @@ pub struct Args {
     /// Stop once the relative optimality gap is at most this value
     /// (deterministic). `--time-limit-ms` takes precedence.
     pub gap: Option<f64>,
+    /// Approximate fidelity: answer via the sampled-ε tier with this
+    /// `(eps, delta)` Hoeffding confidence statement.
+    pub approx: Option<ApproxSpec>,
 }
 
 /// Report format.
@@ -111,6 +119,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut warm = false;
     let mut time_limit_ms: Option<u64> = None;
     let mut gap: Option<f64> = None;
+    let mut approx: Option<ApproxSpec> = None;
     let mut size: Option<usize> = None;
     let mut threshold: Option<usize> = None;
     let mut max_size: Option<usize> = None;
@@ -153,6 +162,19 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
                 gap = Some(g);
             }
+            "--approx" => {
+                let v = value("--approx")?;
+                let (eps_s, delta_s) = match v.split_once(',') {
+                    Some((e, d)) => (e.trim(), Some(d.trim())),
+                    None => (v.trim(), None),
+                };
+                let eps: f64 = eps_s.parse().map_err(|_| format!("--approx: bad eps {eps_s:?}"))?;
+                let delta: f64 = match delta_s {
+                    Some(s) => s.parse().map_err(|_| format!("--approx: bad delta {s:?}"))?,
+                    None => ApproxSpec::default().delta,
+                };
+                approx = Some(ApproxSpec::new(eps, delta).map_err(|e| e.to_string())?);
+            }
             "--size" => size = Some(parse_usize("--size", &value("--size")?)?),
             "--threshold" => threshold = Some(parse_usize("--threshold", &value("--threshold")?)?),
             "--max-size" => max_size = Some(parse_usize("--max-size", &value("--max-size")?)?),
@@ -183,6 +205,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         warm,
         time_limit_ms,
         gap,
+        approx,
     })
 }
 
@@ -191,7 +214,7 @@ fn usage() -> String {
      [--size R | --threshold K | --max-size R] [--algo NAME] [--format text|json] \
      [--no-header] [--columns LIST] [--negate LIST] [--no-normalize] \
      [--weak-ranking C] [--quick] [--threads N] [--warm] \
-     [--time-limit-ms MS] [--gap G]"
+     [--time-limit-ms MS] [--gap G] [--approx EPS[,DELTA]]"
         .to_string()
 }
 
@@ -255,13 +278,16 @@ pub fn run(args: &Args) -> Result<String, RrmError> {
 
     match args.command {
         Command::Minimize { .. } | Command::Represent { .. } => {
-            let request = match args.command {
+            let mut request = match args.command {
                 Command::Minimize { size } => Request::minimize(size),
                 Command::Represent { threshold } => Request::represent(threshold),
                 Command::Frontier { .. } => unreachable!(),
             }
             .choice(choice)
-            .budget(crate::Budget::with_cutoff(cutoff));
+            .cutoff(cutoff);
+            if let Some(spec) = args.approx {
+                request = request.approx(spec.eps, spec.delta);
+            }
             // Prepare-once / query-once through the session, with the two
             // phases timed separately.
             let mut session = Engine::with_tuning(&tuning).session(data);
@@ -277,8 +303,16 @@ pub fn run(args: &Args) -> Result<String, RrmError> {
             } else {
                 None
             };
+            // An approx request under the auto policy dispatches to the
+            // sampled tier — prepare that handle so the timing split
+            // attributes its build cost to the prepare phase.
+            let prepare_choice = if args.approx.is_some() && choice == AlgoChoice::Auto {
+                AlgoChoice::Fixed(Algorithm::Sampled)
+            } else {
+                choice
+            };
             let prepare_start = Instant::now();
-            session.prepared(choice)?;
+            session.prepared(prepare_choice)?;
             let prepare_seconds = prepare_start.elapsed().as_secs_f64();
             let response = session.run(&request)?;
             match args.format {
@@ -396,7 +430,17 @@ fn render_text(
         prepare_seconds,
         query_seconds,
     );
-    if sol.terminated_by != crate::TerminatedBy::Completed {
+    if let crate::TerminatedBy::Sampled { eps, delta, directions } = sol.terminated_by {
+        // Not an early stop: the sampled tier ran to completion at its
+        // requested fidelity.
+        let _ = writeln!(
+            out,
+            "approx: regret certified over {directions} sampled directions \
+             (holds on all but an eps = {eps} fraction of directions with \
+             probability >= {:.3})",
+            1.0 - delta,
+        );
+    } else if sol.terminated_by.is_early_stop() {
         let _ = match sol.bounds {
             Some(b) => writeln!(
                 out,
@@ -444,18 +488,29 @@ fn render_json(
         .bounds
         .map_or("null".to_string(), |b| format!("{{\"lower\":{},\"upper\":{}}}", b.lower, b.upper));
     let gap = sol.gap().map_or("null".to_string(), json_f64);
+    let confidence = match sol.terminated_by {
+        crate::TerminatedBy::Sampled { eps, delta, directions } => format!(
+            "{{\"eps\":{},\"delta\":{},\"directions\":{directions}}}",
+            json_f64(eps),
+            json_f64(delta),
+        ),
+        _ => "null".to_string(),
+    };
     format!(
         "{{\"command\":\"{command}\",\"input\":{input},\"n\":{n},\"d\":{d},\
-         \"param\":{param},\"algorithm\":\"{algo}\",\"threads\":{threads},\
+         \"param\":{param},\"algorithm\":\"{algo}\",\"fidelity\":\"{fidelity}\",\
+         \"threads\":{threads},\
          \"indices\":[{indices}],\
          \"size\":{size},\"certified_regret\":{certified},\
-         \"bounds\":{bounds},\"gap\":{gap},\"terminated_by\":\"{terminated}\",{warmed}\
+         \"bounds\":{bounds},\"gap\":{gap},\"confidence\":{confidence},\
+         \"terminated_by\":\"{terminated}\",{warmed}\
          \"prepare_seconds\":{prep},\"query_seconds\":{query}}}\n",
         input = json_string(&args.input),
         n = data.n(),
         d = data.dim(),
         param = request.param(),
         algo = sol.algorithm,
+        fidelity = request.fidelity.name(),
         indices = indices.join(","),
         size = sol.size(),
         terminated = sol.terminated_by.name(),
@@ -643,14 +698,14 @@ mod tests {
         )))
         .unwrap())
         .unwrap();
-        assert!(report.contains("warmed 8/8 prepared solvers"), "{report}");
+        assert!(report.contains("warmed 9/9 prepared solvers"), "{report}");
         let report = run(&parse_args(&argv(&format!(
             "minimize --input {} --size 1 --no-normalize --warm --quick --format json",
             path.display()
         )))
         .unwrap())
         .unwrap();
-        assert!(report.contains("\"warmed\":8,\"warm_seconds\":"), "{report}");
+        assert!(report.contains("\"warmed\":9,\"warm_seconds\":"), "{report}");
         // The answer itself is unchanged by warming.
         assert!(report.contains("\"indices\":[2]"), "{report}");
     }
@@ -771,6 +826,61 @@ mod tests {
         .unwrap();
         let report = run(&args).unwrap();
         assert!(report.contains("anytime: stopped early (gap)"), "{report}");
+    }
+
+    #[test]
+    fn parses_approx_flag() {
+        let a = parse_args(&argv("minimize --input x.csv --size 5")).unwrap();
+        assert_eq!(a.approx, None);
+        let a = parse_args(&argv("minimize --input x.csv --size 5 --approx 0.1")).unwrap();
+        assert_eq!(a.approx, Some(ApproxSpec { eps: 0.1, delta: ApproxSpec::default().delta }));
+        let a = parse_args(&argv("minimize --input x.csv --size 5 --approx 0.1,0.01")).unwrap();
+        assert_eq!(a.approx, Some(ApproxSpec { eps: 0.1, delta: 0.01 }));
+        assert!(parse_args(&argv("minimize --input x.csv --size 5 --approx nope")).is_err());
+        assert!(parse_args(&argv("minimize --input x.csv --size 5 --approx 1.5")).is_err());
+        assert!(parse_args(&argv("minimize --input x.csv --size 5 --approx 0.1,2.0")).is_err());
+    }
+
+    #[test]
+    fn approx_flag_answers_at_sampled_fidelity() {
+        let dir = std::env::temp_dir().join("rrm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("approx.csv");
+        std::fs::write(
+            &path,
+            "hp,mpg\n0.0,1.0\n0.4,0.95\n0.57,0.75\n0.79,0.6\n0.2,0.5\n0.35,0.3\n1.0,0.0\n",
+        )
+        .unwrap();
+        let report = run(&parse_args(&argv(&format!(
+            "minimize --input {} --size 1 --no-normalize --approx 0.05 --format json",
+            path.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(report.contains("\"algorithm\":\"Sampled\""), "{report}");
+        assert!(report.contains("\"fidelity\":\"approx\""), "{report}");
+        assert!(report.contains("\"terminated_by\":\"sampled\""), "{report}");
+        assert!(report.contains("\"confidence\":{\"eps\":0.05,\"delta\":0.05"), "{report}");
+        // Table I: {t3} stays the size-1 optimum at sampled fidelity.
+        assert!(report.contains("\"indices\":[2]"), "{report}");
+        // Text mode announces the confidence statement, not an early stop.
+        let report = run(&parse_args(&argv(&format!(
+            "minimize --input {} --size 1 --no-normalize --approx 0.05",
+            path.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(report.contains("approx: regret certified over"), "{report}");
+        assert!(!report.contains("stopped early"), "{report}");
+        // Exact runs say so in JSON.
+        let report = run(&parse_args(&argv(&format!(
+            "minimize --input {} --size 1 --no-normalize --format json",
+            path.display()
+        )))
+        .unwrap())
+        .unwrap();
+        assert!(report.contains("\"fidelity\":\"exact\""), "{report}");
+        assert!(report.contains("\"confidence\":null"), "{report}");
     }
 
     #[test]

@@ -22,8 +22,10 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
 use rrm_core::{
-    apply_updates, Algorithm, BruteForceOptions, BruteForceSolver, Budget, Dataset, ExecPolicy,
-    FullSpace, PreparedSolver, RrmError, Solution, Solver, SolverCtx, UpdateOp, UtilitySpace,
+    apply_updates, approx, Algorithm, ApproxSpec, Bounds, BruteForceOptions, BruteForceSolver,
+    Budget, Cutoff, Dataset, ExecPolicy, Fidelity, FullSpace, PreparedSolver, RrmError,
+    SampledOptions, SampledSolver, Solution, Solver, SolverCtx, TerminatedBy, UpdateOp,
+    UtilitySpace,
 };
 
 use rrm_2d::{Rrm2dOptions, TwoDRrmSolver, TwoDRrrSolver};
@@ -51,32 +53,66 @@ enum Task {
 }
 
 /// A typed rank-regret query: the task (with its parameter bound at
-/// construction), plus algorithm selection and resource budget.
+/// construction), plus everything that shapes the answer — algorithm
+/// selection, resource budget, answer [`Fidelity`], an optional
+/// per-request utility subspace, and an optional execution policy. One
+/// fluent builder replaces the former scatter of knobs (`Query::threads`,
+/// engine-wide `Tuning.exec`, separately-plumbed cutoffs): Engine,
+/// Session, the serve wire protocol and the CLI all construct this same
+/// object.
 ///
 /// ```
-/// use rank_regret::{Request, Algorithm, Budget};
+/// use std::time::Duration;
+/// use rank_regret::{Request, Algorithm, Budget, Cutoff, Fidelity};
 ///
 /// let q = Request::minimize(5).algo(Algorithm::Hdrrm).budget(Budget::with_samples(500));
 /// assert_eq!(q.param(), 5);
+///
+/// // The sampled-ε approximate tier, with an in-solve time cutoff and a
+/// // pinned thread count, in one expression:
+/// let q = Request::minimize(5)
+///     .approx(0.05, 0.05)
+///     .cutoff(Cutoff::TimeBudget(Duration::from_millis(250)))
+///     .threads(4);
+/// assert_eq!(q.fidelity, Fidelity::Approx { eps: 0.05, delta: 0.05 });
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Request {
     task: Task,
     /// Algorithm selection policy (default [`AlgoChoice::Auto`]).
     pub choice: AlgoChoice,
     /// Cross-algorithm resource budget (default unlimited).
     pub budget: Budget,
+    /// Requested answer fidelity (default [`Fidelity::Exact`]).
+    pub fidelity: Fidelity,
+    /// Per-request utility subspace (RRM becomes RRRM); `None` runs over
+    /// the engine/session's ambient space.
+    pub space: Option<Arc<dyn UtilitySpace>>,
+    /// Per-request execution policy override; `None` inherits the
+    /// engine's. Purely a speed knob — answers are bit-identical.
+    pub exec: Option<ExecPolicy>,
 }
 
 impl Request {
     /// RRM / RRRM: best set of at most `r` tuples.
     pub fn minimize(r: usize) -> Self {
-        Self { task: Task::Minimize { r }, choice: AlgoChoice::Auto, budget: Budget::UNLIMITED }
+        Self::from_task(Task::Minimize { r })
     }
 
     /// RRR: smallest set with rank-regret at most `k`.
     pub fn represent(k: usize) -> Self {
-        Self { task: Task::Represent { k }, choice: AlgoChoice::Auto, budget: Budget::UNLIMITED }
+        Self::from_task(Task::Represent { k })
+    }
+
+    fn from_task(task: Task) -> Self {
+        Self {
+            task,
+            choice: AlgoChoice::Auto,
+            budget: Budget::UNLIMITED,
+            fidelity: Fidelity::Exact,
+            space: None,
+            exec: None,
+        }
     }
 
     /// Select a specific algorithm.
@@ -97,6 +133,63 @@ impl Request {
         self
     }
 
+    /// Request the sampled-ε approximate tier: the answer carries a
+    /// Hoeffding confidence statement — with probability at least
+    /// `1 - delta` over the sampled directions, the reported regret is
+    /// exceeded on at most an `eps`-fraction of the utility space.
+    /// Under [`AlgoChoice::Auto`] this routes to [`Algorithm::Sampled`];
+    /// with a fixed exact algorithm it solves on an `approx::reduce`
+    /// coreset and re-certifies the answer by sampling.
+    pub fn approx(mut self, eps: f64, delta: f64) -> Self {
+        self.fidelity = Fidelity::Approx { eps, delta };
+        self
+    }
+
+    /// Set the answer fidelity explicitly (builder form of the field).
+    pub fn fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Attach an in-solve cutoff (time budget, gap target, counter
+    /// budget) — shorthand for setting `budget.cutoff`.
+    pub fn cutoff(mut self, cutoff: Cutoff) -> Self {
+        self.budget.cutoff = cutoff;
+        self
+    }
+
+    /// Override the direction-sample count used by randomized solvers —
+    /// shorthand for setting `budget.samples`.
+    pub fn samples(mut self, n: usize) -> Self {
+        self.budget.samples = Some(n);
+        self
+    }
+
+    /// Restrict this request to a utility subspace (RRM becomes RRRM)
+    /// without rebinding the engine or session it runs on.
+    pub fn within(mut self, space: impl UtilitySpace + 'static) -> Self {
+        self.space = Some(Arc::from(space.clone_box()));
+        self
+    }
+
+    /// [`Request::within`] for an already-shared space.
+    pub fn within_arc(mut self, space: Arc<dyn UtilitySpace>) -> Self {
+        self.space = Some(space);
+        self
+    }
+
+    /// Thread budget for this request's solver kernels (`0` = all
+    /// cores). Purely a speed knob: answers are bit-identical.
+    pub fn threads(self, n: usize) -> Self {
+        self.exec(ExecPolicy::threads(n))
+    }
+
+    /// Full per-request execution policy (see [`ExecPolicy`]).
+    pub fn exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = Some(exec);
+        self
+    }
+
     /// Which problem direction this request asks for.
     pub fn kind(&self) -> TaskKind {
         match self.task {
@@ -111,6 +204,55 @@ impl Request {
             Task::Minimize { r } => r,
             Task::Represent { k } => k,
         }
+    }
+
+    /// The budget this request actually runs under: the `(ε, δ)` spec
+    /// from [`Request::approx`] injected into `budget.approx` (an
+    /// explicit [`Budget::with_approx`] wins if both are set).
+    pub fn effective_budget(&self) -> Budget {
+        let mut budget = self.budget.clone();
+        if budget.approx.is_none() {
+            budget.approx = self.fidelity.spec();
+        }
+        budget
+    }
+
+    /// The algorithm this request resolves to on `d`-dimensional data:
+    /// a fixed choice wins; `Auto` follows [`Engine::auto_policy`] for
+    /// exact fidelity and the sampled tier for approximate fidelity.
+    pub fn resolved_algorithm(&self, d: usize) -> Algorithm {
+        match (self.choice, self.fidelity) {
+            (AlgoChoice::Fixed(a), _) => a,
+            (AlgoChoice::Auto, Fidelity::Exact) => Engine::auto_policy(d),
+            (AlgoChoice::Auto, Fidelity::Approx { .. }) => Algorithm::Sampled,
+        }
+    }
+}
+
+/// Spaces don't implement `Debug`; show the request's space by label.
+impl std::fmt::Debug for Request {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Request")
+            .field("task", &self.task)
+            .field("choice", &self.choice)
+            .field("budget", &self.budget)
+            .field("fidelity", &self.fidelity)
+            .field("space", &self.space.as_ref().map(|s| s.label()))
+            .field("exec", &self.exec)
+            .finish()
+    }
+}
+
+/// Equality compares the space by its [`UtilitySpace::label`] (spaces
+/// carry no structural equality of their own); everything else by value.
+impl PartialEq for Request {
+    fn eq(&self, other: &Self) -> bool {
+        self.task == other.task
+            && self.choice == other.choice
+            && self.budget == other.budget
+            && self.fidelity == other.fidelity
+            && self.exec == other.exec
+            && self.space.as_ref().map(|s| s.label()) == other.space.as_ref().map(|s| s.label())
     }
 }
 
@@ -148,10 +290,13 @@ pub struct Tuning {
     pub mdrc: MdrcOptions,
     pub mdrms: MdrmsOptions,
     pub brute_force: BruteForceOptions,
+    /// The sampled-ε approximate tier (default fidelity, direction seed).
+    pub sampled: SampledOptions,
     /// Engine-wide execution policy: every dispatch (one-shot and
     /// prepared) runs its chunked kernels under this thread budget.
     /// Results are bit-identical at any setting; the default honours
-    /// `RRM_THREADS`, else uses all cores.
+    /// `RRM_THREADS`, else uses all cores. A per-request
+    /// [`Request::exec`] override wins over this.
     pub exec: ExecPolicy,
 }
 
@@ -166,12 +311,12 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// All eight algorithms with default (paper) tuning.
+    /// Every algorithm with default (paper) tuning.
     pub fn new() -> Self {
         Self::with_tuning(&Tuning::default())
     }
 
-    /// All eight algorithms with explicit tuning.
+    /// Every algorithm with explicit tuning.
     pub fn with_tuning(t: &Tuning) -> Self {
         let solvers: Vec<Box<dyn Solver>> = vec![
             Box::new(TwoDRrmSolver::new(t.rrm2d)),
@@ -182,6 +327,7 @@ impl Engine {
             Box::new(MdrcSolver::new(t.mdrc)),
             Box::new(MdrmsSolver::new(t.mdrms)),
             Box::new(BruteForceSolver { options: t.brute_force }),
+            Box::new(SampledSolver { options: t.sampled }),
         ];
         debug_assert!(
             solvers.iter().enumerate().all(|(i, s)| s.algorithm().index() == i),
@@ -235,27 +381,95 @@ impl Engine {
         })
     }
 
-    /// One-shot dispatch for a typed [`Request`]: resolve the algorithm,
-    /// check its capabilities against the data and space, and run the task
-    /// through the [`Solver`] trait. For repeated queries over one
-    /// dataset, bind a [`Session`] instead — it amortizes the per-dataset
-    /// work this path redoes on every call.
+    /// One-shot dispatch for a typed [`Request`]: resolve the algorithm
+    /// (honouring the request's [`Fidelity`]), check its capabilities
+    /// against the data and space, and run the task through the
+    /// [`Solver`] trait. A request-level [`Request::within`] space
+    /// overrides `space`; a [`Request::exec`] policy overrides the
+    /// engine's. For repeated queries over one dataset, bind a
+    /// [`Session`] instead — it amortizes the per-dataset work this path
+    /// redoes on every call.
     pub fn run(
         &self,
         data: &Dataset,
         space: &dyn UtilitySpace,
         request: &Request,
     ) -> Result<Solution, RrmError> {
-        let solver = self.resolve(request.choice, data.dim())?;
+        let space = request.space.as_deref().unwrap_or(space);
+        let ctx = match request.exec {
+            Some(exec) => SolverCtx::with_exec(exec),
+            None => self.ctx,
+        };
+        let budget = request.effective_budget();
+        let algo = request.resolved_algorithm(data.dim());
+        if request.fidelity.is_approx() && algo != Algorithm::Sampled {
+            // Approximate fidelity through a fixed exact algorithm: the
+            // coreset path (reduce → exact solve → sampled re-certify).
+            let spec = budget.approx.expect("approx fidelity injects its spec");
+            return self.run_reduced(data, space, request, algo, spec, &budget, &ctx);
+        }
+        let solver = self.solver(algo).ok_or_else(|| {
+            RrmError::Unsupported(format!("algorithm {algo} is not registered in this engine"))
+        })?;
         solver.ensure_supported(data, space)?;
         match request.task {
-            Task::Minimize { r } => {
-                solver.solve_rrm_ctx(data, r, space, &request.budget, &self.ctx)
-            }
-            Task::Represent { k } => {
-                solver.solve_rrr_ctx(data, k, space, &request.budget, &self.ctx)
-            }
+            Task::Minimize { r } => solver.solve_rrm_ctx(data, r, space, &budget, &ctx),
+            Task::Represent { k } => solver.solve_rrr_ctx(data, k, space, &budget, &ctx),
         }
+    }
+
+    /// Per-direction depth of the `approx::reduce` coreset on the
+    /// minimize path: deep enough that the exact solver sees every tuple
+    /// that can matter unless the optimum's regret is already large
+    /// (in which case the sampled re-certification reports that regret
+    /// honestly). The represent path uses its threshold `k` instead —
+    /// tuples outside every direction's top-`k` cannot join a cover.
+    const REDUCE_DEPTH: usize = 64;
+
+    /// The coreset path for approximate requests pinned to an exact
+    /// algorithm: shrink `n` with [`approx::reduce`] (union of sampled
+    /// per-direction top lists), run the exact solver on the coreset, map
+    /// the answer back, and re-certify its regret by measuring over the
+    /// same sampled directions. The result keeps the exact algorithm's
+    /// identity but carries the sampled `(ε, δ)` statement, because the
+    /// exact certificate only covered the coreset.
+    #[allow(clippy::too_many_arguments)]
+    fn run_reduced(
+        &self,
+        data: &Dataset,
+        space: &dyn UtilitySpace,
+        request: &Request,
+        algo: Algorithm,
+        spec: ApproxSpec,
+        budget: &Budget,
+        ctx: &SolverCtx,
+    ) -> Result<Solution, RrmError> {
+        spec.validate()?;
+        let solver = self.solver(algo).ok_or_else(|| {
+            RrmError::Unsupported(format!("algorithm {algo} is not registered in this engine"))
+        })?;
+        solver.ensure_supported(data, space)?;
+        let m = budget.samples.unwrap_or_else(|| spec.directions()).max(1);
+        let depth = match request.task {
+            Task::Minimize { .. } => Self::REDUCE_DEPTH.min(data.n()),
+            Task::Represent { k } => k.clamp(1, data.n()),
+        };
+        let reduced = approx::reduce(data, space, depth, m, approx::DEFAULT_SEED, ctx.exec)?;
+        let sol = match request.task {
+            Task::Minimize { r } => solver.solve_rrm_ctx(&reduced.data, r, space, budget, ctx)?,
+            Task::Represent { k } => solver.solve_rrr_ctx(&reduced.data, k, space, budget, ctx)?,
+        };
+        let indices = reduced.original_indices(&sol.indices);
+        let dirs = approx::sample_directions(space, m, approx::DEFAULT_SEED);
+        let k_hat = rrm_core::rank::max_rank_regret(data, &dirs, &indices, ctx.exec.parallelism)
+            .expect("m >= 1 directions were sampled");
+        Ok(Solution::new(indices, Some(k_hat), algo, data)?
+            .with_bounds(Bounds { lower: 1, upper: k_hat })
+            .with_termination(TerminatedBy::Sampled {
+                eps: spec.eps,
+                delta: spec.delta,
+                directions: m,
+            }))
     }
 
     /// Prepare one algorithm selection against a dataset + space (resolve,
@@ -365,7 +579,7 @@ pub struct Session {
 }
 
 impl Session {
-    /// Bind the default engine (all eight algorithms, paper tuning) to
+    /// Bind the default engine (all nine algorithms, paper tuning) to
     /// `data` over the full utility space.
     pub fn new(data: Dataset) -> Self {
         Self::with_engine(Engine::new(), data)
@@ -549,13 +763,37 @@ impl Session {
     /// Answer one request through the prepared state. The query pins the
     /// snapshot current at dispatch — a concurrent [`Session::update`]
     /// neither blocks it nor changes the rows it answers over.
+    ///
+    /// Routing: requests resolve through the cached prepared handles
+    /// (approximate fidelity under `Auto` resolves to the prepared
+    /// [`Algorithm::Sampled`] handle, so the sampled tier amortizes like
+    /// every other algorithm). Two shapes can't use a cached handle and
+    /// run one-shot against the pinned snapshot instead — a per-request
+    /// [`Request::within`] space (handles are built against the session
+    /// space) and approximate fidelity pinned to an exact algorithm (the
+    /// coreset path). Answers are identical either way; only the
+    /// amortization differs. A [`Request::exec`] override is honoured on
+    /// the one-shot path; prepared handles keep the policy they captured
+    /// at prepare time (answers are bit-identical at any setting).
     pub fn run(&self, request: &Request) -> Result<Response, RrmError> {
-        let prepared = self.prepared_in(&self.current(), request.choice)?;
+        let snap = self.current();
+        let choice = match (request.fidelity, request.choice) {
+            (Fidelity::Approx { .. }, AlgoChoice::Auto) => AlgoChoice::Fixed(Algorithm::Sampled),
+            (_, choice) => choice,
+        };
+        let one_shot = request.space.is_some()
+            || (request.fidelity.is_approx() && choice != AlgoChoice::Fixed(Algorithm::Sampled));
         let start = Instant::now();
-        let solution = match request.task {
-            Task::Minimize { r } => prepared.solve_rrm(r, &request.budget),
-            Task::Represent { k } => prepared.solve_rrr(k, &request.budget),
-        }?;
+        let solution = if one_shot {
+            self.engine.run(&snap.data, self.space.as_ref(), request)?
+        } else {
+            let prepared = self.prepared_in(&snap, choice)?;
+            let budget = request.effective_budget();
+            match request.task {
+                Task::Minimize { r } => prepared.solve_rrm(r, &budget),
+                Task::Represent { k } => prepared.solve_rrr(k, &budget),
+            }?
+        };
         Ok(Response { request: request.clone(), solution, seconds: start.elapsed().as_secs_f64() })
     }
 
@@ -583,6 +821,8 @@ pub struct Query<'a> {
     space: Option<Box<dyn UtilitySpace>>,
     choice: AlgoChoice,
     budget: Budget,
+    fidelity: Fidelity,
+    exec: Option<ExecPolicy>,
     tuning: Tuning,
 }
 
@@ -596,6 +836,8 @@ impl<'a> Query<'a> {
             space: None,
             choice: AlgoChoice::Auto,
             budget: Budget::UNLIMITED,
+            fidelity: Fidelity::Exact,
+            exec: None,
             tuning: Tuning::default(),
         }
     }
@@ -639,16 +881,26 @@ impl<'a> Query<'a> {
         self
     }
 
-    /// Thread budget for the query's solver kernels (`0` = all cores).
-    /// Purely a speed knob: solutions are bit-identical at any setting.
-    pub fn threads(mut self, n: usize) -> Self {
-        self.tuning.exec = ExecPolicy::threads(n);
+    /// Request the sampled-ε approximate answer tier (see
+    /// [`Request::approx`]).
+    pub fn approx(mut self, eps: f64, delta: f64) -> Self {
+        self.fidelity = Fidelity::Approx { eps, delta };
         self
     }
 
-    /// Full execution policy (see [`ExecPolicy`]).
+    /// Thread budget for the query's solver kernels (`0` = all cores).
+    /// Purely a speed knob: solutions are bit-identical at any setting.
+    /// Carried on the typed [`Request`] ([`Request::threads`]), not as a
+    /// separate engine knob.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.exec = Some(ExecPolicy::threads(n));
+        self
+    }
+
+    /// Full execution policy (see [`ExecPolicy`]); carried on the typed
+    /// [`Request`].
     pub fn exec(mut self, exec: ExecPolicy) -> Self {
-        self.tuning.exec = exec;
+        self.exec = Some(exec);
         self
     }
 
@@ -690,15 +942,26 @@ impl<'a> Query<'a> {
             TaskKind::Minimize => Request::minimize(self.param),
             TaskKind::Represent => Request::represent(self.param),
         };
-        Ok(request.choice(self.choice).budget(self.budget.clone()))
+        let mut request =
+            request.choice(self.choice).budget(self.budget.clone()).fidelity(self.fidelity);
+        if let Some(exec) = self.exec {
+            request = request.exec(exec);
+        }
+        Ok(request)
     }
 
     /// Bind the query's data, space and tuning into a [`Session`] — the
     /// prepare-once / query-many handle. The dataset is cloned into the
     /// session (sessions own their data so prepared handles can outlive
-    /// the borrow and cross threads).
+    /// the borrow and cross threads). A [`Query::threads`]/[`Query::exec`]
+    /// policy becomes the session's engine-wide policy, so prepared
+    /// handles capture it too.
     pub fn session(&self) -> Session {
-        let session = Engine::with_tuning(&self.tuning).session(self.data.clone());
+        let mut tuning = self.tuning.clone();
+        if let Some(exec) = self.exec {
+            tuning.exec = exec;
+        }
+        let session = Engine::with_tuning(&tuning).session(self.data.clone());
         match &self.space {
             Some(space) => session.boxed_space(space.clone_box()),
             None => session,
@@ -717,7 +980,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_all_eight_algorithms_once() {
+    fn registry_has_every_algorithm_once() {
         let engine = Engine::new();
         let mut algos: Vec<Algorithm> = engine.registry().map(|s| s.algorithm()).collect();
         assert_eq!(algos.len(), Algorithm::ALL.len());
@@ -842,20 +1105,21 @@ mod tests {
     fn warm_builds_handles_and_counts_hits_and_misses() {
         let data = Dataset::from_rows(&[[0.0, 1.0], [0.57, 0.75], [1.0, 0.0]]).unwrap();
         let session = Session::new(data);
-        // Warm everything: the 2D solvers, HD solvers (d >= 2) and brute
-        // force all accept d = 2, so all eight handles build.
+        // Warm everything: the 2D solvers, HD solvers (d >= 2), brute
+        // force and the sampled tier all accept d = 2, so all nine
+        // handles build.
         let ok = session.warm(&Algorithm::ALL);
-        assert_eq!(ok, 8);
-        assert_eq!(session.prepare_misses(), 8);
+        assert_eq!(ok, 9);
+        assert_eq!(session.prepare_misses(), 9);
         assert_eq!(session.prepare_hits(), 0);
         // Every later query is a hit; no new prepare runs.
         session.run(&Request::minimize(1)).unwrap();
         session.run(&Request::minimize(2).algo(Algorithm::Hdrrm)).unwrap();
-        assert_eq!(session.prepare_misses(), 8);
+        assert_eq!(session.prepare_misses(), 9);
         assert_eq!(session.prepare_hits(), 2);
         // Warming again is all hits.
-        assert_eq!(session.warm(&Algorithm::ALL), 8);
-        assert_eq!(session.prepare_misses(), 8);
+        assert_eq!(session.warm(&Algorithm::ALL), 9);
+        assert_eq!(session.prepare_misses(), 9);
     }
 
     #[test]
@@ -865,11 +1129,11 @@ mod tests {
             Dataset::from_rows(&[[0.1, 0.9, 0.5], [0.9, 0.1, 0.5], [0.5, 0.5, 0.5]]).unwrap();
         let session = Session::new(data);
         let ok = session.warm(&Algorithm::ALL);
-        assert_eq!(ok, 6, "all but the two planar solvers");
+        assert_eq!(ok, 7, "all but the two planar solvers");
         // The cached failure surfaces identically on a real request.
         let err = session.run(&Request::minimize(1).algo(Algorithm::TwoDRrm)).unwrap_err();
         assert!(matches!(err, RrmError::Unsupported(_)), "{err}");
-        assert_eq!(session.prepare_misses(), 8, "failures consumed their one miss");
+        assert_eq!(session.prepare_misses(), 9, "failures consumed their one miss");
     }
 
     #[test]
@@ -913,16 +1177,16 @@ mod tests {
         let data = Dataset::from_rows(&[[0.0, 1.0], [0.57, 0.75], [1.0, 0.0]]).unwrap();
         let session = Session::new(data);
         session.warm(&Algorithm::ALL);
-        assert_eq!(session.prepare_misses(), 8);
+        assert_eq!(session.prepare_misses(), 9);
         session.update(&[UpdateOp::Insert(vec![0.8, 0.5])]).unwrap();
         // 2DRRM and HDRRM maintain their prepared state across the swap:
         // querying them on the new epoch must not re-run prepare.
         session.run(&Request::minimize(2).algo(Algorithm::TwoDRrm)).unwrap();
         session.run(&Request::minimize(2).algo(Algorithm::Hdrrm)).unwrap();
-        assert_eq!(session.prepare_misses(), 8, "incremental slots were pre-filled");
+        assert_eq!(session.prepare_misses(), 9, "incremental slots were pre-filled");
         // A solver without incremental maintenance lazily re-prepares.
         session.run(&Request::minimize(2).algo(Algorithm::Mdrc)).unwrap();
-        assert_eq!(session.prepare_misses(), 9);
+        assert_eq!(session.prepare_misses(), 10);
     }
 
     #[test]
@@ -958,5 +1222,125 @@ mod tests {
         // Auto resolves to 2DRRM on d = 2; both asks share one handle.
         assert!(Arc::ptr_eq(&handle, &again));
         assert_eq!(handle.algorithm(), Algorithm::TwoDRrm);
+    }
+
+    fn table1() -> Dataset {
+        Dataset::from_rows(&[
+            [0.0, 1.0],
+            [0.4, 0.95],
+            [0.57, 0.75],
+            [0.79, 0.6],
+            [0.2, 0.5],
+            [0.35, 0.3],
+            [1.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn approx_requests_resolve_to_the_sampled_tier() {
+        let q = Request::minimize(2).approx(0.1, 0.05);
+        assert_eq!(q.fidelity, Fidelity::Approx { eps: 0.1, delta: 0.05 });
+        assert_eq!(q.resolved_algorithm(2), Algorithm::Sampled);
+        assert_eq!(q.resolved_algorithm(5), Algorithm::Sampled);
+        // Exact fidelity keeps the old auto policy.
+        assert_eq!(Request::minimize(2).resolved_algorithm(2), Algorithm::TwoDRrm);
+        assert_eq!(Request::minimize(2).resolved_algorithm(5), Algorithm::Hdrrm);
+        // A fixed algorithm always wins the resolution.
+        assert_eq!(
+            Request::minimize(2).approx(0.1, 0.05).algo(Algorithm::Hdrrm).resolved_algorithm(4),
+            Algorithm::Hdrrm
+        );
+        // The budget the solve runs under carries the spec.
+        assert_eq!(q.effective_budget().approx, Some(ApproxSpec { eps: 0.1, delta: 0.05 }));
+        assert_eq!(Request::minimize(2).effective_budget().approx, None);
+    }
+
+    #[test]
+    fn approx_answers_match_between_engine_and_session() {
+        let data = table1();
+        let request = Request::minimize(1).approx(0.05, 0.05);
+        let engine = Engine::new();
+        let one_shot = engine.run(&data, &FullSpace::new(2), &request).unwrap();
+        assert_eq!(one_shot.algorithm, Algorithm::Sampled);
+        assert!(matches!(one_shot.terminated_by, TerminatedBy::Sampled { .. }));
+        // Table I: the best single representative is t3 (index 2).
+        assert_eq!(one_shot.indices, vec![2]);
+        let session = Session::new(data);
+        assert_eq!(session.run(&request).unwrap().solution, one_shot);
+        // The sampled handle is cached like any other algorithm's.
+        session.run(&request).unwrap();
+        assert!(session.prepare_hits() >= 1);
+    }
+
+    #[test]
+    fn approx_through_an_exact_algorithm_uses_the_coreset_path() {
+        let data = table1();
+        let request = Request::minimize(2).approx(0.1, 0.1).algo(Algorithm::TwoDRrm);
+        let engine = Engine::new();
+        let sol = engine.run(&data, &FullSpace::new(2), &request).unwrap();
+        // The exact algorithm keeps its identity but the certificate is
+        // the sampled statement (the exact one covered only the coreset).
+        assert_eq!(sol.algorithm, Algorithm::TwoDRrm);
+        match sol.terminated_by {
+            TerminatedBy::Sampled { eps, delta, directions } => {
+                assert_eq!((eps, delta), (0.1, 0.1));
+                assert!(directions >= 1);
+            }
+            other => panic!("expected a sampled certificate, got {other:?}"),
+        }
+        // n = 7 fits entirely inside the coreset depth, so the answer is
+        // the exact optimum with a sampled measurement of its regret.
+        let exact = engine
+            .run(&data, &FullSpace::new(2), &Request::minimize(2).algo(Algorithm::TwoDRrm))
+            .unwrap();
+        assert_eq!(sol.indices, exact.indices);
+        // Session routes the same shape one-shot; answers agree.
+        let session = Session::new(table1());
+        assert_eq!(session.run(&request).unwrap().solution, sol);
+    }
+
+    #[test]
+    fn per_request_space_turns_rrm_into_rrrm() {
+        use rrm_core::WeakRankingSpace;
+        let data = table1();
+        let engine = Engine::new();
+        let restricted = Request::minimize(2).within(WeakRankingSpace::new(2, 1));
+        let via_request = engine.run(&data, &FullSpace::new(2), &restricted).unwrap();
+        let via_ambient =
+            engine.run(&data, &WeakRankingSpace::new(2, 1), &Request::minimize(2)).unwrap();
+        assert_eq!(via_request, via_ambient, "within() must equal an ambient-space run");
+        // Sessions route per-request spaces one-shot against the pinned
+        // snapshot — same answer as the engine.
+        let session = Session::new(data);
+        assert_eq!(session.run(&restricted).unwrap().solution, via_request);
+    }
+
+    #[test]
+    fn per_request_exec_override_never_changes_answers() {
+        let data = table1();
+        let engine = Engine::new().with_exec(ExecPolicy::sequential());
+        let baseline = engine.run(&data, &FullSpace::new(2), &Request::minimize(2)).unwrap();
+        for threads in [2usize, 7] {
+            let request = Request::minimize(2).threads(threads);
+            assert_eq!(engine.run(&data, &FullSpace::new(2), &request).unwrap(), baseline);
+        }
+    }
+
+    #[test]
+    fn request_equality_covers_the_new_dimensions() {
+        use rrm_core::WeakRankingSpace;
+        let base = Request::minimize(2);
+        assert_eq!(base, Request::minimize(2));
+        assert_ne!(base, Request::minimize(2).approx(0.1, 0.1));
+        assert_ne!(base, Request::minimize(2).threads(3));
+        assert_ne!(base, Request::minimize(2).within(WeakRankingSpace::new(2, 1)));
+        assert_eq!(
+            Request::minimize(2).within(WeakRankingSpace::new(2, 1)),
+            Request::minimize(2).within(WeakRankingSpace::new(2, 1))
+        );
+        assert_ne!(base, Request::minimize(2).cutoff(Cutoff::GapAtMost(0.5)));
+        let shown = format!("{:?}", Request::minimize(2).approx(0.1, 0.1));
+        assert!(shown.contains("Approx"), "{shown}");
     }
 }

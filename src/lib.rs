@@ -101,6 +101,53 @@
 //! assert!(matches!(err, RrmError::Unsupported(_)));
 //! ```
 //!
+//! ## Approximate solving
+//!
+//! [`Request::approx`] selects the sampled-ε tier: instead of certifying
+//! the answer over *every* direction, the solver certifies it over a
+//! Hoeffding-sized direction sample and says so in the result — the
+//! reported regret is exceeded on at most an `eps`-fraction of the
+//! utility space with probability at least `1 - delta`
+//! ([`TerminatedBy::Sampled`] carries the statement). That is a
+//! *fidelity* change, not an early stop: the answer is complete under a
+//! weaker, stated guarantee, and it is bit-identical at any thread
+//! count. `repro approx` measures the trade on the scenario matrix
+//! (≥ 5x end-to-end over exact at the paper's scales, coverage asserted
+//! in-run).
+//!
+//! ```
+//! use rank_regret::prelude::*;
+//! use rank_regret::TerminatedBy;
+//!
+//! let data = rank_regret::rrm_data::synthetic::independent(400, 4, 7);
+//! let session = Session::new(data);
+//! let resp = session.run(&Request::minimize(5).approx(0.1, 0.05)).unwrap();
+//! match resp.solution.terminated_by {
+//!     TerminatedBy::Sampled { eps, delta, directions } => {
+//!         assert_eq!((eps, delta), (0.1, 0.05));
+//!         assert!(directions >= 150); // ceil(ln(2/δ)/(2ε²))
+//!     }
+//!     _ => unreachable!("approx answers state their confidence"),
+//! }
+//! ```
+//!
+//! The same dimension flows end to end: over the serve wire protocol
+//! (`"approx": {"eps": 0.05, "delta": 0.05}` in a request; responses echo
+//! `"fidelity"` and a `"confidence"` block) and on the CLI
+//! (`rrm --approx 0.05,0.05 ...`).
+//!
+//! ## Migrating to the `Request` builder
+//!
+//! Older layers each had their own knobs: positional
+//! `Solver::solve_rrm(r, budget, cutoff, exec)`-style wrappers,
+//! `Query::threads`, engine-wide `Tuning.exec`, and separately-plumbed
+//! cutoffs. These collapsed into the one fluent [`Request`] builder —
+//! `Request::minimize(r).algo(...).budget(...).cutoff(...).threads(...)
+//! .approx(...)` — which Engine, Session, the serve protocol and the CLI
+//! all construct. Solver implementations take a [`SolverCtx`]; the old
+//! 4-arg trait wrappers are gone. `Query` remains as a thin
+//! source-compatibility shim over `Request`.
+//!
 //! ## The engine layer
 //!
 //! [`Engine`] holds one [`Solver`] per [`Algorithm`] variant (indexed by
@@ -112,7 +159,7 @@
 //! use rank_regret::{Engine, AlgoChoice};
 //!
 //! let engine = Engine::new();
-//! assert_eq!(engine.registry().count(), 8);
+//! assert_eq!(engine.registry().count(), 9);
 //! for solver in engine.registry() {
 //!     let _ = (solver.name(), solver.has_regret_guarantee(),
 //!              solver.supports_restricted_space(), solver.supported_dims());
@@ -133,14 +180,14 @@
 //!
 //! | Crate | Contents |
 //! |-------|----------|
-//! | [`core`](rrm_core) | datasets, utility spaces, ranking primitives, the [`Solver`] trait, [`Budget`], brute force |
+//! | [`core`](rrm_core) | datasets, utility spaces, ranking primitives, the [`Solver`] trait, [`Budget`], brute force, the sampled-ε approximate tier (`rrm_core::approx`) |
 //! | [`algos2d`](rrm_2d) | 2DRRM (exact) + 2DRRR baseline solvers, Pareto frontier |
 //! | [`algoshd`](rrm_hd) | HDRRM/ASMS, MDRRR, MDRRRr, MDRC, MDRMS solvers |
 //! | [`skyline`](rrm_skyline) | skyline and restricted U-skyline |
 //! | [`geom`](rrm_geom) | dual arrangement, polar grids |
 //! | [`lp`](rrm_lp) | dense two-phase simplex |
 //! | [`setcover`](rrm_setcover) | lazy greedy set cover, interval cover |
-//! | [`data`](rrm_data) | synthetic + simulated-real workloads |
+//! | [`data`](rrm_data) | synthetic + simulated-real workloads, the approx scenario matrix |
 //! | [`eval`](rrm_eval) | regret estimators (sampled and exact-2D), solver reports |
 //! | `rank_regret` (this crate) | the [`Engine`]/[`Query`] layer, builders, CLI |
 
@@ -156,10 +203,10 @@ pub use rrm_setcover;
 pub use rrm_skyline;
 
 pub use rrm_core::{
-    apply_updates, Algorithm, AppliedUpdate, BiasedOrthantSpace, Bounds, BoxSpace, Budget,
-    ConeSpace, Cutoff, Dataset, DimRange, ExecPolicy, FullSpace, Parallelism, PreparedSolver,
-    RrmError, Solution, Solver, SolverCtx, SphereCap, TerminatedBy, UpdateOp, UtilitySpace,
-    WeakRankingSpace,
+    apply_updates, Algorithm, AppliedUpdate, ApproxSpec, BiasedOrthantSpace, Bounds, BoxSpace,
+    Budget, ConeSpace, Cutoff, Dataset, DimRange, ExecPolicy, Fidelity, FullSpace, Parallelism,
+    PreparedSolver, RrmError, SampledOptions, Solution, Solver, SolverCtx, SphereCap, TerminatedBy,
+    UpdateOp, UtilitySpace, WeakRankingSpace,
 };
 
 pub mod cli;
@@ -170,9 +217,10 @@ pub use engine::{AlgoChoice, Engine, Query, Request, Response, Session, TaskKind
 /// Everything a typical caller needs.
 pub mod prelude {
     pub use crate::{
-        minimize, represent, session, Algorithm, BiasedOrthantSpace, BoxSpace, Budget, ConeSpace,
-        Dataset, Engine, ExecPolicy, FullSpace, Parallelism, PreparedSolver, Request, Response,
-        RrmError, Session, Solution, Solver, SphereCap, UpdateOp, UtilitySpace, WeakRankingSpace,
+        minimize, represent, session, Algorithm, ApproxSpec, BiasedOrthantSpace, BoxSpace, Budget,
+        ConeSpace, Cutoff, Dataset, Engine, ExecPolicy, Fidelity, FullSpace, Parallelism,
+        PreparedSolver, Request, Response, RrmError, Session, Solution, Solver, SphereCap,
+        UpdateOp, UtilitySpace, WeakRankingSpace,
     };
 }
 
@@ -311,7 +359,7 @@ mod tests {
 
     #[test]
     fn every_algorithm_is_reachable_from_the_facade() {
-        // The acceptance bar for the engine refactor: all eight variants
+        // The acceptance bar for the engine refactor: all nine variants
         // runnable with one selector, on the Table I dataset.
         for algo in Algorithm::ALL {
             let sol = minimize(&table1())

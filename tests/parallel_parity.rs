@@ -45,7 +45,7 @@ fn assert_parity(
 }
 
 #[test]
-fn all_eight_algorithms_are_bit_identical_at_1_2_and_7_threads() {
+fn every_algorithm_is_bit_identical_at_1_2_and_7_threads() {
     // d = 2 is the one dimensionality every algorithm supports (brute
     // force caps n at 20), so this covers the full registry.
     let data = independent(16, 2, 11);

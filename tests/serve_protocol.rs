@@ -322,6 +322,52 @@ fn gap_cutoff_queries_answer_over_the_wire() {
 }
 
 #[test]
+fn approx_queries_answer_at_sampled_fidelity_over_the_wire() {
+    let server = ServerHandle::start(test_config(), &[small_tenant("t")]).expect("start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    // An approx request with no explicit algorithm routes to the sampled
+    // tier, answers ok (not partial — a fidelity statement is not an
+    // early stop), and echoes its confidence parameters.
+    let resp = client
+        .call(
+            r#"{"op":"minimize","tenant":"t","param":4,"approx":{"eps":0.1,"delta":0.05},"id":1}"#,
+        )
+        .expect("call");
+    assert_eq!(str_field(&resp, "status"), "ok", "{resp:?}");
+    assert_eq!(str_field(&resp, "algorithm"), "Sampled");
+    assert_eq!(str_field(&resp, "fidelity"), "approx");
+    assert!(resp.get("partial").is_none(), "sampled answers are complete: {resp:?}");
+    let confidence = resp.get("confidence").expect("confidence block");
+    assert_eq!(confidence.get("eps").and_then(Json::as_f64), Some(0.1));
+    assert_eq!(confidence.get("delta").and_then(Json::as_f64), Some(0.05));
+    assert!(confidence.get("directions").and_then(Json::as_usize).unwrap() >= 1);
+
+    // Sampled answers are seeded and deterministic, so the identical
+    // repeat is a result-cache hit; an exact request is a distinct key.
+    let repeat = client
+        .call(
+            r#"{"op":"minimize","tenant":"t","param":4,"approx":{"eps":0.1,"delta":0.05},"id":2}"#,
+        )
+        .expect("call");
+    assert_eq!(repeat.get("indices"), resp.get("indices"));
+    let exact = client
+        .call(r#"{"op":"minimize","tenant":"t","param":4,"algo":"hdrrm","samples":64,"id":3}"#)
+        .expect("call");
+    assert_eq!(str_field(&exact, "fidelity"), "exact");
+    assert!(exact.get("confidence").is_none(), "exact answers carry no confidence block");
+
+    drop(client);
+    let stats = server.shutdown();
+    let tenant = stats.get("tenants").and_then(|t| t.get("t")).expect("tenant stats");
+    assert_eq!(tenant.get("completed").and_then(Json::as_usize), Some(3));
+    // Both sampled answers count — the fresh solve and the cached repeat
+    // (it re-serves a Sampled solution) — but the exact query does not.
+    assert_eq!(tenant.get("approx_answers").and_then(Json::as_usize), Some(2));
+    let cache = tenant.get("result_cache").expect("result_cache block");
+    assert_eq!(cache.get("hits").and_then(Json::as_usize), Some(1));
+}
+
+#[test]
 fn shutdown_returns_final_stats_with_latency_histogram() {
     let server = ServerHandle::start(test_config(), &[small_tenant("t")]).expect("start");
     let mut client = Client::connect(server.addr()).expect("connect");
